@@ -1,0 +1,212 @@
+//! Halo selection the way §2's astronomers describe it.
+//!
+//! "There are in general three or four different halo mass ranges that
+//! different people focus on: high mass which corresponds to a
+//! cluster, Milky Way mass, slightly less than Milky Way mass and low
+//! mass/dwarf galaxies. […] one person might be interested in a Milky
+//! Way mass galaxy that forms in relative isolation, another […] in a
+//! rich, cluster-like environment."
+//!
+//! Bands are defined by mass quantiles of a catalog (the synthetic
+//! universe has no physical mass units); environment is the number of
+//! neighboring halos within a radius.
+
+use serde::{Deserialize, Serialize};
+
+use crate::fof::{Halo, HaloCatalog};
+
+/// The §2 mass bands, heaviest first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MassBand {
+    /// High mass — corresponds to a cluster.
+    Cluster,
+    /// Milky Way mass.
+    MilkyWay,
+    /// Slightly less than Milky Way mass.
+    SubMilkyWay,
+    /// Low mass / dwarf galaxies.
+    Dwarf,
+}
+
+impl MassBand {
+    /// The quantile interval `[lo, hi)` of the band over the catalog's
+    /// mass distribution (heavier = higher quantile).
+    #[must_use]
+    pub fn quantiles(self) -> (f64, f64) {
+        match self {
+            MassBand::Cluster => (0.90, 1.01), // include the maximum
+            MassBand::MilkyWay => (0.60, 0.90),
+            MassBand::SubMilkyWay => (0.30, 0.60),
+            MassBand::Dwarf => (0.0, 0.30),
+        }
+    }
+}
+
+/// Environment selection.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Environment {
+    /// No other halo within the radius ("forms in relative isolation").
+    Isolated {
+        /// Neighborhood radius.
+        radius: f64,
+    },
+    /// At least `min_neighbors` halos within the radius ("a rich,
+    /// cluster-like environment").
+    Rich {
+        /// Neighborhood radius.
+        radius: f64,
+        /// Minimum neighbor count.
+        min_neighbors: usize,
+    },
+    /// Anywhere.
+    Any,
+}
+
+fn dist(a: &[f64; 3], b: &[f64; 3]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Number of *other* halos within `radius` of `halo`'s center.
+#[must_use]
+pub fn neighbors(catalog: &HaloCatalog, halo: &Halo, radius: f64) -> usize {
+    catalog
+        .halos
+        .iter()
+        .filter(|h| h.id != halo.id && dist(&h.center, &halo.center) <= radius)
+        .count()
+}
+
+/// Selects the halo ids of a catalog matching a mass band and
+/// environment — the `γ` sets of §7.2.
+#[must_use]
+pub fn select_gamma(catalog: &HaloCatalog, band: MassBand, env: Environment) -> Vec<u32> {
+    if catalog.halos.is_empty() {
+        return Vec::new();
+    }
+    let mut masses: Vec<f64> = catalog.halos.iter().map(|h| h.mass).collect();
+    masses.sort_by(f64::total_cmp);
+    let (qlo, qhi) = band.quantiles();
+    let quantile = |q: f64| -> f64 {
+        let idx = ((masses.len() as f64) * q).floor() as usize;
+        masses
+            .get(idx.min(masses.len() - 1))
+            .copied()
+            .unwrap_or(f64::INFINITY)
+    };
+    let lo = quantile(qlo);
+    let hi = if qhi > 1.0 { f64::INFINITY } else { quantile(qhi) };
+
+    catalog
+        .halos
+        .iter()
+        .filter(|h| h.mass >= lo && h.mass < hi)
+        .filter(|h| match env {
+            Environment::Any => true,
+            Environment::Isolated { radius } => neighbors(catalog, h, radius) == 0,
+            Environment::Rich {
+                radius,
+                min_neighbors,
+            } => neighbors(catalog, h, radius) >= min_neighbors,
+        })
+        .map(|h| h.id)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fof::find_halos;
+    use crate::particle::{Particle, ParticleKind, Snapshot};
+
+    fn cluster(ids: std::ops::Range<u32>, x: f64) -> Vec<Particle> {
+        ids.enumerate()
+            .map(|(k, id)| Particle {
+                id,
+                pos: [x + k as f64 * 0.1, 0.0, 0.0],
+                mass: 1.0,
+                kind: ParticleKind::Dark,
+            })
+            .collect()
+    }
+
+    fn catalog() -> HaloCatalog {
+        // Four halos of masses 10, 6, 4, 2; the two heaviest are close
+        // together, the lighter two are isolated.
+        let mut particles = Vec::new();
+        particles.extend(cluster(0..10, 0.0));
+        particles.extend(cluster(10..16, 5.0));
+        particles.extend(cluster(16..20, 300.0));
+        particles.extend(cluster(20..22, 600.0));
+        find_halos(&Snapshot { index: 1, particles }, 0.5, 2)
+    }
+
+    #[test]
+    fn bands_partition_the_catalog() {
+        let cat = catalog();
+        let mut all: Vec<u32> = Vec::new();
+        for band in [
+            MassBand::Cluster,
+            MassBand::MilkyWay,
+            MassBand::SubMilkyWay,
+            MassBand::Dwarf,
+        ] {
+            all.extend(select_gamma(&cat, band, Environment::Any));
+        }
+        all.sort_unstable();
+        let mut ids: Vec<u32> = cat.halos.iter().map(|h| h.id).collect();
+        ids.sort_unstable();
+        assert_eq!(all, ids, "every halo falls in exactly one band");
+    }
+
+    #[test]
+    fn cluster_band_holds_the_heaviest() {
+        let cat = catalog();
+        let heavy = select_gamma(&cat, MassBand::Cluster, Environment::Any);
+        assert_eq!(heavy, vec![0]); // halos sorted by mass, id 0 = heaviest
+    }
+
+    #[test]
+    fn environment_filters_neighbors() {
+        let cat = catalog();
+        // The two heavy halos sit 5 apart: within radius 10 each has a
+        // neighbor; the light ones are isolated at that radius.
+        let h0 = &cat.halos[0];
+        assert_eq!(neighbors(&cat, h0, 10.0), 1);
+        let isolated: Vec<u32> = cat
+            .halos
+            .iter()
+            .filter(|h| neighbors(&cat, h, 10.0) == 0)
+            .map(|h| h.id)
+            .collect();
+        assert_eq!(isolated.len(), 2);
+
+        let rich = select_gamma(
+            &cat,
+            MassBand::Cluster,
+            Environment::Rich {
+                radius: 10.0,
+                min_neighbors: 1,
+            },
+        );
+        assert_eq!(rich, vec![0]);
+        let iso_cluster = select_gamma(
+            &cat,
+            MassBand::Cluster,
+            Environment::Isolated { radius: 10.0 },
+        );
+        assert!(iso_cluster.is_empty());
+    }
+
+    #[test]
+    fn empty_catalog_selects_nothing() {
+        let cat = HaloCatalog {
+            snapshot: 1,
+            halos: Vec::new(),
+        };
+        assert!(select_gamma(&cat, MassBand::Dwarf, Environment::Any).is_empty());
+    }
+}

@@ -1,0 +1,250 @@
+//! Friends-of-friends (FoF) halo finding.
+//!
+//! §2: "astronomers first run a clustering algorithm to detect
+//! clusters, called halos". FoF is the standard such algorithm: any
+//! two particles closer than a *linking length* `b` are friends, and a
+//! halo is a connected component of the friendship graph with at least
+//! `min_members` particles.
+//!
+//! Implementation: hash particles into a uniform grid with cell size
+//! `b`, union particles within `b` across the 27 neighboring cells
+//! (each unordered cell pair visited once), and read components out of
+//! the disjoint-set forest.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::particle::Snapshot;
+use crate::unionfind::UnionFind;
+
+/// A detected halo.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Halo {
+    /// Index within the catalog (stable for a given snapshot +
+    /// parameters).
+    pub id: u32,
+    /// Member particle ids, ascending.
+    pub members: Vec<u32>,
+    /// Total mass.
+    pub mass: f64,
+    /// Center of mass.
+    pub center: [f64; 3],
+}
+
+/// All halos of one snapshot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HaloCatalog {
+    /// The snapshot index this catalog describes.
+    pub snapshot: u32,
+    /// Halos ordered by descending mass.
+    pub halos: Vec<Halo>,
+}
+
+impl HaloCatalog {
+    /// Membership lookup: particle id → halo id.
+    #[must_use]
+    pub fn membership(&self) -> HashMap<u32, u32> {
+        let mut map = HashMap::new();
+        for h in &self.halos {
+            for &p in &h.members {
+                map.insert(p, h.id);
+            }
+        }
+        map
+    }
+
+    /// Halos with mass inside `[lo, hi)` — the §2 "halo mass ranges
+    /// that different people focus on".
+    pub fn mass_range(&self, lo: f64, hi: f64) -> impl Iterator<Item = &Halo> {
+        self.halos
+            .iter()
+            .filter(move |h| h.mass >= lo && h.mass < hi)
+    }
+}
+
+/// Runs FoF over a snapshot.
+#[must_use]
+pub fn find_halos(snapshot: &Snapshot, linking_length: f64, min_members: usize) -> HaloCatalog {
+    assert!(linking_length > 0.0, "linking length must be positive");
+    let ps = &snapshot.particles;
+    let b2 = linking_length * linking_length;
+    let cell_of = |pos: &[f64; 3]| -> (i64, i64, i64) {
+        (
+            (pos[0] / linking_length).floor() as i64,
+            (pos[1] / linking_length).floor() as i64,
+            (pos[2] / linking_length).floor() as i64,
+        )
+    };
+
+    // Bucket particle indices by grid cell.
+    let mut grid: HashMap<(i64, i64, i64), Vec<u32>> = HashMap::new();
+    for (idx, p) in ps.iter().enumerate() {
+        grid.entry(cell_of(&p.pos))
+            .or_default()
+            .push(u32::try_from(idx).unwrap());
+    }
+
+    let mut uf = UnionFind::new(ps.len());
+    for (&(cx, cy, cz), members) in &grid {
+        // Within-cell pairs.
+        for (k, &i) in members.iter().enumerate() {
+            for &j in &members[k + 1..] {
+                if ps[i as usize].dist2(&ps[j as usize]) <= b2 {
+                    uf.union(i, j);
+                }
+            }
+        }
+        // Cross-cell pairs: visit each unordered neighbor pair once by
+        // only looking at lexicographically greater cells.
+        for dx in -1..=1i64 {            for dy in -1..=1i64 {
+                for dz in -1..=1i64 {
+                    if (dx, dy, dz) <= (0, 0, 0) {
+                        continue;
+                    }
+                    let Some(other) = grid.get(&(cx + dx, cy + dy, cz + dz)) else {
+                        continue;
+                    };
+                    for &i in members {
+                        for &j in other {
+                            if ps[i as usize].dist2(&ps[j as usize]) <= b2 {
+                                uf.union(i, j);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let mut halos: Vec<Halo> = uf
+        .components(min_members.max(1))
+        .into_iter()
+        .map(|indices| {
+            let mut members: Vec<u32> = indices
+                .iter()
+                .map(|&i| ps[i as usize].id)
+                .collect();
+            members.sort_unstable();
+            let mass: f64 = indices.iter().map(|&i| ps[i as usize].mass).sum();
+            let mut center = [0.0f64; 3];
+            for &i in &indices {
+                for (c, x) in center.iter_mut().zip(ps[i as usize].pos) {
+                    *c += x;
+                }
+            }
+            for c in &mut center {
+                *c /= indices.len() as f64;
+            }
+            Halo {
+                id: 0, // assigned after the mass sort
+                members,
+                mass,
+                center,
+            }
+        })
+        .collect();
+    halos.sort_by(|a, b| b.mass.total_cmp(&a.mass).then(a.members.cmp(&b.members)));
+    for (id, h) in halos.iter_mut().enumerate() {
+        h.id = u32::try_from(id).unwrap();
+    }
+    HaloCatalog {
+        snapshot: snapshot.index,
+        halos,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::particle::{Particle, ParticleKind};
+
+    fn p(id: u32, x: f64, y: f64, z: f64) -> Particle {
+        Particle {
+            id,
+            pos: [x, y, z],
+            mass: 1.0,
+            kind: ParticleKind::Dark,
+        }
+    }
+
+    #[test]
+    fn two_separated_clusters() {
+        let snapshot = Snapshot {
+            index: 1,
+            particles: vec![
+                p(0, 0.0, 0.0, 0.0),
+                p(1, 0.5, 0.0, 0.0),
+                p(2, 1.0, 0.0, 0.0),
+                p(3, 100.0, 0.0, 0.0),
+                p(4, 100.5, 0.0, 0.0),
+                // An isolated particle, dropped by min_members = 2.
+                p(5, 50.0, 50.0, 50.0),
+            ],
+        };
+        let cat = find_halos(&snapshot, 0.6, 2);
+        assert_eq!(cat.halos.len(), 2);
+        assert_eq!(cat.halos[0].members, vec![0, 1, 2]); // heavier first
+        assert_eq!(cat.halos[1].members, vec![3, 4]);
+        assert_eq!(cat.halos[0].id, 0);
+    }
+
+    #[test]
+    fn chains_link_across_cells() {
+        // Particles spaced 0.9 < b apart straddling several grid cells
+        // form a single halo.
+        let particles = (0..10)
+            .map(|i| p(i, f64::from(i) * 0.9, 0.0, 0.0))
+            .collect();
+        let cat = find_halos(&Snapshot { index: 1, particles }, 1.0, 2);
+        assert_eq!(cat.halos.len(), 1);
+        assert_eq!(cat.halos[0].members.len(), 10);
+    }
+
+    #[test]
+    fn linking_length_controls_merging() {
+        let particles = vec![p(0, 0.0, 0.0, 0.0), p(1, 2.0, 0.0, 0.0)];
+        let tight = find_halos(
+            &Snapshot {
+                index: 1,
+                particles: particles.clone(),
+            },
+            1.0,
+            1,
+        );
+        assert_eq!(tight.halos.len(), 2);
+        let loose = find_halos(&Snapshot { index: 1, particles }, 2.5, 1);
+        assert_eq!(loose.halos.len(), 1);
+    }
+
+    #[test]
+    fn membership_and_mass_range() {
+        let snapshot = Snapshot {
+            index: 3,
+            particles: vec![
+                p(7, 0.0, 0.0, 0.0),
+                p(8, 0.1, 0.0, 0.0),
+                p(9, 0.2, 0.0, 0.0),
+                p(3, 10.0, 0.0, 0.0),
+                p(4, 10.1, 0.0, 0.0),
+            ],
+        };
+        let cat = find_halos(&snapshot, 0.5, 2);
+        let membership = cat.membership();
+        assert_eq!(membership[&7], membership[&8]);
+        assert_ne!(membership[&7], membership[&3]);
+        // Mass 3 halo in [2.5, 3.5), mass 2 halo outside.
+        assert_eq!(cat.mass_range(2.5, 3.5).count(), 1);
+        assert_eq!(cat.mass_range(0.0, 10.0).count(), 2);
+    }
+
+    #[test]
+    fn center_of_mass() {
+        let snapshot = Snapshot {
+            index: 1,
+            particles: vec![p(0, 0.0, 0.0, 0.0), p(1, 1.0, 0.0, 0.0)],
+        };
+        let cat = find_halos(&snapshot, 1.5, 2);
+        assert!((cat.halos[0].center[0] - 0.5).abs() < 1e-12);
+    }
+}

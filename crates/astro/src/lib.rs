@@ -1,0 +1,39 @@
+//! # osp-astro — the astronomy use-case substrate (§2, §7.2)
+//!
+//! The paper's motivating workload traces galaxy-halo evolution across
+//! 27 snapshots of a universe simulation. The real UW dataset is not
+//! available, so this crate synthesizes a structurally equivalent one
+//! and rebuilds the full derivation chain the paper's §7.2 experiment
+//! relies on:
+//!
+//! * [`universe`] — a procedural particle simulation with persistent
+//!   particle ids, drifting halos, and mergers;
+//! * [`fof`] — friends-of-friends halo finding (grid hashing +
+//!   union–find, [`unionfind`]);
+//! * [`mergertree`] — progenitor linking and the §2 chain-tracing
+//!   workload;
+//! * [`bands`] — the §2 halo mass bands and environment selection
+//!   (cluster / Milky Way / sub-Milky Way / dwarf; isolated vs rich);
+//! * [`usecase`] — the Figure 1 experiment data: six astronomers,
+//!   27 per-snapshot optimizations, quarter subscriptions; either
+//!   calibrated to the paper's published numbers or derived end to end
+//!   from the synthetic pipeline through `osp-cloudsim`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bands;
+pub mod fof;
+pub mod mergertree;
+pub mod particle;
+pub mod unionfind;
+pub mod universe;
+pub mod usecase;
+
+pub use bands::{select_gamma, Environment, MassBand};
+pub use fof::{find_halos, Halo, HaloCatalog};
+pub use mergertree::MergerTree;
+pub use particle::{Particle, ParticleKind, Snapshot};
+pub use unionfind::UnionFind;
+pub use universe::{simulate, MergerEvent, Universe, UniverseConfig};
+pub use usecase::{snapshots_for_stride, UseCaseData, NUM_USERS, STRIDES};

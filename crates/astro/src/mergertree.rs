@@ -1,0 +1,194 @@
+//! Merger-tree construction — the §2 workload.
+//!
+//! "Each astronomer starts with a subset of halos γ in the final
+//! snapshot and, for each halo g ∈ γ, (a) computes the halos in each
+//! previous snapshot contributing the most particles to g, and (b)
+//! recursively computes a chain (h₁, …, h₂₆, g) such that hₜ
+//! contributes the most mass to the halo hₜ₊₁."
+//!
+//! With unit-mass particles, "most mass" is "most shared particles";
+//! the progenitor of a halo is the previous-snapshot halo with the
+//! largest member overlap.
+
+use std::collections::{BTreeMap, HashMap};
+
+use serde::{Deserialize, Serialize};
+
+use crate::fof::HaloCatalog;
+
+/// Progenitor links for a sequence of halo catalogs.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MergerTree {
+    /// `links[k]` maps halo ids of catalog `k+1` to their progenitor
+    /// halo in catalog `k` (`None` if no overlap).
+    links: Vec<BTreeMap<u32, Option<u32>>>,
+}
+
+impl MergerTree {
+    /// Builds the tree from consecutive catalogs (ordered by snapshot).
+    #[must_use]
+    pub fn link(catalogs: &[HaloCatalog]) -> Self {
+        let mut links = Vec::with_capacity(catalogs.len().saturating_sub(1));
+        for pair in catalogs.windows(2) {
+            let (prev, next) = (&pair[0], &pair[1]);
+            let prev_membership: HashMap<u32, u32> = prev.membership();
+            let mut level = BTreeMap::new();
+            for halo in &next.halos {
+                // Count shared particles per previous halo.
+                let mut overlap: HashMap<u32, u32> = HashMap::new();
+                for p in &halo.members {
+                    if let Some(&h) = prev_membership.get(p) {
+                        *overlap.entry(h).or_insert(0) += 1;
+                    }
+                }
+                // Largest overlap wins; ties break toward the lower id
+                // for determinism.
+                let progenitor = overlap
+                    .into_iter()
+                    .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+                    .map(|(h, _)| h);
+                level.insert(halo.id, progenitor);
+            }
+            links.push(level);
+        }
+        MergerTree { links }
+    }
+
+    /// Progenitor of `halo` of catalog `level+1` in catalog `level`.
+    #[must_use]
+    pub fn progenitor(&self, level: usize, halo: u32) -> Option<u32> {
+        self.links.get(level).and_then(|m| m.get(&halo).copied())?
+    }
+
+    /// The chain `(h₁, …, h_{S−1}, g)` for halo `g` of the final
+    /// catalog, earliest snapshot first. `None` entries mark snapshots
+    /// where the lineage has no progenitor (the halo had not formed
+    /// yet).
+    #[must_use]
+    pub fn trace_chain(&self, final_halo: u32) -> Vec<Option<u32>> {
+        let mut chain = vec![Some(final_halo)];
+        let mut current = Some(final_halo);
+        for level in (0..self.links.len()).rev() {
+            current = current.and_then(|h| self.progenitor(level, h));
+            chain.push(current);
+        }
+        chain.reverse();
+        chain
+    }
+
+    /// Number of linked levels (catalogs − 1).
+    #[must_use]
+    pub fn levels(&self) -> usize {
+        self.links.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fof::{find_halos, HaloCatalog};
+    use crate::particle::{Particle, ParticleKind, Snapshot};
+    use crate::universe::{simulate, UniverseConfig};
+
+    fn p(id: u32, x: f64) -> Particle {
+        Particle {
+            id,
+            pos: [x, 0.0, 0.0],
+            mass: 1.0,
+            kind: ParticleKind::Dark,
+        }
+    }
+
+    fn catalog(index: u32, groups: &[&[u32]]) -> HaloCatalog {
+        // Place each group of particle ids in its own well-separated
+        // cluster.
+        let particles = groups
+            .iter()
+            .enumerate()
+            .flat_map(|(g, ids)| {
+                ids.iter().enumerate().map(move |(k, &id)| {
+                    p(id, g as f64 * 100.0 + k as f64 * 0.1)
+                })
+            })
+            .collect();
+        find_halos(&Snapshot { index, particles }, 0.5, 2)
+    }
+
+    #[test]
+    fn progenitor_follows_particle_overlap() {
+        // Snapshot 1: halos {0,1,2} and {3,4}; snapshot 2: one merged
+        // halo {0,1,2,3,4}: its progenitor is the bigger contributor.
+        let c1 = catalog(1, &[&[0, 1, 2], &[3, 4]]);
+        let c2 = catalog(2, &[&[0, 1, 2, 3, 4]]);
+        let tree = MergerTree::link(&[c1.clone(), c2]);
+        let big_halo_id = c1
+            .halos
+            .iter()
+            .find(|h| h.members == vec![0, 1, 2])
+            .unwrap()
+            .id;
+        assert_eq!(tree.progenitor(0, 0), Some(big_halo_id));
+    }
+
+    #[test]
+    fn chain_traces_back_through_all_levels() {
+        let c1 = catalog(1, &[&[0, 1]]);
+        let c2 = catalog(2, &[&[0, 1, 2]]);
+        let c3 = catalog(3, &[&[0, 1, 2, 3]]);
+        let tree = MergerTree::link(&[c1, c2, c3]);
+        let chain = tree.trace_chain(0);
+        assert_eq!(chain.len(), 3);
+        assert!(chain.iter().all(Option::is_some));
+    }
+
+    #[test]
+    fn lineage_stops_where_the_halo_did_not_exist() {
+        // Snapshot 1 has unrelated particles only; the snapshot-2 halo
+        // has no progenitor.
+        let c1 = catalog(1, &[&[10, 11]]);
+        let c2 = catalog(2, &[&[0, 1, 2]]);
+        let tree = MergerTree::link(&[c1, c2]);
+        assert_eq!(tree.progenitor(0, 0), None);
+        let chain = tree.trace_chain(0);
+        assert_eq!(chain, vec![None, Some(0)]);
+    }
+
+    #[test]
+    fn ground_truth_mergers_appear_in_the_tree() {
+        // End-to-end: simulate, cluster every snapshot, link, and check
+        // that final-snapshot halos trace to *some* progenitor in the
+        // first snapshot (tracks never die in the synthetic model, they
+        // only merge).
+        let u = simulate(&UniverseConfig {
+            seed: 3,
+            num_snapshots: 6,
+            num_halos: 5,
+            particles_per_halo: 40,
+            background_particles: 30,
+            box_size: 800.0,
+            halo_sigma: 1.0,
+            merger_rate: 0.6,
+        });
+        let catalogs: Vec<HaloCatalog> = u
+            .snapshots
+            .iter()
+            .map(|s| find_halos(s, 6.0, 10))
+            .collect();
+        assert!(catalogs.iter().all(|c| !c.halos.is_empty()));
+        let tree = MergerTree::link(&catalogs);
+        assert_eq!(tree.levels(), 5);
+        for h in &catalogs.last().unwrap().halos {
+            let chain = tree.trace_chain(h.id);
+            assert_eq!(chain.len(), 6);
+            assert!(
+                chain.last().unwrap().is_some(),
+                "final entry is the halo itself"
+            );
+            assert!(
+                chain[0].is_some(),
+                "halo {} lost its lineage: {chain:?}",
+                h.id
+            );
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Particles: the atoms of the universe simulation (§2: "the universe
+//! is modeled as a set of particles, which include dark matter, gas,
+//! and stars").
+
+use serde::{Deserialize, Serialize};
+
+/// Particle species.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ParticleKind {
+    /// Dark matter.
+    Dark,
+    /// Gas.
+    Gas,
+    /// Star.
+    Star,
+}
+
+/// A particle in one snapshot. Identifiers are stable across
+/// snapshots, which is what makes merger-tree tracing possible.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Particle {
+    /// Stable identifier.
+    pub id: u32,
+    /// Position in the simulation box.
+    pub pos: [f64; 3],
+    /// Mass in simulation units.
+    pub mass: f64,
+    /// Species.
+    pub kind: ParticleKind,
+}
+
+impl Particle {
+    /// Squared Euclidean distance to another particle.
+    #[must_use]
+    pub fn dist2(&self, other: &Particle) -> f64 {
+        let dx = self.pos[0] - other.pos[0];
+        let dy = self.pos[1] - other.pos[1];
+        let dz = self.pos[2] - other.pos[2];
+        dx * dx + dy * dy + dz * dz
+    }
+}
+
+/// One output of the simulator: every particle's state at a time step.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// 1-based snapshot index (the paper's use case has 27).
+    pub index: u32,
+    /// All particles.
+    pub particles: Vec<Particle>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_euclidean() {
+        let a = Particle {
+            id: 0,
+            pos: [0.0, 0.0, 0.0],
+            mass: 1.0,
+            kind: ParticleKind::Dark,
+        };
+        let b = Particle {
+            id: 1,
+            pos: [3.0, 4.0, 0.0],
+            mass: 1.0,
+            kind: ParticleKind::Gas,
+        };
+        assert!((a.dist2(&b) - 25.0).abs() < 1e-12);
+        assert_eq!(a.dist2(&a), 0.0);
+    }
+}

@@ -1,0 +1,163 @@
+//! Disjoint-set forest with union by rank and path halving — the
+//! backbone of the friends-of-friends halo finder.
+
+/// A union-find structure over `0..len`.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+}
+
+impl UnionFind {
+    /// `len` singleton sets.
+    #[must_use]
+    pub fn new(len: usize) -> Self {
+        UnionFind {
+            parent: (0..u32::try_from(len).expect("set fits in u32")).collect(),
+            rank: vec![0; len],
+        }
+    }
+
+    /// Number of elements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// `true` iff empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Representative of `x`'s set (with path halving).
+    pub fn find(&mut self, mut x: u32) -> u32 {
+        loop {
+            let p = self.parent[x as usize];
+            if p == x {
+                return x;
+            }
+            let gp = self.parent[p as usize];
+            self.parent[x as usize] = gp;
+            x = gp;
+        }
+    }
+
+    /// Merges the sets of `a` and `b`; returns `true` if they were
+    /// separate.
+    pub fn union(&mut self, a: u32, b: u32) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (hi, lo) = match self.rank[ra as usize].cmp(&self.rank[rb as usize]) {
+            std::cmp::Ordering::Less => (rb, ra),
+            std::cmp::Ordering::Greater => (ra, rb),
+            std::cmp::Ordering::Equal => {
+                self.rank[ra as usize] += 1;
+                (ra, rb)
+            }
+        };
+        self.parent[lo as usize] = hi;
+        true
+    }
+
+    /// `true` iff `a` and `b` share a set.
+    pub fn connected(&mut self, a: u32, b: u32) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Groups all elements by representative, dropping groups smaller
+    /// than `min_size`.
+    pub fn components(&mut self, min_size: usize) -> Vec<Vec<u32>> {
+        use std::collections::HashMap;
+        let mut groups: HashMap<u32, Vec<u32>> = HashMap::new();
+        for x in 0..u32::try_from(self.len()).unwrap() {
+            let root = self.find(x);
+            groups.entry(root).or_default().push(x);
+        }
+        let mut out: Vec<Vec<u32>> = groups
+            .into_values()
+            .filter(|g| g.len() >= min_size)
+            .collect();
+        // Deterministic order: by smallest member.
+        out.sort_by_key(|g| g[0]);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn singletons_then_unions() {
+        let mut uf = UnionFind::new(5);
+        assert!(!uf.connected(0, 1));
+        assert!(uf.union(0, 1));
+        assert!(uf.connected(0, 1));
+        assert!(!uf.union(1, 0)); // already merged
+        uf.union(2, 3);
+        uf.union(1, 3);
+        assert!(uf.connected(0, 2));
+        assert!(!uf.connected(0, 4));
+    }
+
+    #[test]
+    fn components_respect_min_size() {
+        let mut uf = UnionFind::new(6);
+        uf.union(0, 1);
+        uf.union(1, 2);
+        uf.union(3, 4);
+        let comps = uf.components(2);
+        assert_eq!(comps.len(), 2);
+        assert_eq!(comps[0], vec![0, 1, 2]);
+        assert_eq!(comps[1], vec![3, 4]);
+        let comps = uf.components(3);
+        assert_eq!(comps.len(), 1);
+    }
+
+    #[test]
+    fn empty_structure() {
+        let mut uf = UnionFind::new(0);
+        assert!(uf.is_empty());
+        assert!(uf.components(1).is_empty());
+    }
+
+    proptest! {
+        /// Union-find's partition matches a naive reachability check.
+        #[test]
+        fn matches_naive_partition(edges in proptest::collection::vec((0u32..20, 0u32..20), 0..40)) {
+            let n = 20usize;
+            let mut uf = UnionFind::new(n);
+            for &(a, b) in &edges {
+                uf.union(a, b);
+            }
+            // Naive: adjacency closure via repeated relaxation.
+            let mut label: Vec<u32> = (0..n as u32).collect();
+            let mut changed = true;
+            while changed {
+                changed = false;
+                for &(a, b) in &edges {
+                    let (la, lb) = (label[a as usize], label[b as usize]);
+                    let m = la.min(lb);
+                    if la != m || lb != m {
+                        label[a as usize] = m;
+                        label[b as usize] = m;
+                        changed = true;
+                    }
+                }
+            }
+            for a in 0..n as u32 {
+                for b in 0..n as u32 {
+                    prop_assert_eq!(
+                        uf.connected(a, b),
+                        label[a as usize] == label[b as usize],
+                        "pair ({}, {})", a, b
+                    );
+                }
+            }
+        }
+    }
+}

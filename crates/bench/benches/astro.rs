@@ -1,0 +1,71 @@
+//! Astronomy substrate benchmarks: universe simulation, FoF halo
+//! finding, and merger-tree linking at growing particle counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use osp_astro::{find_halos, simulate, MergerTree, UniverseConfig};
+
+fn config(particles_per_halo: u32) -> UniverseConfig {
+    UniverseConfig {
+        seed: 42,
+        num_snapshots: 8,
+        num_halos: 16,
+        particles_per_halo,
+        background_particles: particles_per_halo * 4,
+        box_size: 1500.0,
+        halo_sigma: 1.5,
+        merger_rate: 0.3,
+    }
+}
+
+fn bench_simulate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("universe_simulate");
+    for pph in [50u32, 200, 800] {
+        let cfg = config(pph);
+        let particles = cfg.num_halos * pph + cfg.background_particles;
+        group.throughput(Throughput::Elements(u64::from(particles)));
+        group.bench_with_input(BenchmarkId::from_parameter(particles), &cfg, |b, cfg| {
+            b.iter(|| simulate(cfg));
+        });
+    }
+    group.finish();
+}
+
+fn bench_fof(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fof_halo_finding");
+    for pph in [50u32, 200, 800] {
+        let cfg = config(pph);
+        let u = simulate(&cfg);
+        let snap = &u.snapshots[0];
+        group.throughput(Throughput::Elements(snap.particles.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(snap.particles.len()),
+            snap,
+            |b, snap| {
+                b.iter(|| find_halos(snap, 6.0, 10));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_merger_tree(c: &mut Criterion) {
+    let u = simulate(&config(200));
+    let catalogs: Vec<_> = u.snapshots.iter().map(|s| find_halos(s, 6.0, 10)).collect();
+    c.bench_function("merger_tree_link_8snapshots", |b| {
+        b.iter(|| MergerTree::link(&catalogs));
+    });
+    let tree = MergerTree::link(&catalogs);
+    let final_halos = &catalogs.last().unwrap().halos;
+    c.bench_function("merger_tree_trace_all_chains", |b| {
+        b.iter(|| {
+            final_halos
+                .iter()
+                .map(|h| tree.trace_chain(h.id))
+                .collect::<Vec<_>>()
+        });
+    });
+}
+
+criterion_group!(benches, bench_simulate, bench_fof, bench_merger_tree);
+criterion_main!(benches);

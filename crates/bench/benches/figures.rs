@@ -1,0 +1,77 @@
+//! One Criterion benchmark per paper figure: each measures the cost of
+//! regenerating a representative point of that figure (full tables are
+//! produced by the `figures` binary).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use osp_astro::UseCaseData;
+use osp_bench::{fig1, sweeps};
+use osp_econ::Money;
+use osp_workload::sweeps as figdefs;
+use osp_workload::{additive_point, subst_point, AdditiveConfig, ArrivalProcess};
+
+const SEED: u64 = 0xC0FFEE;
+
+fn bench_fig1(c: &mut Criterion) {
+    let data = UseCaseData::paper_calibrated();
+    c.bench_function("fig1_astronomy_100alts", |b| {
+        b.iter(|| fig1::run(&data, &[40], 100).unwrap());
+    });
+}
+
+fn bench_fig2(c: &mut Criterion) {
+    let (small, _) = figdefs::fig2a();
+    c.bench_function("fig2_additive_point_100trials", |b| {
+        b.iter(|| additive_point(&small, Money::from_cents(60), 100, SEED).unwrap());
+    });
+    let (subst, _) = figdefs::fig2c();
+    c.bench_function("fig2_subst_point_100trials", |b| {
+        b.iter(|| subst_point(&subst, Money::from_cents(60), 100, SEED).unwrap());
+    });
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    let cfg = AdditiveConfig {
+        duration: 6,
+        ..AdditiveConfig::small()
+    };
+    c.bench_function("fig3_multislot_point_100trials", |b| {
+        b.iter(|| additive_point(&cfg, Money::from_cents(60), 100, SEED).unwrap());
+    });
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let cfg = AdditiveConfig {
+        arrivals: ArrivalProcess::EarlyExponential { mean: 1.28 },
+        ..AdditiveConfig::small()
+    };
+    c.bench_function("fig4_skew_point_100trials", |b| {
+        b.iter(|| additive_point(&cfg, Money::from_cents(60), 100, SEED).unwrap());
+    });
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let (cfg, _) = figdefs::fig5b();
+    c.bench_function("fig5_selectivity_point_100trials", |b| {
+        b.iter(|| subst_point(&cfg, Money::from_cents(60), 100, SEED).unwrap());
+    });
+}
+
+fn bench_ablation_sweep(c: &mut Criterion) {
+    let (cfg, _) = figdefs::fig2a();
+    let costs: Vec<Money> = (1..=8).map(|k| Money::from_cents(30 * k)).collect();
+    c.bench_function("sweep_8points_x_50trials_parallel", |b| {
+        b.iter(|| sweeps::additive_sweep(&cfg, &costs, 50, SEED).unwrap());
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_fig1,
+    bench_fig2,
+    bench_fig3,
+    bench_fig4,
+    bench_fig5,
+    bench_ablation_sweep
+);
+criterion_main!(benches);

@@ -1,0 +1,105 @@
+//! End-to-end mechanism benchmarks: AddOn, SubstOn and the Regret
+//! baseline on growing online games.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use osp_core::prelude::*;
+use osp_workload::{gen, AdditiveConfig, SubstConfig};
+
+fn bench_addon(c: &mut Criterion) {
+    let mut group = c.benchmark_group("addon");
+    for users in [6u32, 24, 96, 384] {
+        let cfg = AdditiveConfig {
+            num_users: users,
+            ..AdditiveConfig::small()
+        };
+        let mut rng = StdRng::seed_from_u64(7);
+        let sc = gen::additive_scenario(&cfg, Money::from_cents(60), &mut rng);
+        group.throughput(Throughput::Elements(u64::from(users)));
+        group.bench_with_input(BenchmarkId::from_parameter(users), &sc, |b, sc| {
+            b.iter(|| sc.run_addon().unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_subston(c: &mut Criterion) {
+    let mut group = c.benchmark_group("subston");
+    for users in [6u32, 24, 96] {
+        let cfg = SubstConfig::collab(users);
+        let mut rng = StdRng::seed_from_u64(7);
+        let sc = gen::subst_scenario(&cfg, Money::from_cents(60), &mut rng);
+        group.throughput(Throughput::Elements(u64::from(users)));
+        group.bench_with_input(BenchmarkId::from_parameter(users), &sc, |b, sc| {
+            b.iter(|| sc.run_subston(TieBreak::LowestOptId).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_regret(c: &mut Criterion) {
+    let mut group = c.benchmark_group("regret");
+    for users in [6u32, 24, 96, 384] {
+        let cfg = AdditiveConfig {
+            num_users: users,
+            ..AdditiveConfig::small()
+        };
+        let mut rng = StdRng::seed_from_u64(7);
+        let sc = gen::additive_scenario(&cfg, Money::from_cents(60), &mut rng);
+        group.throughput(Throughput::Elements(u64::from(users)));
+        group.bench_with_input(BenchmarkId::from_parameter(users), &sc, |b, sc| {
+            b.iter(|| sc.run_regret());
+        });
+    }
+    group.finish();
+}
+
+fn bench_interactive_addon(c: &mut Criterion) {
+    // The event-driven path: submissions + revisions + slot advances.
+    c.bench_function("addon_interactive_24users_12slots", |b| {
+        b.iter(|| {
+            let mut st = AddOnState::new(Money::from_dollars(10), 12).unwrap();
+            for u in 0..24u32 {
+                let start = 1 + (u % 12);
+                let series = SlotSeries::constant(
+                    SlotId(start),
+                    SlotId(12),
+                    Money::from_cents(50),
+                )
+                .unwrap();
+                // Interleave submissions with slot advances.
+                if start == 1 {
+                    st.submit(OnlineBid::new(UserId(u), series)).unwrap();
+                }
+            }
+            for t in 1..=12u32 {
+                if t > 1 {
+                    for u in 0..24u32 {
+                        if 1 + (u % 12) == t {
+                            let series = SlotSeries::constant(
+                                SlotId(t),
+                                SlotId(12),
+                                Money::from_cents(50),
+                            )
+                            .unwrap();
+                            st.submit(OnlineBid::new(UserId(u), series)).unwrap();
+                        }
+                    }
+                }
+                st.advance().unwrap();
+            }
+            st.finish().unwrap()
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_addon,
+    bench_subston,
+    bench_regret,
+    bench_interactive_addon
+);
+criterion_main!(benches);

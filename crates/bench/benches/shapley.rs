@@ -1,0 +1,71 @@
+//! Shapley Value Mechanism micro-benchmarks: the paper's literal
+//! iterative algorithm vs the `O(m log m)` sorted formulation
+//! (the `shapley_impls` ablation of DESIGN.md).
+
+use std::collections::BTreeMap;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use osp_core::shapley::{self, ShapleyBid};
+use osp_econ::{Money, UserId};
+
+fn game(m: usize, seed: u64) -> (Money, BTreeMap<UserId, ShapleyBid>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let bids = (0..m)
+        .map(|i| {
+            (
+                UserId(u32::try_from(i).unwrap()),
+                ShapleyBid::Value(Money::from_micros(rng.gen_range(0..1_000_000))),
+            )
+        })
+        .collect();
+    // Cost scaled so that roughly half the users end up serviced.
+    (Money::from_micros((m as i64) * 250_000), bids)
+}
+
+fn bench_shapley(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shapley");
+    for m in [10usize, 100, 1_000, 10_000] {
+        let (cost, bids) = game(m, 42);
+        group.throughput(Throughput::Elements(m as u64));
+        group.bench_with_input(BenchmarkId::new("sorted", m), &m, |b, _| {
+            b.iter(|| shapley::run(cost, &bids));
+        });
+        group.bench_with_input(BenchmarkId::new("iterative", m), &m, |b, _| {
+            b.iter(|| shapley::run_iterative(cost, &bids));
+        });
+    }
+    group.finish();
+}
+
+fn bench_shapley_worst_case(c: &mut Criterion) {
+    // Adversarial input for the iterative version: user k bids
+    // C/(k+2), so at every round exactly the lowest remaining bidder
+    // falls below the recomputed share — m rounds of O(m) work each,
+    // ending with nobody serviced (quadratic behaviour). The sorted
+    // version scans the prefix once.
+    let mut group = c.benchmark_group("shapley_adversarial");
+    for m in [100usize, 1_000] {
+        let cost = Money::from_dollars(i64::try_from(m).unwrap());
+        let bids: BTreeMap<UserId, ShapleyBid> = (0..m)
+            .map(|k| {
+                (
+                    UserId(u32::try_from(k).unwrap()),
+                    ShapleyBid::Value(cost.split_among(k + 2)),
+                )
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::new("sorted", m), &m, |b, _| {
+            b.iter(|| shapley::run(cost, &bids));
+        });
+        group.bench_with_input(BenchmarkId::new("iterative", m), &m, |b, _| {
+            b.iter(|| shapley::run_iterative(cost, &bids));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_shapley, bench_shapley_worst_case);
+criterion_main!(benches);

@@ -1,0 +1,337 @@
+//! Regenerates the paper's evaluation artifacts.
+//!
+//! ```text
+//! cargo run -p osp-bench --release --bin figures -- all
+//! cargo run -p osp-bench --release --bin figures -- fig2a --trials 1000
+//! cargo run -p osp-bench --release --bin figures -- fig1 --samples 1000000
+//! ```
+//!
+//! Each figure prints an aligned table and writes a CSV under
+//! `results/` (override with `--out DIR`).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use osp_astro::{simulate, UniverseConfig, UseCaseData};
+use osp_bench::{ablations, fig1, sweeps, table::ResultTable};
+use osp_workload::sweeps as figdefs;
+
+struct Options {
+    targets: Vec<String>,
+    trials: u32,
+    samples: u64,
+    out: PathBuf,
+    synthetic: bool,
+}
+
+const ALL_TARGETS: [&str; 12] = [
+    "fig1", "fig2a", "fig2b", "fig2c", "fig2d", "fig3a", "fig3b", "fig4", "fig5a", "fig5b",
+    "ablations", "table1",
+];
+
+fn usage() -> String {
+    format!(
+        "usage: figures [{}|all]... [--trials N] [--samples N] [--out DIR] [--synthetic]\n\
+         \n\
+         --trials N     scenarios averaged per sweep point (default 1000)\n\
+         --samples N    Figure 1 alternatives sampled of the 10^6 (default 20000)\n\
+         --out DIR      CSV output directory (default results/)\n\
+         --synthetic    Figure 1 from the synthetic universe pipeline\n\
+         instead of the paper-calibrated §7.2 numbers",
+        ALL_TARGETS.join("|")
+    )
+}
+
+fn parse(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        targets: Vec::new(),
+        trials: 1000,
+        samples: 20_000,
+        out: PathBuf::from("results"),
+        synthetic: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--trials" => {
+                opts.trials = it
+                    .next()
+                    .ok_or("--trials needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--trials: {e}"))?;
+            }
+            "--samples" => {
+                opts.samples = it
+                    .next()
+                    .ok_or("--samples needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--samples: {e}"))?;
+            }
+            "--out" => {
+                opts.out = PathBuf::from(it.next().ok_or("--out needs a value")?);
+            }
+            "--synthetic" => opts.synthetic = true,
+            "all" => opts
+                .targets
+                .extend(ALL_TARGETS.iter().map(|s| (*s).to_owned())),
+            t if ALL_TARGETS.contains(&t) => opts.targets.push(t.to_owned()),
+            other => return Err(format!("unknown argument `{other}`\n{}", usage())),
+        }
+    }
+    if opts.targets.is_empty() {
+        return Err(usage());
+    }
+    Ok(opts)
+}
+
+fn emit(table: &ResultTable, opts: &Options, file: &str) {
+    print!("{}", table.render());
+    println!();
+    let path = opts.out.join(file);
+    match table.save_csv(&path) {
+        Ok(()) => println!("  -> wrote {}\n", path.display()),
+        Err(e) => eprintln!("  !! could not write {}: {e}\n", path.display()),
+    }
+}
+
+fn sweep_table(title: &str, mech: &str, rows: &[sweeps::SweepRow]) -> ResultTable {
+    let mut t = ResultTable::new(
+        title,
+        &[
+            "cost",
+            &format!("{mech}_utility"),
+            "regret_utility",
+            "regret_balance",
+            &format!("{mech}_balance"),
+        ],
+    );
+    for r in rows {
+        t.push_row(vec![
+            format!("{:.2}", r.cost),
+            format!("{:.4}", r.mechanism_utility),
+            format!("{:.4}", r.regret_utility),
+            format!("{:.4}", r.regret_balance),
+            format!("{:.4}", r.mechanism_balance),
+        ]);
+    }
+    t
+}
+
+fn fig3_table(title: &str, x_name: &str, rows: &[sweeps::Fig3Row]) -> ResultTable {
+    let mut t = ResultTable::new(title, &[x_name, "addon_minus_regret"]);
+    for r in rows {
+        t.push_row(vec![r.x.to_string(), format!("{:.4}", r.advantage)]);
+    }
+    t
+}
+
+fn run_target(target: &str, opts: &Options) -> Result<(), String> {
+    let seed = 0xC0FFEE;
+    match target {
+        "table1" => {
+            let mut t = ResultTable::new(
+                "Table 1 (symbol table) — notation only, no experiment to run",
+                &["symbol", "meaning"],
+            );
+            for (s, d) in [
+                ("i,j,t,a", "indexes: users, optimizations, slots, outcomes"),
+                ("S_j(t)", "users serviced by optimization j at slot t"),
+                ("v_ij(t)/b_ij(t)", "true/declared value"),
+                ("p_ij,P_i,U_i", "payment, total payment, utility"),
+                ("C_j", "optimization cost"),
+                ("s_i,e_i", "entry and exit slots"),
+            ] {
+                t.push_row(vec![s.into(), d.into()]);
+            }
+            print!("{}", t.render());
+            println!();
+        }
+        "fig1" => {
+            let data = if opts.synthetic {
+                let universe = simulate(&UniverseConfig::default());
+                UseCaseData::from_universe(&universe, 6.0, 10, 12, 100_000)
+                    .map_err(|e| e.to_string())?
+            } else {
+                UseCaseData::paper_calibrated()
+            };
+            let rows = fig1::run(&data, &fig1::paper_executions(), opts.samples)
+                .map_err(|e| e.to_string())?;
+            let mode = if opts.synthetic { "synthetic" } else { "calibrated" };
+            let mut t = ResultTable::new(
+                format!("Figure 1: astronomy use case ({mode}, {} alternatives/point)", opts.samples),
+                &[
+                    "executions",
+                    "addon_utility",
+                    "addon_std",
+                    "regret_utility",
+                    "regret_std",
+                    "regret_balance",
+                    "baseline_cost",
+                ],
+            );
+            for r in &rows {
+                t.push_row(vec![
+                    r.executions.to_string(),
+                    format!("{:.2}", r.addon_utility),
+                    format!("{:.2}", r.addon_std),
+                    format!("{:.2}", r.regret_utility),
+                    format!("{:.2}", r.regret_std),
+                    format!("{:.2}", r.regret_balance),
+                    format!("{:.2}", r.baseline_cost),
+                ]);
+            }
+            emit(&t, opts, "fig1.csv");
+        }
+        "fig2a" | "fig2b" => {
+            let (cfg, costs) = if target == "fig2a" {
+                figdefs::fig2a()
+            } else {
+                figdefs::fig2b()
+            };
+            let rows =
+                sweeps::additive_sweep(&cfg, &costs, opts.trials, seed).map_err(|e| e.to_string())?;
+            let title = format!(
+                "Figure 2({}): additive optimization, {} users, {} trials/point",
+                if target == "fig2a" { 'a' } else { 'b' },
+                cfg.num_users,
+                opts.trials
+            );
+            emit(
+                &sweep_table(&title, "addon", &rows),
+                opts,
+                &format!("{target}.csv"),
+            );
+        }
+        "fig2c" | "fig2d" => {
+            let (cfg, costs) = if target == "fig2c" {
+                figdefs::fig2c()
+            } else {
+                figdefs::fig2d()
+            };
+            let rows =
+                sweeps::subst_sweep(&cfg, &costs, opts.trials, seed).map_err(|e| e.to_string())?;
+            let title = format!(
+                "Figure 2({}): substitutive optimizations, {} users, {} trials/point",
+                if target == "fig2c" { 'c' } else { 'd' },
+                cfg.num_users,
+                opts.trials
+            );
+            emit(
+                &sweep_table(&title, "subston", &rows),
+                opts,
+                &format!("{target}.csv"),
+            );
+        }
+        "fig3a" => {
+            let rows = sweeps::fig3a(opts.trials, seed).map_err(|e| e.to_string())?;
+            emit(
+                &fig3_table(
+                    &format!(
+                        "Figure 3(a): single-slot collaboration, {} trials/point",
+                        opts.trials
+                    ),
+                    "total_slots",
+                    &rows,
+                ),
+                opts,
+                "fig3a.csv",
+            );
+        }
+        "fig3b" => {
+            let rows = sweeps::fig3b(opts.trials, seed).map_err(|e| e.to_string())?;
+            emit(
+                &fig3_table(
+                    &format!(
+                        "Figure 3(b): multi-slot collaboration, {} trials/point",
+                        opts.trials
+                    ),
+                    "duration",
+                    &rows,
+                ),
+                opts,
+                "fig3b.csv",
+            );
+        }
+        "fig4" => {
+            let rows = sweeps::fig4(opts.trials, seed).map_err(|e| e.to_string())?;
+            let mut headers = vec!["cost"];
+            headers.extend(sweeps::FIG4_SERIES);
+            let mut t = ResultTable::new(
+                format!(
+                    "Figure 4: arrival skew, ratios vs Early-AddOn, {} trials/point",
+                    opts.trials
+                ),
+                &headers,
+            );
+            for r in &rows {
+                let mut row = vec![format!("{:.2}", r.cost)];
+                row.extend(r.ratios.iter().map(|x| {
+                    if x.is_nan() {
+                        "-".to_owned()
+                    } else {
+                        format!("{x:.3}")
+                    }
+                }));
+                t.push_row(row);
+            }
+            emit(&t, opts, "fig4.csv");
+        }
+        "fig5a" | "fig5b" => {
+            let (cfg, costs) = if target == "fig5a" {
+                figdefs::fig5a()
+            } else {
+                figdefs::fig5b()
+            };
+            let rows =
+                sweeps::subst_sweep(&cfg, &costs, opts.trials, seed).map_err(|e| e.to_string())?;
+            let title = format!(
+                "Figure 5({}): selectivity {}/{} ({} selectivity), {} trials/point",
+                if target == "fig5a" { 'a' } else { 'b' },
+                cfg.substitutes_per_user,
+                cfg.num_opts,
+                if target == "fig5a" { "low" } else { "high" },
+                opts.trials
+            );
+            emit(
+                &sweep_table(&title, "subston", &rows),
+                opts,
+                &format!("{target}.csv"),
+            );
+        }
+        "ablations" => {
+            let t = ablations::efficiency_gap(opts.trials, seed);
+            emit(&t, opts, "ablation_efficiency_gap.csv");
+            let t = ablations::recompute_policy(opts.trials.min(500), seed)
+                .map_err(|e| e.to_string())?;
+            emit(&t, opts, "ablation_recompute_policy.csv");
+            let t = ablations::tiebreak(opts.trials, seed);
+            emit(&t, opts, "ablation_tiebreak.csv");
+            let t = ablations::ratio_vs_float(opts.trials.max(1000), seed);
+            emit(&t, opts, "ablation_ratio_vs_float.csv");
+            let t = ablations::shapley_vs_vcg(opts.trials, seed);
+            emit(&t, opts, "ablation_shapley_vs_vcg.csv");
+        }
+        other => return Err(format!("unknown target {other}")),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for target in &opts.targets {
+        let started = std::time::Instant::now();
+        if let Err(msg) = run_target(target, &opts) {
+            eprintln!("{target}: {msg}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("[{target} done in {:.1?}]", started.elapsed());
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,24 @@
+//! # osp-bench — the experiment harness
+//!
+//! Regenerates every figure of the paper's evaluation (§7) and the
+//! DESIGN.md ablations:
+//!
+//! | Module | Artifact |
+//! |--------|----------|
+//! | [`fig1`] | Figure 1 — astronomy use case |
+//! | [`sweeps`] | Figures 2(a)–(d), 3(a)–(b), 4, 5(a)–(b) |
+//! | [`ablations`] | efficiency gap, share policy, tie-breaking, exact-vs-float |
+//! | [`table`] | aligned-text + CSV output |
+//! | [`parallel`] | fork-join over sweep points |
+//!
+//! Run everything with `cargo run -p osp-bench --release --bin
+//! figures -- all`; Criterion micro-benchmarks live in `benches/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod fig1;
+pub mod parallel;
+pub mod sweeps;
+pub mod table;

@@ -1,0 +1,60 @@
+//! Tiny fork-join helper: map a function over inputs on all cores.
+//!
+//! The sweeps are embarrassingly parallel (independent cost points /
+//! alternative blocks); `crossbeam::scope` gives us scoped threads
+//! without pulling a full work-stealing runtime into the workspace.
+
+/// Maps `f` over `inputs` in parallel, preserving order.
+pub fn par_map<T, R, F>(inputs: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(inputs.len().max(1));
+    if threads <= 1 || inputs.len() <= 1 {
+        return inputs.iter().map(&f).collect();
+    }
+    let chunk = inputs.len().div_ceil(threads);
+    let mut results: Vec<Option<R>> = Vec::with_capacity(inputs.len());
+    results.resize_with(inputs.len(), || None);
+
+    crossbeam::scope(|scope| {
+        for (block, out) in inputs.chunks(chunk).zip(results.chunks_mut(chunk)) {
+            let f = &f;
+            scope.spawn(move |_| {
+                for (x, slot) in block.iter().zip(out.iter_mut()) {
+                    *slot = Some(f(x));
+                }
+            });
+        }
+    })
+    .expect("worker thread panicked");
+
+    results
+        .into_iter()
+        .map(|r| r.expect("all slots filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let inputs: Vec<u64> = (0..1000).collect();
+        let out = par_map(&inputs, |&x| x * 2);
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn handles_empty_and_single() {
+        let empty: Vec<u32> = vec![];
+        assert!(par_map(&empty, |&x| x).is_empty());
+        assert_eq!(par_map(&[7], |&x| x + 1), vec![8]);
+    }
+}

@@ -1,0 +1,209 @@
+//! Figure 2/4/5 sweep runners: cost on the x-axis, utilities and
+//! balances on the y-axis, parallelized over cost points.
+
+use osp_core::prelude::*;
+use osp_workload::{additive_point, subst_point, AdditiveConfig, SubstConfig};
+use serde::{Deserialize, Serialize};
+
+use crate::parallel::par_map;
+
+/// One cost point of a Figure 2/5-style sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SweepRow {
+    /// The (mean) optimization cost on the x-axis, in dollars.
+    pub cost: f64,
+    /// Mean AddOn/SubstOn total utility.
+    pub mechanism_utility: f64,
+    /// Mean AddOn/SubstOn cloud balance (≥ 0).
+    pub mechanism_balance: f64,
+    /// Mean Regret total utility.
+    pub regret_utility: f64,
+    /// Mean Regret cloud balance (negative ⇒ loss).
+    pub regret_balance: f64,
+}
+
+/// Runs an additive sweep (Figures 2(a), 2(b)).
+pub fn additive_sweep(
+    cfg: &AdditiveConfig,
+    costs: &[Money],
+    trials: u32,
+    seed: u64,
+) -> Result<Vec<SweepRow>> {
+    par_map(costs, |&cost| {
+        let p = additive_point(cfg, cost, trials, seed)?;
+        Ok(SweepRow {
+            cost: cost.to_f64(),
+            mechanism_utility: p.mechanism_utility.to_f64(),
+            mechanism_balance: p.mechanism_balance.to_f64(),
+            regret_utility: p.regret_utility.to_f64(),
+            regret_balance: p.regret_balance.to_f64(),
+        })
+    })
+    .into_iter()
+    .collect()
+}
+
+/// Runs a substitutable sweep (Figures 2(c), 2(d), 5(a), 5(b)).
+pub fn subst_sweep(
+    cfg: &SubstConfig,
+    mean_costs: &[Money],
+    trials: u32,
+    seed: u64,
+) -> Result<Vec<SweepRow>> {
+    par_map(mean_costs, |&cost| {
+        let p = subst_point(cfg, cost, trials, seed)?;
+        Ok(SweepRow {
+            cost: cost.to_f64(),
+            mechanism_utility: p.mechanism_utility.to_f64(),
+            mechanism_balance: p.mechanism_balance.to_f64(),
+            regret_utility: p.regret_utility.to_f64(),
+            regret_balance: p.regret_balance.to_f64(),
+        })
+    })
+    .into_iter()
+    .collect()
+}
+
+/// One x point of Figure 3: mean (AddOn − Regret) utility over the
+/// Figure 2(a) cost sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Fig3Row {
+    /// Slots (3a) or duration (3b).
+    pub x: u32,
+    /// Mean utility advantage of AddOn over Regret.
+    pub advantage: f64,
+}
+
+/// Figure 3(a): vary the number of slots users sample from.
+pub fn fig3a(trials: u32, seed: u64) -> Result<Vec<Fig3Row>> {
+    fig3(&osp_workload::sweeps::fig3a_configs(), |c| c.horizon, trials, seed)
+}
+
+/// Figure 3(b): vary the duration of each bid.
+pub fn fig3b(trials: u32, seed: u64) -> Result<Vec<Fig3Row>> {
+    fig3(&osp_workload::sweeps::fig3b_configs(), |c| c.duration, trials, seed)
+}
+
+fn fig3(
+    configs: &[AdditiveConfig],
+    x_of: impl Fn(&AdditiveConfig) -> u32,
+    trials: u32,
+    seed: u64,
+) -> Result<Vec<Fig3Row>> {
+    let costs = osp_workload::sweeps::small_collab_costs();
+    configs
+        .iter()
+        .map(|cfg| {
+            let rows = additive_sweep(cfg, &costs, trials, seed)?;
+            let advantage = rows
+                .iter()
+                .map(|r| r.mechanism_utility - r.regret_utility)
+                .sum::<f64>()
+                / rows.len() as f64;
+            Ok(Fig3Row {
+                x: x_of(cfg),
+                advantage,
+            })
+        })
+        .collect()
+}
+
+/// One cost point of Figure 4: utilities under the three arrival
+/// skews, normalized by Early-AddOn's utility at the same cost.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Fig4Row {
+    /// Optimization cost.
+    pub cost: f64,
+    /// Ratios in the paper's legend order: Uniform-AddOn,
+    /// Uniform-Regret, Early-AddOn (≡ 1), Early-Regret, Late-AddOn,
+    /// Late-Regret.
+    pub ratios: [f64; 6],
+}
+
+/// Runs Figure 4 (§7.5).
+pub fn fig4(trials: u32, seed: u64) -> Result<Vec<Fig4Row>> {
+    let costs = osp_workload::sweeps::skew_costs();
+    let arrivals = osp_workload::sweeps::fig4_arrivals();
+    let rows = par_map(&costs, |&cost| -> Result<Fig4Row> {
+        let mut utilities = [0.0f64; 6];
+        for (k, (_, arrival)) in arrivals.iter().enumerate() {
+            let cfg = AdditiveConfig {
+                arrivals: *arrival,
+                ..AdditiveConfig::small()
+            };
+            let p = additive_point(&cfg, cost, trials, seed)?;
+            utilities[2 * k] = p.mechanism_utility.to_f64();
+            utilities[2 * k + 1] = p.regret_utility.to_f64();
+        }
+        // Normalize by Early-AddOn (legend slot 2).
+        let early_addon = utilities[2];
+        let ratios = utilities.map(|u| {
+            if early_addon.abs() < 1e-12 {
+                f64::NAN
+            } else {
+                u / early_addon
+            }
+        });
+        Ok(Fig4Row {
+            cost: cost.to_f64(),
+            ratios,
+        })
+    });
+    rows.into_iter().collect()
+}
+
+/// Legend order used in [`Fig4Row::ratios`].
+pub const FIG4_SERIES: [&str; 6] = [
+    "Uniform-AddOn",
+    "Uniform-Regret",
+    "Early-AddOn",
+    "Early-Regret",
+    "Late-AddOn",
+    "Late-Regret",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn additive_sweep_runs_and_addon_never_loses() {
+        let cfg = AdditiveConfig::small();
+        let costs: Vec<Money> = [3i64, 60, 150, 291]
+            .into_iter()
+            .map(Money::from_cents)
+            .collect();
+        let rows = additive_sweep(&cfg, &costs, 60, 1).unwrap();
+        assert_eq!(rows.len(), 4);
+        for r in &rows {
+            assert!(r.mechanism_balance >= -1e-12);
+            assert!(r.mechanism_utility >= -1e-12);
+        }
+        // Regret loses money at the expensive end (§7.3.1).
+        assert!(rows.last().unwrap().regret_balance < 0.0);
+    }
+
+    #[test]
+    fn fig3a_more_overlap_means_more_advantage() {
+        let rows = fig3a(40, 5).unwrap();
+        assert_eq!(rows.len(), 12);
+        // One slot (maximum overlap) beats twelve slots.
+        let one = rows.iter().find(|r| r.x == 1).unwrap().advantage;
+        let twelve = rows.iter().find(|r| r.x == 12).unwrap().advantage;
+        assert!(
+            one > twelve,
+            "advantage at 1 slot ({one}) should exceed 12 slots ({twelve})"
+        );
+        assert!(one > 0.0);
+    }
+
+    #[test]
+    fn fig4_normalizes_to_early_addon() {
+        let rows = fig4(40, 3).unwrap();
+        for r in &rows {
+            if !r.ratios[2].is_nan() {
+                assert!((r.ratios[2] - 1.0).abs() < 1e-12);
+            }
+        }
+    }
+}

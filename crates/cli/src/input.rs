@@ -1,0 +1,466 @@
+//! The JSON game-file format.
+//!
+//! One format covers all four mechanisms; money is written as decimal
+//! strings (`"2.31"`) and parsed exactly. Users and optimizations are
+//! referenced by name. See [`template`] for commented examples
+//! (printed by `osp example <kind>`).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use osp_core::prelude::*;
+use osp_econ::schedule::SlotSeries;
+
+/// Which mechanism the file describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "lowercase")]
+pub enum GameKind {
+    /// Offline additive (§4.2).
+    AddOff,
+    /// Online additive (Mechanism 2).
+    AddOn,
+    /// Offline substitutable (Mechanism 3).
+    SubstOff,
+    /// Online substitutable (Mechanism 4).
+    SubstOn,
+}
+
+impl fmt::Display for GameKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            GameKind::AddOff => "addoff",
+            GameKind::AddOn => "addon",
+            GameKind::SubstOff => "substoff",
+            GameKind::SubstOn => "subston",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An optimization on offer.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OptSpec {
+    /// Unique name.
+    pub name: String,
+    /// Cost as a decimal string, e.g. `"2.31"`.
+    pub cost: String,
+}
+
+/// One additive bid: per-slot values for one optimization.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BidSpec {
+    /// Name of the optimization bid on.
+    pub optimization: String,
+    /// First slot of the bid (`s_i`); defaults to 1.
+    #[serde(default = "default_start")]
+    pub start: u32,
+    /// Per-slot declared values (length defines `e_i`). Offline games
+    /// use a single value.
+    pub values: Vec<String>,
+}
+
+fn default_start() -> u32 {
+    1
+}
+
+/// One user of the game.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct UserSpec {
+    /// Unique name.
+    pub name: String,
+    /// Additive bids (addoff / addon kinds).
+    #[serde(default)]
+    pub bids: Vec<BidSpec>,
+    /// Substitute set by optimization name (subst kinds).
+    #[serde(default)]
+    pub substitutes: Vec<String>,
+    /// Substitutable value: single decimal (substoff) …
+    #[serde(default)]
+    pub value: Option<String>,
+    /// … or per-slot values starting at `start` (subston).
+    #[serde(default)]
+    pub values: Option<Vec<String>>,
+    /// First slot for `values`; defaults to 1.
+    #[serde(default = "default_start")]
+    pub start: u32,
+}
+
+/// A full game file.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GameFile {
+    /// The mechanism to run.
+    pub kind: GameKind,
+    /// Number of slots (online kinds); defaults to 1.
+    #[serde(default = "default_start")]
+    pub horizon: u32,
+    /// The optimizations on offer.
+    pub optimizations: Vec<OptSpec>,
+    /// The users and their declarations.
+    pub users: Vec<UserSpec>,
+}
+
+/// Errors turning a file into a game.
+#[derive(Debug)]
+pub enum InputError {
+    /// Malformed JSON.
+    Json(serde_json::Error),
+    /// A money string failed to parse.
+    Money(String),
+    /// A reference to an unknown optimization name.
+    UnknownOptimization(String),
+    /// Duplicate user or optimization name.
+    Duplicate(String),
+    /// A field required by the game kind is missing.
+    Missing(String),
+    /// The assembled game violated a mechanism constraint.
+    Mechanism(MechanismError),
+}
+
+impl fmt::Display for InputError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InputError::Json(e) => write!(f, "invalid JSON: {e}"),
+            InputError::Money(s) => write!(f, "invalid money amount `{s}`"),
+            InputError::UnknownOptimization(s) => write!(f, "unknown optimization `{s}`"),
+            InputError::Duplicate(s) => write!(f, "duplicate name `{s}`"),
+            InputError::Missing(s) => write!(f, "{s}"),
+            InputError::Mechanism(e) => write!(f, "invalid game: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for InputError {}
+
+impl From<MechanismError> for InputError {
+    fn from(e: MechanismError) -> Self {
+        InputError::Mechanism(e)
+    }
+}
+
+fn money(s: &str) -> Result<Money, InputError> {
+    s.parse().map_err(|_| InputError::Money(s.to_owned()))
+}
+
+/// A compiled game plus the name tables to render results with.
+pub struct CompiledGame {
+    /// The game, ready to run.
+    pub game: AnyGame,
+    /// User names by id.
+    pub user_names: Vec<String>,
+    /// Optimization names by id.
+    pub opt_names: Vec<String>,
+    /// Horizon (1 for offline kinds).
+    pub horizon: u32,
+    /// Costs by optimization id.
+    pub costs: Vec<Money>,
+    /// True per-slot values per user/opt, for utility reporting
+    /// (truthful declarations assumed).
+    pub truth: BTreeMap<(UserId, OptId), SlotSeries>,
+}
+
+/// The four game shapes behind one CLI entry point.
+#[allow(clippy::large_enum_variant)]
+pub enum AnyGame {
+    /// Offline additive.
+    AddOff(AdditiveOfflineGame),
+    /// Online additive, one game per optimization.
+    AddOn(Vec<AddOnGame>),
+    /// Offline substitutable.
+    SubstOff(SubstOffGame),
+    /// Online substitutable.
+    SubstOn(SubstOnGame),
+}
+
+/// Parses a JSON string into a runnable game.
+pub fn parse(json: &str) -> Result<CompiledGame, InputError> {
+    let file: GameFile = serde_json::from_str(json).map_err(InputError::Json)?;
+    compile(&file)
+}
+
+/// Compiles a parsed file.
+pub fn compile(file: &GameFile) -> Result<CompiledGame, InputError> {
+    // Name tables.
+    let mut opt_ids: BTreeMap<&str, OptId> = BTreeMap::new();
+    let mut costs = Vec::new();
+    for (k, opt) in file.optimizations.iter().enumerate() {
+        if opt_ids
+            .insert(&opt.name, OptId(u32::try_from(k).unwrap()))
+            .is_some()
+        {
+            return Err(InputError::Duplicate(opt.name.clone()));
+        }
+        costs.push(money(&opt.cost)?);
+    }
+    let mut seen_users = BTreeMap::new();
+    for (k, user) in file.users.iter().enumerate() {
+        if seen_users
+            .insert(&user.name, UserId(u32::try_from(k).unwrap()))
+            .is_some()
+        {
+            return Err(InputError::Duplicate(user.name.clone()));
+        }
+    }
+    let lookup = |name: &str| -> Result<OptId, InputError> {
+        opt_ids
+            .get(name)
+            .copied()
+            .ok_or_else(|| InputError::UnknownOptimization(name.to_owned()))
+    };
+
+    let mut truth = BTreeMap::new();
+    let horizon = file.horizon.max(1);
+
+    let game = match file.kind {
+        GameKind::AddOff => {
+            let mut game = AdditiveOfflineGame::new(costs.clone())?;
+            for (k, user) in file.users.iter().enumerate() {
+                let uid = UserId(u32::try_from(k).unwrap());
+                for bid in &user.bids {
+                    let j = lookup(&bid.optimization)?;
+                    let total: Money = bid
+                        .values
+                        .iter()
+                        .map(|v| money(v))
+                        .collect::<Result<Vec<_>, _>>()?
+                        .into_iter()
+                        .sum();
+                    game.bid(uid, j, total)?;
+                    truth.insert(
+                        (uid, j),
+                        SlotSeries::single(SlotId(1), total).expect("single slot"),
+                    );
+                }
+            }
+            AnyGame::AddOff(game)
+        }
+        GameKind::AddOn => {
+            let mut per_opt: Vec<Vec<OnlineBid>> = vec![Vec::new(); costs.len()];
+            for (k, user) in file.users.iter().enumerate() {
+                let uid = UserId(u32::try_from(k).unwrap());
+                for bid in &user.bids {
+                    let j = lookup(&bid.optimization)?;
+                    let values = bid
+                        .values
+                        .iter()
+                        .map(|v| money(v))
+                        .collect::<Result<Vec<_>, _>>()?;
+                    let series = SlotSeries::new(SlotId(bid.start), values)
+                        .map_err(MechanismError::from)?;
+                    truth.insert((uid, j), series.clone());
+                    per_opt[j.index() as usize].push(OnlineBid::new(uid, series));
+                }
+            }
+            let games = per_opt
+                .into_iter()
+                .zip(&costs)
+                .map(|(bids, &cost)| AddOnGame::new(horizon, cost, bids))
+                .collect::<Result<Vec<_>, _>>()?;
+            AnyGame::AddOn(games)
+        }
+        GameKind::SubstOff => {
+            let mut bids = Vec::new();
+            for (k, user) in file.users.iter().enumerate() {
+                let uid = UserId(u32::try_from(k).unwrap());
+                let value = user.value.as_deref().ok_or_else(|| {
+                    InputError::Missing(format!("user `{}` needs a `value`", user.name))
+                })?;
+                let value = money(value)?;
+                let substitutes = user
+                    .substitutes
+                    .iter()
+                    .map(|n| lookup(n))
+                    .collect::<Result<_, _>>()?;
+                let bid = SubstBid {
+                    user: uid,
+                    substitutes,
+                    value,
+                };
+                for &j in &bid.substitutes {
+                    truth.insert(
+                        (uid, j),
+                        SlotSeries::single(SlotId(1), value).expect("single slot"),
+                    );
+                }
+                bids.push(bid);
+            }
+            AnyGame::SubstOff(SubstOffGame::new(costs.clone(), bids)?)
+        }
+        GameKind::SubstOn => {
+            let mut bids = Vec::new();
+            for (k, user) in file.users.iter().enumerate() {
+                let uid = UserId(u32::try_from(k).unwrap());
+                let values = user.values.as_ref().ok_or_else(|| {
+                    InputError::Missing(format!(
+                        "user `{}` needs per-slot `values`",
+                        user.name
+                    ))
+                })?;
+                let values = values
+                    .iter()
+                    .map(|v| money(v))
+                    .collect::<Result<Vec<_>, _>>()?;
+                let series = SlotSeries::new(SlotId(user.start), values)
+                    .map_err(MechanismError::from)?;
+                let substitutes: std::collections::BTreeSet<OptId> = user
+                    .substitutes
+                    .iter()
+                    .map(|n| lookup(n))
+                    .collect::<Result<_, _>>()?;
+                for &j in &substitutes {
+                    truth.insert((uid, j), series.clone());
+                }
+                bids.push(SubstOnlineBid {
+                    user: uid,
+                    substitutes,
+                    series,
+                });
+            }
+            AnyGame::SubstOn(SubstOnGame::new(horizon, costs.clone(), bids)?)
+        }
+    };
+
+    Ok(CompiledGame {
+        game,
+        user_names: file.users.iter().map(|u| u.name.clone()).collect(),
+        opt_names: file.optimizations.iter().map(|o| o.name.clone()).collect(),
+        horizon,
+        costs,
+        truth,
+    })
+}
+
+/// A commented template for each kind (printed by `osp example`).
+#[must_use]
+pub fn template(kind: GameKind) -> &'static str {
+    match kind {
+        GameKind::AddOff => {
+            r#"{
+  "kind": "addoff",
+  "optimizations": [
+    { "name": "view-sales", "cost": "100.00" },
+    { "name": "index-date", "cost": "40.00" }
+  ],
+  "users": [
+    { "name": "alice", "bids": [ { "optimization": "view-sales", "values": ["55"] } ] },
+    { "name": "bob",   "bids": [ { "optimization": "view-sales", "values": ["50"] },
+                                  { "optimization": "index-date", "values": ["45"] } ] }
+  ]
+}"#
+        }
+        GameKind::AddOn => {
+            r#"{
+  "kind": "addon",
+  "horizon": 6,
+  "optimizations": [ { "name": "index", "cost": "120.00" } ],
+  "users": [
+    { "name": "alice", "bids": [ { "optimization": "index", "start": 1,
+                                   "values": ["60", "60", "60", "60"] } ] },
+    { "name": "bob",   "bids": [ { "optimization": "index", "start": 2,
+                                   "values": ["25", "25", "25"] } ] }
+  ]
+}"#
+        }
+        GameKind::SubstOff => {
+            r#"{
+  "kind": "substoff",
+  "optimizations": [
+    { "name": "btree",     "cost": "60.00" },
+    { "name": "partition", "cost": "180.00" },
+    { "name": "projection","cost": "100.00" }
+  ],
+  "users": [
+    { "name": "alice", "substitutes": ["btree", "partition"],              "value": "100" },
+    { "name": "bob",   "substitutes": ["projection"],                      "value": "101" },
+    { "name": "carol", "substitutes": ["btree", "partition", "projection"],"value": "60"  },
+    { "name": "dave",  "substitutes": ["partition"],                       "value": "70"  }
+  ]
+}"#
+        }
+        GameKind::SubstOn => {
+            r#"{
+  "kind": "subston",
+  "horizon": 3,
+  "optimizations": [
+    { "name": "btree",      "cost": "60.00"  },
+    { "name": "partition",  "cost": "100.00" },
+    { "name": "projection", "cost": "50.00"  }
+  ],
+  "users": [
+    { "name": "alice", "substitutes": ["btree", "partition"],
+      "start": 1, "values": ["100", "100"] },
+    { "name": "bob",   "substitutes": ["btree", "partition", "projection"],
+      "start": 2, "values": ["100", "100"] },
+    { "name": "carol", "substitutes": ["projection"],
+      "start": 3, "values": ["100"] }
+  ]
+}"#
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_template_parses_and_compiles() {
+        for kind in [
+            GameKind::AddOff,
+            GameKind::AddOn,
+            GameKind::SubstOff,
+            GameKind::SubstOn,
+        ] {
+            let compiled = parse(template(kind)).unwrap_or_else(|e| {
+                panic!("template {kind} failed: {e}");
+            });
+            assert!(!compiled.user_names.is_empty());
+            assert!(!compiled.opt_names.is_empty());
+        }
+    }
+
+    #[test]
+    fn bad_money_is_reported() {
+        let json = r#"{ "kind": "addoff",
+            "optimizations": [ { "name": "x", "cost": "abc" } ],
+            "users": [] }"#;
+        assert!(matches!(parse(json), Err(InputError::Money(_))));
+    }
+
+    #[test]
+    fn unknown_optimization_is_reported() {
+        let json = r#"{ "kind": "addoff",
+            "optimizations": [ { "name": "x", "cost": "1" } ],
+            "users": [ { "name": "a",
+                         "bids": [ { "optimization": "y", "values": ["1"] } ] } ] }"#;
+        assert!(matches!(parse(json), Err(InputError::UnknownOptimization(n)) if n == "y"));
+    }
+
+    #[test]
+    fn duplicate_names_are_rejected() {
+        let json = r#"{ "kind": "addoff",
+            "optimizations": [ { "name": "x", "cost": "1" }, { "name": "x", "cost": "2" } ],
+            "users": [] }"#;
+        assert!(matches!(parse(json), Err(InputError::Duplicate(_))));
+    }
+
+    #[test]
+    fn substoff_requires_value() {
+        let json = r#"{ "kind": "substoff",
+            "optimizations": [ { "name": "x", "cost": "1" } ],
+            "users": [ { "name": "a", "substitutes": ["x"] } ] }"#;
+        assert!(matches!(parse(json), Err(InputError::Missing(_))));
+    }
+
+    #[test]
+    fn mechanism_violations_propagate() {
+        // Bid past the horizon.
+        let json = r#"{ "kind": "addon", "horizon": 2,
+            "optimizations": [ { "name": "x", "cost": "10" } ],
+            "users": [ { "name": "a",
+                         "bids": [ { "optimization": "x", "start": 1,
+                                     "values": ["1", "1", "1"] } ] } ] }"#;
+        assert!(matches!(parse(json), Err(InputError::Mechanism(_))));
+    }
+}

@@ -1,0 +1,118 @@
+//! `osp` — run shared-optimization pricing games from JSON files.
+//!
+//! ```text
+//! osp example addon > game.json   # print a template
+//! osp validate game.json          # check without running
+//! osp run game.json               # run the mechanism, print the report
+//! osp run game.json --compare-regret --json
+//! ```
+
+use std::process::ExitCode;
+
+use osp_core::prelude::TieBreak;
+
+mod input;
+mod report;
+
+use input::GameKind;
+
+fn usage() -> &'static str {
+    "usage:
+  osp run <game.json> [--tiebreak lowest|random:<seed>] [--compare-regret] [--json]
+  osp validate <game.json>
+  osp example <addoff|addon|substoff|subston>
+
+The game file format is shown by `osp example <kind>`: optimizations
+with decimal-string costs, users with additive per-slot bids or
+substitutable sets. Money strings parse exactly (no floats)."
+}
+
+fn parse_kind(s: &str) -> Option<GameKind> {
+    match s {
+        "addoff" => Some(GameKind::AddOff),
+        "addon" => Some(GameKind::AddOn),
+        "substoff" => Some(GameKind::SubstOff),
+        "subston" => Some(GameKind::SubstOn),
+        _ => None,
+    }
+}
+
+fn parse_tiebreak(s: &str) -> Result<TieBreak, String> {
+    if s == "lowest" {
+        return Ok(TieBreak::LowestOptId);
+    }
+    if let Some(seed) = s.strip_prefix("random:") {
+        return seed
+            .parse()
+            .map(TieBreak::Random)
+            .map_err(|e| format!("bad seed in `{s}`: {e}"));
+    }
+    Err(format!("unknown tiebreak `{s}` (lowest | random:<seed>)"))
+}
+
+fn real_main() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("example") => {
+            let kind = args
+                .get(1)
+                .and_then(|s| parse_kind(s))
+                .ok_or_else(|| usage().to_owned())?;
+            println!("{}", input::template(kind));
+            Ok(())
+        }
+        Some("validate") => {
+            let path = args.get(1).ok_or_else(|| usage().to_owned())?;
+            let json = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {path}: {e}"))?;
+            let compiled = input::parse(&json).map_err(|e| e.to_string())?;
+            println!(
+                "ok: {} users, {} optimizations, horizon {}",
+                compiled.user_names.len(),
+                compiled.opt_names.len(),
+                compiled.horizon
+            );
+            Ok(())
+        }
+        Some("run") => {
+            let path = args.get(1).ok_or_else(|| usage().to_owned())?;
+            let mut tiebreak = TieBreak::LowestOptId;
+            let mut compare_regret = false;
+            let mut as_json = false;
+            let mut it = args[2..].iter();
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--tiebreak" => {
+                        let v = it.next().ok_or("--tiebreak needs a value")?;
+                        tiebreak = parse_tiebreak(v)?;
+                    }
+                    "--compare-regret" => compare_regret = true,
+                    "--json" => as_json = true,
+                    other => return Err(format!("unknown flag `{other}`\n{}", usage())),
+                }
+            }
+            let json = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {path}: {e}"))?;
+            let compiled = input::parse(&json).map_err(|e| e.to_string())?;
+            let report = report::run(&compiled, tiebreak, compare_regret)
+                .map_err(|e| e.to_string())?;
+            if as_json {
+                println!("{}", serde_json::to_string_pretty(&report.to_json()).unwrap());
+            } else {
+                print!("{}", report.render());
+            }
+            Ok(())
+        }
+        _ => Err(usage().to_owned()),
+    }
+}
+
+fn main() -> ExitCode {
+    match real_main() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

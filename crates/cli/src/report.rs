@@ -1,0 +1,390 @@
+//! Running a compiled game and rendering the outcome.
+
+use serde_json::json;
+
+use osp_core::prelude::*;
+use osp_econ::schedule::SlotSeries;
+
+use crate::input::{AnyGame, CompiledGame};
+
+/// Per-user result line.
+#[derive(Debug, Clone)]
+pub struct UserReport {
+    /// User name from the file.
+    pub name: String,
+    /// What the user was granted, human-readable.
+    pub granted: String,
+    /// Total payment.
+    pub paid: Money,
+    /// Realized (declared) value.
+    pub value: Money,
+    /// Utility.
+    pub utility: Money,
+}
+
+/// Per-optimization result line.
+#[derive(Debug, Clone)]
+pub struct OptReport {
+    /// Optimization name.
+    pub name: String,
+    /// Its cost.
+    pub cost: Money,
+    /// Whether (and when) it was implemented.
+    pub implemented_at: Option<SlotId>,
+    /// Collected payments attributed to it.
+    pub collected: Money,
+}
+
+/// Regret-baseline comparison summary.
+#[derive(Debug, Clone)]
+pub struct RegretSummary {
+    /// Baseline total utility.
+    pub utility: Money,
+    /// Baseline cloud balance (negative ⇒ the cloud loses money).
+    pub balance: Money,
+    /// Number of optimizations the baseline implements.
+    pub implemented: usize,
+}
+
+/// Full run report.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Mechanism kind.
+    pub kind: String,
+    /// Per-optimization outcomes.
+    pub optimizations: Vec<OptReport>,
+    /// Per-user outcomes.
+    pub users: Vec<UserReport>,
+    /// Total implemented cost.
+    pub total_cost: Money,
+    /// Total collected.
+    pub total_payments: Money,
+    /// Total social utility.
+    pub total_utility: Money,
+    /// Optional baseline comparison.
+    pub regret: Option<RegretSummary>,
+}
+
+/// Runs the game and assembles the report.
+pub fn run(compiled: &CompiledGame, tiebreak: TieBreak, compare_regret: bool) -> Result<Report> {
+    let n_users = compiled.user_names.len();
+    let n_opts = compiled.opt_names.len();
+    let mut opt_reports: Vec<OptReport> = (0..n_opts)
+        .map(|j| OptReport {
+            name: compiled.opt_names[j].clone(),
+            cost: compiled.costs[j],
+            implemented_at: None,
+            collected: Money::ZERO,
+        })
+        .collect();
+    let mut paid = vec![Money::ZERO; n_users];
+    let mut value = vec![Money::ZERO; n_users];
+    let mut granted: Vec<Vec<String>> = vec![Vec::new(); n_users];
+
+    let kind = match &compiled.game {
+        AnyGame::AddOff(game) => {
+            let out = addoff::run(game);
+            audit::check_offline_outcome(&out).expect("mechanism invariant");
+            for &j in out.implemented.keys() {
+                opt_reports[j.index() as usize].implemented_at = Some(SlotId(1));
+            }
+            for (&(u, j), &p) in &out.payments {
+                paid[u.index() as usize] += p;
+                value[u.index() as usize] += game.bid_of(u, j);
+                opt_reports[j.index() as usize].collected += p;
+                granted[u.index() as usize].push(compiled.opt_names[j.index() as usize].clone());
+            }
+            "addoff"
+        }
+        AnyGame::AddOn(games) => {
+            for (idx, game) in games.iter().enumerate() {
+                let j = OptId(u32::try_from(idx).unwrap());
+                let out = addon::run(game)?;
+                audit::check_addon_outcome(&out).expect("mechanism invariant");
+                opt_reports[idx].implemented_at = out.implemented_at;
+                for (&u, &p) in &out.payments {
+                    paid[u.index() as usize] += p;
+                    opt_reports[idx].collected += p;
+                }
+                for (&u, &t0) in &out.first_serviced {
+                    if let Some(series) = compiled.truth.get(&(u, j)) {
+                        value[u.index() as usize] += series.residual_from(t0);
+                    }
+                    granted[u.index() as usize]
+                        .push(format!("{} (from {t0})", compiled.opt_names[idx]));
+                }
+            }
+            "addon"
+        }
+        AnyGame::SubstOff(game) => {
+            let out = substoff::run(game, tiebreak);
+            audit::check_substoff_outcome(&out).expect("mechanism invariant");
+            for &j in out.implemented.keys() {
+                opt_reports[j.index() as usize].implemented_at = Some(SlotId(1));
+            }
+            for (&u, &j) in &out.assignments {
+                let p = out.payments[&u];
+                paid[u.index() as usize] += p;
+                opt_reports[j.index() as usize].collected += p;
+                value[u.index() as usize] += game.bids[u.index() as usize].value;
+                granted[u.index() as usize].push(compiled.opt_names[j.index() as usize].clone());
+            }
+            "substoff"
+        }
+        AnyGame::SubstOn(game) => {
+            let out = subston::run(game, tiebreak)?;
+            audit::check_subston_outcome(&out).expect("mechanism invariant");
+            for (&j, &t) in &out.implemented_at {
+                opt_reports[j.index() as usize].implemented_at = Some(t);
+            }
+            for (&u, &j) in &out.assignments {
+                let p = out.payments.get(&u).copied().unwrap_or(Money::ZERO);
+                paid[u.index() as usize] += p;
+                opt_reports[j.index() as usize].collected += p;
+                let t0 = out.first_serviced[&u];
+                if let Some(series) = compiled.truth.get(&(u, j)) {
+                    value[u.index() as usize] += series.residual_from(t0);
+                }
+                granted[u.index() as usize]
+                    .push(format!("{} (from {t0})", compiled.opt_names[j.index() as usize]));
+            }
+            "subston"
+        }
+    };
+
+    let users = (0..n_users)
+        .map(|u| UserReport {
+            name: compiled.user_names[u].clone(),
+            granted: if granted[u].is_empty() {
+                "-".to_owned()
+            } else {
+                granted[u].join(", ")
+            },
+            paid: paid[u],
+            value: value[u],
+            utility: value[u] - paid[u],
+        })
+        .collect();
+
+    let total_cost: Money = opt_reports
+        .iter()
+        .filter(|o| o.implemented_at.is_some())
+        .map(|o| o.cost)
+        .sum();
+    let total_payments: Money = opt_reports.iter().map(|o| o.collected).sum();
+    let total_value: Money = value.iter().copied().sum();
+
+    let regret = compare_regret.then(|| regret_summary(compiled));
+
+    Ok(Report {
+        kind: kind.to_owned(),
+        optimizations: opt_reports,
+        users,
+        total_cost,
+        total_payments,
+        total_utility: total_value - total_cost,
+        regret,
+    })
+}
+
+/// Runs the §7.1 baseline on the same (truthful) declarations.
+fn regret_summary(compiled: &CompiledGame) -> RegretSummary {
+    match &compiled.game {
+        AnyGame::AddOff(_) | AnyGame::AddOn(_) => {
+            let mut schedule = ValueSchedule::new(compiled.horizon);
+            for (&(u, j), series) in &compiled.truth {
+                schedule.set(u, j, series.clone()).expect("within horizon");
+            }
+            let out = osp_regret::additive::run_schedule(&compiled.costs, &schedule);
+            let stats = out.stats();
+            RegretSummary {
+                utility: stats.total_utility,
+                balance: stats.cloud_balance,
+                implemented: out
+                    .per_opt
+                    .values()
+                    .filter(|o| o.is_implemented())
+                    .count(),
+            }
+        }
+        AnyGame::SubstOff(game) => {
+            let users: Vec<osp_regret::SubstUserValue> = game
+                .bids
+                .iter()
+                .map(|b| osp_regret::SubstUserValue {
+                    user: b.user,
+                    substitutes: b.substitutes.iter().copied().collect(),
+                    series: SlotSeries::single(SlotId(1), b.value).expect("single slot"),
+                })
+                .collect();
+            let out = osp_regret::subst::run(&compiled.costs, &users, 1);
+            RegretSummary {
+                utility: out.total_utility(),
+                balance: out.cloud_balance(),
+                implemented: out.implemented.len(),
+            }
+        }
+        AnyGame::SubstOn(game) => {
+            let users: Vec<osp_regret::SubstUserValue> = game
+                .bids
+                .iter()
+                .map(|b| osp_regret::SubstUserValue {
+                    user: b.user,
+                    substitutes: b.substitutes.iter().copied().collect(),
+                    series: b.series.clone(),
+                })
+                .collect();
+            let out = osp_regret::subst::run(&compiled.costs, &users, compiled.horizon);
+            RegretSummary {
+                utility: out.total_utility(),
+                balance: out.cloud_balance(),
+                implemented: out.implemented.len(),
+            }
+        }
+    }
+}
+
+impl Report {
+    /// Human-readable rendering.
+    #[must_use]
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "mechanism: {}", self.kind);
+        let _ = writeln!(out, "\noptimizations:");
+        for o in &self.optimizations {
+            let status = match o.implemented_at {
+                Some(t) if self.kind.contains("on") && !self.kind.contains("off") => {
+                    format!("implemented at {t}")
+                }
+                Some(_) => "implemented".to_owned(),
+                None => "not implemented".to_owned(),
+            };
+            let _ = writeln!(
+                out,
+                "  {:<24} cost {:<12} {:<20} collected {}",
+                o.name,
+                o.cost.to_string(),
+                status,
+                o.collected
+            );
+        }
+        let _ = writeln!(out, "\nusers:");
+        for u in &self.users {
+            let _ = writeln!(
+                out,
+                "  {:<12} pays {:<12} value {:<12} utility {:<12} granted: {}",
+                u.name,
+                u.paid.to_string(),
+                u.value.to_string(),
+                u.utility.to_string(),
+                u.granted
+            );
+        }
+        let _ = writeln!(
+            out,
+            "\ntotal: cost {}, collected {}, social utility {}",
+            self.total_cost, self.total_payments, self.total_utility
+        );
+        let balance = self.total_payments - self.total_cost;
+        let _ = writeln!(
+            out,
+            "cost recovery: {} (cloud balance {balance})",
+            if balance.is_negative() { "VIOLATED" } else { "ok" },
+        );
+        if let Some(r) = &self.regret {
+            let _ = writeln!(
+                out,
+                "\nregret baseline on the same declarations: utility {}, balance {} \
+                 ({} implemented){}",
+                r.utility,
+                r.balance,
+                r.implemented,
+                if r.balance.is_negative() {
+                    " — the cloud would LOSE money"
+                } else {
+                    ""
+                }
+            );
+        }
+        out
+    }
+
+    /// Machine-readable rendering.
+    #[must_use]
+    pub fn to_json(&self) -> serde_json::Value {
+        json!({
+            "mechanism": self.kind,
+            "optimizations": self.optimizations.iter().map(|o| json!({
+                "name": o.name,
+                "cost": o.cost.to_f64(),
+                "implemented": o.implemented_at.is_some(),
+                "implemented_at_slot": o.implemented_at.map(|t| t.index()),
+                "collected": o.collected.to_f64(),
+            })).collect::<Vec<_>>(),
+            "users": self.users.iter().map(|u| json!({
+                "name": u.name,
+                "paid": u.paid.to_f64(),
+                "value": u.value.to_f64(),
+                "utility": u.utility.to_f64(),
+                "granted": u.granted,
+            })).collect::<Vec<_>>(),
+            "total_cost": self.total_cost.to_f64(),
+            "total_payments": self.total_payments.to_f64(),
+            "total_utility": self.total_utility.to_f64(),
+            "cost_recovering": !(self.total_payments - self.total_cost).is_negative(),
+            "regret_baseline": self.regret.as_ref().map(|r| json!({
+                "utility": r.utility.to_f64(),
+                "balance": r.balance.to_f64(),
+                "implemented": r.implemented,
+            })),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input::{parse, template, GameKind};
+
+    #[test]
+    fn every_template_runs_and_recovers_costs() {
+        for kind in [
+            GameKind::AddOff,
+            GameKind::AddOn,
+            GameKind::SubstOff,
+            GameKind::SubstOn,
+        ] {
+            let compiled = parse(template(kind)).unwrap();
+            let report = run(&compiled, TieBreak::LowestOptId, true).unwrap();
+            let balance = report.total_payments - report.total_cost;
+            assert!(!balance.is_negative(), "{kind}: {balance}");
+            assert!(report.regret.is_some());
+            let rendered = report.render();
+            assert!(rendered.contains("cost recovery: ok"), "{rendered}");
+            let json = report.to_json();
+            assert_eq!(json["cost_recovering"], true);
+        }
+    }
+
+    #[test]
+    fn subston_template_matches_example_8() {
+        let compiled = parse(template(GameKind::SubstOn)).unwrap();
+        let report = run(&compiled, TieBreak::LowestOptId, false).unwrap();
+        // Example 8 payments: alice 30, bob 30, carol 50.
+        let paid: Vec<f64> = report.users.iter().map(|u| u.paid.to_f64()).collect();
+        assert_eq!(paid, vec![30.0, 30.0, 50.0]);
+        assert_eq!(report.total_utility.to_f64(), 390.0);
+    }
+
+    #[test]
+    fn addoff_template_grants_and_prices() {
+        let compiled = parse(template(GameKind::AddOff)).unwrap();
+        let report = run(&compiled, TieBreak::LowestOptId, false).unwrap();
+        // view-sales: alice+bob at 50 each; index-date: bob alone at 40.
+        let alice = &report.users[0];
+        assert_eq!(alice.paid.to_f64(), 50.0);
+        let bob = &report.users[1];
+        assert_eq!(bob.paid.to_f64(), 90.0);
+    }
+}

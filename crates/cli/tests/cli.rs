@@ -1,0 +1,101 @@
+//! End-to-end tests of the `osp` binary itself (spawned as a real
+//! process).
+
+use std::process::Command;
+
+fn osp() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_osp"))
+}
+
+#[test]
+fn example_then_validate_then_run() {
+    let dir = std::env::temp_dir().join(format!("osp-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    for kind in ["addoff", "addon", "substoff", "subston"] {
+        let out = osp().args(["example", kind]).output().unwrap();
+        assert!(out.status.success(), "example {kind} failed");
+        let path = dir.join(format!("{kind}.json"));
+        std::fs::write(&path, &out.stdout).unwrap();
+
+        let out = osp()
+            .args(["validate", path.to_str().unwrap()])
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "validate {kind} failed");
+        assert!(String::from_utf8_lossy(&out.stdout).starts_with("ok:"));
+
+        let out = osp()
+            .args(["run", path.to_str().unwrap(), "--compare-regret"])
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "run {kind} failed");
+        let text = String::from_utf8_lossy(&out.stdout);
+        assert!(text.contains("cost recovery: ok"), "{kind}: {text}");
+        assert!(text.contains("regret baseline"), "{kind}: {text}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn json_output_is_machine_readable() {
+    let template = osp().args(["example", "subston"]).output().unwrap().stdout;
+    let path = std::env::temp_dir().join(format!("osp-json-{}.json", std::process::id()));
+    std::fs::write(&path, template).unwrap();
+    let out = osp()
+        .args(["run", path.to_str().unwrap(), "--json"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let v: serde_json::Value = serde_json::from_slice(&out.stdout).unwrap();
+    assert_eq!(v["mechanism"], "subston");
+    assert_eq!(v["cost_recovering"], true);
+    // Example 8 totals.
+    assert_eq!(v["total_utility"], 390.0);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn bad_input_fails_with_message() {
+    let out = osp().args(["run", "/nonexistent/game.json"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+
+    let out = osp().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+
+    let path = std::env::temp_dir().join(format!("osp-bad-{}.json", std::process::id()));
+    std::fs::write(&path, r#"{ "kind": "addoff", "optimizations": [], "users": [] "#).unwrap();
+    let out = osp().args(["run", path.to_str().unwrap()]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("invalid JSON"));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn tiebreak_flag_is_parsed() {
+    let template = osp().args(["example", "substoff"]).output().unwrap().stdout;
+    let path = std::env::temp_dir().join(format!("osp-tb-{}.json", std::process::id()));
+    std::fs::write(&path, template).unwrap();
+    for tb in ["lowest", "random:42"] {
+        let out = osp()
+            .args(["run", path.to_str().unwrap(), "--tiebreak", tb])
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "tiebreak {tb} failed");
+    }
+    let out = osp()
+        .args(["run", path.to_str().unwrap(), "--tiebreak", "coin"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn stdout_never_interleaves_errors() {
+    // Errors go to stderr only; stdout stays parseable.
+    let out = osp().args(["validate", "/nonexistent"]).output().unwrap();
+    assert!(out.stdout.is_empty());
+    assert!(!out.stderr.is_empty());
+}

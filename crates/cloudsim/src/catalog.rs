@@ -1,0 +1,186 @@
+//! Dataset catalog: the shared data users query.
+//!
+//! The motivating deployments (§1–2) are data-management-as-a-service
+//! offerings hosting datasets that many users query. The catalog is the
+//! minimal relational metadata the cost model and planner need: table
+//! cardinalities, row widths, and per-column distinct counts.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifies a table in the catalog.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TableId(pub u32);
+
+impl fmt::Debug for TableId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "table{}", self.0)
+    }
+}
+
+impl fmt::Display for TableId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// Column metadata.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Column {
+    /// Column name.
+    pub name: String,
+    /// Number of distinct values (drives index selectivity estimates).
+    pub distinct: u64,
+}
+
+/// Table metadata.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Table {
+    /// Table name.
+    pub name: String,
+    /// Row count.
+    pub rows: u64,
+    /// Bytes per row.
+    pub row_bytes: u32,
+    /// Columns, referenced by position.
+    pub columns: Vec<Column>,
+}
+
+impl Table {
+    /// Total heap size in bytes.
+    #[must_use]
+    pub fn bytes(&self) -> u64 {
+        self.rows * u64::from(self.row_bytes)
+    }
+}
+
+/// Errors raised by catalog lookups.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CatalogError {
+    /// Unknown table id.
+    NoSuchTable(TableId),
+    /// Column index out of range for the table.
+    NoSuchColumn {
+        /// The table.
+        table: TableId,
+        /// The out-of-range column position.
+        column: usize,
+    },
+}
+
+impl fmt::Display for CatalogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CatalogError::NoSuchTable(t) => write!(f, "no such table {t}"),
+            CatalogError::NoSuchColumn { table, column } => {
+                write!(f, "{table} has no column #{column}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CatalogError {}
+
+/// The set of tables a cloud deployment hosts.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Catalog {
+    tables: BTreeMap<TableId, Table>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a table, returning its id.
+    pub fn add_table(&mut self, table: Table) -> TableId {
+        let id = TableId(u32::try_from(self.tables.len()).unwrap());
+        self.tables.insert(id, table);
+        id
+    }
+
+    /// Looks a table up.
+    pub fn table(&self, id: TableId) -> Result<&Table, CatalogError> {
+        self.tables.get(&id).ok_or(CatalogError::NoSuchTable(id))
+    }
+
+    /// Looks a column up.
+    pub fn column(&self, table: TableId, column: usize) -> Result<&Column, CatalogError> {
+        let t = self.table(table)?;
+        t.columns
+            .get(column)
+            .ok_or(CatalogError::NoSuchColumn { table, column })
+    }
+
+    /// Iterates all tables.
+    pub fn tables(&self) -> impl Iterator<Item = (TableId, &Table)> {
+        self.tables.iter().map(|(&id, t)| (id, t))
+    }
+
+    /// Number of tables.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// `true` iff no tables.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+}
+
+/// Builder shorthand for tests and examples.
+#[must_use]
+pub fn table(name: &str, rows: u64, row_bytes: u32, columns: &[(&str, u64)]) -> Table {
+    Table {
+        name: name.to_owned(),
+        rows,
+        row_bytes,
+        columns: columns
+            .iter()
+            .map(|&(name, distinct)| Column {
+                name: name.to_owned(),
+                distinct,
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_lookup() {
+        let mut c = Catalog::new();
+        let id = c.add_table(table("particles", 1_000_000, 48, &[("halo_id", 5_000)]));
+        assert_eq!(c.table(id).unwrap().rows, 1_000_000);
+        assert_eq!(c.column(id, 0).unwrap().distinct, 5_000);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn errors_on_missing_entities() {
+        let mut c = Catalog::new();
+        let id = c.add_table(table("t", 10, 8, &[("a", 2)]));
+        assert_eq!(
+            c.table(TableId(9)).unwrap_err(),
+            CatalogError::NoSuchTable(TableId(9))
+        );
+        assert_eq!(
+            c.column(id, 3).unwrap_err(),
+            CatalogError::NoSuchColumn { table: id, column: 3 }
+        );
+    }
+
+    #[test]
+    fn table_bytes() {
+        let t = table("t", 1000, 100, &[]);
+        assert_eq!(t.bytes(), 100_000);
+    }
+}

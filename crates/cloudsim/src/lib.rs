@@ -1,0 +1,40 @@
+//! # osp-cloudsim — a cloud data-service simulator
+//!
+//! The paper's mechanisms consume one thing: the values `v_ij(t)` that
+//! optimization `j` has for user `i` at slot `t`. This crate builds
+//! those values the way the paper's §7.2 evaluation does — from actual
+//! query workloads:
+//!
+//! * [`catalog`] — hosted datasets (tables, cardinalities, widths);
+//! * [`query`] — logical query plans (scan/filter/join/aggregate);
+//! * [`cost`] — an I/O + CPU cost model;
+//! * [`optimization`] — the §1 optimization menu: B-tree indexes,
+//!   materialized views, replicas, partitioning;
+//! * [`planner`] — access-path selection and view matching: how much
+//!   faster is a query *with* optimization `j`?
+//! * [`pricing`] — the EC2-style price plan converting saved time and
+//!   occupied bytes into dollars;
+//! * [`value`] — assembling per-user, per-optimization, per-slot value
+//!   schedules from workloads;
+//! * [`workgen`] — seeded random workload populations for experiments.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod cost;
+pub mod optimization;
+pub mod planner;
+pub mod pricing;
+pub mod query;
+pub mod value;
+pub mod workgen;
+
+pub use catalog::{Catalog, CatalogError, Column, Table, TableId};
+pub use cost::CostModel;
+pub use optimization::{CloudOptimization, OptimizationKind};
+pub use planner::{best_plan, runtime, saving, PhysicalPlan};
+pub use pricing::PricePlan;
+pub use query::LogicalPlan;
+pub use value::{derive_schedule, UserWorkload};
+pub use workgen::{generate as generate_workloads, WorkloadConfig};

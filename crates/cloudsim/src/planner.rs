@@ -1,0 +1,488 @@
+//! Physical planning: how much faster does a query run *with* an
+//! optimization than without?
+//!
+//! The planner walks the logical plan bottom-up, applying whichever of
+//! the available optimizations helps:
+//!
+//! * a query equal to a **materialized view** definition scans the
+//!   stored result;
+//! * a filter directly over a scan uses a matching **index**
+//!   (if cheaper) or **partition pruning**;
+//! * scans of a **replicated** table run at the replica's bandwidth.
+//!
+//! The speed-up `runtime(∅) − runtime({j})`, priced through
+//! [`crate::pricing`], is exactly the per-slot value `v_ij(t)` the
+//! mechanisms ask users to report.
+
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+use crate::catalog::{Catalog, CatalogError, TableId};
+use crate::cost::CostModel;
+use crate::optimization::{CloudOptimization, OptimizationKind};
+use crate::query::LogicalPlan;
+
+/// A costed physical operator tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PhysicalPlan {
+    /// Full sequential scan (possibly at replica bandwidth).
+    SeqScan {
+        /// Scanned table.
+        table: TableId,
+        /// Bytes read.
+        bytes: u64,
+        /// Rows produced.
+        rows: f64,
+        /// Bandwidth multiplier from a replica (1.0 = none).
+        throughput_factor: f64,
+    },
+    /// B-tree lookup followed by row fetches.
+    IndexScan {
+        /// Scanned table.
+        table: TableId,
+        /// Matching rows fetched.
+        matched_rows: f64,
+    },
+    /// Scan of only the matching partitions.
+    PrunedScan {
+        /// Scanned table.
+        table: TableId,
+        /// Bytes read after pruning.
+        bytes: u64,
+        /// Rows produced.
+        rows: f64,
+        /// Bandwidth multiplier from a replica (1.0 = none).
+        throughput_factor: f64,
+    },
+    /// Scan of a materialized view's stored result.
+    MvScan {
+        /// Bytes read.
+        bytes: u64,
+        /// Rows produced.
+        rows: f64,
+    },
+    /// In-memory filter over a child.
+    Filter {
+        /// Input operator.
+        input: Box<PhysicalPlan>,
+        /// Rows flowing into the filter.
+        input_rows: f64,
+        /// Rows retained.
+        output_rows: f64,
+    },
+    /// Hash join of two children.
+    HashJoin {
+        /// Build side.
+        left: Box<PhysicalPlan>,
+        /// Probe side.
+        right: Box<PhysicalPlan>,
+        /// Output rows.
+        output_rows: f64,
+    },
+    /// Hash aggregation over a child.
+    Aggregate {
+        /// Input operator.
+        input: Box<PhysicalPlan>,
+        /// Rows flowing in.
+        input_rows: f64,
+        /// Groups produced.
+        groups: u64,
+    },
+}
+
+impl PhysicalPlan {
+    /// Rows this operator produces.
+    #[must_use]
+    pub fn output_rows(&self) -> f64 {
+        match self {
+            PhysicalPlan::SeqScan { rows, .. }
+            | PhysicalPlan::PrunedScan { rows, .. }
+            | PhysicalPlan::MvScan { rows, .. } => *rows,
+            PhysicalPlan::IndexScan { matched_rows, .. } => *matched_rows,
+            PhysicalPlan::Filter { output_rows, .. } => *output_rows,
+            PhysicalPlan::HashJoin { output_rows, .. } => *output_rows,
+            PhysicalPlan::Aggregate { groups, .. } => *groups as f64,
+        }
+    }
+
+    /// Estimated runtime under the cost model.
+    #[must_use]
+    pub fn runtime(&self, cm: &CostModel) -> Duration {
+        match self {
+            PhysicalPlan::SeqScan {
+                bytes,
+                rows,
+                throughput_factor,
+                ..
+            }
+            | PhysicalPlan::PrunedScan {
+                bytes,
+                rows,
+                throughput_factor,
+                ..
+            } => {
+                let io = cm.seq_read(*bytes).div_f64(throughput_factor.max(1.0));
+                io + cm.cpu(*rows)
+            }
+            PhysicalPlan::IndexScan { matched_rows, .. } => {
+                // Root-to-leaf descent (3 levels) plus one random fetch
+                // per matching row.
+                cm.random_io(3.0 + matched_rows) + cm.cpu(*matched_rows)
+            }
+            PhysicalPlan::MvScan { bytes, rows } => cm.seq_read(*bytes) + cm.cpu(*rows),
+            PhysicalPlan::Filter {
+                input, input_rows, ..
+            } => input.runtime(cm) + cm.cpu(*input_rows),
+            PhysicalPlan::HashJoin {
+                left,
+                right,
+                output_rows,
+            } => {
+                let build = cm.cpu(left.output_rows() * 2.0);
+                let probe = cm.cpu(right.output_rows() * 2.0);
+                left.runtime(cm) + right.runtime(cm) + build + probe + cm.cpu(*output_rows)
+            }
+            PhysicalPlan::Aggregate {
+                input, input_rows, ..
+            } => input.runtime(cm) + cm.cpu(*input_rows),
+        }
+    }
+}
+
+/// Replica factor for a table under the given optimizations.
+fn replica_factor(table: TableId, opts: &[&CloudOptimization]) -> f64 {
+    opts.iter()
+        .filter_map(|o| match &o.kind {
+            OptimizationKind::Replica {
+                table: t,
+                throughput_factor,
+            } if *t == table => Some(*throughput_factor),
+            _ => None,
+        })
+        .fold(1.0, f64::max)
+}
+
+/// Chooses the cheapest physical plan for `query` given the available
+/// optimizations.
+pub fn best_plan(
+    query: &LogicalPlan,
+    catalog: &Catalog,
+    cm: &CostModel,
+    opts: &[&CloudOptimization],
+) -> Result<PhysicalPlan, CatalogError> {
+    // A materialized view matching the whole expression wins outright:
+    // the result is precomputed.
+    for opt in opts {
+        if let OptimizationKind::MaterializedView { definition } = &opt.kind {
+            if definition == query {
+                let rows = query.cardinality(catalog)?;
+                let bytes = (rows * f64::from(query.row_bytes(catalog)?)).ceil() as u64;
+                return Ok(PhysicalPlan::MvScan { bytes, rows });
+            }
+        }
+    }
+
+    Ok(match query {
+        LogicalPlan::Scan { table } => seq_scan(*table, catalog, opts)?,
+        LogicalPlan::Filter {
+            input,
+            table,
+            column,
+            selectivity,
+        } => {
+            let input_rows = input.cardinality(catalog)?;
+            let output_rows = input_rows * selectivity;
+            // Access-path selection applies when filtering directly
+            // over the base table scan.
+            if matches!(**input, LogicalPlan::Scan { table: t } if t == *table) {
+                let mut candidates: Vec<PhysicalPlan> = vec![PhysicalPlan::Filter {
+                    input: Box::new(seq_scan(*table, catalog, opts)?),
+                    input_rows,
+                    output_rows,
+                }];
+                for opt in opts {
+                    match &opt.kind {
+                        OptimizationKind::BTreeIndex { table: t, column: c }
+                            if t == table && c == column =>
+                        {
+                            candidates.push(PhysicalPlan::IndexScan {
+                                table: *table,
+                                matched_rows: output_rows,
+                            });
+                        }
+                        OptimizationKind::Partition { table: t, column: c }
+                            if t == table && c == column =>
+                        {
+                            let full = catalog.table(*table)?.bytes();
+                            candidates.push(PhysicalPlan::PrunedScan {
+                                table: *table,
+                                bytes: (full as f64 * selectivity).ceil() as u64,
+                                rows: output_rows,
+                                throughput_factor: replica_factor(*table, opts),
+                            });
+                        }
+                        OptimizationKind::CoveringProjection {
+                            table: t,
+                            column: c,
+                            row_bytes,
+                        } if t == table && c == column => {
+                            // Filter over the narrow projection instead
+                            // of the wide table.
+                            let rows = catalog.table(*table)?.rows;
+                            candidates.push(PhysicalPlan::Filter {
+                                input: Box::new(PhysicalPlan::MvScan {
+                                    bytes: rows * u64::from(*row_bytes),
+                                    rows: rows as f64,
+                                }),
+                                input_rows,
+                                output_rows,
+                            });
+                        }
+                        _ => {}
+                    }
+                }
+                candidates
+                    .into_iter()
+                    .min_by(|a, b| a.runtime(cm).cmp(&b.runtime(cm)))
+                    .expect("at least the seq-scan candidate exists")
+            } else {
+                let child = best_plan(input, catalog, cm, opts)?;
+                PhysicalPlan::Filter {
+                    input: Box::new(child),
+                    input_rows,
+                    output_rows,
+                }
+            }
+        }
+        LogicalPlan::Join {
+            left,
+            right,
+            selectivity,
+        } => {
+            let l = best_plan(left, catalog, cm, opts)?;
+            let r = best_plan(right, catalog, cm, opts)?;
+            let output_rows =
+                left.cardinality(catalog)? * right.cardinality(catalog)? * selectivity;
+            PhysicalPlan::HashJoin {
+                left: Box::new(l),
+                right: Box::new(r),
+                output_rows,
+            }
+        }
+        LogicalPlan::Aggregate { input, groups } => {
+            let child = best_plan(input, catalog, cm, opts)?;
+            let input_rows = input.cardinality(catalog)?;
+            PhysicalPlan::Aggregate {
+                input: Box::new(child),
+                input_rows,
+                groups: *groups,
+            }
+        }
+    })
+}
+
+fn seq_scan(
+    table: TableId,
+    catalog: &Catalog,
+    opts: &[&CloudOptimization],
+) -> Result<PhysicalPlan, CatalogError> {
+    let t = catalog.table(table)?;
+    Ok(PhysicalPlan::SeqScan {
+        table,
+        bytes: t.bytes(),
+        rows: t.rows as f64,
+        throughput_factor: replica_factor(table, opts),
+    })
+}
+
+/// Runtime of the best plan for `query` under `opts`.
+pub fn runtime(
+    query: &LogicalPlan,
+    catalog: &Catalog,
+    cm: &CostModel,
+    opts: &[&CloudOptimization],
+) -> Result<Duration, CatalogError> {
+    Ok(best_plan(query, catalog, cm, opts)?.runtime(cm))
+}
+
+/// The time saved by adding `opt` to an empty physical design
+/// (optimizations are valued one at a time; §7.2 treats them as
+/// additive because they accelerate different queries).
+pub fn saving(
+    query: &LogicalPlan,
+    catalog: &Catalog,
+    cm: &CostModel,
+    opt: &CloudOptimization,
+) -> Result<Duration, CatalogError> {
+    let without = runtime(query, catalog, cm, &[])?;
+    let with = runtime(query, catalog, cm, &[opt])?;
+    Ok(without.saturating_sub(with))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::table;
+
+    fn setup() -> (Catalog, TableId) {
+        let mut c = Catalog::new();
+        let t = c.add_table(table(
+            "particles",
+            1_000_000,
+            48,
+            &[("halo", 10_000), ("kind", 3)],
+        ));
+        (c, t)
+    }
+
+    #[test]
+    fn index_beats_scan_for_selective_filters() {
+        let (c, t) = setup();
+        let cm = CostModel::default();
+        let q = LogicalPlan::scan(t).eq_filter(&c, t, 0).unwrap(); // 100 rows
+        let idx = CloudOptimization::new(
+            "idx",
+            OptimizationKind::BTreeIndex { table: t, column: 0 },
+        );
+        let plan = best_plan(&q, &c, &cm, &[&idx]).unwrap();
+        assert!(matches!(plan, PhysicalPlan::IndexScan { .. }), "{plan:?}");
+        assert!(saving(&q, &c, &cm, &idx).unwrap() > Duration::ZERO);
+    }
+
+    #[test]
+    fn scan_beats_index_for_unselective_filters() {
+        let (c, t) = setup();
+        let cm = CostModel::default();
+        // kind has 3 distinct values → 333k matches; 333k random I/Os
+        // would take ~28 min vs a 0.5 s scan.
+        let q = LogicalPlan::scan(t).eq_filter(&c, t, 1).unwrap();
+        let idx = CloudOptimization::new(
+            "idx",
+            OptimizationKind::BTreeIndex { table: t, column: 1 },
+        );
+        let plan = best_plan(&q, &c, &cm, &[&idx]).unwrap();
+        assert!(matches!(plan, PhysicalPlan::Filter { .. }), "{plan:?}");
+        assert_eq!(saving(&q, &c, &cm, &idx).unwrap(), Duration::ZERO);
+    }
+
+    #[test]
+    fn materialized_view_short_circuits_the_whole_query() {
+        let (c, t) = setup();
+        let cm = CostModel::default();
+        let q = LogicalPlan::scan(t)
+            .eq_filter(&c, t, 0)
+            .unwrap()
+            .aggregate(10);
+        let mv = CloudOptimization::new(
+            "mv",
+            OptimizationKind::MaterializedView {
+                definition: q.clone(),
+            },
+        );
+        let plan = best_plan(&q, &c, &cm, &[&mv]).unwrap();
+        assert!(matches!(plan, PhysicalPlan::MvScan { .. }), "{plan:?}");
+        // A different query does not match the view.
+        let other = LogicalPlan::scan(t).eq_filter(&c, t, 1).unwrap();
+        let plan = best_plan(&other, &c, &cm, &[&mv]).unwrap();
+        assert!(!matches!(plan, PhysicalPlan::MvScan { .. }));
+    }
+
+    #[test]
+    fn replica_scales_scan_time() {
+        let (c, t) = setup();
+        let cm = CostModel::default();
+        let q = LogicalPlan::scan(t);
+        let rep = CloudOptimization::new(
+            "rep",
+            OptimizationKind::Replica {
+                table: t,
+                throughput_factor: 2.0,
+            },
+        );
+        let base = runtime(&q, &c, &cm, &[]).unwrap();
+        let fast = runtime(&q, &c, &cm, &[&rep]).unwrap();
+        assert!(fast < base);
+        // I/O halves; CPU unchanged.
+        let expected = cm.seq_read(48_000_000).div_f64(2.0) + cm.cpu(1_000_000.0);
+        assert_eq!(fast, expected);
+    }
+
+    #[test]
+    fn partition_prunes_bytes() {
+        let (c, t) = setup();
+        let cm = CostModel::default();
+        let q = LogicalPlan::scan(t).eq_filter(&c, t, 1).unwrap(); // sel 1/3
+        let part = CloudOptimization::new(
+            "part",
+            OptimizationKind::Partition { table: t, column: 1 },
+        );
+        let plan = best_plan(&q, &c, &cm, &[&part]).unwrap();
+        match plan {
+            PhysicalPlan::PrunedScan { bytes, .. } => assert_eq!(bytes, 16_000_000),
+            other => panic!("expected pruned scan, got {other:?}"),
+        }
+        assert!(saving(&q, &c, &cm, &part).unwrap() > Duration::ZERO);
+    }
+
+    #[test]
+    fn covering_projection_narrows_the_scan() {
+        let (c, t) = setup();
+        let cm = CostModel::default();
+        // Unselective filter (1/3 of rows): indexes lose, but scanning
+        // a 12-byte projection instead of 48-byte rows wins 4× the I/O.
+        let q = LogicalPlan::scan(t).eq_filter(&c, t, 1).unwrap();
+        let proj = CloudOptimization::new(
+            "pairs",
+            OptimizationKind::CoveringProjection {
+                table: t,
+                column: 1,
+                row_bytes: 12,
+            },
+        );
+        let plan = best_plan(&q, &c, &cm, &[&proj]).unwrap();
+        match &plan {
+            PhysicalPlan::Filter { input, .. } => {
+                assert!(matches!(**input, PhysicalPlan::MvScan { bytes: 12_000_000, .. }));
+            }
+            other => panic!("expected filter over projection, got {other:?}"),
+        }
+        let saved = saving(&q, &c, &cm, &proj).unwrap();
+        // 36 MB less I/O at 100 MB/s = 0.36 s.
+        assert_eq!(saved, Duration::from_millis(360));
+    }
+
+    #[test]
+    fn join_plans_compose() {
+        let (mut c, t) = setup();
+        let halos = c.add_table(table("halos", 10_000, 64, &[("mass", 4)]));
+        let cm = CostModel::default();
+        let q = LogicalPlan::scan(t).join(LogicalPlan::scan(halos), 1e-4);
+        let plan = best_plan(&q, &c, &cm, &[]).unwrap();
+        assert!(matches!(plan, PhysicalPlan::HashJoin { .. }));
+        assert!(plan.runtime(&cm) > Duration::ZERO);
+    }
+
+    #[test]
+    fn more_optimizations_never_slow_a_query_down() {
+        let (c, t) = setup();
+        let cm = CostModel::default();
+        let q = LogicalPlan::scan(t).eq_filter(&c, t, 0).unwrap();
+        let idx = CloudOptimization::new(
+            "idx",
+            OptimizationKind::BTreeIndex { table: t, column: 0 },
+        );
+        let rep = CloudOptimization::new(
+            "rep",
+            OptimizationKind::Replica {
+                table: t,
+                throughput_factor: 3.0,
+            },
+        );
+        let base = runtime(&q, &c, &cm, &[]).unwrap();
+        let one = runtime(&q, &c, &cm, &[&idx]).unwrap();
+        let both = runtime(&q, &c, &cm, &[&idx, &rep]).unwrap();
+        assert!(one <= base);
+        assert!(both <= one);
+    }
+}

@@ -1,0 +1,208 @@
+//! Logical query plans.
+//!
+//! Queries are small relational expression trees — enough to model the
+//! §2 astronomy workload (selective scans over snapshots, particle ⋈
+//! halo joins, per-halo aggregation) and the pricing examples, without
+//! pretending to be a SQL engine.
+
+use serde::{Deserialize, Serialize};
+
+use crate::catalog::{Catalog, CatalogError, TableId};
+
+/// A logical relational expression.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LogicalPlan {
+    /// Read a full table.
+    Scan {
+        /// The table.
+        table: TableId,
+    },
+    /// Keep rows where `column` matches; `selectivity` is the retained
+    /// fraction (estimated as `1/distinct` for equality predicates).
+    Filter {
+        /// Input expression.
+        input: Box<LogicalPlan>,
+        /// Table the predicate column belongs to (for index matching).
+        table: TableId,
+        /// Column position of the predicate.
+        column: usize,
+        /// Fraction of input rows retained, in `(0, 1]`.
+        selectivity: f64,
+    },
+    /// Join two inputs; output cardinality is
+    /// `|left| · |right| · selectivity`.
+    Join {
+        /// Left input.
+        left: Box<LogicalPlan>,
+        /// Right input.
+        right: Box<LogicalPlan>,
+        /// Join selectivity.
+        selectivity: f64,
+    },
+    /// Group the input into `groups` output rows.
+    Aggregate {
+        /// Input expression.
+        input: Box<LogicalPlan>,
+        /// Number of output groups.
+        groups: u64,
+    },
+}
+
+impl LogicalPlan {
+    /// A full-table scan.
+    #[must_use]
+    pub fn scan(table: TableId) -> Self {
+        LogicalPlan::Scan { table }
+    }
+
+    /// An equality filter on `column` of `table` (must be the table
+    /// this branch scans), with selectivity `1/distinct`.
+    pub fn eq_filter(
+        self,
+        catalog: &Catalog,
+        table: TableId,
+        column: usize,
+    ) -> Result<Self, CatalogError> {
+        let distinct = catalog.column(table, column)?.distinct.max(1);
+        Ok(LogicalPlan::Filter {
+            input: Box::new(self),
+            table,
+            column,
+            selectivity: 1.0 / distinct as f64,
+        })
+    }
+
+    /// A join with the given selectivity.
+    #[must_use]
+    pub fn join(self, right: LogicalPlan, selectivity: f64) -> Self {
+        LogicalPlan::Join {
+            left: Box::new(self),
+            right: Box::new(right),
+            selectivity,
+        }
+    }
+
+    /// An aggregation to `groups` rows.
+    #[must_use]
+    pub fn aggregate(self, groups: u64) -> Self {
+        LogicalPlan::Aggregate {
+            input: Box::new(self),
+            groups,
+        }
+    }
+
+    /// Estimated output cardinality.
+    pub fn cardinality(&self, catalog: &Catalog) -> Result<f64, CatalogError> {
+        Ok(match self {
+            LogicalPlan::Scan { table } => catalog.table(*table)?.rows as f64,
+            LogicalPlan::Filter {
+                input, selectivity, ..
+            } => input.cardinality(catalog)? * selectivity,
+            LogicalPlan::Join {
+                left,
+                right,
+                selectivity,
+            } => left.cardinality(catalog)? * right.cardinality(catalog)? * selectivity,
+            LogicalPlan::Aggregate { groups, .. } => *groups as f64,
+        })
+    }
+
+    /// Estimated output row width in bytes.
+    pub fn row_bytes(&self, catalog: &Catalog) -> Result<u32, CatalogError> {
+        Ok(match self {
+            LogicalPlan::Scan { table } => catalog.table(*table)?.row_bytes,
+            LogicalPlan::Filter { input, .. } | LogicalPlan::Aggregate { input, .. } => {
+                input.row_bytes(catalog)?
+            }
+            LogicalPlan::Join { left, right, .. } => {
+                left.row_bytes(catalog)? + right.row_bytes(catalog)?
+            }
+        })
+    }
+
+    /// All tables the plan reads.
+    #[must_use]
+    pub fn tables(&self) -> Vec<TableId> {
+        let mut out = Vec::new();
+        self.collect_tables(&mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn collect_tables(&self, out: &mut Vec<TableId>) {
+        match self {
+            LogicalPlan::Scan { table } => out.push(*table),
+            LogicalPlan::Filter { input, .. } | LogicalPlan::Aggregate { input, .. } => {
+                input.collect_tables(out);
+            }
+            LogicalPlan::Join { left, right, .. } => {
+                left.collect_tables(out);
+                right.collect_tables(out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{table, Catalog};
+
+    fn setup() -> (Catalog, TableId, TableId) {
+        let mut c = Catalog::new();
+        let particles = c.add_table(table(
+            "particles",
+            1_000_000,
+            48,
+            &[("halo_id", 1_000), ("kind", 3)],
+        ));
+        let halos = c.add_table(table("halos", 1_000, 64, &[("mass_bin", 4)]));
+        (c, particles, halos)
+    }
+
+    #[test]
+    fn cardinality_composes() {
+        let (c, particles, halos) = setup();
+        let plan = LogicalPlan::scan(particles)
+            .eq_filter(&c, particles, 0)
+            .unwrap();
+        assert!((plan.cardinality(&c).unwrap() - 1_000.0).abs() < 1e-9);
+
+        let join = plan.join(LogicalPlan::scan(halos), 1.0 / 1_000.0);
+        assert!((join.cardinality(&c).unwrap() - 1_000.0).abs() < 1e-6);
+
+        let agg = join.aggregate(10);
+        assert!((agg.cardinality(&c).unwrap() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn row_bytes_add_across_joins() {
+        let (c, particles, halos) = setup();
+        let join = LogicalPlan::scan(particles).join(LogicalPlan::scan(halos), 0.001);
+        assert_eq!(join.row_bytes(&c).unwrap(), 48 + 64);
+    }
+
+    #[test]
+    fn tables_are_collected_once() {
+        let (_, particles, halos) = setup();
+        let plan = LogicalPlan::scan(particles)
+            .join(LogicalPlan::scan(halos), 0.1)
+            .join(LogicalPlan::scan(particles), 0.1);
+        assert_eq!(plan.tables(), vec![particles, halos]);
+    }
+
+    #[test]
+    fn filter_selectivity_uses_distinct_count() {
+        let (c, particles, _) = setup();
+        let plan = LogicalPlan::scan(particles)
+            .eq_filter(&c, particles, 1)
+            .unwrap();
+        match plan {
+            LogicalPlan::Filter { selectivity, .. } => {
+                assert!((selectivity - 1.0 / 3.0).abs() < 1e-12);
+            }
+            _ => panic!("expected filter"),
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! Deriving the mechanism inputs `v_ij(t)` from query workloads.
+//!
+//! This is the glue between the simulator and the mechanisms: each
+//! user's workload (queries, executions per slot, service interval) is
+//! costed with and without each candidate optimization, and the dollar
+//! savings become her per-slot values for that optimization.
+
+use serde::{Deserialize, Serialize};
+
+use osp_econ::schedule::SlotSeries;
+use osp_econ::{Money, OptId, SlotId, UserId, ValueSchedule};
+
+use crate::catalog::{Catalog, CatalogError};
+use crate::cost::CostModel;
+use crate::optimization::CloudOptimization;
+use crate::planner;
+use crate::pricing::PricePlan;
+use crate::query::LogicalPlan;
+
+/// A user's query workload over a service interval.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UserWorkload {
+    /// The user.
+    pub user: UserId,
+    /// The queries one workload execution runs.
+    pub queries: Vec<LogicalPlan>,
+    /// First slot of the service interval.
+    pub start: SlotId,
+    /// Last slot of the service interval.
+    pub end: SlotId,
+    /// Workload executions per slot.
+    pub executions_per_slot: u32,
+}
+
+impl UserWorkload {
+    /// Runtime of one workload execution with the given optimizations.
+    pub fn runtime(
+        &self,
+        catalog: &Catalog,
+        cm: &CostModel,
+        opts: &[&CloudOptimization],
+    ) -> Result<std::time::Duration, CatalogError> {
+        let mut total = std::time::Duration::ZERO;
+        for q in &self.queries {
+            total += planner::runtime(q, catalog, cm, opts)?;
+        }
+        Ok(total)
+    }
+
+    /// Dollar value of optimization `opt` per slot: executions ×
+    /// per-execution saving.
+    pub fn slot_value_of(
+        &self,
+        catalog: &Catalog,
+        cm: &CostModel,
+        price: &PricePlan,
+        opt: &CloudOptimization,
+    ) -> Result<Money, CatalogError> {
+        let mut saved = std::time::Duration::ZERO;
+        for q in &self.queries {
+            saved += planner::saving(q, catalog, cm, opt)?;
+        }
+        Ok(price.value_of_saving(saved) * self.executions_per_slot as usize)
+    }
+}
+
+/// Derives the full value schedule: for every user, optimization and
+/// slot in the user's interval, the money the optimization would save
+/// her (§7.2 treats optimizations as additive because they accelerate
+/// different queries).
+pub fn derive_schedule(
+    workloads: &[UserWorkload],
+    catalog: &Catalog,
+    cm: &CostModel,
+    price: &PricePlan,
+    opts: &[CloudOptimization],
+    horizon: u32,
+) -> Result<ValueSchedule, CatalogError> {
+    let mut schedule = ValueSchedule::new(horizon);
+    for w in workloads {
+        for (idx, opt) in opts.iter().enumerate() {
+            let per_slot = w.slot_value_of(catalog, cm, price, opt)?;
+            if per_slot.is_zero() {
+                continue;
+            }
+            let series = SlotSeries::constant(w.start, w.end, per_slot)
+                .expect("workload intervals are non-empty");
+            schedule
+                .set(w.user, OptId(u32::try_from(idx).unwrap()), series)
+                .expect("workload interval within horizon");
+        }
+    }
+    Ok(schedule)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::table;
+    use crate::optimization::OptimizationKind;
+
+    fn setup() -> (Catalog, Vec<CloudOptimization>, Vec<UserWorkload>) {
+        let mut c = Catalog::new();
+        let t = c.add_table(table(
+            "particles",
+            2_000_000,
+            48,
+            &[("halo", 20_000), ("kind", 3)],
+        ));
+        let q = LogicalPlan::scan(t).eq_filter(&c, t, 0).unwrap();
+        let opts = vec![
+            CloudOptimization::new(
+                "idx-halo",
+                OptimizationKind::BTreeIndex { table: t, column: 0 },
+            ),
+            CloudOptimization::new(
+                "idx-kind",
+                OptimizationKind::BTreeIndex { table: t, column: 1 },
+            ),
+        ];
+        let workloads = vec![
+            UserWorkload {
+                user: UserId(0),
+                queries: vec![q.clone(), q.clone()],
+                start: SlotId(1),
+                end: SlotId(3),
+                executions_per_slot: 10,
+            },
+            UserWorkload {
+                user: UserId(1),
+                queries: vec![q],
+                start: SlotId(2),
+                end: SlotId(4),
+                executions_per_slot: 5,
+            },
+        ];
+        (c, opts, workloads)
+    }
+
+    #[test]
+    fn useful_optimization_yields_positive_values() {
+        let (c, opts, ws) = setup();
+        let cm = CostModel::default();
+        let price = PricePlan::paper_ec2();
+        let v = ws[0]
+            .slot_value_of(&c, &cm, &price, &opts[0])
+            .unwrap();
+        assert!(v.is_positive());
+        // Twice the queries and twice the executions ⇒ 4× the value.
+        let v1 = ws[1]
+            .slot_value_of(&c, &cm, &price, &opts[0])
+            .unwrap();
+        assert_eq!(v, v1 * 4);
+    }
+
+    #[test]
+    fn useless_optimization_yields_zero() {
+        let (c, opts, ws) = setup();
+        let cm = CostModel::default();
+        let price = PricePlan::paper_ec2();
+        // idx-kind never helps (unselective) — no value.
+        let v = ws[0].slot_value_of(&c, &cm, &price, &opts[1]).unwrap();
+        assert!(v.is_zero());
+    }
+
+    #[test]
+    fn schedule_covers_intervals_and_skips_zeros() {
+        let (c, opts, ws) = setup();
+        let cm = CostModel::default();
+        let price = PricePlan::paper_ec2();
+        let sched = derive_schedule(&ws, &c, &cm, &price, &opts, 4).unwrap();
+        // Only opt0 appears.
+        assert_eq!(sched.opts(), vec![OptId(0)]);
+        // u0 has values in slots 1..3, not 4.
+        assert!(sched.value(UserId(0), OptId(0), SlotId(1)).is_positive());
+        assert!(sched.value(UserId(0), OptId(0), SlotId(4)).is_zero());
+        // u1 in 2..4.
+        assert!(sched.value(UserId(1), OptId(0), SlotId(4)).is_positive());
+        assert!(sched.value(UserId(1), OptId(0), SlotId(1)).is_zero());
+    }
+
+    #[test]
+    fn workload_runtime_decreases_with_optimizations() {
+        let (c, opts, ws) = setup();
+        let cm = CostModel::default();
+        let base = ws[0].runtime(&c, &cm, &[]).unwrap();
+        let fast = ws[0].runtime(&c, &cm, &[&opts[0]]).unwrap();
+        assert!(fast < base);
+    }
+}

@@ -1,0 +1,181 @@
+//! Synthetic query-workload generation.
+//!
+//! Experiments and examples need *populations* of analysts with
+//! realistic, varied workloads over a shared catalog. The generator
+//! draws seeded random scan/filter/join/aggregate queries and bundles
+//! them into per-user [`UserWorkload`]s, which
+//! [`crate::value::derive_schedule`] then turns into mechanism inputs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use osp_econ::{SlotId, UserId};
+
+use crate::catalog::{Catalog, TableId};
+use crate::query::LogicalPlan;
+use crate::value::UserWorkload;
+
+/// Workload-population parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// Number of users.
+    pub num_users: u32,
+    /// Queries per workload, drawn uniformly from this inclusive range.
+    pub queries_per_user: (u32, u32),
+    /// Service horizon in slots; each user gets a random sub-interval.
+    pub horizon: u32,
+    /// Workload executions per slot, drawn uniformly from this range.
+    pub executions_per_slot: (u32, u32),
+    /// Probability a query joins a second table.
+    pub join_probability: f64,
+    /// Probability a query aggregates at the top.
+    pub aggregate_probability: f64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            seed: 42,
+            num_users: 6,
+            queries_per_user: (2, 5),
+            horizon: 12,
+            executions_per_slot: (5, 40),
+            join_probability: 0.3,
+            aggregate_probability: 0.4,
+        }
+    }
+}
+
+/// Draws one random query over the catalog: a filtered scan, possibly
+/// joined to a second table, possibly aggregated.
+fn random_query(catalog: &Catalog, tables: &[TableId], rng: &mut StdRng, cfg: &WorkloadConfig) -> LogicalPlan {
+    let pick_filtered_scan = |rng: &mut StdRng| {
+        let table = tables[rng.gen_range(0..tables.len())];
+        let t = catalog.table(table).expect("table exists");
+        if t.columns.is_empty() {
+            return LogicalPlan::scan(table);
+        }
+        let column = rng.gen_range(0..t.columns.len());
+        LogicalPlan::scan(table)
+            .eq_filter(catalog, table, column)
+            .expect("column exists")
+    };
+    let mut plan = pick_filtered_scan(rng);
+    if rng.gen_bool(cfg.join_probability) && tables.len() > 1 {
+        let right = pick_filtered_scan(rng);
+        // Join selectivity tuned so outputs stay small relative to the
+        // inputs (FK-style joins).
+        plan = plan.join(right, 1e-6);
+    }
+    if rng.gen_bool(cfg.aggregate_probability) {
+        let groups = rng.gen_range(10..1000);
+        plan = plan.aggregate(groups);
+    }
+    plan
+}
+
+/// Generates the user population.
+#[must_use]
+pub fn generate(catalog: &Catalog, cfg: &WorkloadConfig) -> Vec<UserWorkload> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let tables: Vec<TableId> = catalog.tables().map(|(id, _)| id).collect();
+    assert!(!tables.is_empty(), "catalog must have at least one table");
+
+    (0..cfg.num_users)
+        .map(|u| {
+            let n_queries = rng.gen_range(cfg.queries_per_user.0..=cfg.queries_per_user.1);
+            let queries = (0..n_queries)
+                .map(|_| random_query(catalog, &tables, &mut rng, cfg))
+                .collect();
+            let start = rng.gen_range(1..=cfg.horizon);
+            let end = rng.gen_range(start..=cfg.horizon);
+            UserWorkload {
+                user: UserId(u),
+                queries,
+                start: SlotId(start),
+                end: SlotId(end),
+                executions_per_slot: rng
+                    .gen_range(cfg.executions_per_slot.0..=cfg.executions_per_slot.1),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::table;
+    use crate::cost::CostModel;
+
+    fn setup() -> Catalog {
+        let mut c = Catalog::new();
+        c.add_table(table(
+            "events",
+            50_000_000,
+            64,
+            &[("tenant", 100_000), ("kind", 5)],
+        ));
+        c.add_table(table("tenants", 100_000, 128, &[("region", 20)]));
+        c
+    }
+
+    #[test]
+    fn generates_the_requested_population() {
+        let catalog = setup();
+        let cfg = WorkloadConfig::default();
+        let ws = generate(&catalog, &cfg);
+        assert_eq!(ws.len(), 6);
+        for w in &ws {
+            assert!((2..=5).contains(&(w.queries.len() as u32)));
+            assert!(w.start <= w.end);
+            assert!(w.end.index() <= 12);
+            assert!((5..=40).contains(&w.executions_per_slot));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let catalog = setup();
+        let cfg = WorkloadConfig::default();
+        assert_eq!(generate(&catalog, &cfg), generate(&catalog, &cfg));
+        let other = generate(
+            &catalog,
+            &WorkloadConfig {
+                seed: 43,
+                ..cfg
+            },
+        );
+        assert_ne!(generate(&catalog, &cfg), other);
+    }
+
+    #[test]
+    fn generated_queries_are_costable() {
+        let catalog = setup();
+        let cm = CostModel::default();
+        let ws = generate(&catalog, &WorkloadConfig::default());
+        for w in &ws {
+            let runtime = w.runtime(&catalog, &cm, &[]).unwrap();
+            assert!(runtime > std::time::Duration::ZERO);
+        }
+    }
+
+    #[test]
+    fn join_probability_zero_means_no_joins() {
+        let catalog = setup();
+        let ws = generate(
+            &catalog,
+            &WorkloadConfig {
+                join_probability: 0.0,
+                ..WorkloadConfig::default()
+            },
+        );
+        for w in &ws {
+            for q in &w.queries {
+                assert!(!format!("{q:?}").contains("Join"));
+            }
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! The AddOff Mechanism (§4.2): offline, additive optimizations.
+//!
+//! Additive optimizations are independent, so AddOff simply runs the
+//! Shapley Value Mechanism once per optimization, grants access to each
+//! optimization's serviced set, and charges each user the sum of her
+//! per-optimization shares. Truthfulness and cost recovery are
+//! inherited from Mechanism 1.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use serde::{Deserialize, Serialize};
+
+use osp_econ::{Ledger, Money, OptId, UserId};
+
+use crate::game::AdditiveOfflineGame;
+use crate::shapley::{self, ShapleyBid};
+
+/// Outcome of an offline game: the chosen alternative `a` (implemented
+/// optimizations + grant pairs) and the payments.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OfflineOutcome {
+    /// Implemented optimizations with their per-user cost share.
+    pub implemented: BTreeMap<OptId, Money>,
+    /// Grant pairs `(i, j)` — user `i` may use optimization `j`.
+    pub grants: BTreeSet<(UserId, OptId)>,
+    /// `p_ij` for every grant. Serialized as a flat triple list (JSON
+    /// maps need string keys).
+    #[serde(with = "payments_as_list")]
+    pub payments: BTreeMap<(UserId, OptId), Money>,
+}
+
+mod payments_as_list {
+    use super::*;
+    use serde::{Deserializer, Serializer};
+
+    pub(super) fn serialize<S: Serializer>(
+        payments: &BTreeMap<(UserId, OptId), Money>,
+        serializer: S,
+    ) -> Result<S::Ok, S::Error> {
+        let flat: Vec<(&UserId, &OptId, &Money)> =
+            payments.iter().map(|((u, j), p)| (u, j, p)).collect();
+        flat.serialize(serializer)
+    }
+
+    pub(super) fn deserialize<'de, D: Deserializer<'de>>(
+        deserializer: D,
+    ) -> Result<BTreeMap<(UserId, OptId), Money>, D::Error> {
+        let flat = Vec::<(UserId, OptId, Money)>::deserialize(deserializer)?;
+        Ok(flat.into_iter().map(|(u, j, p)| ((u, j), p)).collect())
+    }
+}
+
+impl OfflineOutcome {
+    /// `P_i = Σ_j p_ij`.
+    #[must_use]
+    pub fn total_paid_by(&self, user: UserId) -> Money {
+        self.payments
+            .iter()
+            .filter(|(&(u, _), _)| u == user)
+            .map(|(_, &p)| p)
+            .sum()
+    }
+
+    /// `true` iff `(user, opt)` is a grant pair of the outcome.
+    #[must_use]
+    pub fn is_granted(&self, user: UserId, opt: OptId) -> bool {
+        self.grants.contains(&(user, opt))
+    }
+
+    /// The set of optimizations granted to `user`.
+    #[must_use]
+    pub fn granted_to(&self, user: UserId) -> BTreeSet<OptId> {
+        self.grants
+            .iter()
+            .filter(|&&(u, _)| u == user)
+            .map(|&(_, j)| j)
+            .collect()
+    }
+
+    /// Converts to a [`Ledger`] for shared accounting, given the game's
+    /// cost function.
+    #[must_use]
+    pub fn to_ledger(&self, cost_of: impl Fn(OptId) -> Money) -> Ledger {
+        let mut ledger = Ledger::new();
+        for &j in self.implemented.keys() {
+            ledger.record_cost(j, cost_of(j));
+        }
+        for (&(u, j), &p) in &self.payments {
+            ledger.record_payment(u, j, p);
+        }
+        ledger
+    }
+}
+
+/// Runs AddOff on an offline additive game.
+#[must_use]
+pub fn run(game: &AdditiveOfflineGame) -> OfflineOutcome {
+    let mut outcome = OfflineOutcome {
+        implemented: BTreeMap::new(),
+        grants: BTreeSet::new(),
+        payments: BTreeMap::new(),
+    };
+    for j in (0..game.num_opts()).map(OptId) {
+        let bids: BTreeMap<UserId, ShapleyBid> = game
+            .bids_on(j)
+            .map(|(u, b)| (u, ShapleyBid::Value(b)))
+            .collect();
+        if bids.is_empty() {
+            continue;
+        }
+        let result = shapley::run(game.cost(j), &bids);
+        if result.is_implemented() {
+            outcome.implemented.insert(j, result.share);
+            for &u in &result.serviced {
+                outcome.grants.insert((u, j));
+                outcome.payments.insert((u, j), result.share);
+            }
+        }
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(d: i64) -> Money {
+        Money::from_dollars(d)
+    }
+
+    fn build(costs: &[i64], bids: &[(u32, u32, i64)]) -> AdditiveOfflineGame {
+        let mut g =
+            AdditiveOfflineGame::new(costs.iter().map(|&c| m(c)).collect()).unwrap();
+        for &(u, j, b) in bids {
+            g.bid(UserId(u), OptId(j), m(b)).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn independent_optimizations() {
+        // opt0 (cost 100): u0, u1 afford 50 each; opt1 (cost 90): only
+        // u2 bids enough alone.
+        let g = build(
+            &[100, 90],
+            &[(0, 0, 60), (1, 0, 55), (2, 1, 95), (0, 1, 10)],
+        );
+        let out = run(&g);
+        assert_eq!(out.implemented[&OptId(0)], m(50));
+        assert_eq!(out.implemented[&OptId(1)], m(90));
+        assert!(out.is_granted(UserId(0), OptId(0)));
+        assert!(out.is_granted(UserId(1), OptId(0)));
+        assert!(out.is_granted(UserId(2), OptId(1)));
+        assert!(!out.is_granted(UserId(0), OptId(1)));
+        assert_eq!(out.total_paid_by(UserId(0)), m(50));
+        assert_eq!(out.granted_to(UserId(0)), [OptId(0)].into());
+    }
+
+    #[test]
+    fn unaffordable_optimization_is_skipped() {
+        let g = build(&[100], &[(0, 0, 30), (1, 0, 30), (2, 0, 30)]);
+        let out = run(&g);
+        assert!(out.implemented.is_empty());
+        assert!(out.grants.is_empty());
+        assert!(out.payments.is_empty());
+    }
+
+    #[test]
+    fn several_users_jointly_afford_what_none_can_alone() {
+        // The motivating §1 scenario: an expensive optimization no
+        // single user can pay for is implemented by cost sharing.
+        let g = build(&[100], &[(0, 0, 40), (1, 0, 40), (2, 0, 40)]);
+        let out = run(&g);
+        let share = out.implemented[&OptId(0)];
+        assert_eq!(share * 3, m(100));
+        assert!(share < m(40));
+    }
+
+    #[test]
+    fn ledger_round_trip_recovers_costs() {
+        let g = build(&[100, 90], &[(0, 0, 60), (1, 0, 55), (2, 1, 95)]);
+        let out = run(&g);
+        let ledger = out.to_ledger(|j| g.cost(j));
+        assert_eq!(ledger.total_cost(), m(190));
+        assert_eq!(ledger.total_payments(), m(190));
+        assert!(ledger.is_cost_recovering());
+    }
+
+    #[test]
+    fn empty_game_produces_empty_outcome() {
+        let g = AdditiveOfflineGame::new(vec![m(5)]).unwrap();
+        let out = run(&g);
+        assert!(out.implemented.is_empty());
+    }
+}

@@ -1,0 +1,674 @@
+//! The AddOn Mechanism (§5, Mechanism 2): online, additive
+//! optimizations.
+//!
+//! Users come and go across slots `1..=z`. At every slot the mechanism
+//! re-runs the Shapley Value Mechanism over **residual bids**
+//! `b'_ij = Σ_{τ≥t} b_ij(τ)`, with every previously-serviced user forced
+//! in (`b'_ij = ∞`, modeled as [`ShapleyBid::Committed`]). The serviced
+//! set therefore only grows — it is the *cumulative* set `CS_j(t)` —
+//! and the per-user share `C_j/|CS_j(t)|` only falls. A user pays when
+//! her bid expires (`e_i = t`), at the lowest share computed so far.
+//!
+//! [`AddOnState`] exposes the interactive protocol of §5.1 — bids arrive
+//! at their start slot, future bids may be revised upward, retroactive
+//! bids are rejected — and [`run`] drives it end-to-end for batch
+//! experiments.
+//!
+//! ```
+//! use osp_core::prelude::*;
+//!
+//! // Paper Example 3: a $100 optimization over three slots.
+//! let bid = |u, start, values: &[i64]| {
+//!     OnlineBid::new(
+//!         UserId(u),
+//!         SlotSeries::new(
+//!             SlotId(start),
+//!             values.iter().map(|&v| Money::from_dollars(v)).collect(),
+//!         )
+//!         .unwrap(),
+//!     )
+//! };
+//! let game = AddOnGame::new(
+//!     3,
+//!     Money::from_dollars(100),
+//!     vec![
+//!         bid(1, 1, &[101]),
+//!         bid(2, 1, &[16, 16, 16]),
+//!         bid(3, 2, &[26]),
+//!         bid(4, 2, &[26]),
+//!     ],
+//! )?;
+//! let outcome = addon::run(&game)?;
+//! // User 1 carried the cost alone at t=1; later joiners cut the share
+//! // to $25, which is what everyone leaving later pays.
+//! assert_eq!(outcome.payments[&UserId(1)], Money::from_dollars(100));
+//! assert_eq!(outcome.payments[&UserId(2)], Money::from_dollars(25));
+//! # Ok::<(), osp_core::MechanismError>(())
+//! ```
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use serde::{Deserialize, Serialize};
+
+use osp_econ::schedule::SlotSeries;
+use osp_econ::{Ledger, Money, OptId, SlotId, UserId, ValueSchedule};
+
+use crate::error::{MechanismError, Result};
+use crate::game::{AddOnGame, OnlineBid};
+use crate::shapley::{self, ShapleyBid};
+
+/// What happened in one slot.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SlotReport {
+    /// The slot just processed.
+    pub slot: SlotId,
+    /// Users serviced in this slot (`S_j(t)`: cumulative members still
+    /// inside their service interval).
+    pub active: BTreeSet<UserId>,
+    /// Users entering the cumulative set this slot.
+    pub newly_serviced: BTreeSet<UserId>,
+    /// Current share `C_j/|CS_j(t)|` (None while unimplemented).
+    pub share: Option<Money>,
+    /// Payments charged to users whose bids expired this slot.
+    pub payments: Vec<(UserId, Money)>,
+}
+
+/// The AddOn mechanism as an interactive state machine.
+#[derive(Debug, Clone)]
+pub struct AddOnState {
+    cost: Money,
+    horizon: u32,
+    /// Next slot to process (1-based). `now > horizon` ⇒ finished.
+    now: u32,
+    bids: BTreeMap<UserId, SlotSeries>,
+    cumulative: BTreeSet<UserId>,
+    first_serviced: BTreeMap<UserId, SlotId>,
+    payments: BTreeMap<UserId, Money>,
+    implemented_at: Option<SlotId>,
+    share_by_slot: Vec<Option<Money>>,
+}
+
+impl AddOnState {
+    /// Starts a game for one optimization of cost `cost` over
+    /// `horizon` slots.
+    pub fn new(cost: Money, horizon: u32) -> Result<Self> {
+        if !cost.is_positive() {
+            return Err(MechanismError::NonPositiveCost {
+                opt: OptId(0),
+                cost,
+            });
+        }
+        Ok(AddOnState {
+            cost,
+            horizon,
+            now: 1,
+            bids: BTreeMap::new(),
+            cumulative: BTreeSet::new(),
+            first_serviced: BTreeMap::new(),
+            payments: BTreeMap::new(),
+            implemented_at: None,
+            share_by_slot: Vec::with_capacity(horizon as usize),
+        })
+    }
+
+    /// The slot about to be processed.
+    #[must_use]
+    pub fn now(&self) -> SlotId {
+        SlotId(self.now)
+    }
+
+    /// Accepts a new bid. §5.1: bids cannot be retroactive.
+    pub fn submit(&mut self, bid: OnlineBid) -> Result<()> {
+        if self.bids.contains_key(&bid.user) {
+            return Err(MechanismError::DuplicateUser { user: bid.user });
+        }
+        if bid.start().index() < self.now {
+            return Err(MechanismError::RetroactiveBid {
+                user: bid.user,
+                start: bid.start(),
+                now: self.now(),
+            });
+        }
+        if bid.end().index() > self.horizon {
+            return Err(MechanismError::BeyondHorizon {
+                user: bid.user,
+                end: bid.end(),
+                horizon: self.horizon,
+            });
+        }
+        self.bids.insert(bid.user, bid.series);
+        Ok(())
+    }
+
+    /// Revises a user's bid from slot `from` onward to `new_values`
+    /// (which may extend `e_i`; "e_i can only increase", §5.1).
+    ///
+    /// Only *future* slots (`from ≥ now`) may be revised, and only
+    /// *upward* — each new per-slot value must be at least the old one.
+    pub fn revise(&mut self, user: UserId, from: SlotId, new_values: Vec<Money>) -> Result<()> {
+        let old = self
+            .bids
+            .get(&user)
+            .ok_or(MechanismError::UnknownUser { user })?;
+        if from.index() < self.now {
+            return Err(MechanismError::RetroactiveBid {
+                user,
+                start: from,
+                now: self.now(),
+            });
+        }
+        let from_idx = from.index().max(old.start().index());
+        let new_end = from_idx + u32::try_from(new_values.len()).unwrap() - 1;
+        if new_values.is_empty() || new_end < old.end().index() {
+            // Shrinking the interval would lower future bids to zero.
+            return Err(MechanismError::DownwardRevision {
+                user,
+                slot: old.end(),
+                old: old.value_at(old.end()),
+                new: Money::ZERO,
+            });
+        }
+        if new_end > self.horizon {
+            return Err(MechanismError::BeyondHorizon {
+                user,
+                end: SlotId(new_end),
+                horizon: self.horizon,
+            });
+        }
+        // Assemble the replacement series: unchanged prefix, revised
+        // suffix; verify the upward constraint slot by slot.
+        let start = old.start();
+        let mut values = Vec::with_capacity((new_end - start.index() + 1) as usize);
+        for t in start.index()..from_idx {
+            values.push(old.value_at(SlotId(t)));
+        }
+        for (k, &v) in new_values.iter().enumerate() {
+            let slot = SlotId(from_idx + u32::try_from(k).unwrap());
+            let prev = old.value_at(slot);
+            if v < prev {
+                return Err(MechanismError::DownwardRevision {
+                    user,
+                    slot,
+                    old: prev,
+                    new: v,
+                });
+            }
+            values.push(v);
+        }
+        let series = SlotSeries::new(start, values)?;
+        self.bids.insert(user, series);
+        Ok(())
+    }
+
+    /// Processes the current slot: one Shapley run over residual bids,
+    /// cumulative-set update, and exit payments (Mechanism 2 lines
+    /// 2–19).
+    pub fn advance(&mut self) -> Result<SlotReport> {
+        if self.now > self.horizon {
+            return Err(MechanismError::HorizonExhausted {
+                horizon: self.horizon,
+            });
+        }
+        let t = SlotId(self.now);
+
+        // Lines 3–11: committed / residual / unseen bids.
+        let shapley_bids: BTreeMap<UserId, ShapleyBid> = self
+            .bids
+            .iter()
+            .map(|(&u, series)| {
+                let bid = if self.cumulative.contains(&u) {
+                    ShapleyBid::Committed
+                } else if series.start() <= t {
+                    ShapleyBid::Value(series.residual_from(t))
+                } else {
+                    ShapleyBid::Value(Money::ZERO)
+                };
+                (u, bid)
+            })
+            .collect();
+
+        // Line 13: update the cumulative serviced set.
+        let result = shapley::run(self.cost, &shapley_bids);
+        let newly_serviced: BTreeSet<UserId> = result
+            .serviced
+            .difference(&self.cumulative)
+            .copied()
+            .collect();
+        for &u in &newly_serviced {
+            self.first_serviced.insert(u, t);
+        }
+        let share = result.is_implemented().then_some(result.share);
+        self.cumulative = result.serviced;
+
+        if share.is_some() && self.implemented_at.is_none() {
+            self.implemented_at = Some(t);
+        }
+        self.share_by_slot.push(share);
+
+        // Line 14: service the active members of the cumulative set.
+        let active: BTreeSet<UserId> = self
+            .cumulative
+            .iter()
+            .copied()
+            .filter(|u| self.bids[u].end() >= t)
+            .collect();
+
+        // Lines 15–19: users pay when their bid expires.
+        let mut payments = Vec::new();
+        for (&u, series) in &self.bids {
+            if series.end() == t && self.cumulative.contains(&u) {
+                let p = result.share;
+                self.payments.insert(u, p);
+                payments.push((u, p));
+            }
+        }
+
+        self.now += 1;
+        Ok(SlotReport {
+            slot: t,
+            active,
+            newly_serviced,
+            share,
+            payments,
+        })
+    }
+
+    /// Runs the remaining slots and returns the final outcome.
+    pub fn finish(mut self) -> Result<AddOnOutcome> {
+        while self.now <= self.horizon {
+            self.advance()?;
+        }
+        Ok(AddOnOutcome {
+            cost: self.cost,
+            horizon: self.horizon,
+            implemented_at: self.implemented_at,
+            first_serviced: self.first_serviced,
+            payments: self.payments,
+            share_by_slot: self.share_by_slot,
+        })
+    }
+}
+
+/// Final outcome of an AddOn game for one optimization.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AddOnOutcome {
+    /// The optimization's cost.
+    pub cost: Money,
+    /// Number of slots.
+    pub horizon: u32,
+    /// Slot at which the optimization was implemented, if ever.
+    pub implemented_at: Option<SlotId>,
+    /// For each ever-serviced user, the slot she entered `CS_j`.
+    pub first_serviced: BTreeMap<UserId, SlotId>,
+    /// Final payments `p_ij` (charged at each user's exit slot).
+    pub payments: BTreeMap<UserId, Money>,
+    /// The share `C_j/|CS_j(t)|` after each slot (index `t-1`).
+    pub share_by_slot: Vec<Option<Money>>,
+}
+
+impl AddOnOutcome {
+    /// `true` iff the optimization was implemented.
+    #[must_use]
+    pub fn is_implemented(&self) -> bool {
+        self.implemented_at.is_some()
+    }
+
+    /// Total collected from users.
+    #[must_use]
+    pub fn total_payments(&self) -> Money {
+        self.payments.values().copied().sum()
+    }
+
+    /// The value user `user` actually obtains given her **true** value
+    /// series: the suffix of her values from the slot she was first
+    /// serviced.
+    #[must_use]
+    pub fn realized_value(&self, user: UserId, truth: &SlotSeries) -> Money {
+        match self.first_serviced.get(&user) {
+            Some(&t0) => truth.residual_from(t0),
+            None => Money::ZERO,
+        }
+    }
+
+    /// User `user`'s utility `U_i = V_i − P_i` against her true values.
+    #[must_use]
+    pub fn utility(&self, user: UserId, truth: &SlotSeries) -> Money {
+        self.realized_value(user, truth)
+            - self.payments.get(&user).copied().unwrap_or(Money::ZERO)
+    }
+}
+
+/// Batch driver: reveals every bid at its start slot and advances
+/// through the horizon.
+pub fn run(game: &AddOnGame) -> Result<AddOnOutcome> {
+    let mut state = AddOnState::new(game.cost, game.horizon)?;
+    let mut by_start: BTreeMap<SlotId, Vec<&OnlineBid>> = BTreeMap::new();
+    for bid in &game.bids {
+        by_start.entry(bid.start()).or_default().push(bid);
+    }
+    for t in 1..=game.horizon {
+        if let Some(bids) = by_start.get(&SlotId(t)) {
+            for &bid in bids {
+                state.submit(bid.clone())?;
+            }
+        }
+        state.advance()?;
+    }
+    state.finish()
+}
+
+/// Outcome of running AddOn independently for several additive
+/// optimizations (§5 treats each optimization separately).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MultiAddOnOutcome {
+    /// Per-optimization outcomes.
+    pub per_opt: BTreeMap<OptId, AddOnOutcome>,
+}
+
+impl MultiAddOnOutcome {
+    /// Builds the shared [`Ledger`] (implemented costs + payments).
+    #[must_use]
+    pub fn to_ledger(&self) -> Ledger {
+        let mut ledger = Ledger::new();
+        for (&j, out) in &self.per_opt {
+            if out.is_implemented() {
+                ledger.record_cost(j, out.cost);
+            }
+            for (&u, &p) in &out.payments {
+                ledger.record_payment(u, j, p);
+            }
+        }
+        ledger
+    }
+
+    /// Realized value per user measured against a schedule of **true**
+    /// values.
+    #[must_use]
+    pub fn realized_values(&self, truth: &ValueSchedule) -> BTreeMap<UserId, Money> {
+        let mut realized: BTreeMap<UserId, Money> = BTreeMap::new();
+        for (&j, out) in &self.per_opt {
+            for (&u, &t0) in &out.first_serviced {
+                if let Some(series) = truth.series(u, j) {
+                    *realized.entry(u).or_insert(Money::ZERO) += series.residual_from(t0);
+                }
+            }
+        }
+        realized
+    }
+
+    /// Summary statistics against true values.
+    #[must_use]
+    pub fn stats(&self, truth: &ValueSchedule) -> osp_econ::Stats {
+        self.to_ledger().stats(&self.realized_values(truth))
+    }
+}
+
+/// Runs AddOn per optimization over a *bid* schedule (each `(i, j)`
+/// series becomes an online bid for optimization `j`).
+pub fn run_schedule(costs: &[Money], bids: &ValueSchedule) -> Result<MultiAddOnOutcome> {
+    let mut per_opt = BTreeMap::new();
+    for (idx, &cost) in costs.iter().enumerate() {
+        let j = OptId(u32::try_from(idx).unwrap());
+        let opt_bids: Vec<OnlineBid> = bids
+            .opt_entries(j)
+            .map(|(u, series)| OnlineBid::new(u, series.clone()))
+            .collect();
+        let game = AddOnGame::new(bids.horizon(), cost, opt_bids)?;
+        per_opt.insert(j, run(&game)?);
+    }
+    Ok(MultiAddOnOutcome { per_opt })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(d: i64) -> Money {
+        Money::from_dollars(d)
+    }
+
+    fn bid(u: u32, start: u32, values: &[i64]) -> OnlineBid {
+        OnlineBid::new(
+            UserId(u),
+            SlotSeries::new(SlotId(start), values.iter().map(|&v| m(v)).collect()).unwrap(),
+        )
+    }
+
+    #[test]
+    fn example_3_full_walkthrough() {
+        // Paper Example 3: C = 100; bids (1,1,[101]), (1,3,[16,16,16]),
+        // (2,2,[26]), (2,2,[26]). Expected: CS(1) = {u0};
+        // CS(2) = CS(3) = everyone; payments 100, 25, 25, 25.
+        let game = AddOnGame::new(
+            3,
+            m(100),
+            vec![
+                bid(0, 1, &[101]),
+                bid(1, 1, &[16, 16, 16]),
+                bid(2, 2, &[26]),
+                bid(3, 2, &[26]),
+            ],
+        )
+        .unwrap();
+        let out = run(&game).unwrap();
+
+        assert_eq!(out.implemented_at, Some(SlotId(1)));
+        assert_eq!(out.first_serviced[&UserId(0)], SlotId(1));
+        assert_eq!(out.first_serviced[&UserId(1)], SlotId(2));
+        assert_eq!(out.first_serviced[&UserId(2)], SlotId(2));
+        assert_eq!(out.first_serviced[&UserId(3)], SlotId(2));
+
+        assert_eq!(out.payments[&UserId(0)], m(100));
+        assert_eq!(out.payments[&UserId(1)], m(25));
+        assert_eq!(out.payments[&UserId(2)], m(25));
+        assert_eq!(out.payments[&UserId(3)], m(25));
+        // Over-recovery is expected: early leavers paid higher shares.
+        assert_eq!(out.total_payments(), m(175));
+    }
+
+    #[test]
+    fn example_3_user2_value_and_utility() {
+        // Example 4 continues Example 3: u1 (paper's "user 2") is
+        // serviced at t = 2,3 only, so her value is 16+16 = 32 and her
+        // utility 32 − 25 = 7.
+        let game = AddOnGame::new(
+            3,
+            m(100),
+            vec![
+                bid(0, 1, &[101]),
+                bid(1, 1, &[16, 16, 16]),
+                bid(2, 2, &[26]),
+                bid(3, 2, &[26]),
+            ],
+        )
+        .unwrap();
+        let out = run(&game).unwrap();
+        let truth = SlotSeries::new(SlotId(1), vec![m(16), m(16), m(16)]).unwrap();
+        assert_eq!(out.realized_value(UserId(1), &truth), m(32));
+        assert_eq!(out.utility(UserId(1), &truth), m(7));
+    }
+
+    #[test]
+    fn example_2_free_riding_is_prevented() {
+        // Paper Example 2: C = 100, θ1 = (1,1,[101]), θ2 = (1,2,[26,26]).
+        // The naive per-slot mechanism would let user 2 hide at t=1 and
+        // ride free at t=2. Under AddOn, hiding means she is *not* in
+        // CS(1); at t=2 her residual 26 joins u0's committed bid, share
+        // 50 > 26, so she is never serviced: hiding gains her nothing.
+        let hiding = AddOnGame::new(
+            2,
+            m(100),
+            vec![bid(0, 1, &[101]), bid(1, 2, &[26])],
+        )
+        .unwrap();
+        let out = run(&hiding).unwrap();
+        assert!(!out.first_serviced.contains_key(&UserId(1)));
+        assert_eq!(out.payments.get(&UserId(1)), None);
+
+        // Truthful, she is serviced from t=1 (52 ≥ 100/2) and pays 50.
+        let truthful = AddOnGame::new(
+            2,
+            m(100),
+            vec![bid(0, 1, &[101]), bid(1, 1, &[26, 26])],
+        )
+        .unwrap();
+        let out = run(&truthful).unwrap();
+        assert_eq!(out.first_serviced[&UserId(1)], SlotId(1));
+        assert_eq!(out.payments[&UserId(1)], m(50));
+    }
+
+    #[test]
+    fn example_4_model_free_overbidding_hurts_in_worst_case() {
+        // Example 4's worst case: no future users arrive. If user 2
+        // (values 16/slot, total 48) overbids ≥ 50, she is serviced and
+        // pays 50 — utility 48 − 50 = −2 < 0.
+        let game = AddOnGame::new(
+            3,
+            m(100),
+            vec![bid(0, 1, &[101]), bid(1, 1, &[17, 17, 17])],
+        )
+        .unwrap();
+        // Truthful-ish low bid: not serviced alone with u0? Residual 51
+        // ≥ 100/2 = 50, so she IS serviced and pays 50 when she leaves.
+        let out = run(&game).unwrap();
+        assert_eq!(out.payments[&UserId(1)], m(50));
+        let truth = SlotSeries::new(SlotId(1), vec![m(16), m(16), m(16)]).unwrap();
+        // True value 48, paid 50: overbidding backfired.
+        assert_eq!(out.utility(UserId(1), &truth), m(-2));
+    }
+
+    #[test]
+    fn share_decreases_as_users_join() {
+        let game = AddOnGame::new(
+            3,
+            m(90),
+            vec![bid(0, 1, &[100]), bid(1, 2, &[50]), bid(2, 3, &[40])],
+        )
+        .unwrap();
+        let out = run(&game).unwrap();
+        assert_eq!(out.share_by_slot, vec![Some(m(90)), Some(m(45)), Some(m(30))]);
+        assert_eq!(out.payments[&UserId(0)], m(90));
+        assert_eq!(out.payments[&UserId(1)], m(45));
+        assert_eq!(out.payments[&UserId(2)], m(30));
+    }
+
+    #[test]
+    fn never_implemented_game_collects_nothing() {
+        let game = AddOnGame::new(3, m(1000), vec![bid(0, 1, &[5]), bid(1, 2, &[5])]).unwrap();
+        let out = run(&game).unwrap();
+        assert!(!out.is_implemented());
+        assert!(out.payments.is_empty());
+        assert_eq!(out.total_payments(), Money::ZERO);
+    }
+
+    #[test]
+    fn interactive_api_rejects_protocol_violations() {
+        let mut st = AddOnState::new(m(100), 3).unwrap();
+        st.submit(bid(0, 1, &[10, 10, 10])).unwrap();
+        st.advance().unwrap();
+        // Retroactive bid: t=2 now, bid starting at 1.
+        assert!(matches!(
+            st.submit(bid(1, 1, &[10])),
+            Err(MechanismError::RetroactiveBid { .. })
+        ));
+        // Duplicate user.
+        assert!(matches!(
+            st.submit(bid(0, 2, &[10])),
+            Err(MechanismError::DuplicateUser { .. })
+        ));
+        // Downward revision.
+        assert!(matches!(
+            st.revise(UserId(0), SlotId(2), vec![m(5), m(10)]),
+            Err(MechanismError::DownwardRevision { .. })
+        ));
+        // Revision of the past.
+        assert!(matches!(
+            st.revise(UserId(0), SlotId(1), vec![m(50), m(50), m(50)]),
+            Err(MechanismError::RetroactiveBid { .. })
+        ));
+        // Beyond horizon.
+        assert!(matches!(
+            st.revise(UserId(0), SlotId(3), vec![m(50), m(50)]),
+            Err(MechanismError::BeyondHorizon { .. })
+        ));
+    }
+
+    #[test]
+    fn upward_revision_takes_effect() {
+        // §5.1's example: at t=1 user bids [10,10,10]; at t=2 she raises
+        // b(2) to 20.
+        let mut st = AddOnState::new(m(30), 3).unwrap();
+        st.submit(bid(0, 1, &[10, 10, 10])).unwrap();
+        let r1 = st.advance().unwrap();
+        assert_eq!(r1.share, Some(m(30))); // residual 30 covers cost
+        let mut st2 = AddOnState::new(m(100), 3).unwrap();
+        st2.submit(bid(0, 1, &[10, 10, 10])).unwrap();
+        st2.advance().unwrap();
+        st2.revise(UserId(0), SlotId(2), vec![m(80), m(10)]).unwrap();
+        let r2 = st2.advance().unwrap();
+        // Residual at t=2 is now 90 < 100: still not implemented…
+        assert_eq!(r2.share, None);
+        st2.revise(UserId(0), SlotId(3), vec![m(100)]).unwrap();
+        let r3 = st2.advance().unwrap();
+        // …but the t=3 revision to 100 pushes the residual to cost.
+        assert_eq!(r3.share, Some(m(100)));
+    }
+
+    #[test]
+    fn revision_can_extend_the_exit_slot() {
+        let mut st = AddOnState::new(m(100), 4).unwrap();
+        st.submit(bid(0, 1, &[10, 10])).unwrap();
+        st.advance().unwrap();
+        // Extend e_i from 2 to 4 with higher values.
+        st.revise(UserId(0), SlotId(2), vec![m(10), m(20), m(70)])
+            .unwrap();
+        let mut last = None;
+        for _ in 2..=4 {
+            last = Some(st.advance().unwrap());
+        }
+        // Exit payment now happens at t=4.
+        assert_eq!(last.unwrap().payments, vec![(UserId(0), m(100))]);
+    }
+
+    #[test]
+    fn advancing_past_horizon_errors() {
+        let mut st = AddOnState::new(m(1), 1).unwrap();
+        st.advance().unwrap();
+        assert!(matches!(
+            st.advance(),
+            Err(MechanismError::HorizonExhausted { .. })
+        ));
+    }
+
+    #[test]
+    fn multi_opt_schedule_run() {
+        let mut bids = ValueSchedule::new(2);
+        bids.set(
+            UserId(0),
+            OptId(0),
+            SlotSeries::new(SlotId(1), vec![m(60), m(0)]).unwrap(),
+        )
+        .unwrap();
+        bids.set(
+            UserId(1),
+            OptId(0),
+            SlotSeries::new(SlotId(1), vec![m(60), m(0)]).unwrap(),
+        )
+        .unwrap();
+        bids.set(UserId(1), OptId(1), SlotSeries::single(SlotId(2), m(10)).unwrap())
+            .unwrap();
+
+        let out = run_schedule(&[m(100), m(50)], &bids).unwrap();
+        assert!(out.per_opt[&OptId(0)].is_implemented());
+        assert!(!out.per_opt[&OptId(1)].is_implemented());
+
+        let ledger = out.to_ledger();
+        assert_eq!(ledger.total_cost(), m(100));
+        assert_eq!(ledger.total_payments(), m(100));
+
+        let stats = out.stats(&bids);
+        assert_eq!(stats.total_value, m(120));
+        assert_eq!(stats.total_utility, m(20));
+        assert!(stats.cloud_balance >= Money::ZERO);
+    }
+}

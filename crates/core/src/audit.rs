@@ -1,0 +1,264 @@
+//! Executable statements of the paper's proof obligations.
+//!
+//! The technical report's proofs are not reproducible as code, but
+//! their *statements* are: every experiment in this workspace re-checks
+//! cost recovery (Eq. 4), individual rationality of truthful users,
+//! equal treatment of serviced users, and structural sanity of
+//! outcomes. Violations are typed so property tests produce readable
+//! counterexamples.
+
+use std::fmt;
+
+use osp_econ::{Ledger, Money, OptId, Stats, UserId};
+
+use crate::addoff::OfflineOutcome;
+use crate::addon::AddOnOutcome;
+use crate::substoff::SubstOffOutcome;
+use crate::subston::SubstOnOutcome;
+
+/// A broken mechanism invariant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AuditViolation {
+    /// Eq. 4 violated: payments fall short of costs.
+    CostNotRecovered {
+        /// Total implemented cost.
+        cost: Money,
+        /// Total collected payments.
+        payments: Money,
+    },
+    /// A truthful user ended with negative utility.
+    NegativeUtility {
+        /// The losing user.
+        user: UserId,
+        /// Her utility.
+        utility: Money,
+    },
+    /// Two serviced users of the same optimization paid different
+    /// amounts.
+    UnequalTreatment {
+        /// The optimization.
+        opt: OptId,
+        /// One payment observed.
+        a: Money,
+        /// A different payment observed.
+        b: Money,
+    },
+    /// A grant references an optimization that was never implemented.
+    GrantWithoutImplementation {
+        /// The granted user.
+        user: UserId,
+        /// The phantom optimization.
+        opt: OptId,
+    },
+    /// A payment was charged to a user who was never serviced.
+    PaymentWithoutService {
+        /// The charged user.
+        user: UserId,
+    },
+}
+
+impl fmt::Display for AuditViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AuditViolation::CostNotRecovered { cost, payments } => {
+                write!(f, "cost {cost} exceeds payments {payments}")
+            }
+            AuditViolation::NegativeUtility { user, utility } => {
+                write!(f, "truthful {user} has negative utility {utility}")
+            }
+            AuditViolation::UnequalTreatment { opt, a, b } => {
+                write!(f, "{opt} charged unequal shares {a} and {b}")
+            }
+            AuditViolation::GrantWithoutImplementation { user, opt } => {
+                write!(f, "{user} granted unimplemented {opt}")
+            }
+            AuditViolation::PaymentWithoutService { user } => {
+                write!(f, "{user} paid without being serviced")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AuditViolation {}
+
+/// Eq. 4: `C(a) ≤ Σ_i P_i`.
+pub fn check_cost_recovery(ledger: &Ledger) -> Result<(), AuditViolation> {
+    if ledger.is_cost_recovering() {
+        Ok(())
+    } else {
+        Err(AuditViolation::CostNotRecovered {
+            cost: ledger.total_cost(),
+            payments: ledger.total_payments(),
+        })
+    }
+}
+
+/// Individual rationality: a truthful user never pays more than her
+/// realized value (her utility is non-negative).
+pub fn check_individual_rationality(stats: &Stats) -> Result<(), AuditViolation> {
+    for (&user, us) in &stats.per_user {
+        if us.utility.is_negative() {
+            return Err(AuditViolation::NegativeUtility {
+                user,
+                utility: us.utility,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Structural checks for AddOff outcomes: grants reference implemented
+/// optimizations, every serviced user of an optimization pays exactly
+/// its share.
+pub fn check_offline_outcome(out: &OfflineOutcome) -> Result<(), AuditViolation> {
+    for &(user, opt) in &out.grants {
+        let Some(&share) = out.implemented.get(&opt) else {
+            return Err(AuditViolation::GrantWithoutImplementation { user, opt });
+        };
+        let paid = out.payments.get(&(user, opt)).copied().unwrap_or(Money::ZERO);
+        if paid != share {
+            return Err(AuditViolation::UnequalTreatment {
+                opt,
+                a: paid,
+                b: share,
+            });
+        }
+    }
+    for &(user, opt) in out.payments.keys() {
+        if !out.grants.contains(&(user, opt)) {
+            return Err(AuditViolation::PaymentWithoutService { user });
+        }
+    }
+    Ok(())
+}
+
+/// Structural checks for AddOn outcomes: payments only from serviced
+/// users, and — when implemented — total payments cover the cost.
+pub fn check_addon_outcome(out: &AddOnOutcome) -> Result<(), AuditViolation> {
+    for &user in out.payments.keys() {
+        if !out.first_serviced.contains_key(&user) {
+            return Err(AuditViolation::PaymentWithoutService { user });
+        }
+    }
+    if out.is_implemented() && out.total_payments() < out.cost {
+        return Err(AuditViolation::CostNotRecovered {
+            cost: out.cost,
+            payments: out.total_payments(),
+        });
+    }
+    Ok(())
+}
+
+/// Structural checks for SubstOff outcomes.
+pub fn check_substoff_outcome(out: &SubstOffOutcome) -> Result<(), AuditViolation> {
+    for (&user, &opt) in &out.assignments {
+        let Some(&share) = out.implemented.get(&opt) else {
+            return Err(AuditViolation::GrantWithoutImplementation { user, opt });
+        };
+        let paid = out.payments.get(&user).copied().unwrap_or(Money::ZERO);
+        if paid != share {
+            return Err(AuditViolation::UnequalTreatment {
+                opt,
+                a: paid,
+                b: share,
+            });
+        }
+    }
+    for &user in out.payments.keys() {
+        if !out.assignments.contains_key(&user) {
+            return Err(AuditViolation::PaymentWithoutService { user });
+        }
+    }
+    Ok(())
+}
+
+/// Structural + cost-recovery checks for SubstOn outcomes.
+pub fn check_subston_outcome(out: &SubstOnOutcome) -> Result<(), AuditViolation> {
+    for &user in out.payments.keys() {
+        if !out.assignments.contains_key(&user) {
+            return Err(AuditViolation::PaymentWithoutService { user });
+        }
+    }
+    for (&user, &opt) in &out.assignments {
+        if !out.implemented_at.contains_key(&opt) {
+            return Err(AuditViolation::GrantWithoutImplementation { user, opt });
+        }
+    }
+    if out.total_payments() < out.total_cost() {
+        return Err(AuditViolation::CostNotRecovered {
+            cost: out.total_cost(),
+            payments: out.total_payments(),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn m(d: i64) -> Money {
+        Money::from_dollars(d)
+    }
+
+    #[test]
+    fn cost_recovery_detects_shortfall() {
+        let mut ledger = Ledger::new();
+        ledger.record_cost(OptId(0), m(100));
+        ledger.record_payment(UserId(0), OptId(0), m(99));
+        assert!(matches!(
+            check_cost_recovery(&ledger),
+            Err(AuditViolation::CostNotRecovered { .. })
+        ));
+        ledger.record_payment(UserId(1), OptId(0), m(1));
+        assert!(check_cost_recovery(&ledger).is_ok());
+    }
+
+    #[test]
+    fn ir_detects_negative_utility() {
+        let mut ledger = Ledger::new();
+        ledger.record_cost(OptId(0), m(10));
+        ledger.record_payment(UserId(0), OptId(0), m(10));
+        let stats = ledger.stats(&BTreeMap::from([(UserId(0), m(4))]));
+        let err = check_individual_rationality(&stats).unwrap_err();
+        assert!(matches!(err, AuditViolation::NegativeUtility { utility, .. } if utility == m(-6)));
+    }
+
+    #[test]
+    fn addon_outcome_checks() {
+        let ok = AddOnOutcome {
+            cost: m(100),
+            horizon: 1,
+            implemented_at: Some(osp_econ::SlotId(1)),
+            first_serviced: BTreeMap::from([(UserId(0), osp_econ::SlotId(1))]),
+            payments: BTreeMap::from([(UserId(0), m(100))]),
+            share_by_slot: vec![Some(m(100))],
+        };
+        assert!(check_addon_outcome(&ok).is_ok());
+
+        let mut ghost_payment = ok.clone();
+        ghost_payment.payments.insert(UserId(9), m(1));
+        assert!(matches!(
+            check_addon_outcome(&ghost_payment),
+            Err(AuditViolation::PaymentWithoutService { user: UserId(9) })
+        ));
+
+        let mut shortfall = ok;
+        shortfall.payments.insert(UserId(0), m(50));
+        assert!(matches!(
+            check_addon_outcome(&shortfall),
+            Err(AuditViolation::CostNotRecovered { .. })
+        ));
+    }
+
+    #[test]
+    fn violations_display() {
+        let v = AuditViolation::UnequalTreatment {
+            opt: OptId(1),
+            a: m(3),
+            b: m(4),
+        };
+        assert!(v.to_string().contains("opt1"));
+    }
+}

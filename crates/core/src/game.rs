@@ -1,0 +1,377 @@
+//! Game definitions: who bids what, for which optimizations, and when.
+//!
+//! Four game shapes mirror the paper's four mechanisms:
+//!
+//! | Game | Valuations | Time | Mechanism |
+//! |------|-----------|------|-----------|
+//! | [`AdditiveOfflineGame`] | additive | one shot | [`crate::addoff`] |
+//! | [`AddOnGame`] | additive | slots `1..=z` | [`crate::addon`] |
+//! | [`SubstOffGame`] | substitutable | one shot | [`crate::substoff`] |
+//! | [`SubstOnGame`] | substitutable | slots `1..=z` | [`crate::subston`] |
+//!
+//! All constructors validate the §3 model constraints (positive costs,
+//! non-negative bids, known optimization ids) and return typed errors,
+//! so the mechanisms themselves can assume well-formed input.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use serde::{Deserialize, Serialize};
+
+use osp_econ::schedule::SlotSeries;
+use osp_econ::{Money, OptId, SlotId, UserId};
+
+use crate::error::{MechanismError, Result};
+
+/// Validates a cost vector: every `C_j > 0` (§3).
+pub(crate) fn validate_costs(costs: &[Money]) -> Result<()> {
+    for (j, &c) in costs.iter().enumerate() {
+        if !c.is_positive() {
+            return Err(MechanismError::NonPositiveCost {
+                opt: OptId(u32::try_from(j).unwrap()),
+                cost: c,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// One-shot game with additive valuations (§4).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AdditiveOfflineGame {
+    costs: Vec<Money>,
+    bids: BTreeMap<UserId, BTreeMap<OptId, Money>>,
+}
+
+impl AdditiveOfflineGame {
+    /// Creates a game with the given per-optimization costs.
+    pub fn new(costs: Vec<Money>) -> Result<Self> {
+        validate_costs(&costs)?;
+        Ok(AdditiveOfflineGame {
+            costs,
+            bids: BTreeMap::new(),
+        })
+    }
+
+    /// Declares user `user`'s bid `b_ij` for optimization `opt`.
+    /// Later calls overwrite earlier ones (offline: bids are collected
+    /// once, before the mechanism runs).
+    pub fn bid(&mut self, user: UserId, opt: OptId, amount: Money) -> Result<()> {
+        self.check_opt(opt)?;
+        if amount.is_negative() {
+            return Err(MechanismError::NegativeBid { user, opt, amount });
+        }
+        self.bids.entry(user).or_default().insert(opt, amount);
+        Ok(())
+    }
+
+    /// Number of optimizations `n`.
+    #[must_use]
+    pub fn num_opts(&self) -> u32 {
+        u32::try_from(self.costs.len()).unwrap()
+    }
+
+    /// `C_j`.
+    #[must_use]
+    pub fn cost(&self, opt: OptId) -> Money {
+        self.costs[opt.index() as usize]
+    }
+
+    /// All users with at least one bid.
+    #[must_use]
+    pub fn users(&self) -> Vec<UserId> {
+        self.bids.keys().copied().collect()
+    }
+
+    /// `b_ij` (zero when the user never bid on `opt`).
+    #[must_use]
+    pub fn bid_of(&self, user: UserId, opt: OptId) -> Money {
+        self.bids
+            .get(&user)
+            .and_then(|m| m.get(&opt))
+            .copied()
+            .unwrap_or(Money::ZERO)
+    }
+
+    /// The bids on one optimization, sparsely.
+    pub fn bids_on(&self, opt: OptId) -> impl Iterator<Item = (UserId, Money)> + '_ {
+        self.bids
+            .iter()
+            .filter_map(move |(&u, m)| m.get(&opt).map(|&b| (u, b)))
+    }
+
+    fn check_opt(&self, opt: OptId) -> Result<()> {
+        if opt.index() >= self.num_opts() {
+            return Err(MechanismError::UnknownOpt {
+                opt,
+                num_opts: self.num_opts(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// A bid in an online additive game: the tuple `θ_ij = (s_i, e_i, b_ij)`
+/// of §5.1, with `b_ij` given per slot of `[s_i, e_i]`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OnlineBid {
+    /// The bidding user.
+    pub user: UserId,
+    /// Per-slot declared values over `[s_i, e_i]`.
+    pub series: SlotSeries,
+}
+
+impl OnlineBid {
+    /// Convenience constructor.
+    pub fn new(user: UserId, series: SlotSeries) -> Self {
+        OnlineBid { user, series }
+    }
+
+    /// `s_i`: the slot the user enters the system.
+    #[must_use]
+    pub fn start(&self) -> SlotId {
+        self.series.start()
+    }
+
+    /// `e_i`: the slot the user pays and leaves.
+    #[must_use]
+    pub fn end(&self) -> SlotId {
+        self.series.end()
+    }
+}
+
+/// Online game for a single additive optimization (§5; additive
+/// optimizations are independent, so multi-optimization games run one
+/// [`AddOnGame`] per optimization — see [`crate::addon::run_schedule`]).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AddOnGame {
+    /// Number of slots `z`.
+    pub horizon: u32,
+    /// The optimization's cost `C_j` (implementation + maintenance for
+    /// the period `T`, §5).
+    pub cost: Money,
+    /// All bids, each revealed to the mechanism at its start slot.
+    pub bids: Vec<OnlineBid>,
+}
+
+impl AddOnGame {
+    /// Validates and builds the game.
+    pub fn new(horizon: u32, cost: Money, bids: Vec<OnlineBid>) -> Result<Self> {
+        if !cost.is_positive() {
+            return Err(MechanismError::NonPositiveCost {
+                opt: OptId(0),
+                cost,
+            });
+        }
+        let mut seen = BTreeSet::new();
+        for b in &bids {
+            if !seen.insert(b.user) {
+                return Err(MechanismError::DuplicateUser { user: b.user });
+            }
+            if b.end().index() > horizon {
+                return Err(MechanismError::BeyondHorizon {
+                    user: b.user,
+                    end: b.end(),
+                    horizon,
+                });
+            }
+        }
+        Ok(AddOnGame {
+            horizon,
+            cost,
+            bids,
+        })
+    }
+}
+
+/// A substitutable one-shot bid `θ_i = (J_i, v_i)` (§6).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SubstBid {
+    /// The bidding user.
+    pub user: UserId,
+    /// The substitute set `J_i`.
+    pub substitutes: BTreeSet<OptId>,
+    /// The value `v_i` for getting access to *any one* of them.
+    pub value: Money,
+}
+
+/// One-shot game with substitutable valuations (§6.1).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SubstOffGame {
+    /// Per-optimization costs.
+    pub costs: Vec<Money>,
+    /// One bid per user.
+    pub bids: Vec<SubstBid>,
+}
+
+impl SubstOffGame {
+    /// Validates and builds the game.
+    pub fn new(costs: Vec<Money>, bids: Vec<SubstBid>) -> Result<Self> {
+        validate_costs(&costs)?;
+        let num_opts = u32::try_from(costs.len()).unwrap();
+        let mut seen = BTreeSet::new();
+        for b in &bids {
+            if !seen.insert(b.user) {
+                return Err(MechanismError::DuplicateUser { user: b.user });
+            }
+            if b.substitutes.is_empty() {
+                return Err(MechanismError::EmptySubstituteSet { user: b.user });
+            }
+            if let Some(&opt) = b.substitutes.iter().find(|j| j.index() >= num_opts) {
+                return Err(MechanismError::UnknownOpt { opt, num_opts });
+            }
+            if b.value.is_negative() {
+                return Err(MechanismError::NegativeBid {
+                    user: b.user,
+                    opt: *b.substitutes.iter().next().unwrap(),
+                    amount: b.value,
+                });
+            }
+        }
+        Ok(SubstOffGame { costs, bids })
+    }
+
+    /// Number of optimizations `n`.
+    #[must_use]
+    pub fn num_opts(&self) -> u32 {
+        u32::try_from(self.costs.len()).unwrap()
+    }
+}
+
+/// A substitutable online bid `ω_i = (s_i, e_i, b_i, J_i)` (§6.2).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SubstOnlineBid {
+    /// The bidding user.
+    pub user: UserId,
+    /// The substitute set `J_i`.
+    pub substitutes: BTreeSet<OptId>,
+    /// Per-slot values over the requested service interval `[s_i, e_i]`.
+    pub series: SlotSeries,
+}
+
+impl SubstOnlineBid {
+    /// `s_i`.
+    #[must_use]
+    pub fn start(&self) -> SlotId {
+        self.series.start()
+    }
+
+    /// `e_i`.
+    #[must_use]
+    pub fn end(&self) -> SlotId {
+        self.series.end()
+    }
+}
+
+/// Online game with substitutable valuations (§6.2).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SubstOnGame {
+    /// Number of slots `z`.
+    pub horizon: u32,
+    /// Per-optimization costs.
+    pub costs: Vec<Money>,
+    /// All bids, each revealed at its start slot.
+    pub bids: Vec<SubstOnlineBid>,
+}
+
+impl SubstOnGame {
+    /// Validates and builds the game.
+    pub fn new(horizon: u32, costs: Vec<Money>, bids: Vec<SubstOnlineBid>) -> Result<Self> {
+        validate_costs(&costs)?;
+        let num_opts = u32::try_from(costs.len()).unwrap();
+        let mut seen = BTreeSet::new();
+        for b in &bids {
+            if !seen.insert(b.user) {
+                return Err(MechanismError::DuplicateUser { user: b.user });
+            }
+            if b.substitutes.is_empty() {
+                return Err(MechanismError::EmptySubstituteSet { user: b.user });
+            }
+            if let Some(&opt) = b.substitutes.iter().find(|j| j.index() >= num_opts) {
+                return Err(MechanismError::UnknownOpt { opt, num_opts });
+            }
+            if b.end().index() > horizon {
+                return Err(MechanismError::BeyondHorizon {
+                    user: b.user,
+                    end: b.end(),
+                    horizon,
+                });
+            }
+        }
+        Ok(SubstOnGame {
+            horizon,
+            costs,
+            bids,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(d: i64) -> Money {
+        Money::from_dollars(d)
+    }
+
+    #[test]
+    fn additive_offline_validates() {
+        assert!(matches!(
+            AdditiveOfflineGame::new(vec![m(0)]),
+            Err(MechanismError::NonPositiveCost { .. })
+        ));
+        let mut g = AdditiveOfflineGame::new(vec![m(10), m(20)]).unwrap();
+        assert!(g.bid(UserId(0), OptId(0), m(5)).is_ok());
+        assert!(matches!(
+            g.bid(UserId(0), OptId(2), m(5)),
+            Err(MechanismError::UnknownOpt { .. })
+        ));
+        assert!(matches!(
+            g.bid(UserId(0), OptId(1), m(-1)),
+            Err(MechanismError::NegativeBid { .. })
+        ));
+        assert_eq!(g.bid_of(UserId(0), OptId(0)), m(5));
+        assert_eq!(g.bid_of(UserId(9), OptId(0)), Money::ZERO);
+    }
+
+    #[test]
+    fn addon_game_rejects_duplicates_and_overruns() {
+        let bid = |u: u32, s: u32, vals: Vec<Money>| {
+            OnlineBid::new(UserId(u), SlotSeries::new(SlotId(s), vals).unwrap())
+        };
+        let err = AddOnGame::new(
+            3,
+            m(10),
+            vec![bid(0, 1, vec![m(1)]), bid(0, 2, vec![m(1)])],
+        );
+        assert!(matches!(err, Err(MechanismError::DuplicateUser { .. })));
+
+        let err = AddOnGame::new(3, m(10), vec![bid(0, 3, vec![m(1), m(1)])]);
+        assert!(matches!(err, Err(MechanismError::BeyondHorizon { .. })));
+
+        let err = AddOnGame::new(3, Money::ZERO, vec![]);
+        assert!(matches!(err, Err(MechanismError::NonPositiveCost { .. })));
+    }
+
+    #[test]
+    fn subst_games_validate_sets() {
+        let bid = SubstBid {
+            user: UserId(0),
+            substitutes: BTreeSet::new(),
+            value: m(5),
+        };
+        assert!(matches!(
+            SubstOffGame::new(vec![m(1)], vec![bid]),
+            Err(MechanismError::EmptySubstituteSet { .. })
+        ));
+
+        let bid = SubstBid {
+            user: UserId(0),
+            substitutes: [OptId(3)].into(),
+            value: m(5),
+        };
+        assert!(matches!(
+            SubstOffGame::new(vec![m(1)], vec![bid]),
+            Err(MechanismError::UnknownOpt { .. })
+        ));
+    }
+}

@@ -1,0 +1,331 @@
+//! Moulin mechanisms: the general family the Shapley Value Mechanism
+//! belongs to.
+//!
+//! The paper builds on Moulin & Shenker's cost-sharing framework (its
+//! citation \[27\]): fix a *cross-monotonic* cost-sharing rule `ξ(S, i)`
+//! — user `i`'s share when exactly `S` is serviced, non-increasing as
+//! `S` grows — then iterate "drop everyone whose bid is below her
+//! current share" from the full set. Any such mechanism is
+//! group-strategyproof and budget-balanced; [`crate::shapley::run`] is the
+//! special case of the *egalitarian* rule `ξ(S, i) = C/|S|`.
+//!
+//! This module implements the general iteration plus two rules:
+//!
+//! * [`EgalitarianSharing`] — the paper's rule (equal shares);
+//! * [`WeightedSharing`] — shares proportional to fixed public weights
+//!   `w_i` (`ξ(S, i) = C·w_i / Σ_{k∈S} w_k`), useful when users impose
+//!   measurably different maintenance burdens on an optimization (e.g.
+//!   update-heavy tenants of a shared index).
+//!
+//! The generalization lets downstream deployments swap pricing rules
+//! without touching the mechanism loop — and the property tests verify
+//! that any rule passing [`check_cross_monotone`] retains cost recovery
+//! and truthfulness.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use osp_econ::{Money, Ratio, UserId};
+
+/// A cost-sharing rule `ξ(S, i)`.
+pub trait CostSharing {
+    /// User `i`'s share when exactly `set` is serviced. Only called
+    /// with `user ∈ set`, `set` non-empty.
+    fn share(&self, cost: Money, set: &BTreeSet<UserId>, user: UserId) -> Money;
+}
+
+/// Equal division: `ξ(S, i) = C/|S|` (the Shapley value of the
+/// symmetric cost function; §4.1's rule).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EgalitarianSharing;
+
+impl CostSharing for EgalitarianSharing {
+    fn share(&self, cost: Money, set: &BTreeSet<UserId>, _user: UserId) -> Money {
+        cost.split_among(set.len())
+    }
+}
+
+/// Weighted division: `ξ(S, i) = C·w_i / Σ_{k∈S} w_k` with fixed,
+/// public, positive weights. Cross-monotone because the denominator
+/// only grows with `S`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WeightedSharing {
+    weights: BTreeMap<UserId, u32>,
+}
+
+impl WeightedSharing {
+    /// Builds the rule; unknown users weigh `1`.
+    ///
+    /// # Panics
+    /// Panics if any provided weight is zero (a zero-weight user would
+    /// ride free, breaking cost recovery of the serviced set).
+    #[must_use]
+    pub fn new(weights: BTreeMap<UserId, u32>) -> Self {
+        assert!(
+            weights.values().all(|&w| w > 0),
+            "weights must be positive"
+        );
+        WeightedSharing { weights }
+    }
+
+    fn weight(&self, user: UserId) -> u32 {
+        self.weights.get(&user).copied().unwrap_or(1)
+    }
+}
+
+impl CostSharing for WeightedSharing {
+    fn share(&self, cost: Money, set: &BTreeSet<UserId>, user: UserId) -> Money {
+        let total: u64 = set.iter().map(|&u| u64::from(self.weight(u))).sum();
+        let frac = Ratio::new(i128::from(self.weight(user)), i128::from(total));
+        cost * frac
+    }
+}
+
+/// Outcome of a Moulin mechanism run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MoulinOutcome {
+    /// The serviced set (the largest fixed point of the drop loop).
+    pub serviced: BTreeSet<UserId>,
+    /// Per-user shares; `Σ = C` exactly when non-empty.
+    pub shares: BTreeMap<UserId, Money>,
+}
+
+impl MoulinOutcome {
+    /// `true` iff the optimization gets implemented.
+    #[must_use]
+    pub fn is_implemented(&self) -> bool {
+        !self.serviced.is_empty()
+    }
+
+    /// Total collected.
+    #[must_use]
+    pub fn total_collected(&self) -> Money {
+        self.shares.values().copied().sum()
+    }
+}
+
+/// The Moulin iteration: start from all bidders, repeatedly drop users
+/// whose bid is below their current share, until stable.
+#[must_use]
+pub fn run<S: CostSharing + ?Sized>(
+    cost: Money,
+    bids: &BTreeMap<UserId, Money>,
+    sharing: &S,
+) -> MoulinOutcome {
+    debug_assert!(cost.is_positive());
+    let mut serviced: BTreeSet<UserId> = bids.keys().copied().collect();
+    loop {
+        if serviced.is_empty() {
+            return MoulinOutcome {
+                serviced,
+                shares: BTreeMap::new(),
+            };
+        }
+        let retained: BTreeSet<UserId> = serviced
+            .iter()
+            .copied()
+            .filter(|&u| bids[&u] >= sharing.share(cost, &serviced, u))
+            .collect();
+        if retained.len() == serviced.len() {
+            let shares = serviced
+                .iter()
+                .map(|&u| (u, sharing.share(cost, &serviced, u)))
+                .collect();
+            return MoulinOutcome { serviced, shares };
+        }
+        serviced = retained;
+    }
+}
+
+/// Checks cross-monotonicity of a rule on one pair `S ⊆ T`: no member
+/// of `S` may pay less under the smaller set.
+pub fn check_cross_monotone<S: CostSharing>(
+    sharing: &S,
+    cost: Money,
+    small: &BTreeSet<UserId>,
+    large: &BTreeSet<UserId>,
+) -> bool {
+    debug_assert!(small.is_subset(large));
+    small
+        .iter()
+        .all(|&u| sharing.share(cost, large, u) <= sharing.share(cost, small, u))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shapley::{self, value_bids};
+    use proptest::prelude::*;
+
+    fn m(d: i64) -> Money {
+        Money::from_dollars(d)
+    }
+
+    fn bids(values: &[i64]) -> BTreeMap<UserId, Money> {
+        values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (UserId(u32::try_from(i).unwrap()), m(v)))
+            .collect()
+    }
+
+    #[test]
+    fn egalitarian_rule_is_the_shapley_mechanism() {
+        for (cost, vals) in [
+            (100, vec![30, 40, 50, 60]),
+            (100, vec![10, 30, 50, 60]),
+            (100, vec![10, 10, 10]),
+            (7, vec![1, 2, 3, 4]),
+        ] {
+            let bids = bids(&vals);
+            let moulin = run(m(cost), &bids, &EgalitarianSharing);
+            let shapley = shapley::run(m(cost), &value_bids(bids.clone()));
+            assert_eq!(moulin.serviced, shapley.serviced);
+            for (&u, &s) in &moulin.shares {
+                assert_eq!(s, shapley.payment(u));
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_rule_prices_by_weight() {
+        // u0 weighs 3, u1 weighs 1: a $100 cost splits 75/25.
+        let sharing = WeightedSharing::new([(UserId(0), 3), (UserId(1), 1)].into());
+        let out = run(m(100), &bids(&[80, 30]), &sharing);
+        assert_eq!(out.serviced.len(), 2);
+        assert_eq!(out.shares[&UserId(0)], m(75));
+        assert_eq!(out.shares[&UserId(1)], m(25));
+        assert_eq!(out.total_collected(), m(100));
+    }
+
+    #[test]
+    fn weighted_drop_loop_respects_weights() {
+        // u0 (weight 3) cannot afford 75; after dropping her, u1 must
+        // carry the full 100 and cannot either.
+        let sharing = WeightedSharing::new([(UserId(0), 3), (UserId(1), 1)].into());
+        let out = run(m(100), &bids(&[60, 30]), &sharing);
+        assert!(!out.is_implemented());
+
+        // With u1 affording the full cost, only she is serviced.
+        let out = run(m(100), &bids(&[60, 100]), &sharing);
+        assert_eq!(out.serviced, [UserId(1)].into());
+        assert_eq!(out.shares[&UserId(1)], m(100));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_weights_are_rejected() {
+        let _ = WeightedSharing::new([(UserId(0), 0)].into());
+    }
+
+    fn arb_sets() -> impl Strategy<Value = (BTreeSet<UserId>, BTreeSet<UserId>)> {
+        proptest::collection::btree_set(0u32..12, 1..8).prop_flat_map(|large| {
+            let large: BTreeSet<UserId> = large.into_iter().map(UserId).collect();
+            let items: Vec<UserId> = large.iter().copied().collect();
+            (
+                proptest::sample::subsequence(items, 1..=large.len())
+                    .prop_map(|v| v.into_iter().collect::<BTreeSet<_>>()),
+                Just(large),
+            )
+        })
+    }
+
+    proptest! {
+        /// Both built-in rules are cross-monotone on arbitrary nested
+        /// sets.
+        #[test]
+        fn rules_are_cross_monotone(
+            (small, large) in arb_sets(),
+            cost in 1i64..500,
+            weights in proptest::collection::vec(1u32..9, 12),
+        ) {
+            let cost = Money::from_cents(cost);
+            prop_assert!(check_cross_monotone(&EgalitarianSharing, cost, &small, &large));
+            let weighted = WeightedSharing::new(
+                weights
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &w)| (UserId(u32::try_from(i).unwrap()), w))
+                    .collect(),
+            );
+            prop_assert!(check_cross_monotone(&weighted, cost, &small, &large));
+        }
+
+        /// Budget balance: any run that implements collects the cost
+        /// exactly, under either rule.
+        #[test]
+        fn budget_balance(
+            cost in 1i64..500,
+            vals in proptest::collection::vec(0i64..300, 1..10),
+            weights in proptest::collection::vec(1u32..9, 10),
+        ) {
+            let cost = Money::from_cents(cost);
+            let bids: BTreeMap<UserId, Money> = vals
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (UserId(u32::try_from(i).unwrap()), Money::from_cents(v)))
+                .collect();
+            let rules: Vec<Box<dyn CostSharing>> = vec![
+                Box::new(EgalitarianSharing),
+                Box::new(WeightedSharing::new(
+                    weights
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &w)| (UserId(u32::try_from(i).unwrap()), w))
+                        .collect(),
+                )),
+            ];
+            for rule in &rules {
+                let out = run(cost, &bids, rule.as_ref());
+                if out.is_implemented() {
+                    prop_assert_eq!(out.total_collected(), cost);
+                }
+                // Serviced users can afford their shares.
+                for (&u, &s) in &out.shares {
+                    prop_assert!(bids[&u] >= s);
+                }
+            }
+        }
+
+        /// Truthfulness of the weighted Moulin mechanism: unilateral
+        /// misreports never help (Moulin's theorem, checked empirically).
+        #[test]
+        fn weighted_truthfulness(
+            cost in 1i64..400,
+            vals in proptest::collection::vec(0i64..300, 1..8),
+            weights in proptest::collection::vec(1u32..5, 8),
+            deviation in 0i64..400,
+        ) {
+            let cost = Money::from_cents(cost);
+            let sharing = WeightedSharing::new(
+                weights
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &w)| (UserId(u32::try_from(i).unwrap()), w))
+                    .collect(),
+            );
+            let truth: BTreeMap<UserId, Money> = vals
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (UserId(u32::try_from(i).unwrap()), Money::from_cents(v)))
+                .collect();
+            let honest = run(cost, &truth, &sharing);
+            for &u in truth.keys() {
+                let honest_utility = match honest.shares.get(&u) {
+                    Some(&s) => truth[&u] - s,
+                    None => Money::ZERO,
+                };
+                let mut lied = truth.clone();
+                lied.insert(u, Money::from_cents(deviation));
+                let out = run(cost, &lied, &sharing);
+                let lied_utility = match out.shares.get(&u) {
+                    Some(&s) => truth[&u] - s,
+                    None => Money::ZERO,
+                };
+                prop_assert!(
+                    lied_utility <= honest_utility,
+                    "{u} gains by bidding {deviation}"
+                );
+            }
+        }
+    }
+}

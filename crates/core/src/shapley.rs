@@ -1,0 +1,468 @@
+//! The Shapley Value Mechanism (paper Mechanism 1, §4.1).
+//!
+//! Given one optimization with cost `C_j` and bids `b_1j … b_mj`, the
+//! mechanism finds the **largest** set of users that can afford an even
+//! split of the cost: start from everyone, price `p = C_j/|S_j|`, drop
+//! everyone whose bid is below `p`, recompute, repeat. Serviced users
+//! all pay the same share; everyone else pays nothing.
+//!
+//! Two implementations are provided:
+//!
+//! * [`run_iterative`] — a literal transcription of Mechanism 1, kept
+//!   as executable documentation and as the oracle for the equivalence
+//!   property test. Worst case `O(m²)` (each round may remove one user).
+//! * [`run`] — the `O(m log m)` formulation used everywhere else. Sort
+//!   bids descending and find the largest `k` such that the `k`-th
+//!   largest bid is at least `C_j/(c + k)`, where `c` counts
+//!   *committed* users (see below).
+//!
+//! ### Why the sorted version is the same mechanism
+//!
+//! Call a set `S` *affordable* if every `i ∈ S` has `b_ij ≥ C_j/|S|`.
+//! If an affordable set of size `k` exists, the top-`k` bidders also
+//! form one (replacing members by higher bidders preserves the
+//! inequality), so the maximum affordable size `k*` is witnessed by a
+//! prefix of the descending sort. The iterative algorithm never removes
+//! a top-`k*` bidder (while `|S| ≥ k*` the price is `≤ C_j/k*`), so its
+//! fixed point contains the top-`k*` prefix; the fixed point is itself
+//! affordable, hence has size exactly `k*`. Finally no tie can straddle
+//! the boundary: `b_(k*+1) = b_(k*) ≥ C_j/k* > C_j/(k*+1)` would make
+//! `k*+1` affordable. So both versions return the same serviced set.
+//!
+//! ### Committed users
+//!
+//! The online mechanisms (Mechanism 2 line 5, Mechanism 4) re-run
+//! Shapley with previously-serviced users forced in via `b'_ij = ∞`.
+//! We model this as [`ShapleyBid::Committed`] rather than a sentinel
+//! value, so "infinity" can never leak into payment arithmetic.
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+
+use osp_econ::{Money, UserId};
+
+/// A bid as seen by the Shapley mechanism.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ShapleyBid {
+    /// `b'_ij = ∞`: the user was serviced in an earlier slot and must
+    /// remain serviced (online mechanisms only).
+    Committed,
+    /// A finite declared value.
+    Value(Money),
+}
+
+impl ShapleyBid {
+    /// `true` iff the bid is at least `price` (`Committed` clears any
+    /// price).
+    #[must_use]
+    pub fn affords(self, price: Money) -> bool {
+        match self {
+            ShapleyBid::Committed => true,
+            ShapleyBid::Value(v) => v >= price,
+        }
+    }
+}
+
+/// Result of one Shapley run for a single optimization.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShapleyOutcome {
+    /// The serviced users `S_j` (empty ⇒ the optimization is not
+    /// implemented).
+    pub serviced: BTreeSet<UserId>,
+    /// The common cost share `p = C_j/|S_j|`; [`Money::ZERO`] when no
+    /// one is serviced.
+    pub share: Money,
+}
+
+impl ShapleyOutcome {
+    fn empty() -> Self {
+        ShapleyOutcome {
+            serviced: BTreeSet::new(),
+            share: Money::ZERO,
+        }
+    }
+
+    /// `true` iff the optimization gets implemented.
+    #[must_use]
+    pub fn is_implemented(&self) -> bool {
+        !self.serviced.is_empty()
+    }
+
+    /// `p_ij`: `share` for serviced users, zero otherwise.
+    #[must_use]
+    pub fn payment(&self, user: UserId) -> Money {
+        if self.serviced.contains(&user) {
+            self.share
+        } else {
+            Money::ZERO
+        }
+    }
+
+    /// Total collected `Σ_i p_ij = C_j` when implemented.
+    #[must_use]
+    pub fn total_collected(&self) -> Money {
+        self.share * self.serviced.len()
+    }
+}
+
+/// Sorted `O(m log m)` implementation (see module docs for the
+/// equivalence argument).
+///
+/// `cost` must be strictly positive; bids must be non-negative (both
+/// enforced by the game constructors, re-checked here in debug builds).
+#[must_use]
+pub fn run(cost: Money, bids: &BTreeMap<UserId, ShapleyBid>) -> ShapleyOutcome {
+    debug_assert!(cost.is_positive(), "Shapley requires C_j > 0");
+    let mut committed: BTreeSet<UserId> = BTreeSet::new();
+    let mut finite: Vec<(Money, UserId)> = Vec::with_capacity(bids.len());
+    for (&user, &bid) in bids {
+        match bid {
+            ShapleyBid::Committed => {
+                committed.insert(user);
+            }
+            ShapleyBid::Value(v) => {
+                debug_assert!(!v.is_negative(), "bids must be non-negative");
+                finite.push((v, user));
+            }
+        }
+    }
+    // Descending by bid; the user id tiebreak only fixes the sort order,
+    // not the outcome (ties never straddle the serviced boundary).
+    finite.sort_unstable_by(|a, b| b.cmp(a));
+
+    let c = committed.len();
+    // Largest k such that finite[k-1] affords cost/(c + k).
+    let mut chosen_k = None;
+    for k in (1..=finite.len()).rev() {
+        if finite[k - 1].0 >= cost.split_among(c + k) {
+            chosen_k = Some(k);
+            break;
+        }
+    }
+
+    match chosen_k {
+        Some(k) => {
+            let mut serviced = committed;
+            serviced.extend(finite[..k].iter().map(|&(_, u)| u));
+            let share = cost.split_among(serviced.len());
+            ShapleyOutcome { serviced, share }
+        }
+        None if c > 0 => {
+            let share = cost.split_among(c);
+            ShapleyOutcome {
+                serviced: committed,
+                share,
+            }
+        }
+        None => ShapleyOutcome::empty(),
+    }
+}
+
+/// Literal transcription of Mechanism 1 (kept as the oracle for the
+/// `sorted ≡ iterative` property test, and for side-by-side reading
+/// with the paper).
+#[must_use]
+pub fn run_iterative(cost: Money, bids: &BTreeMap<UserId, ShapleyBid>) -> ShapleyOutcome {
+    debug_assert!(cost.is_positive(), "Shapley requires C_j > 0");
+    // S_j ← {1, …, m}
+    let mut serviced: BTreeSet<UserId> = bids.keys().copied().collect();
+    loop {
+        if serviced.is_empty() {
+            return ShapleyOutcome::empty();
+        }
+        // p ← C_j / |S_j|
+        let price = cost.split_among(serviced.len());
+        // S_j ← {i ∈ S_j | p ≤ b_ij}
+        let retained: BTreeSet<UserId> = serviced
+            .iter()
+            .copied()
+            .filter(|u| bids[u].affords(price))
+            .collect();
+        let unchanged = retained.len() == serviced.len();
+        serviced = retained;
+        // until S_j remains unchanged, or S_j = ∅
+        if unchanged {
+            return ShapleyOutcome {
+                share: price,
+                serviced,
+            };
+        }
+    }
+}
+
+/// Convenience: wrap plain values as finite Shapley bids.
+#[must_use]
+pub fn value_bids(bids: impl IntoIterator<Item = (UserId, Money)>) -> BTreeMap<UserId, ShapleyBid> {
+    bids.into_iter()
+        .map(|(u, v)| (u, ShapleyBid::Value(v)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn m(d: i64) -> Money {
+        Money::from_dollars(d)
+    }
+
+    fn game(cost: i64, bids: &[i64]) -> (Money, BTreeMap<UserId, ShapleyBid>) {
+        (
+            m(cost),
+            value_bids(
+                bids.iter()
+                    .enumerate()
+                    .map(|(i, &b)| (UserId(u32::try_from(i).unwrap()), m(b))),
+            ),
+        )
+    }
+
+    #[test]
+    fn everyone_can_afford_even_split() {
+        let (cost, bids) = game(100, &[30, 40, 50, 60]);
+        let out = run(cost, &bids);
+        assert_eq!(out.serviced.len(), 4);
+        assert_eq!(out.share, m(25));
+        assert_eq!(out.total_collected(), m(100));
+    }
+
+    #[test]
+    fn price_rises_as_users_drop_out() {
+        // 100/4 = 25 drops u0 (bid 10); 100/3 = 33.33 drops u1 (bid 30);
+        // 100/2 = 50 retains u2 (50) and u3 (60).
+        let (cost, bids) = game(100, &[10, 30, 50, 60]);
+        let out = run(cost, &bids);
+        assert_eq!(out.serviced, [UserId(2), UserId(3)].into());
+        assert_eq!(out.share, m(50));
+    }
+
+    #[test]
+    fn nobody_serviced_when_unaffordable() {
+        let (cost, bids) = game(100, &[10, 10, 10]);
+        let out = run(cost, &bids);
+        assert!(!out.is_implemented());
+        assert_eq!(out.share, Money::ZERO);
+        assert_eq!(out.payment(UserId(0)), Money::ZERO);
+    }
+
+    #[test]
+    fn exact_threshold_bid_is_serviced() {
+        // Mechanism 1 keeps users with p ≤ b_ij: a bid exactly equal to
+        // the share stays. (This is where float arithmetic would break.)
+        let (cost, bids) = game(100, &[25, 25, 25, 25]);
+        let out = run(cost, &bids);
+        assert_eq!(out.serviced.len(), 4);
+        assert_eq!(out.share, m(25));
+    }
+
+    #[test]
+    fn single_user_pays_full_cost() {
+        let (cost, bids) = game(100, &[101]);
+        let out = run(cost, &bids);
+        assert_eq!(out.serviced, [UserId(0)].into());
+        assert_eq!(out.share, m(100));
+    }
+
+    #[test]
+    fn empty_game() {
+        let out = run(m(10), &BTreeMap::new());
+        assert!(!out.is_implemented());
+    }
+
+    #[test]
+    fn committed_users_always_stay() {
+        let mut bids = value_bids([(UserId(1), m(1))]);
+        bids.insert(UserId(0), ShapleyBid::Committed);
+        // Alone, u1's bid of 1 cannot cover cost 100; but u0 is forced in
+        // and pays, so the share for two users is 50 — still beyond u1.
+        let out = run(m(100), &bids);
+        assert_eq!(out.serviced, [UserId(0)].into());
+        assert_eq!(out.share, m(100));
+
+        // With a bid of 50, u1 joins and the share halves.
+        bids.insert(UserId(1), ShapleyBid::Value(m(50)));
+        let out = run(m(100), &bids);
+        assert_eq!(out.serviced, [UserId(0), UserId(1)].into());
+        assert_eq!(out.share, m(50));
+    }
+
+    #[test]
+    fn only_committed_users() {
+        let bids: BTreeMap<_, _> = [
+            (UserId(0), ShapleyBid::Committed),
+            (UserId(1), ShapleyBid::Committed),
+        ]
+        .into();
+        let out = run(m(100), &bids);
+        assert_eq!(out.share, m(50));
+        assert_eq!(out.serviced.len(), 2);
+    }
+
+    #[test]
+    fn fractional_shares_are_exact() {
+        let (cost, bids) = game(100, &[40, 40, 40]);
+        let out = run(cost, &bids);
+        assert_eq!(out.serviced.len(), 3);
+        assert_eq!(out.share * 3, m(100));
+    }
+
+    #[test]
+    fn example_1_naive_underbidding_contrast() {
+        // Paper Example 1 context: with Shapley, a user underbidding
+        // below the share is dropped rather than paying her declared bid.
+        let (cost, bids) = game(100, &[60, 60]);
+        let out = run(cost, &bids);
+        assert_eq!(out.share, m(50));
+
+        let (cost, bids) = game(100, &[60, 10]);
+        let out = run(cost, &bids);
+        // Underbidder is dropped; the remaining user cannot afford 100.
+        assert!(!out.is_implemented());
+    }
+
+    #[test]
+    fn iterative_matches_on_paper_examples() {
+        for (cost, bids) in [
+            game(100, &[30, 40, 50, 60]),
+            game(100, &[10, 30, 50, 60]),
+            game(100, &[10, 10, 10]),
+            game(100, &[25, 25, 25, 25]),
+            game(100, &[101]),
+            game(7, &[1, 2, 3]),
+        ] {
+            assert_eq!(run(cost, &bids), run_iterative(cost, &bids));
+        }
+    }
+
+    /// Strategy: games with small integer cents to hit ties and
+    /// thresholds often.
+    fn arb_game() -> impl Strategy<Value = (Money, BTreeMap<UserId, ShapleyBid>)> {
+        (
+            1i64..400,
+            proptest::collection::vec(
+                prop_oneof![
+                    4 => (0i64..200).prop_map(Some),
+                    1 => Just(None), // committed
+                ],
+                0..12,
+            ),
+        )
+            .prop_map(|(cost, raw)| {
+                let bids = raw
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, b)| {
+                        let user = UserId(u32::try_from(i).unwrap());
+                        let bid = match b {
+                            Some(c) => ShapleyBid::Value(Money::from_cents(c)),
+                            None => ShapleyBid::Committed,
+                        };
+                        (user, bid)
+                    })
+                    .collect();
+                (Money::from_cents(cost), bids)
+            })
+    }
+
+    proptest! {
+        /// The optimized implementation is the paper's mechanism.
+        #[test]
+        fn sorted_equals_iterative((cost, bids) in arb_game()) {
+            prop_assert_eq!(run(cost, &bids), run_iterative(cost, &bids));
+        }
+
+        /// Cost recovery: serviced users pay exactly C_j in total.
+        #[test]
+        fn exact_cost_recovery((cost, bids) in arb_game()) {
+            let out = run(cost, &bids);
+            if out.is_implemented() {
+                prop_assert_eq!(out.total_collected(), cost);
+            }
+        }
+
+        /// Every serviced finite bidder can afford the share; committed
+        /// users are always serviced.
+        #[test]
+        fn serviced_users_afford_share((cost, bids) in arb_game()) {
+            let out = run(cost, &bids);
+            for (&u, &b) in &bids {
+                match b {
+                    ShapleyBid::Committed => prop_assert!(out.serviced.contains(&u)),
+                    ShapleyBid::Value(v) => {
+                        if out.serviced.contains(&u) {
+                            prop_assert!(v >= out.share);
+                        }
+                    }
+                }
+            }
+        }
+
+        /// Maximality: no unserviced finite bidder could afford joining
+        /// (their bid is below the share the bigger set would pay).
+        #[test]
+        fn dropped_users_cannot_afford_to_join((cost, bids) in arb_game()) {
+            let out = run(cost, &bids);
+            let n = out.serviced.len();
+            for (&u, &b) in &bids {
+                if let ShapleyBid::Value(v) = b {
+                    if !out.serviced.contains(&u) {
+                        prop_assert!(v < cost.split_among(n + 1));
+                    }
+                }
+            }
+        }
+
+        /// Cross-monotonicity of the Shapley cost shares: adding one
+        /// more bidder never increases anyone's share and never shrinks
+        /// the serviced set. (This is the Moulin-mechanism property that
+        /// powers group-strategyproofness.)
+        #[test]
+        fn cross_monotone((cost, bids) in arb_game(), extra in 0i64..200) {
+            let before = run(cost, &bids);
+            let mut bigger = bids.clone();
+            bigger.insert(UserId(1000), ShapleyBid::Value(Money::from_cents(extra)));
+            let after = run(cost, &bigger);
+            if before.is_implemented() {
+                prop_assert!(after.is_implemented());
+                prop_assert!(after.share <= before.share);
+                prop_assert!(after.serviced.is_superset(&before.serviced));
+            }
+        }
+
+        /// Truthfulness of Mechanism 1 (the §4.1 argument, checked
+        /// empirically): no unilateral finite deviation beats bidding
+        /// the true value.
+        #[test]
+        fn unilateral_deviations_never_help(
+            (cost, bids) in arb_game(),
+            deviation in 0i64..400,
+        ) {
+            // Treat each finite bid as the user's true value.
+            for (&u, &b) in &bids {
+                let ShapleyBid::Value(truth) = b else { continue };
+                let honest = run(cost, &bids);
+                let honest_utility = if honest.serviced.contains(&u) {
+                    truth - honest.share
+                } else {
+                    Money::ZERO
+                };
+                let mut lied = bids.clone();
+                lied.insert(u, ShapleyBid::Value(Money::from_cents(deviation)));
+                let out = run(cost, &lied);
+                let lied_utility = if out.serviced.contains(&u) {
+                    truth - out.share
+                } else {
+                    Money::ZERO
+                };
+                prop_assert!(
+                    lied_utility <= honest_utility,
+                    "user {} gains by bidding {} instead of {}",
+                    u, deviation, truth
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! Strategic (lying) agents for truthfulness experiments.
+//!
+//! Mechanism design assumes users are utility maximizers who will lie
+//! whenever lying pays. This module provides the deviations the paper
+//! discusses so tests and examples can *measure* that they do not pay:
+//!
+//! * value misreporting — under/over-bidding (§4.1, Example 1);
+//! * time misreporting — hiding value until a later slot (Example 2),
+//!   or delaying arrival;
+//! * set misreporting — bidding for substitutes the user does not want
+//!   (Example 7);
+//! * Sybil identities — splitting into dummy users (Proposition 2 and
+//!   the §6 multiple-identities example).
+
+use osp_econ::schedule::SlotSeries;
+use osp_econ::{Money, Ratio, SlotId, UserId};
+
+use crate::game::OnlineBid;
+
+/// A bidding strategy applied to a user's true value series.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Strategy {
+    /// Report values exactly (`B_i = V_i`).
+    Truthful,
+    /// Multiply every per-slot value by a non-negative factor
+    /// (`< 1` underbids, `> 1` overbids).
+    ScaleBid(Ratio),
+    /// Report zero before `slot`, true values afterwards — the
+    /// Example 2 free-riding attempt.
+    HideUntil(SlotId),
+    /// Pretend to arrive `delay` slots late (early value is forfeited
+    /// in the report).
+    DelayArrival(u32),
+    /// Bid a flat amount in every slot of the true interval.
+    FlatBid(Money),
+}
+
+/// Applies a strategy to a true value series, producing the reported
+/// series. Returns `None` when the deviation degenerates to an empty
+/// bid (e.g. delaying past the end of the interval) — the user then
+/// simply does not bid.
+#[must_use]
+pub fn apply(truth: &SlotSeries, strategy: &Strategy) -> Option<SlotSeries> {
+    match strategy {
+        Strategy::Truthful => Some(truth.clone()),
+        Strategy::ScaleBid(factor) => {
+            if factor.is_negative() {
+                return None;
+            }
+            let values = truth
+                .iter()
+                .map(|(_, v)| Money::from_ratio(v.as_ratio() * *factor))
+                .collect();
+            SlotSeries::new(truth.start(), values).ok()
+        }
+        Strategy::HideUntil(slot) => {
+            let values = truth
+                .iter()
+                .map(|(t, v)| if t < *slot { Money::ZERO } else { v })
+                .collect();
+            SlotSeries::new(truth.start(), values).ok()
+        }
+        Strategy::DelayArrival(delay) => {
+            let new_start = SlotId(truth.start().index() + delay);
+            if new_start > truth.end() {
+                return None;
+            }
+            let values = new_start
+                .to_inclusive(truth.end())
+                .map(|t| truth.value_at(t))
+                .collect();
+            SlotSeries::new(new_start, values).ok()
+        }
+        Strategy::FlatBid(amount) => {
+            if amount.is_negative() {
+                return None;
+            }
+            let len = (truth.end().index() - truth.start().index() + 1) as usize;
+            SlotSeries::new(truth.start(), vec![*amount; len]).ok()
+        }
+    }
+}
+
+/// Builds `k` Sybil identities for a user: each dummy submits the full
+/// true series under a fresh id (the Alice attack of §5.2, where every
+/// identity bids `(1, 1, [101])`).
+///
+/// The caller accounts the *combined* utility: the value is realized
+/// once (queries run under whichever identity is serviced) while every
+/// serviced identity pays.
+#[must_use]
+pub fn sybil_identities(truth: &SlotSeries, k: usize, first_id: u32) -> Vec<OnlineBid> {
+    (0..k)
+        .map(|i| OnlineBid::new(UserId(first_id + u32::try_from(i).unwrap()), truth.clone()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addon;
+    use crate::game::AddOnGame;
+    use std::collections::BTreeMap;
+
+    fn m(d: i64) -> Money {
+        Money::from_dollars(d)
+    }
+
+    fn series(start: u32, values: &[i64]) -> SlotSeries {
+        SlotSeries::new(SlotId(start), values.iter().map(|&v| m(v)).collect()).unwrap()
+    }
+
+    #[test]
+    fn truthful_is_identity() {
+        let s = series(1, &[5, 10]);
+        assert_eq!(apply(&s, &Strategy::Truthful), Some(s));
+    }
+
+    #[test]
+    fn scale_bid_scales_each_slot() {
+        let s = series(1, &[10, 20]);
+        let half = apply(&s, &Strategy::ScaleBid(Ratio::new(1, 2))).unwrap();
+        assert_eq!(half.value_at(SlotId(1)), m(5));
+        assert_eq!(half.value_at(SlotId(2)), m(10));
+        assert!(apply(&s, &Strategy::ScaleBid(Ratio::new(-1, 2))).is_none());
+    }
+
+    #[test]
+    fn hide_until_zeroes_prefix() {
+        let s = series(1, &[10, 20, 30]);
+        let hidden = apply(&s, &Strategy::HideUntil(SlotId(3))).unwrap();
+        assert_eq!(hidden.value_at(SlotId(1)), Money::ZERO);
+        assert_eq!(hidden.value_at(SlotId(2)), Money::ZERO);
+        assert_eq!(hidden.value_at(SlotId(3)), m(30));
+    }
+
+    #[test]
+    fn delay_arrival_truncates() {
+        let s = series(2, &[10, 20, 30]);
+        let late = apply(&s, &Strategy::DelayArrival(2)).unwrap();
+        assert_eq!(late.start(), SlotId(4));
+        assert_eq!(late.total(), m(30));
+        assert!(apply(&s, &Strategy::DelayArrival(3)).is_none());
+    }
+
+    #[test]
+    fn flat_bid_replaces_values() {
+        let s = series(1, &[10, 20]);
+        let flat = apply(&s, &Strategy::FlatBid(m(7))).unwrap();
+        assert_eq!(flat.value_at(SlotId(1)), m(7));
+        assert_eq!(flat.value_at(SlotId(2)), m(7));
+    }
+
+    #[test]
+    fn sybil_identities_share_the_series() {
+        let s = series(1, &[101]);
+        let ids = sybil_identities(&s, 2, 100);
+        assert_eq!(ids.len(), 2);
+        assert_eq!(ids[0].user, UserId(100));
+        assert_eq!(ids[1].user, UserId(101));
+        assert_eq!(ids[0].series, s);
+    }
+
+    /// The §5.2 Alice example: C = 101; Alice values (1,1,[101]); 99
+    /// other users value (1,1,[1]). Alone, only Alice is serviced and
+    /// her utility is 0. With two identities the share drops to 1 and
+    /// everyone is serviced — Alice pays 2 and gains 99, while no other
+    /// user is worse off (Proposition 2).
+    #[test]
+    fn proposition_2_sybil_helps_without_hurting() {
+        let cost = m(101);
+        let alice_truth = series(1, &[101]);
+        let others: Vec<OnlineBid> = (0..99)
+            .map(|i| OnlineBid::new(UserId(i), series(1, &[1])))
+            .collect();
+
+        // Honest single identity.
+        let mut bids = others.clone();
+        bids.push(OnlineBid::new(UserId(99), alice_truth.clone()));
+        let game = AddOnGame::new(1, cost, bids).unwrap();
+        let out = addon::run(&game).unwrap();
+        assert_eq!(
+            out.first_serviced.keys().copied().collect::<Vec<_>>(),
+            vec![UserId(99)]
+        );
+        assert_eq!(out.utility(UserId(99), &alice_truth), Money::ZERO);
+        let honest_small_utilities: BTreeMap<UserId, Money> = (0..99)
+            .map(|i| (UserId(i), out.utility(UserId(i), &series(1, &[1]))))
+            .collect();
+
+        // Two Sybil identities, each bidding the full 101.
+        let mut bids = others;
+        bids.extend(sybil_identities(&alice_truth, 2, 99));
+        let game = AddOnGame::new(1, cost, bids).unwrap();
+        let out = addon::run(&game).unwrap();
+        // 101 bidders: share 1 each; everyone serviced.
+        assert_eq!(out.first_serviced.len(), 101);
+        let alice_paid = out.payments[&UserId(99)] + out.payments[&UserId(100)];
+        assert_eq!(alice_paid, m(2));
+        let alice_utility = m(101) - alice_paid;
+        assert_eq!(alice_utility, m(99));
+        // No other user's utility decreased (Proposition 2).
+        for i in 0..99 {
+            let u = out.utility(UserId(i), &series(1, &[1]));
+            assert!(u >= honest_small_utilities[&UserId(i)]);
+        }
+    }
+}

@@ -1,0 +1,451 @@
+//! The SubstOn Mechanism (§6.2, Mechanism 4): online, substitutable
+//! optimizations.
+//!
+//! At every slot, SubstOn re-runs [`crate::substoff`] over the residual
+//! values of all users seen so far. The first time a user is granted an
+//! optimization `j`, her bid for `j` becomes `∞` and her bids for every
+//! other optimization become `0`: she can never switch (Example 8 shows
+//! the no-switch rule is what keeps the mechanism truthful). Users pay
+//! their optimization's current share when their bid expires.
+//!
+//! ```
+//! use osp_core::prelude::*;
+//!
+//! // Two interchangeable optimizations; one user accepts either.
+//! let game = SubstOnGame::new(
+//!     2,
+//!     vec![Money::from_dollars(60), Money::from_dollars(40)],
+//!     vec![SubstOnlineBid {
+//!         user: UserId(0),
+//!         substitutes: [OptId(0), OptId(1)].into(),
+//!         series: SlotSeries::constant(
+//!             SlotId(1),
+//!             SlotId(2),
+//!             Money::from_dollars(30),
+//!         )
+//!         .unwrap(),
+//!     }],
+//! )?;
+//! let outcome = subston::run(&game, TieBreak::LowestOptId)?;
+//! // The cheaper substitute wins and is fully paid for.
+//! assert_eq!(outcome.assignments[&UserId(0)], OptId(1));
+//! assert_eq!(outcome.payments[&UserId(0)], Money::from_dollars(40));
+//! # Ok::<(), osp_core::MechanismError>(())
+//! ```
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use osp_econ::schedule::SlotSeries;
+use osp_econ::{Ledger, Money, OptId, SlotId, UserId};
+
+use crate::error::{MechanismError, Result};
+use crate::game::{SubstOnGame, SubstOnlineBid};
+use crate::shapley::ShapleyBid;
+use crate::substoff::{self, SubstBidMap, TieBreak};
+
+/// What happened in one SubstOn slot.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SubstSlotReport {
+    /// The slot just processed.
+    pub slot: SlotId,
+    /// Users newly granted an optimization this slot.
+    pub newly_assigned: BTreeMap<UserId, OptId>,
+    /// Payments charged to users whose bids expired this slot.
+    pub payments: Vec<(UserId, Money)>,
+}
+
+/// The SubstOn mechanism as an interactive state machine.
+#[derive(Debug, Clone)]
+pub struct SubstOnState {
+    costs: Vec<Money>,
+    horizon: u32,
+    now: u32,
+    tiebreak: TieBreak,
+    bids: BTreeMap<UserId, SubstOnlineBid>,
+    assigned: BTreeMap<UserId, OptId>,
+    first_serviced: BTreeMap<UserId, SlotId>,
+    implemented_at: BTreeMap<OptId, SlotId>,
+    payments: BTreeMap<UserId, Money>,
+}
+
+impl SubstOnState {
+    /// Starts a game over `horizon` slots for optimizations with the
+    /// given costs.
+    pub fn new(costs: Vec<Money>, horizon: u32, tiebreak: TieBreak) -> Result<Self> {
+        crate::game::validate_costs(&costs)?;
+        Ok(SubstOnState {
+            costs,
+            horizon,
+            now: 1,
+            tiebreak,
+            bids: BTreeMap::new(),
+            assigned: BTreeMap::new(),
+            first_serviced: BTreeMap::new(),
+            implemented_at: BTreeMap::new(),
+            payments: BTreeMap::new(),
+        })
+    }
+
+    /// The slot about to be processed.
+    #[must_use]
+    pub fn now(&self) -> SlotId {
+        SlotId(self.now)
+    }
+
+    /// Accepts a bid `ω_i = (s_i, e_i, b_i, J_i)`.
+    pub fn submit(&mut self, bid: SubstOnlineBid) -> Result<()> {
+        if self.bids.contains_key(&bid.user) {
+            return Err(MechanismError::DuplicateUser { user: bid.user });
+        }
+        if bid.substitutes.is_empty() {
+            return Err(MechanismError::EmptySubstituteSet { user: bid.user });
+        }
+        let num_opts = u32::try_from(self.costs.len()).unwrap();
+        if let Some(&opt) = bid.substitutes.iter().find(|j| j.index() >= num_opts) {
+            return Err(MechanismError::UnknownOpt { opt, num_opts });
+        }
+        if bid.start().index() < self.now {
+            return Err(MechanismError::RetroactiveBid {
+                user: bid.user,
+                start: bid.start(),
+                now: self.now(),
+            });
+        }
+        if bid.end().index() > self.horizon {
+            return Err(MechanismError::BeyondHorizon {
+                user: bid.user,
+                end: bid.end(),
+                horizon: self.horizon,
+            });
+        }
+        self.bids.insert(bid.user, bid);
+        Ok(())
+    }
+
+    /// Processes the current slot (Mechanism 4 body).
+    pub fn advance(&mut self) -> Result<SubstSlotReport> {
+        if self.now > self.horizon {
+            return Err(MechanismError::HorizonExhausted {
+                horizon: self.horizon,
+            });
+        }
+        let t = SlotId(self.now);
+
+        // Build the forced/residual bid map.
+        let mut bid_map: SubstBidMap = BTreeMap::new();
+        for (&u, bid) in &self.bids {
+            let per_opt: BTreeMap<OptId, ShapleyBid> = match self.assigned.get(&u) {
+                // Granted users: ∞ on their optimization, 0 elsewhere
+                // (a zero bid can never be serviced, so we simply omit
+                // the other optimizations).
+                Some(&j) => [(j, ShapleyBid::Committed)].into(),
+                None if bid.start() <= t => {
+                    let residual = bid.series.residual_from(t);
+                    bid.substitutes
+                        .iter()
+                        .map(|&j| (j, ShapleyBid::Value(residual)))
+                        .collect()
+                }
+                // Unseen users are pruned (b'_ij ← 0).
+                None => BTreeMap::new(),
+            };
+            if !per_opt.is_empty() {
+                bid_map.insert(u, per_opt);
+            }
+        }
+
+        let result = substoff::run_with_bids(&self.costs, &bid_map, self.tiebreak);
+
+        let mut newly_assigned = BTreeMap::new();
+        for (&u, &j) in &result.assignments {
+            match self.assigned.get(&u) {
+                Some(&prev) => debug_assert_eq!(prev, j, "granted user switched optimization"),
+                None => {
+                    self.assigned.insert(u, j);
+                    self.first_serviced.insert(u, t);
+                    newly_assigned.insert(u, j);
+                }
+            }
+        }
+        for &j in result.implemented.keys() {
+            self.implemented_at.entry(j).or_insert(t);
+        }
+
+        // Users pay when their bid expires, at their optimization's
+        // share from *this* run (departed users were kept in the game,
+        // so shares keep dropping as newcomers join — Example 8).
+        let mut payments = Vec::new();
+        for (&u, bid) in &self.bids {
+            if bid.end() == t && self.assigned.contains_key(&u) {
+                let p = result.payments.get(&u).copied().unwrap_or(Money::ZERO);
+                self.payments.insert(u, p);
+                payments.push((u, p));
+            }
+        }
+
+        self.now += 1;
+        Ok(SubstSlotReport {
+            slot: t,
+            newly_assigned,
+            payments,
+        })
+    }
+
+    /// Runs the remaining slots and returns the final outcome.
+    pub fn finish(mut self) -> Result<SubstOnOutcome> {
+        while self.now <= self.horizon {
+            self.advance()?;
+        }
+        Ok(SubstOnOutcome {
+            costs: self.costs,
+            horizon: self.horizon,
+            implemented_at: self.implemented_at,
+            assignments: self.assigned,
+            first_serviced: self.first_serviced,
+            payments: self.payments,
+        })
+    }
+}
+
+/// Final outcome of a SubstOn game.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SubstOnOutcome {
+    /// Per-optimization costs (by index).
+    pub costs: Vec<Money>,
+    /// Number of slots.
+    pub horizon: u32,
+    /// Slot at which each implemented optimization was first chosen.
+    pub implemented_at: BTreeMap<OptId, SlotId>,
+    /// The optimization each serviced user was granted.
+    pub assignments: BTreeMap<UserId, OptId>,
+    /// The slot each serviced user entered service.
+    pub first_serviced: BTreeMap<UserId, SlotId>,
+    /// Final exit payments.
+    pub payments: BTreeMap<UserId, Money>,
+}
+
+impl SubstOnOutcome {
+    /// Total collected from users.
+    #[must_use]
+    pub fn total_payments(&self) -> Money {
+        self.payments.values().copied().sum()
+    }
+
+    /// Total cost of implemented optimizations.
+    #[must_use]
+    pub fn total_cost(&self) -> Money {
+        self.implemented_at
+            .keys()
+            .map(|j| self.costs[j.index() as usize])
+            .sum()
+    }
+
+    /// Realized value of `user` against her true per-slot values.
+    #[must_use]
+    pub fn realized_value(&self, user: UserId, truth: &SlotSeries) -> Money {
+        match self.first_serviced.get(&user) {
+            Some(&t0) => truth.residual_from(t0),
+            None => Money::ZERO,
+        }
+    }
+
+    /// Builds the shared [`Ledger`].
+    #[must_use]
+    pub fn to_ledger(&self) -> Ledger {
+        let mut ledger = Ledger::new();
+        for &j in self.implemented_at.keys() {
+            ledger.record_cost(j, self.costs[j.index() as usize]);
+        }
+        for (&u, &p) in &self.payments {
+            ledger.record_payment(u, self.assignments[&u], p);
+        }
+        ledger
+    }
+
+    /// Summary statistics against per-user true value series.
+    #[must_use]
+    pub fn stats(&self, truth: &BTreeMap<UserId, SlotSeries>) -> osp_econ::Stats {
+        let realized = truth
+            .iter()
+            .map(|(&u, series)| (u, self.realized_value(u, series)))
+            .collect();
+        self.to_ledger().stats(&realized)
+    }
+}
+
+/// Batch driver: reveals every bid at its start slot and advances
+/// through the horizon.
+pub fn run(game: &SubstOnGame, tiebreak: TieBreak) -> Result<SubstOnOutcome> {
+    let mut state = SubstOnState::new(game.costs.clone(), game.horizon, tiebreak)?;
+    let mut by_start: BTreeMap<SlotId, Vec<&SubstOnlineBid>> = BTreeMap::new();
+    for bid in &game.bids {
+        by_start.entry(bid.start()).or_default().push(bid);
+    }
+    for t in 1..=game.horizon {
+        if let Some(bids) = by_start.get(&SlotId(t)) {
+            for &bid in bids {
+                state.submit(bid.clone())?;
+            }
+        }
+        state.advance()?;
+    }
+    state.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(d: i64) -> Money {
+        Money::from_dollars(d)
+    }
+
+    fn bid(u: u32, start: u32, end: u32, value: i64, subs: &[u32]) -> SubstOnlineBid {
+        let len = (end - start + 1) as usize;
+        SubstOnlineBid {
+            user: UserId(u),
+            substitutes: subs.iter().map(|&j| OptId(j)).collect(),
+            series: SlotSeries::new(SlotId(start), vec![m(value); len]).unwrap(),
+        }
+    }
+
+    /// Paper Example 8: C1=60, C2=100, C3=50 (opt0..opt2); user 1 bids
+    /// (1,2,100,{1,2}), user 2 bids (2,3,100,{1,2,3}), user 3 bids
+    /// (3,3,100,{3}).
+    fn example_8() -> SubstOnGame {
+        SubstOnGame::new(
+            3,
+            vec![m(60), m(100), m(50)],
+            vec![
+                bid(0, 1, 2, 100, &[0, 1]),
+                bid(1, 2, 3, 100, &[0, 1, 2]),
+                bid(2, 3, 3, 100, &[2]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn example_8_full_walkthrough() {
+        let out = run(&example_8(), TieBreak::LowestOptId).unwrap();
+
+        // t=1: opt0 implemented for u0.
+        assert_eq!(out.implemented_at[&OptId(0)], SlotId(1));
+        assert_eq!(out.assignments[&UserId(0)], OptId(0));
+        assert_eq!(out.first_serviced[&UserId(0)], SlotId(1));
+
+        // t=2: u1 joins opt0 (share falls to 30); u0 leaves paying 30.
+        assert_eq!(out.assignments[&UserId(1)], OptId(0));
+        assert_eq!(out.first_serviced[&UserId(1)], SlotId(2));
+        assert_eq!(out.payments[&UserId(0)], m(30));
+
+        // t=3: opt2 implemented for u2 alone at 50; u1 cannot switch and
+        // pays opt0's share of 30.
+        assert_eq!(out.implemented_at[&OptId(2)], SlotId(3));
+        assert_eq!(out.assignments[&UserId(2)], OptId(2));
+        assert_eq!(out.payments[&UserId(1)], m(30));
+        assert_eq!(out.payments[&UserId(2)], m(50));
+
+        // opt1 is never implemented.
+        assert!(!out.implemented_at.contains_key(&OptId(1)));
+    }
+
+    #[test]
+    fn example_8_accounting() {
+        let out = run(&example_8(), TieBreak::LowestOptId).unwrap();
+        assert_eq!(out.total_cost(), m(110));
+        assert_eq!(out.total_payments(), m(110));
+        let ledger = out.to_ledger();
+        assert!(ledger.is_cost_recovering());
+
+        let truth: BTreeMap<UserId, SlotSeries> = example_8()
+            .bids
+            .iter()
+            .map(|b| (b.user, b.series.clone()))
+            .collect();
+        let stats = out.stats(&truth);
+        // u0 serviced t1..2 (value 200), u1 t2..3 (200), u2 t3 (100).
+        assert_eq!(stats.total_value, m(500));
+        assert_eq!(stats.total_utility, m(390));
+        assert_eq!(stats.cloud_balance, Money::ZERO);
+    }
+
+    #[test]
+    fn example_8_no_switch_rule() {
+        // The Example 8 discussion: a fourth user wanting {opt0, opt2}
+        // arrives at t=3 and bids only for opt2, hoping u1 switches from
+        // opt0 to opt2 to cut her share. u1 must not switch: u3 and u2
+        // share opt2 at 25 each, u1 still pays opt0's 30.
+        let game = SubstOnGame::new(
+            3,
+            vec![m(60), m(100), m(50)],
+            vec![
+                bid(0, 1, 2, 100, &[0, 1]),
+                bid(1, 2, 3, 100, &[0, 1, 2]),
+                bid(2, 3, 3, 100, &[2]),
+                bid(3, 3, 3, 100, &[2]),
+            ],
+        )
+        .unwrap();
+        let out = run(&game, TieBreak::LowestOptId).unwrap();
+        assert_eq!(out.assignments[&UserId(1)], OptId(0));
+        assert_eq!(out.payments[&UserId(1)], m(30));
+        assert_eq!(out.payments[&UserId(2)], m(25));
+        assert_eq!(out.payments[&UserId(3)], m(25));
+    }
+
+    #[test]
+    fn unserviced_users_pay_nothing() {
+        let game = SubstOnGame::new(
+            2,
+            vec![m(1000)],
+            vec![bid(0, 1, 2, 10, &[0]), bid(1, 2, 2, 10, &[0])],
+        )
+        .unwrap();
+        let out = run(&game, TieBreak::LowestOptId).unwrap();
+        assert!(out.payments.is_empty());
+        assert!(out.implemented_at.is_empty());
+        assert_eq!(out.total_payments(), Money::ZERO);
+    }
+
+    #[test]
+    fn interactive_protocol_violations() {
+        let mut st = SubstOnState::new(vec![m(10)], 2, TieBreak::LowestOptId).unwrap();
+        st.submit(bid(0, 1, 2, 10, &[0])).unwrap();
+        st.advance().unwrap();
+        assert!(matches!(
+            st.submit(bid(1, 1, 1, 10, &[0])),
+            Err(MechanismError::RetroactiveBid { .. })
+        ));
+        assert!(matches!(
+            st.submit(bid(2, 2, 2, 10, &[7])),
+            Err(MechanismError::UnknownOpt { .. })
+        ));
+        assert!(matches!(
+            st.submit(bid(0, 2, 2, 10, &[0])),
+            Err(MechanismError::DuplicateUser { .. })
+        ));
+    }
+
+    #[test]
+    fn late_join_lowers_shares_for_remaining_users() {
+        // u0 implements opt0 alone at t=1 and leaves at t=3; u1 and u2
+        // join later; everyone's exit share reflects the grown set.
+        let game = SubstOnGame::new(
+            3,
+            vec![m(90)],
+            vec![
+                bid(0, 1, 3, 100, &[0]),
+                bid(1, 2, 3, 50, &[0]),
+                bid(2, 3, 3, 40, &[0]),
+            ],
+        )
+        .unwrap();
+        let out = run(&game, TieBreak::LowestOptId).unwrap();
+        assert_eq!(out.payments[&UserId(0)], m(30));
+        assert_eq!(out.payments[&UserId(1)], m(30));
+        assert_eq!(out.payments[&UserId(2)], m(30));
+    }
+}

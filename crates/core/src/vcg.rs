@@ -1,0 +1,230 @@
+//! Vickrey–Clarke–Groves pricing for additive offline games — the
+//! *other* corner of the impossibility triangle.
+//!
+//! Moulin–Shenker (the paper's \[27\]) prove no mechanism is truthful,
+//! budget-balanced and efficient at once. The paper's mechanisms keep
+//! truthfulness + budget balance and sacrifice efficiency; VCG keeps
+//! truthfulness + efficiency and sacrifices budget balance. This module
+//! implements VCG with Clarke pivot payments for the additive offline
+//! setting so experiments can measure the trade both ways (see the
+//! `efficiency_gap` ablation).
+//!
+//! For additive games the welfare-optimal alternative decomposes per
+//! optimization: implement `j` iff `Σ_i b_ij ≥ C_j` and grant every
+//! bidder (grants are free). The Clarke payment charges each user the
+//! externality she imposes: she pays only when *pivotal* — when `j`
+//! would not be worth building without her — and then exactly the gap
+//! `C_j − Σ_{k≠i} b_kj`.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use osp_econ::{Money, OptId, UserId};
+
+use crate::game::AdditiveOfflineGame;
+
+/// Outcome of the VCG mechanism.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VcgOutcome {
+    /// Implemented optimizations (those with `Σ_i b_ij ≥ C_j`).
+    pub implemented: BTreeMap<OptId, Money>,
+    /// Clarke pivot payments per user and optimization (only pivotal
+    /// users pay).
+    pub payments: BTreeMap<(UserId, OptId), Money>,
+}
+
+impl VcgOutcome {
+    /// `P_i = Σ_j p_ij`.
+    #[must_use]
+    pub fn total_paid_by(&self, user: UserId) -> Money {
+        self.payments
+            .iter()
+            .filter(|(&(u, _), _)| u == user)
+            .map(|(_, &p)| p)
+            .sum()
+    }
+
+    /// Total collected — typically *below* the implemented cost: the
+    /// VCG deficit the cloud must eat.
+    #[must_use]
+    pub fn total_payments(&self) -> Money {
+        self.payments.values().copied().sum()
+    }
+
+    /// Total implemented cost, given the game's costs.
+    #[must_use]
+    pub fn total_cost(&self, cost_of: impl Fn(OptId) -> Money) -> Money {
+        self.implemented.keys().map(|&j| cost_of(j)).sum()
+    }
+
+    /// The deficit `C(a) − Σ_i P_i` (≥ 0 is a loss for the cloud).
+    #[must_use]
+    pub fn deficit(&self, cost_of: impl Fn(OptId) -> Money) -> Money {
+        self.total_cost(cost_of) - self.total_payments()
+    }
+}
+
+/// Runs VCG with Clarke payments.
+#[must_use]
+pub fn run(game: &AdditiveOfflineGame) -> VcgOutcome {
+    let mut implemented = BTreeMap::new();
+    let mut payments = BTreeMap::new();
+    for j in (0..game.num_opts()).map(OptId) {
+        let cost = game.cost(j);
+        let bids: Vec<(UserId, Money)> = game.bids_on(j).collect();
+        let total: Money = bids.iter().map(|&(_, b)| b).sum();
+        if total < cost {
+            continue; // not welfare-positive — skip either way
+        }
+        implemented.insert(j, cost);
+        for &(u, b) in &bids {
+            let without = total - b;
+            if without < cost {
+                // Pivotal: without u the optimization dies; she pays the
+                // welfare the others lose, C_j − Σ_{k≠i} b_kj.
+                let p = cost - without;
+                if p.is_positive() {
+                    payments.insert((u, j), p);
+                }
+            }
+        }
+    }
+    VcgOutcome {
+        implemented,
+        payments,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::welfare;
+    use proptest::prelude::*;
+
+    fn m(d: i64) -> Money {
+        Money::from_dollars(d)
+    }
+
+    fn build(costs: &[i64], bids: &[(u32, u32, i64)]) -> AdditiveOfflineGame {
+        let mut g = AdditiveOfflineGame::new(costs.iter().map(|&c| m(c)).collect()).unwrap();
+        for &(u, j, b) in bids {
+            g.bid(UserId(u), OptId(j), m(b)).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn pivotal_users_pay_their_externality() {
+        // C = 100; bids 70 + 60: both pivotal. u0 pays 100−60 = 40,
+        // u1 pays 100−70 = 30. Deficit = 100 − 70 = 30.
+        let g = build(&[100], &[(0, 0, 70), (1, 0, 60)]);
+        let out = run(&g);
+        assert_eq!(out.payments[&(UserId(0), OptId(0))], m(40));
+        assert_eq!(out.payments[&(UserId(1), OptId(0))], m(30));
+        assert_eq!(out.deficit(|j| g.cost(j)), m(30));
+    }
+
+    #[test]
+    fn non_pivotal_users_ride_free() {
+        // Total 300 ≫ C = 100: nobody is pivotal, nobody pays — the
+        // cloud eats the whole cost. (Exactly why VCG cannot be used
+        // as-is for cost recovery, §3's impossibility.)
+        let g = build(&[100], &[(0, 0, 150), (1, 0, 150)]);
+        let out = run(&g);
+        assert!(out.payments.is_empty());
+        assert_eq!(out.deficit(|j| g.cost(j)), m(100));
+    }
+
+    #[test]
+    fn vcg_implements_what_shapley_cannot() {
+        // Bids 30 + 80 cover C = 100 in total, but the Shapley
+        // mechanism drops u0 (30 < 50) and then dies (80 < 100);
+        // VCG implements because total welfare is positive.
+        let g = build(&[100], &[(0, 0, 30), (1, 0, 80)]);
+        let shapley = crate::addoff::run(&g);
+        assert!(shapley.implemented.is_empty());
+        let vcg = run(&g);
+        assert!(vcg.implemented.contains_key(&OptId(0)));
+        // u1 pays 100−30 = 70, u0 pays 100−80 = 20: collected 90 < 100.
+        assert_eq!(vcg.total_payments(), m(90));
+    }
+
+    proptest! {
+        /// VCG welfare equals the first-best welfare.
+        #[test]
+        fn vcg_is_efficient(
+            costs in proptest::collection::vec(1i64..300, 1..4),
+            raw in proptest::collection::vec((0u32..4, 0i64..200), 0..12),
+        ) {
+            let n = costs.len() as u32;
+            let mut g = AdditiveOfflineGame::new(
+                costs.iter().map(|&c| Money::from_cents(c)).collect(),
+            ).unwrap();
+            for (i, (j, c)) in raw.iter().enumerate() {
+                g.bid(UserId(u32::try_from(i).unwrap()), OptId(j % n), Money::from_cents(*c)).unwrap();
+            }
+            let out = run(&g);
+            let welfare_achieved: Money = out
+                .implemented
+                .keys()
+                .map(|&j| {
+                    g.bids_on(j).map(|(_, b)| b).sum::<Money>() - g.cost(j)
+                })
+                .sum();
+            prop_assert_eq!(welfare_achieved, welfare::optimal_additive_offline(&g));
+        }
+
+        /// VCG truthfulness and individual rationality: unilateral
+        /// deviation never helps, truthful users never pay above value.
+        #[test]
+        fn vcg_is_truthful_and_ir(
+            cost in 1i64..300,
+            vals in proptest::collection::vec(0i64..200, 1..8),
+            deviation in 0i64..400,
+        ) {
+            let build = |bids: &[Money]| {
+                let mut g = AdditiveOfflineGame::new(vec![Money::from_cents(cost)]).unwrap();
+                for (i, &b) in bids.iter().enumerate() {
+                    g.bid(UserId(u32::try_from(i).unwrap()), OptId(0), b).unwrap();
+                }
+                g
+            };
+            let truth: Vec<Money> = vals.iter().map(|&v| Money::from_cents(v)).collect();
+            let honest_game = build(&truth);
+            let honest = run(&honest_game);
+            for i in 0..truth.len() {
+                let u = UserId(u32::try_from(i).unwrap());
+                let value_if = |out: &VcgOutcome| {
+                    if out.implemented.contains_key(&OptId(0)) {
+                        truth[i]
+                    } else {
+                        Money::ZERO
+                    }
+                };
+                let honest_utility = value_if(&honest) - honest.total_paid_by(u);
+                prop_assert!(!honest_utility.is_negative(), "VCG violates IR");
+                let mut lied_bids = truth.clone();
+                lied_bids[i] = Money::from_cents(deviation);
+                let lied = run(&build(&lied_bids));
+                let lied_utility = value_if(&lied) - lied.total_paid_by(u);
+                prop_assert!(lied_utility <= honest_utility);
+            }
+        }
+
+        /// VCG never collects more than the cost (no budget surplus in
+        /// this decomposable setting), so its balance is a deficit.
+        #[test]
+        fn vcg_never_over_collects(
+            cost in 1i64..300,
+            vals in proptest::collection::vec(0i64..200, 1..8),
+        ) {
+            let mut g = AdditiveOfflineGame::new(vec![Money::from_cents(cost)]).unwrap();
+            for (i, &v) in vals.iter().enumerate() {
+                g.bid(UserId(u32::try_from(i).unwrap()), OptId(0), Money::from_cents(v)).unwrap();
+            }
+            let out = run(&g);
+            prop_assert!(!out.deficit(|j| g.cost(j)).is_negative());
+        }
+    }
+}

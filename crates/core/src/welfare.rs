@@ -1,0 +1,212 @@
+//! Welfare-optimal benchmarks (the efficiency bound the mechanisms
+//! trade away).
+//!
+//! No mechanism can be truthful, cost-recovering *and* efficient
+//! simultaneously (Moulin & Shenker, cited as \[27\] in the paper), so
+//! AddOn/SubstOn deliberately give up some total utility. These
+//! functions compute the first-best total utility — what an omniscient,
+//! non-strategic planner would achieve — so experiments can report the
+//! efficiency gap (`ablation: efficiency_gap` in DESIGN.md).
+
+use osp_econ::{Money, ValueSchedule};
+
+use crate::game::{AdditiveOfflineGame, SubstBid, SubstOffGame};
+
+/// First-best welfare for an offline additive game.
+///
+/// Grant pairs are free; only implementations cost. So the planner
+/// implements `j` iff the *total* declared value `Σ_i b_ij` covers
+/// `C_j`, granting everyone: welfare `= Σ_j max(0, Σ_i b_ij − C_j)`.
+#[must_use]
+pub fn optimal_additive_offline(game: &AdditiveOfflineGame) -> Money {
+    (0..game.num_opts())
+        .map(|j| {
+            let j = osp_econ::OptId(j);
+            let total: Money = game.bids_on(j).map(|(_, b)| b).sum();
+            (total - game.cost(j)).clamp_non_negative()
+        })
+        .sum()
+}
+
+/// First-best welfare for an online additive game given the full value
+/// schedule.
+///
+/// Implementing earlier is always weakly better (users realize a longer
+/// suffix of their values), so the planner implements at slot 1 every
+/// optimization whose total value covers its cost.
+#[must_use]
+pub fn optimal_additive_online(costs: &[Money], values: &ValueSchedule) -> Money {
+    costs
+        .iter()
+        .enumerate()
+        .map(|(idx, &cost)| {
+            let j = osp_econ::OptId(u32::try_from(idx).unwrap());
+            let total: Money = values.opt_entries(j).map(|(_, s)| s.total()).sum();
+            (total - cost).clamp_non_negative()
+        })
+        .sum()
+}
+
+/// First-best welfare for an offline substitutable game, by exhaustive
+/// search over implementation sets.
+///
+/// Welfare of implementing `A ⊆ J` is
+/// `Σ_{i : J_i ∩ A ≠ ∅} v_i − Σ_{j ∈ A} C_j`; the maximization is
+/// set-cover-like (NP-hard), so this is exponential in `n` and intended
+/// for the small games of the experiments.
+///
+/// # Panics
+/// Panics if the game has more than 24 optimizations.
+#[must_use]
+pub fn optimal_subst_offline(game: &SubstOffGame) -> Money {
+    optimal_subst(&game.costs, &game.bids)
+}
+
+/// Shared exhaustive search (also used for the online bound, where the
+/// planner implements everything worthwhile at slot 1 and each user's
+/// `v_i` is her whole-interval value).
+#[must_use]
+pub fn optimal_subst(costs: &[Money], bids: &[SubstBid]) -> Money {
+    let n = costs.len();
+    assert!(n <= 24, "exhaustive search limited to 24 optimizations");
+    let mut best = Money::ZERO; // A = ∅ is always available
+    for mask in 1u32..(1u32 << n) {
+        let cost: Money = (0..n)
+            .filter(|&j| mask & (1 << j) != 0)
+            .map(|j| costs[j])
+            .sum();
+        let value: Money = bids
+            .iter()
+            .filter(|b| b.substitutes.iter().any(|j| mask & (1 << j.index()) != 0))
+            .map(|b| b.value)
+            .sum();
+        best = best.max(value - cost);
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osp_econ::schedule::SlotSeries;
+    use osp_econ::{OptId, SlotId, UserId};
+
+    fn m(d: i64) -> Money {
+        Money::from_dollars(d)
+    }
+
+    #[test]
+    fn additive_offline_sums_profitable_opts() {
+        let mut g = AdditiveOfflineGame::new(vec![m(100), m(50)]).unwrap();
+        g.bid(UserId(0), OptId(0), m(70)).unwrap();
+        g.bid(UserId(1), OptId(0), m(60)).unwrap();
+        g.bid(UserId(0), OptId(1), m(20)).unwrap();
+        // opt0: 130 − 100 = 30; opt1: 20 < 50 → skip.
+        assert_eq!(optimal_additive_offline(&g), m(30));
+    }
+
+    #[test]
+    fn additive_online_uses_total_values() {
+        let mut v = ValueSchedule::new(3);
+        v.set(
+            UserId(0),
+            OptId(0),
+            SlotSeries::new(SlotId(1), vec![m(40), m(40), m(40)]).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(optimal_additive_online(&[m(100)], &v), m(20));
+        assert_eq!(optimal_additive_online(&[m(121)], &v), Money::ZERO);
+    }
+
+    #[test]
+    fn subst_search_finds_covering_set() {
+        // Example 5 game: the planner implements opt0 (60) for u0+u2
+        // (160 value), opt2 (100) for u1 (101), and opt1 (180) is not
+        // worth u3's 70. Optimal = (100+60+101+0) − 160 = 101… checked
+        // exhaustively.
+        let bids = vec![
+            SubstBid {
+                user: UserId(0),
+                substitutes: [OptId(0), OptId(1)].into(),
+                value: m(100),
+            },
+            SubstBid {
+                user: UserId(1),
+                substitutes: [OptId(2)].into(),
+                value: m(101),
+            },
+            SubstBid {
+                user: UserId(2),
+                substitutes: [OptId(0), OptId(1), OptId(2)].into(),
+                value: m(60),
+            },
+            SubstBid {
+                user: UserId(3),
+                substitutes: [OptId(1)].into(),
+                value: m(70),
+            },
+        ];
+        let game = SubstOffGame::new(vec![m(60), m(180), m(100)], bids).unwrap();
+        assert_eq!(optimal_subst_offline(&game), m(101));
+    }
+
+    #[test]
+    fn subst_search_empty_set_when_nothing_profitable() {
+        let game = SubstOffGame::new(
+            vec![m(100)],
+            vec![SubstBid {
+                user: UserId(0),
+                substitutes: [OptId(0)].into(),
+                value: m(10),
+            }],
+        )
+        .unwrap();
+        assert_eq!(optimal_subst_offline(&game), Money::ZERO);
+    }
+
+    #[test]
+    fn mechanism_welfare_never_exceeds_first_best() {
+        // The Shapley outcome for Example 5 yields welfare
+        // (100 + 60 + 101) − (60 + 100) = 101 — here it *matches* the
+        // first-best; in general it can only be lower.
+        let game = SubstOffGame::new(
+            vec![m(60), m(180), m(100)],
+            vec![
+                SubstBid {
+                    user: UserId(0),
+                    substitutes: [OptId(0), OptId(1)].into(),
+                    value: m(100),
+                },
+                SubstBid {
+                    user: UserId(1),
+                    substitutes: [OptId(2)].into(),
+                    value: m(101),
+                },
+                SubstBid {
+                    user: UserId(2),
+                    substitutes: [OptId(0), OptId(1), OptId(2)].into(),
+                    value: m(60),
+                },
+                SubstBid {
+                    user: UserId(3),
+                    substitutes: [OptId(1)].into(),
+                    value: m(70),
+                },
+            ],
+        )
+        .unwrap();
+        let out = crate::substoff::run(&game, crate::substoff::TieBreak::LowestOptId);
+        let value: Money = out
+            .assignments
+            .keys()
+            .map(|u| game.bids.iter().find(|b| b.user == *u).unwrap().value)
+            .sum();
+        let cost: Money = out
+            .implemented
+            .keys()
+            .map(|j| game.costs[j.index() as usize])
+            .sum();
+        assert!(value - cost <= optimal_subst_offline(&game));
+        assert_eq!(value - cost, m(101));
+    }
+}

@@ -1,0 +1,130 @@
+//! Typed identifiers for the paper's three index sets (Table 1).
+//!
+//! * [`UserId`] — a user `i ∈ I = {1, …, m}`.
+//! * [`OptId`] — an optimization `j ∈ J = {1, …, n}`.
+//! * [`SlotId`] — a time-slot `t ∈ T = {1, …, z}`. Slots are **1-based**
+//!   throughout the workspace to keep code side-by-side comparable with
+//!   the paper's examples (e.g. Example 3 uses `t = 1, 2, 3`).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! id_type {
+    ($(#[$meta:meta])* $name:ident, $prefix:literal) => {
+        $(#[$meta])*
+        #[derive(
+            Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        #[serde(transparent)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// The raw index.
+            #[must_use]
+            pub const fn index(self) -> u32 {
+                self.0
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::Debug::fmt(self, f)
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(v: u32) -> Self {
+                $name(v)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A user (player) in the cost-sharing game.
+    UserId,
+    "u"
+);
+id_type!(
+    /// An optimization the cloud may implement (index, materialized
+    /// view, replica, …).
+    OptId,
+    "opt"
+);
+id_type!(
+    /// A time-slot; the smallest interval for which service can be
+    /// bought (§5.1). 1-based.
+    SlotId,
+    "t"
+);
+
+impl SlotId {
+    /// First slot of every horizon.
+    pub const FIRST: SlotId = SlotId(1);
+
+    /// The next slot.
+    #[must_use]
+    pub const fn next(self) -> SlotId {
+        SlotId(self.0 + 1)
+    }
+
+    /// Iterator over the inclusive slot range `[self, end]`.
+    pub fn to_inclusive(self, end: SlotId) -> impl Iterator<Item = SlotId> {
+        (self.0..=end.0).map(SlotId)
+    }
+}
+
+/// Iterator over all slots `1..=horizon`.
+pub fn slots(horizon: u32) -> impl Iterator<Item = SlotId> {
+    (1..=horizon).map(SlotId)
+}
+
+/// Iterator over users `u0..u(count-1)`.
+pub fn users(count: u32) -> impl Iterator<Item = UserId> {
+    (0..count).map(UserId)
+}
+
+/// Iterator over optimizations `opt0..opt(count-1)`.
+pub fn opts(count: u32) -> impl Iterator<Item = OptId> {
+    (0..count).map(OptId)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_uses_prefixes() {
+        assert_eq!(UserId(3).to_string(), "u3");
+        assert_eq!(OptId(1).to_string(), "opt1");
+        assert_eq!(SlotId(12).to_string(), "t12");
+    }
+
+    #[test]
+    fn slot_ranges_are_inclusive() {
+        let r: Vec<_> = SlotId(2).to_inclusive(SlotId(4)).collect();
+        assert_eq!(r, vec![SlotId(2), SlotId(3), SlotId(4)]);
+        assert_eq!(SlotId(3).to_inclusive(SlotId(2)).count(), 0);
+    }
+
+    #[test]
+    fn generators_cover_ranges() {
+        assert_eq!(slots(3).count(), 3);
+        assert_eq!(users(0).count(), 0);
+        assert_eq!(opts(2).last(), Some(OptId(1)));
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(UserId(1) < UserId(2));
+        assert!(SlotId::FIRST < SlotId(2));
+        assert_eq!(SlotId(1).next(), SlotId(2));
+    }
+}

@@ -1,0 +1,269 @@
+//! Payment and cost bookkeeping shared by mechanisms and baseline.
+//!
+//! Both the mechanism crates and the regret baseline report through a
+//! [`Ledger`], so every experiment compares identical quantities:
+//!
+//! * **total utility** (Eq. 3's objective): realized user value minus
+//!   implemented-optimization cost;
+//! * **cost recovery** (Eq. 4): `C(a) ≤ Σ_i P_i`;
+//! * **cloud balance**: total payments minus total cost — negative
+//!   means the cloud lost money (the "Regret Balance" series of
+//!   Figures 1–2).
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{OptId, UserId};
+use crate::money::Money;
+
+/// Accumulates implemented-optimization costs and user payments.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Ledger {
+    // Serialized as a flat list of triples: JSON maps need string keys.
+    #[serde(with = "payments_as_list")]
+    payments: BTreeMap<(UserId, OptId), Money>,
+    costs: BTreeMap<OptId, Money>,
+}
+
+mod payments_as_list {
+    use super::*;
+    use serde::{Deserializer, Serializer};
+
+    pub(super) fn serialize<S: Serializer>(
+        payments: &BTreeMap<(UserId, OptId), Money>,
+        serializer: S,
+    ) -> Result<S::Ok, S::Error> {
+        let flat: Vec<(&UserId, &OptId, &Money)> =
+            payments.iter().map(|((u, j), p)| (u, j, p)).collect();
+        flat.serialize(serializer)
+    }
+
+    pub(super) fn deserialize<'de, D: Deserializer<'de>>(
+        deserializer: D,
+    ) -> Result<BTreeMap<(UserId, OptId), Money>, D::Error> {
+        let flat = Vec::<(UserId, OptId, Money)>::deserialize(deserializer)?;
+        Ok(flat.into_iter().map(|(u, j, p)| ((u, j), p)).collect())
+    }
+}
+
+impl Ledger {
+    /// An empty ledger.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records that the cloud implemented `opt` at cost `cost`.
+    /// Recording the same optimization twice is a caller bug.
+    pub fn record_cost(&mut self, opt: OptId, cost: Money) {
+        let prev = self.costs.insert(opt, cost);
+        debug_assert!(prev.is_none(), "optimization {opt} implemented twice");
+    }
+
+    /// Adds `amount` to user `user`'s payment for `opt`.
+    pub fn record_payment(&mut self, user: UserId, opt: OptId, amount: Money) {
+        if amount.is_zero() {
+            return;
+        }
+        *self
+            .payments
+            .entry((user, opt))
+            .or_insert(Money::ZERO) += amount;
+    }
+
+    /// `p_ij` — what `user` paid for `opt`.
+    #[must_use]
+    pub fn payment(&self, user: UserId, opt: OptId) -> Money {
+        self.payments
+            .get(&(user, opt))
+            .copied()
+            .unwrap_or(Money::ZERO)
+    }
+
+    /// `P_i = Σ_j p_ij` — user `user`'s total payment.
+    #[must_use]
+    pub fn total_paid_by(&self, user: UserId) -> Money {
+        self.payments
+            .iter()
+            .filter(|(&(u, _), _)| u == user)
+            .map(|(_, &p)| p)
+            .sum()
+    }
+
+    /// `Σ_i P_i` — all payments.
+    #[must_use]
+    pub fn total_payments(&self) -> Money {
+        self.payments.values().copied().sum()
+    }
+
+    /// `C(a)` — cost of all implemented optimizations.
+    #[must_use]
+    pub fn total_cost(&self) -> Money {
+        self.costs.values().copied().sum()
+    }
+
+    /// The implemented optimizations and their costs.
+    pub fn implemented(&self) -> impl Iterator<Item = (OptId, Money)> + '_ {
+        self.costs.iter().map(|(&j, &c)| (j, c))
+    }
+
+    /// `true` iff `opt` was implemented.
+    #[must_use]
+    pub fn is_implemented(&self, opt: OptId) -> bool {
+        self.costs.contains_key(&opt)
+    }
+
+    /// Payments minus costs. Negative ⇒ the cloud incurred a loss.
+    ///
+    /// Note: §7.1's prose defines balance as "costs minus payments" yet
+    /// immediately says "a negative balance means the cloud incurs a
+    /// loss", and the figures plot loss as a dip below zero. We follow
+    /// the sign convention the figures use.
+    #[must_use]
+    pub fn cloud_balance(&self) -> Money {
+        self.total_payments() - self.total_cost()
+    }
+
+    /// Eq. 4: `C(a) ≤ Σ_i P_i`.
+    #[must_use]
+    pub fn is_cost_recovering(&self) -> bool {
+        !self.cloud_balance().is_negative()
+    }
+
+    /// Derives the summary statistics given the realized value of each
+    /// user (the value over slots actually serviced, measured against
+    /// **true** values, not bids).
+    #[must_use]
+    pub fn stats(&self, realized: &BTreeMap<UserId, Money>) -> Stats {
+        let total_value: Money = realized.values().copied().sum();
+        let total_cost = self.total_cost();
+        let total_payments = self.total_payments();
+        let mut per_user = BTreeMap::new();
+        for (&user, &value) in realized {
+            let paid = self.total_paid_by(user);
+            per_user.insert(
+                user,
+                UserStats {
+                    value,
+                    paid,
+                    utility: value - paid,
+                },
+            );
+        }
+        // Users who paid without appearing in `realized` (possible under
+        // strategic misreporting) still show up in the accounts.
+        for &(user, _) in self.payments.keys() {
+            per_user.entry(user).or_insert_with(|| {
+                let paid = self.total_paid_by(user);
+                UserStats {
+                    value: Money::ZERO,
+                    paid,
+                    utility: -paid,
+                }
+            });
+        }
+        Stats {
+            total_value,
+            total_cost,
+            total_payments,
+            total_utility: total_value - total_cost,
+            cloud_balance: total_payments - total_cost,
+            per_user,
+        }
+    }
+}
+
+/// Per-user accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UserStats {
+    /// Realized (true) value over serviced slots.
+    pub value: Money,
+    /// Total payment `P_i`.
+    pub paid: Money,
+    /// `U_i = V_i − P_i` (§3).
+    pub utility: Money,
+}
+
+/// Game-level accounting.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Stats {
+    /// `Σ_i V_i(a)` over serviced slots.
+    pub total_value: Money,
+    /// `C(a)`.
+    pub total_cost: Money,
+    /// `Σ_i P_i`.
+    pub total_payments: Money,
+    /// Total social utility `Σ_i V_i(a) − C(a)` (the objective of
+    /// Eq. 3; §7.1 uses the same definition for the baseline).
+    pub total_utility: Money,
+    /// Payments minus costs; negative ⇒ cloud loss.
+    pub cloud_balance: Money,
+    /// Per-user breakdown.
+    pub per_user: BTreeMap<UserId, UserStats>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(d: i64) -> Money {
+        Money::from_dollars(d)
+    }
+
+    #[test]
+    fn payments_accumulate() {
+        let mut l = Ledger::new();
+        l.record_payment(UserId(0), OptId(0), m(10));
+        l.record_payment(UserId(0), OptId(0), m(5));
+        l.record_payment(UserId(0), OptId(1), m(1));
+        assert_eq!(l.payment(UserId(0), OptId(0)), m(15));
+        assert_eq!(l.total_paid_by(UserId(0)), m(16));
+        assert_eq!(l.total_payments(), m(16));
+    }
+
+    #[test]
+    fn zero_payments_are_not_stored() {
+        let mut l = Ledger::new();
+        l.record_payment(UserId(0), OptId(0), Money::ZERO);
+        assert_eq!(l, Ledger::new());
+    }
+
+    #[test]
+    fn balance_sign_convention() {
+        let mut l = Ledger::new();
+        l.record_cost(OptId(0), m(100));
+        l.record_payment(UserId(0), OptId(0), m(60));
+        // Paid 60 of a 100 cost: the cloud lost 40.
+        assert_eq!(l.cloud_balance(), m(-40));
+        assert!(!l.is_cost_recovering());
+        l.record_payment(UserId(1), OptId(0), m(40));
+        assert!(l.is_cost_recovering());
+    }
+
+    #[test]
+    fn stats_cover_paying_users_without_value() {
+        let mut l = Ledger::new();
+        l.record_cost(OptId(0), m(100));
+        l.record_payment(UserId(0), OptId(0), m(100));
+        let realized = BTreeMap::from([(UserId(1), m(30))]);
+        let stats = l.stats(&realized);
+        assert_eq!(stats.total_value, m(30));
+        assert_eq!(stats.total_utility, m(-70));
+        assert_eq!(stats.per_user[&UserId(0)].utility, m(-100));
+        assert_eq!(stats.per_user[&UserId(1)].utility, m(30));
+    }
+
+    #[test]
+    fn example_3_payments() {
+        // Paper Example 3: four users pay 100, 25, 25, 25 for a cost-100
+        // optimization — the cloud over-recovers by 75.
+        let mut l = Ledger::new();
+        l.record_cost(OptId(0), m(100));
+        for (u, p) in [(0, 100), (1, 25), (2, 25), (3, 25)] {
+            l.record_payment(UserId(u), OptId(0), m(p));
+        }
+        assert_eq!(l.cloud_balance(), m(75));
+        assert!(l.is_cost_recovering());
+    }
+}

@@ -1,0 +1,9 @@
+//! Exact numeric foundations.
+//!
+//! [`ratio::Ratio`] is the workhorse: a normalized `i128` fraction with
+//! overflow-checked arithmetic and exact comparison. [`wide`] supplies
+//! the 256-bit product comparison that keeps `Ratio`'s ordering exact
+//! even when cross-multiplication overflows `i128`.
+
+pub mod ratio;
+pub mod wide;

@@ -1,0 +1,510 @@
+//! Exact rational numbers over `i128`.
+//!
+//! Every mechanism quantity in this workspace — bids, costs, cost shares
+//! `C_j / |S_j|`, residual values `Σ_{τ≥t} b_ij(τ)` — is a [`Ratio`].
+//! The type maintains two invariants:
+//!
+//! 1. the denominator is strictly positive, and
+//! 2. numerator and denominator are coprime (zero is `0/1`).
+//!
+//! Arithmetic panics on `i128` overflow (an overflow here is a logic bug
+//! in the caller, never a data condition: the paper's games involve
+//! dollar-scale numbers). Checked variants are provided for callers that
+//! prefer to surface overflow as a typed error.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+use super::wide;
+
+/// An exact, normalized rational number.
+///
+/// ```
+/// use osp_econ::Ratio;
+/// let third = Ratio::new(1, 3);
+/// assert_eq!(third + third + third, Ratio::ONE);
+/// assert_eq!(Ratio::new(100, 1) / Ratio::from_int(4), Ratio::new(25, 1));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Ratio {
+    num: i128,
+    den: i128,
+}
+
+impl Ratio {
+    /// Zero (`0/1`).
+    pub const ZERO: Ratio = Ratio { num: 0, den: 1 };
+    /// One (`1/1`).
+    pub const ONE: Ratio = Ratio { num: 1, den: 1 };
+
+    /// Builds `num/den`, normalizing sign and common factors.
+    ///
+    /// # Panics
+    /// Panics if `den == 0`.
+    #[must_use]
+    pub fn new(num: i128, den: i128) -> Self {
+        Self::checked_new(num, den).expect("Ratio denominator must be non-zero")
+    }
+
+    /// Builds `num/den` or returns `None` when `den == 0` or when
+    /// normalization would overflow (`num = i128::MIN` with `den = -1`).
+    #[must_use]
+    pub fn checked_new(num: i128, den: i128) -> Option<Self> {
+        if den == 0 {
+            return None;
+        }
+        if num == 0 {
+            return Some(Self::ZERO);
+        }
+        let g = gcd(num.unsigned_abs(), den.unsigned_abs());
+        // `g` divides both, so these divisions are exact; the casts are
+        // safe because the magnitudes only shrink.
+        let mut n = num / i128::try_from(g).ok()?;
+        let mut d = den / i128::try_from(g).ok()?;
+        if d < 0 {
+            n = n.checked_neg()?;
+            d = d.checked_neg()?;
+        }
+        Some(Ratio { num: n, den: d })
+    }
+
+    /// The rational `n/1`.
+    #[must_use]
+    pub const fn from_int(n: i128) -> Self {
+        Ratio { num: n, den: 1 }
+    }
+
+    /// Numerator of the normalized fraction.
+    #[must_use]
+    pub const fn numer(self) -> i128 {
+        self.num
+    }
+
+    /// Denominator of the normalized fraction (always positive).
+    #[must_use]
+    pub const fn denom(self) -> i128 {
+        self.den
+    }
+
+    /// `true` iff the value is exactly zero.
+    #[must_use]
+    pub const fn is_zero(self) -> bool {
+        self.num == 0
+    }
+
+    /// `true` iff the value is strictly negative.
+    #[must_use]
+    pub const fn is_negative(self) -> bool {
+        self.num < 0
+    }
+
+    /// `true` iff the value is strictly positive.
+    #[must_use]
+    pub const fn is_positive(self) -> bool {
+        self.num > 0
+    }
+
+    /// Absolute value.
+    #[must_use]
+    pub fn abs(self) -> Self {
+        if self.num < 0 {
+            -self
+        } else {
+            self
+        }
+    }
+
+    /// Lossy conversion for reporting and plotting only.
+    #[must_use]
+    pub fn to_f64(self) -> f64 {
+        // Exact when both parts fit in the f64 mantissa, which holds for
+        // every quantity the experiments produce; division keeps the
+        // error at one ulp otherwise.
+        self.num as f64 / self.den as f64
+    }
+
+    /// Checked addition.
+    #[must_use]
+    pub fn checked_add(self, rhs: Self) -> Option<Self> {
+        // a/b + c/d = (a·(d/g) + c·(b/g)) / (b·(d/g)) with g = gcd(b, d):
+        // reducing by g first keeps intermediates small.
+        let g = i128::try_from(gcd(self.den.unsigned_abs(), rhs.den.unsigned_abs())).ok()?;
+        let dg = rhs.den / g;
+        let bg = self.den / g;
+        let num = self.num.checked_mul(dg)?.checked_add(rhs.num.checked_mul(bg)?)?;
+        let den = self.den.checked_mul(dg)?;
+        Self::checked_new(num, den)
+    }
+
+    /// Checked subtraction.
+    #[must_use]
+    pub fn checked_sub(self, rhs: Self) -> Option<Self> {
+        self.checked_add(rhs.checked_neg()?)
+    }
+
+    /// Checked negation.
+    #[must_use]
+    pub fn checked_neg(self) -> Option<Self> {
+        Some(Ratio {
+            num: self.num.checked_neg()?,
+            den: self.den,
+        })
+    }
+
+    /// Checked multiplication.
+    #[must_use]
+    pub fn checked_mul(self, rhs: Self) -> Option<Self> {
+        // Cross-reduce before multiplying to limit growth:
+        // (a/b)·(c/d) = (a/g1)·(c/g2) / ((b/g2)·(d/g1)).
+        let g1 = i128::try_from(gcd(self.num.unsigned_abs(), rhs.den.unsigned_abs())).ok()?;
+        let g2 = i128::try_from(gcd(rhs.num.unsigned_abs(), self.den.unsigned_abs())).ok()?;
+        let num = (self.num / g1).checked_mul(rhs.num / g2)?;
+        let den = (self.den / g2).checked_mul(rhs.den / g1)?;
+        Self::checked_new(num, den)
+    }
+
+    /// Checked division; `None` on division by zero or overflow.
+    #[must_use]
+    pub fn checked_div(self, rhs: Self) -> Option<Self> {
+        if rhs.is_zero() {
+            return None;
+        }
+        self.checked_mul(Ratio {
+            num: rhs.den,
+            den: rhs.num,
+        })
+    }
+
+    /// Exact division by a positive integer count — the shape of every
+    /// Shapley cost share `C_j / |S_j|`.
+    ///
+    /// # Panics
+    /// Panics if `count == 0`.
+    #[must_use]
+    pub fn div_count(self, count: usize) -> Self {
+        assert!(count > 0, "cannot split a cost among zero users");
+        let count = i128::try_from(count).expect("user count fits in i128");
+        self.checked_div(Ratio::from_int(count))
+            .expect("Ratio overflow in div_count")
+    }
+
+    /// Smaller of two values.
+    #[must_use]
+    pub fn min(self, other: Self) -> Self {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Larger of two values.
+    #[must_use]
+    pub fn max(self, other: Self) -> Self {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+/// Binary GCD on magnitudes; `gcd(0, x) = x`.
+fn gcd(mut a: u128, mut b: u128) -> u128 {
+    if a == 0 {
+        return b.max(1);
+    }
+    if b == 0 {
+        return a;
+    }
+    let shift = (a | b).trailing_zeros();
+    a >>= a.trailing_zeros();
+    loop {
+        b >>= b.trailing_zeros();
+        if a > b {
+            std::mem::swap(&mut a, &mut b);
+        }
+        b -= a;
+        if b == 0 {
+            return a << shift;
+        }
+    }
+}
+
+impl Default for Ratio {
+    fn default() -> Self {
+        Self::ZERO
+    }
+}
+
+impl PartialOrd for Ratio {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Ratio {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // a/b vs c/d  <=>  a·d vs c·b (denominators positive). Use the
+        // native product when it cannot overflow, the 256-bit comparison
+        // otherwise.
+        match (
+            self.num.checked_mul(other.den),
+            other.num.checked_mul(self.den),
+        ) {
+            (Some(l), Some(r)) => l.cmp(&r),
+            _ => wide::cmp_prod(self.num, other.den, other.num, self.den),
+        }
+    }
+}
+
+macro_rules! forward_binop {
+    ($trait:ident, $method:ident, $checked:ident, $msg:literal) => {
+        impl $trait for Ratio {
+            type Output = Ratio;
+            fn $method(self, rhs: Ratio) -> Ratio {
+                self.$checked(rhs).expect($msg)
+            }
+        }
+    };
+}
+
+forward_binop!(Add, add, checked_add, "Ratio overflow in addition");
+forward_binop!(Sub, sub, checked_sub, "Ratio overflow in subtraction");
+forward_binop!(Mul, mul, checked_mul, "Ratio overflow in multiplication");
+forward_binop!(Div, div, checked_div, "Ratio division by zero or overflow");
+
+impl Neg for Ratio {
+    type Output = Ratio;
+    fn neg(self) -> Ratio {
+        self.checked_neg().expect("Ratio overflow in negation")
+    }
+}
+
+impl AddAssign for Ratio {
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for Ratio {
+    fn sub_assign(&mut self, rhs: Self) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for Ratio {
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl DivAssign for Ratio {
+    fn div_assign(&mut self, rhs: Self) {
+        *self = *self / rhs;
+    }
+}
+
+impl Sum for Ratio {
+    fn sum<I: Iterator<Item = Ratio>>(iter: I) -> Ratio {
+        iter.fold(Ratio::ZERO, |acc, x| acc + x)
+    }
+}
+
+impl<'a> Sum<&'a Ratio> for Ratio {
+    fn sum<I: Iterator<Item = &'a Ratio>>(iter: I) -> Ratio {
+        iter.copied().sum()
+    }
+}
+
+impl From<i128> for Ratio {
+    fn from(n: i128) -> Self {
+        Self::from_int(n)
+    }
+}
+
+impl From<i64> for Ratio {
+    fn from(n: i64) -> Self {
+        Self::from_int(i128::from(n))
+    }
+}
+
+impl From<u32> for Ratio {
+    fn from(n: u32) -> Self {
+        Self::from_int(i128::from(n))
+    }
+}
+
+impl fmt::Debug for Ratio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl fmt::Display for Ratio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl Serialize for Ratio {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (self.num, self.den).serialize(serializer)
+    }
+}
+
+impl<'de> Deserialize<'de> for Ratio {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let (num, den) = <(i128, i128)>::deserialize(deserializer)?;
+        Ratio::checked_new(num, den)
+            .ok_or_else(|| serde::de::Error::custom("invalid ratio: zero denominator"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn normalization() {
+        assert_eq!(Ratio::new(2, 4), Ratio::new(1, 2));
+        assert_eq!(Ratio::new(-2, -4), Ratio::new(1, 2));
+        assert_eq!(Ratio::new(2, -4), Ratio::new(-1, 2));
+        assert_eq!(Ratio::new(0, -7), Ratio::ZERO);
+        assert_eq!(Ratio::new(0, 5).denom(), 1);
+    }
+
+    #[test]
+    fn zero_denominator_is_rejected() {
+        assert!(Ratio::checked_new(1, 0).is_none());
+    }
+
+    #[test]
+    fn arithmetic_basics() {
+        let a = Ratio::new(1, 2);
+        let b = Ratio::new(1, 3);
+        assert_eq!(a + b, Ratio::new(5, 6));
+        assert_eq!(a - b, Ratio::new(1, 6));
+        assert_eq!(a * b, Ratio::new(1, 6));
+        assert_eq!(a / b, Ratio::new(3, 2));
+        assert_eq!(-a, Ratio::new(-1, 2));
+    }
+
+    #[test]
+    fn div_count_is_exact() {
+        // The canonical cost-share: 100 split three ways, three times
+        // over, reassembles to exactly 100.
+        let share = Ratio::from_int(100).div_count(3);
+        assert_eq!(share + share + share, Ratio::from_int(100));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero users")]
+    fn div_count_zero_panics() {
+        let _ = Ratio::ONE.div_count(0);
+    }
+
+    #[test]
+    fn ordering_with_huge_components() {
+        // Force the wide-comparison path.
+        let a = Ratio::new(i128::MAX - 1, i128::MAX - 2);
+        let b = Ratio::new(i128::MAX - 3, i128::MAX - 4);
+        // a = 1 + 1/(MAX-2), b = 1 + 1/(MAX-4): b has the larger excess.
+        assert!(a < b);
+        assert_eq!(a.cmp(&a), Ordering::Equal);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Ratio::new(3, 1).to_string(), "3");
+        assert_eq!(Ratio::new(-7, 2).to_string(), "-7/2");
+    }
+
+    #[test]
+    fn to_f64_small_values() {
+        assert!((Ratio::new(1, 4).to_f64() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sum_of_iterator() {
+        let xs = [Ratio::new(1, 4), Ratio::new(1, 4), Ratio::new(1, 2)];
+        assert_eq!(xs.iter().sum::<Ratio>(), Ratio::ONE);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let r = Ratio::new(-21, 14);
+        let json = serde_json::to_string(&r).unwrap();
+        let back: Ratio = serde_json::from_str(&json).unwrap();
+        assert_eq!(r, back);
+    }
+
+    #[test]
+    fn serde_rejects_zero_denominator() {
+        let res: Result<Ratio, _> = serde_json::from_str("[1,0]");
+        assert!(res.is_err());
+    }
+
+    fn small_ratio() -> impl Strategy<Value = Ratio> {
+        (-1_000_000i128..1_000_000, 1i128..1_000).prop_map(|(n, d)| Ratio::new(n, d))
+    }
+
+    proptest! {
+        #[test]
+        fn add_commutes(a in small_ratio(), b in small_ratio()) {
+            prop_assert_eq!(a + b, b + a);
+        }
+
+        #[test]
+        fn add_associates(a in small_ratio(), b in small_ratio(), c in small_ratio()) {
+            prop_assert_eq!((a + b) + c, a + (b + c));
+        }
+
+        #[test]
+        fn mul_distributes(a in small_ratio(), b in small_ratio(), c in small_ratio()) {
+            prop_assert_eq!(a * (b + c), a * b + a * c);
+        }
+
+        #[test]
+        fn sub_then_add_round_trips(a in small_ratio(), b in small_ratio()) {
+            prop_assert_eq!(a - b + b, a);
+        }
+
+        #[test]
+        fn div_then_mul_round_trips(a in small_ratio(), b in small_ratio()) {
+            prop_assume!(!b.is_zero());
+            prop_assert_eq!(a / b * b, a);
+        }
+
+        #[test]
+        fn ordering_is_consistent_with_subtraction(a in small_ratio(), b in small_ratio()) {
+            let by_sub = (a - b).numer().cmp(&0);
+            prop_assert_eq!(a.cmp(&b), by_sub);
+        }
+
+        #[test]
+        fn normalized_invariant_holds(a in small_ratio(), b in small_ratio()) {
+            let c = a + b;
+            prop_assert!(c.denom() > 0);
+            let g = super::gcd(c.numer().unsigned_abs(), c.denom().unsigned_abs());
+            prop_assert!(c.is_zero() || g == 1);
+        }
+
+        #[test]
+        fn div_count_reassembles(n in -10_000i128..10_000, k in 1usize..200) {
+            let total = Ratio::from_int(n);
+            let share = total.div_count(k);
+            let sum: Ratio = std::iter::repeat_n(share, k).sum();
+            prop_assert_eq!(sum, total);
+        }
+    }
+}

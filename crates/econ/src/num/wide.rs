@@ -1,0 +1,124 @@
+//! 256-bit helpers for exact product comparison.
+//!
+//! Comparing two rationals `a/b` and `c/d` (with `b, d > 0`) reduces to
+//! comparing the products `a·d` and `c·b`. Those products can overflow
+//! `i128`, so we compare them as sign + 256-bit magnitude instead. The
+//! magnitude product is computed with the schoolbook 64-bit split.
+
+/// Full 256-bit product of two unsigned 128-bit integers as `(hi, lo)`.
+#[must_use]
+pub fn mul_u128_full(a: u128, b: u128) -> (u128, u128) {
+    const MASK: u128 = (1u128 << 64) - 1;
+    let (a_hi, a_lo) = (a >> 64, a & MASK);
+    let (b_hi, b_lo) = (b >> 64, b & MASK);
+
+    let ll = a_lo * b_lo;
+    let lh = a_lo * b_hi;
+    let hl = a_hi * b_lo;
+    let hh = a_hi * b_hi;
+
+    // Sum the middle partial products into the low word, carrying into
+    // the high word. Each addition is tracked for carry explicitly.
+    let (mid, carry1) = lh.overflowing_add(hl);
+    let mid_hi = (u128::from(carry1) << 64) + (mid >> 64);
+    let mid_lo = mid << 64;
+
+    let (lo, carry2) = ll.overflowing_add(mid_lo);
+    let hi = hh + mid_hi + u128::from(carry2);
+    (hi, lo)
+}
+
+/// Exact comparison of the signed products `a·b` and `c·d`.
+///
+/// Never overflows: magnitudes are compared through
+/// [`mul_u128_full`], signs are handled separately.
+#[must_use]
+pub fn cmp_prod(a: i128, b: i128, c: i128, d: i128) -> std::cmp::Ordering {
+    use std::cmp::Ordering;
+
+    let sign_ab = product_sign(a, b);
+    let sign_cd = product_sign(c, d);
+    match sign_ab.cmp(&sign_cd) {
+        Ordering::Equal => {}
+        ord => return ord,
+    }
+    if sign_ab == 0 {
+        // Both products are zero.
+        return Ordering::Equal;
+    }
+    let mag_ab = mul_u128_full(a.unsigned_abs(), b.unsigned_abs());
+    let mag_cd = mul_u128_full(c.unsigned_abs(), d.unsigned_abs());
+    let mag_cmp = mag_ab.cmp(&mag_cd);
+    if sign_ab > 0 {
+        mag_cmp
+    } else {
+        mag_cmp.reverse()
+    }
+}
+
+/// Sign of the product `a·b` in `{-1, 0, 1}`.
+fn product_sign(a: i128, b: i128) -> i8 {
+    if a == 0 || b == 0 {
+        0
+    } else if (a > 0) == (b > 0) {
+        1
+    } else {
+        -1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cmp::Ordering;
+
+    #[test]
+    fn small_products_match_native() {
+        for a in -7i128..=7 {
+            for b in -7i128..=7 {
+                for c in -7i128..=7 {
+                    for d in -7i128..=7 {
+                        assert_eq!(
+                            cmp_prod(a, b, c, d),
+                            (a * b).cmp(&(c * d)),
+                            "a={a} b={b} c={c} d={d}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mul_full_matches_native_on_64bit_inputs() {
+        let cases = [
+            (0u128, 0u128),
+            (1, u64::MAX as u128),
+            (u64::MAX as u128, u64::MAX as u128),
+            (123_456_789, 987_654_321),
+        ];
+        for (a, b) in cases {
+            let (hi, lo) = mul_u128_full(a, b);
+            assert_eq!(hi, 0);
+            assert_eq!(lo, a * b);
+        }
+    }
+
+    #[test]
+    fn mul_full_known_big_value() {
+        // (2^127) * 2 = 2^128 -> hi = 1, lo = 0.
+        let (hi, lo) = mul_u128_full(1u128 << 127, 2);
+        assert_eq!((hi, lo), (1, 0));
+    }
+
+    #[test]
+    fn overflowing_comparison_is_exact() {
+        // a*b and c*d both overflow i128 but differ by one unit:
+        // (2^96)*(2^96) vs (2^96)*(2^96) + adjusting via (2^96+1).
+        let big = 1i128 << 96;
+        assert_eq!(cmp_prod(big, big, big + 1, big), Ordering::Less);
+        assert_eq!(cmp_prod(big + 1, big, big, big + 1), Ordering::Equal);
+        assert_eq!(cmp_prod(-big, big, big, big), Ordering::Less);
+        assert_eq!(cmp_prod(-big, big, -(big + 1), big), Ordering::Greater);
+    }
+}

@@ -1,0 +1,398 @@
+//! Per-slot value functions `v_ij(t)`.
+//!
+//! A [`ValueSchedule`] stores, for each (user, optimization) pair, the
+//! value the user obtains in each slot of her service interval if she has
+//! access to the optimization (§5.1: "`v_ij(t)` can be an arbitrary
+//! non-negative function"). Experiments use schedules twice: once as the
+//! hidden *true* values and once, possibly distorted by a strategy, as
+//! the *bids* handed to a mechanism.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{OptId, SlotId, UserId};
+use crate::money::Money;
+
+/// Errors raised when assembling a schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// Slot 0 used, or the series extends past the horizon.
+    OutOfHorizon {
+        /// First slot of the offending series.
+        start: SlotId,
+        /// Last slot of the offending series.
+        end: SlotId,
+        /// The schedule horizon `z`.
+        horizon: u32,
+    },
+    /// A per-slot value was negative (§3 requires `v_ij ≥ 0`).
+    NegativeValue {
+        /// Slot carrying the negative value.
+        slot: SlotId,
+        /// The offending value.
+        value: Money,
+    },
+    /// The series has no slots.
+    EmptySeries,
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::OutOfHorizon { start, end, horizon } => write!(
+                f,
+                "series [{start}, {end}] outside horizon 1..={horizon}"
+            ),
+            ScheduleError::NegativeValue { slot, value } => {
+                write!(f, "negative value {value} at {slot}")
+            }
+            ScheduleError::EmptySeries => write!(f, "series has no slots"),
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+/// A contiguous run of per-slot values starting at `start`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SlotSeries {
+    start: SlotId,
+    values: Vec<Money>,
+}
+
+impl SlotSeries {
+    /// Builds a series covering `[start, start + values.len() - 1]`.
+    pub fn new(start: SlotId, values: Vec<Money>) -> Result<Self, ScheduleError> {
+        if values.is_empty() {
+            return Err(ScheduleError::EmptySeries);
+        }
+        if start.index() == 0 {
+            return Err(ScheduleError::OutOfHorizon {
+                start,
+                end: start,
+                horizon: 0,
+            });
+        }
+        if let Some((k, v)) = values.iter().enumerate().find(|(_, v)| v.is_negative()) {
+            return Err(ScheduleError::NegativeValue {
+                slot: SlotId(start.index() + u32::try_from(k).unwrap()),
+                value: *v,
+            });
+        }
+        Ok(SlotSeries { start, values })
+    }
+
+    /// A single-slot series.
+    pub fn single(slot: SlotId, value: Money) -> Result<Self, ScheduleError> {
+        Self::new(slot, vec![value])
+    }
+
+    /// A constant value over `[start, end]`.
+    pub fn constant(start: SlotId, end: SlotId, value: Money) -> Result<Self, ScheduleError> {
+        if end < start {
+            return Err(ScheduleError::EmptySeries);
+        }
+        let len = (end.index() - start.index() + 1) as usize;
+        Self::new(start, vec![value; len])
+    }
+
+    /// A total value split evenly across `[start, end]` (the Fig. 3(b)
+    /// workload: "users divide their values equally among all d slots").
+    pub fn split_evenly(
+        start: SlotId,
+        end: SlotId,
+        total: Money,
+    ) -> Result<Self, ScheduleError> {
+        if end < start {
+            return Err(ScheduleError::EmptySeries);
+        }
+        let len = (end.index() - start.index() + 1) as usize;
+        Self::new(start, vec![total.split_among(len); len])
+    }
+
+    /// First slot with a value.
+    #[must_use]
+    pub fn start(&self) -> SlotId {
+        self.start
+    }
+
+    /// Last slot with a value.
+    #[must_use]
+    pub fn end(&self) -> SlotId {
+        SlotId(self.start.index() + u32::try_from(self.values.len() - 1).unwrap())
+    }
+
+    /// Value at slot `t` (zero outside the series, matching §5.1's
+    /// "if t < s_i or t > e_i, v_ij(t) = 0").
+    #[must_use]
+    pub fn value_at(&self, t: SlotId) -> Money {
+        if t < self.start || t > self.end() {
+            Money::ZERO
+        } else {
+            self.values[(t.index() - self.start.index()) as usize]
+        }
+    }
+
+    /// Residual value `Σ_{τ ≥ t} v(τ)` — the quantity Mechanism 2 bids
+    /// at slot `t` (line 7).
+    #[must_use]
+    pub fn residual_from(&self, t: SlotId) -> Money {
+        let from = t.max(self.start);
+        if from > self.end() {
+            return Money::ZERO;
+        }
+        let skip = (from.index() - self.start.index()) as usize;
+        self.values[skip..].iter().sum()
+    }
+
+    /// Total value `Σ_τ v(τ)`.
+    #[must_use]
+    pub fn total(&self) -> Money {
+        self.values.iter().sum()
+    }
+
+    /// Iterates `(slot, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (SlotId, Money)> + '_ {
+        self.values
+            .iter()
+            .enumerate()
+            .map(move |(k, &v)| (SlotId(self.start.index() + u32::try_from(k).unwrap()), v))
+    }
+
+    /// Scales every slot value by an integer factor (e.g. workload
+    /// executions per slot in the Fig. 1 experiment).
+    #[must_use]
+    pub fn scaled(&self, factor: usize) -> SlotSeries {
+        SlotSeries {
+            start: self.start,
+            values: self.values.iter().map(|&v| v * factor).collect(),
+        }
+    }
+}
+
+/// The full map `(i, j) → v_ij(·)` over a horizon of `z` slots.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ValueSchedule {
+    horizon: u32,
+    // Serialized as a flat list of triples: JSON maps need string keys.
+    #[serde(with = "entries_as_list")]
+    entries: BTreeMap<(UserId, OptId), SlotSeries>,
+}
+
+mod entries_as_list {
+    use super::*;
+    use serde::{Deserializer, Serializer};
+
+    pub(super) fn serialize<S: Serializer>(
+        entries: &BTreeMap<(UserId, OptId), SlotSeries>,
+        serializer: S,
+    ) -> Result<S::Ok, S::Error> {
+        let flat: Vec<(&UserId, &OptId, &SlotSeries)> =
+            entries.iter().map(|((u, j), s)| (u, j, s)).collect();
+        flat.serialize(serializer)
+    }
+
+    pub(super) fn deserialize<'de, D: Deserializer<'de>>(
+        deserializer: D,
+    ) -> Result<BTreeMap<(UserId, OptId), SlotSeries>, D::Error> {
+        let flat = Vec::<(UserId, OptId, SlotSeries)>::deserialize(deserializer)?;
+        Ok(flat.into_iter().map(|(u, j, s)| ((u, j), s)).collect())
+    }
+}
+
+impl ValueSchedule {
+    /// An empty schedule over slots `1..=horizon`.
+    #[must_use]
+    pub fn new(horizon: u32) -> Self {
+        ValueSchedule {
+            horizon,
+            entries: BTreeMap::new(),
+        }
+    }
+
+    /// The number of slots `z`.
+    #[must_use]
+    pub fn horizon(&self) -> u32 {
+        self.horizon
+    }
+
+    /// Inserts (or replaces) the series for `(user, opt)`.
+    pub fn set(
+        &mut self,
+        user: UserId,
+        opt: OptId,
+        series: SlotSeries,
+    ) -> Result<(), ScheduleError> {
+        if series.end().index() > self.horizon {
+            return Err(ScheduleError::OutOfHorizon {
+                start: series.start(),
+                end: series.end(),
+                horizon: self.horizon,
+            });
+        }
+        self.entries.insert((user, opt), series);
+        Ok(())
+    }
+
+    /// The series for `(user, opt)`, if any.
+    #[must_use]
+    pub fn series(&self, user: UserId, opt: OptId) -> Option<&SlotSeries> {
+        self.entries.get(&(user, opt))
+    }
+
+    /// `v_ij(t)`; zero when no series exists.
+    #[must_use]
+    pub fn value(&self, user: UserId, opt: OptId, t: SlotId) -> Money {
+        self.series(user, opt).map_or(Money::ZERO, |s| s.value_at(t))
+    }
+
+    /// `Σ_{τ ≥ t} v_ij(τ)`; zero when no series exists.
+    #[must_use]
+    pub fn residual(&self, user: UserId, opt: OptId, t: SlotId) -> Money {
+        self.series(user, opt)
+            .map_or(Money::ZERO, |s| s.residual_from(t))
+    }
+
+    /// All users with at least one series.
+    #[must_use]
+    pub fn users(&self) -> Vec<UserId> {
+        let mut v: Vec<_> = self.entries.keys().map(|&(u, _)| u).collect();
+        v.dedup();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// All optimizations with at least one series.
+    #[must_use]
+    pub fn opts(&self) -> Vec<OptId> {
+        let mut v: Vec<_> = self.entries.keys().map(|&(_, j)| j).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Iterates every `(user, opt, series)` triple.
+    pub fn iter(&self) -> impl Iterator<Item = (UserId, OptId, &SlotSeries)> {
+        self.entries.iter().map(|(&(u, j), s)| (u, j, s))
+    }
+
+    /// The per-user series for one optimization.
+    pub fn opt_entries(&self, opt: OptId) -> impl Iterator<Item = (UserId, &SlotSeries)> {
+        self.entries
+            .iter()
+            .filter(move |(&(_, j), _)| j == opt)
+            .map(|(&(u, _), s)| (u, s))
+    }
+
+    /// Sum of all values in the schedule.
+    #[must_use]
+    pub fn total_value(&self) -> Money {
+        self.entries.values().map(SlotSeries::total).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(c: i64) -> Money {
+        Money::from_cents(c)
+    }
+
+    #[test]
+    fn series_bounds_and_lookup() {
+        let s = SlotSeries::new(SlotId(2), vec![m(10), m(20), m(30)]).unwrap();
+        assert_eq!(s.start(), SlotId(2));
+        assert_eq!(s.end(), SlotId(4));
+        assert_eq!(s.value_at(SlotId(1)), Money::ZERO);
+        assert_eq!(s.value_at(SlotId(3)), m(20));
+        assert_eq!(s.value_at(SlotId(5)), Money::ZERO);
+    }
+
+    #[test]
+    fn residual_sums_suffix() {
+        let s = SlotSeries::new(SlotId(1), vec![m(10), m(20), m(30)]).unwrap();
+        assert_eq!(s.residual_from(SlotId(1)), m(60));
+        assert_eq!(s.residual_from(SlotId(2)), m(50));
+        assert_eq!(s.residual_from(SlotId(3)), m(30));
+        assert_eq!(s.residual_from(SlotId(4)), Money::ZERO);
+    }
+
+    #[test]
+    fn split_evenly_is_exact() {
+        let s = SlotSeries::split_evenly(SlotId(1), SlotId(3), Money::from_dollars(1)).unwrap();
+        assert_eq!(s.total(), Money::from_dollars(1));
+        assert_eq!(s.value_at(SlotId(2)) * 3, Money::from_dollars(1));
+    }
+
+    #[test]
+    fn rejects_invalid_series() {
+        assert_eq!(
+            SlotSeries::new(SlotId(1), vec![]),
+            Err(ScheduleError::EmptySeries)
+        );
+        assert!(matches!(
+            SlotSeries::new(SlotId(0), vec![m(1)]),
+            Err(ScheduleError::OutOfHorizon { .. })
+        ));
+        assert!(matches!(
+            SlotSeries::new(SlotId(1), vec![m(1), m(-1)]),
+            Err(ScheduleError::NegativeValue { slot: SlotId(2), .. })
+        ));
+    }
+
+    #[test]
+    fn schedule_enforces_horizon() {
+        let mut sched = ValueSchedule::new(3);
+        let ok = SlotSeries::constant(SlotId(1), SlotId(3), m(5)).unwrap();
+        assert!(sched.set(UserId(0), OptId(0), ok).is_ok());
+        let too_long = SlotSeries::constant(SlotId(3), SlotId(4), m(5)).unwrap();
+        assert!(matches!(
+            sched.set(UserId(0), OptId(1), too_long),
+            Err(ScheduleError::OutOfHorizon { .. })
+        ));
+    }
+
+    #[test]
+    fn schedule_queries() {
+        let mut sched = ValueSchedule::new(3);
+        sched
+            .set(UserId(0), OptId(0), SlotSeries::single(SlotId(1), m(100)).unwrap())
+            .unwrap();
+        sched
+            .set(UserId(1), OptId(0), SlotSeries::single(SlotId(2), m(50)).unwrap())
+            .unwrap();
+        sched
+            .set(UserId(1), OptId(1), SlotSeries::single(SlotId(3), m(25)).unwrap())
+            .unwrap();
+
+        assert_eq!(sched.users(), vec![UserId(0), UserId(1)]);
+        assert_eq!(sched.opts(), vec![OptId(0), OptId(1)]);
+        assert_eq!(sched.value(UserId(1), OptId(0), SlotId(2)), m(50));
+        assert_eq!(sched.residual(UserId(9), OptId(0), SlotId(1)), Money::ZERO);
+        assert_eq!(sched.total_value(), m(175));
+        assert_eq!(sched.opt_entries(OptId(0)).count(), 2);
+    }
+
+    #[test]
+    fn scaled_multiplies_each_slot() {
+        let s = SlotSeries::new(SlotId(1), vec![m(10), m(20)]).unwrap();
+        let s3 = s.scaled(3);
+        assert_eq!(s3.value_at(SlotId(1)), m(30));
+        assert_eq!(s3.total(), m(90));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut sched = ValueSchedule::new(2);
+        sched
+            .set(UserId(0), OptId(0), SlotSeries::single(SlotId(1), m(7)).unwrap())
+            .unwrap();
+        let json = serde_json::to_string(&sched).unwrap();
+        let back: ValueSchedule = serde_json::from_str(&json).unwrap();
+        assert_eq!(sched, back);
+    }
+}

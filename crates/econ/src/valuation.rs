@@ -1,0 +1,158 @@
+//! Valuation models: how a user aggregates values over granted
+//! optimizations.
+//!
+//! The paper considers two aggregation rules:
+//!
+//! * **Additive** (Eq. 1): `V_i(a) = Σ_{(i,j) ∈ a} v_ij` — independent
+//!   optimizations.
+//! * **Substitutable** (§6): the user names a set `J_i` and a single
+//!   value `v_i`; she obtains `v_i` iff granted *at least one* `j ∈ J_i`
+//!   and gains nothing from additional grants.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::OptId;
+use crate::money::Money;
+
+/// A user's value as a function of the set of optimizations she is
+/// granted access to.
+pub trait Valuation {
+    /// `V_i(a)` where `a` grants this user exactly `granted`.
+    fn value_of(&self, granted: &BTreeSet<OptId>) -> Money;
+
+    /// The best value obtainable under any grant set (used for
+    /// individual-rationality bounds).
+    fn max_value(&self) -> Money;
+}
+
+/// Additive valuation `V_i(a) = Σ v_ij` (Eq. 1).
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct AdditiveValuation {
+    per_opt: BTreeMap<OptId, Money>,
+}
+
+impl AdditiveValuation {
+    /// Empty valuation (zero everywhere).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets `v_ij` for one optimization.
+    #[must_use]
+    pub fn with(mut self, opt: OptId, value: Money) -> Self {
+        self.per_opt.insert(opt, value);
+        self
+    }
+
+    /// `v_ij`, zero if unset.
+    #[must_use]
+    pub fn value_for(&self, opt: OptId) -> Money {
+        self.per_opt.get(&opt).copied().unwrap_or(Money::ZERO)
+    }
+
+    /// Iterates the non-zero entries.
+    pub fn iter(&self) -> impl Iterator<Item = (OptId, Money)> + '_ {
+        self.per_opt.iter().map(|(&j, &v)| (j, v))
+    }
+}
+
+impl FromIterator<(OptId, Money)> for AdditiveValuation {
+    fn from_iter<I: IntoIterator<Item = (OptId, Money)>>(iter: I) -> Self {
+        AdditiveValuation {
+            per_opt: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Valuation for AdditiveValuation {
+    fn value_of(&self, granted: &BTreeSet<OptId>) -> Money {
+        granted.iter().map(|j| self.value_for(*j)).sum()
+    }
+
+    fn max_value(&self) -> Money {
+        self.per_opt.values().copied().sum()
+    }
+}
+
+/// Substitutable valuation (§6): `V_i(a) = v_i` iff any `j ∈ J_i` is
+/// granted, else zero.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SubstitutableValuation {
+    substitutes: BTreeSet<OptId>,
+    value: Money,
+}
+
+impl SubstitutableValuation {
+    /// Builds the valuation `(J_i, v_i)`.
+    #[must_use]
+    pub fn new(substitutes: BTreeSet<OptId>, value: Money) -> Self {
+        SubstitutableValuation { substitutes, value }
+    }
+
+    /// The substitute set `J_i`.
+    #[must_use]
+    pub fn substitutes(&self) -> &BTreeSet<OptId> {
+        &self.substitutes
+    }
+
+    /// The value `v_i`.
+    #[must_use]
+    pub fn value(&self) -> Money {
+        self.value
+    }
+}
+
+impl Valuation for SubstitutableValuation {
+    fn value_of(&self, granted: &BTreeSet<OptId>) -> Money {
+        if granted.iter().any(|j| self.substitutes.contains(j)) {
+            self.value
+        } else {
+            Money::ZERO
+        }
+    }
+
+    fn max_value(&self) -> Money {
+        self.value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(c: i64) -> Money {
+        Money::from_cents(c)
+    }
+
+    #[test]
+    fn additive_sums_granted_values() {
+        let v = AdditiveValuation::new()
+            .with(OptId(0), m(100))
+            .with(OptId(1), m(50));
+        let granted: BTreeSet<_> = [OptId(0), OptId(1), OptId(7)].into();
+        assert_eq!(v.value_of(&granted), m(150));
+        assert_eq!(v.value_of(&BTreeSet::new()), Money::ZERO);
+        assert_eq!(v.max_value(), m(150));
+    }
+
+    #[test]
+    fn substitutable_pays_once() {
+        let v = SubstitutableValuation::new([OptId(0), OptId(1)].into(), m(100));
+        assert_eq!(v.value_of(&[OptId(0)].into()), m(100));
+        // A second substitute adds nothing (§6: "she gets no added value
+        // from multiple optimizations").
+        assert_eq!(v.value_of(&[OptId(0), OptId(1)].into()), m(100));
+        assert_eq!(v.value_of(&[OptId(9)].into()), Money::ZERO);
+        assert_eq!(v.max_value(), m(100));
+    }
+
+    #[test]
+    fn additive_from_iterator() {
+        let v: AdditiveValuation = [(OptId(2), m(5))].into_iter().collect();
+        assert_eq!(v.value_for(OptId(2)), m(5));
+        assert_eq!(v.iter().count(), 1);
+    }
+}

@@ -1,0 +1,300 @@
+//! Regret baseline for additive (independent) optimizations.
+//!
+//! Each optimization runs its own accumulate → trigger → price
+//! pipeline; [`run_schedule`] drives one instance per optimization of a
+//! [`ValueSchedule`] and merges the accounting.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use osp_econ::schedule::SlotSeries;
+use osp_econ::{Ledger, Money, OptId, SlotId, UserId, ValueSchedule};
+
+use crate::pricing::{self, PriceDecision};
+
+/// Outcome of the Regret baseline for one optimization.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RegretOutcome {
+    /// The optimization's cost.
+    pub cost: Money,
+    /// The slot `t_r` at which regret first covered the cost, if ever.
+    pub implemented_at: Option<SlotId>,
+    /// The oracle access price, when a positive-residual user existed.
+    pub price: Option<Money>,
+    /// Payments by the future users who accepted the price.
+    pub payments: BTreeMap<UserId, Money>,
+    /// Value realized by each serviced user (her residual after `t_r`).
+    pub realized: BTreeMap<UserId, Money>,
+}
+
+impl RegretOutcome {
+    /// `true` iff the optimization was built.
+    #[must_use]
+    pub fn is_implemented(&self) -> bool {
+        self.implemented_at.is_some()
+    }
+
+    /// Total collected from users.
+    #[must_use]
+    pub fn total_payments(&self) -> Money {
+        self.payments.values().copied().sum()
+    }
+
+    /// Total value realized by users.
+    #[must_use]
+    pub fn total_realized(&self) -> Money {
+        self.realized.values().copied().sum()
+    }
+
+    /// Total social utility: realized value minus cost if implemented
+    /// (§7.1 defines it identically to the mechanisms').
+    #[must_use]
+    pub fn total_utility(&self) -> Money {
+        if self.is_implemented() {
+            self.total_realized() - self.cost
+        } else {
+            Money::ZERO
+        }
+    }
+
+    /// Payments minus cost; negative ⇒ the cloud lost money.
+    #[must_use]
+    pub fn cloud_balance(&self) -> Money {
+        if self.is_implemented() {
+            self.total_payments() - self.cost
+        } else {
+            Money::ZERO
+        }
+    }
+}
+
+/// Runs the Regret baseline for a single optimization.
+///
+/// `values` are the per-user *true* value series (the baseline assumes
+/// honest declarations, §8), `horizon` the number of slots `z`.
+#[must_use]
+pub fn run<'a>(
+    cost: Money,
+    values: impl IntoIterator<Item = (UserId, &'a SlotSeries)>,
+    horizon: u32,
+) -> RegretOutcome {
+    let values: Vec<(UserId, &SlotSeries)> = values.into_iter().collect();
+
+    // Accumulate regret R(t) = Σ_{τ<t} Σ_i v_i(τ); trigger at the first
+    // t with C ≤ R(t).
+    let mut regret = Money::ZERO;
+    let mut implemented_at = None;
+    for t in 1..=horizon {
+        if regret >= cost {
+            implemented_at = Some(SlotId(t));
+            break;
+        }
+        for (_, series) in &values {
+            regret += series.value_at(SlotId(t));
+        }
+    }
+    let Some(t_r) = implemented_at else {
+        return RegretOutcome {
+            cost,
+            implemented_at: None,
+            price: None,
+            payments: BTreeMap::new(),
+            realized: BTreeMap::new(),
+        };
+    };
+
+    // Oracle pricing over residuals Σ_{t > t_r} v_i(t).
+    let residuals: BTreeMap<UserId, Money> = values
+        .iter()
+        .map(|&(u, series)| (u, series.residual_from(t_r.next())))
+        .collect();
+    let PriceDecision {
+        price, serviced, ..
+    } = pricing::oracle_price(cost, &residuals);
+
+    let mut payments = BTreeMap::new();
+    let mut realized = BTreeMap::new();
+    if let Some(p) = price {
+        for &u in &serviced {
+            payments.insert(u, p);
+            realized.insert(u, residuals[&u]);
+        }
+    }
+    RegretOutcome {
+        cost,
+        implemented_at: Some(t_r),
+        price,
+        payments,
+        realized,
+    }
+}
+
+/// Combined outcome over several additive optimizations.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MultiRegretOutcome {
+    /// Per-optimization outcomes.
+    pub per_opt: BTreeMap<OptId, RegretOutcome>,
+}
+
+impl MultiRegretOutcome {
+    /// Builds the shared [`Ledger`].
+    #[must_use]
+    pub fn to_ledger(&self) -> Ledger {
+        let mut ledger = Ledger::new();
+        for (&j, out) in &self.per_opt {
+            if out.is_implemented() {
+                ledger.record_cost(j, out.cost);
+            }
+            for (&u, &p) in &out.payments {
+                ledger.record_payment(u, j, p);
+            }
+        }
+        ledger
+    }
+
+    /// Realized value per user, summed over optimizations.
+    #[must_use]
+    pub fn realized_values(&self) -> BTreeMap<UserId, Money> {
+        let mut realized: BTreeMap<UserId, Money> = BTreeMap::new();
+        for out in self.per_opt.values() {
+            for (&u, &v) in &out.realized {
+                *realized.entry(u).or_insert(Money::ZERO) += v;
+            }
+        }
+        realized
+    }
+
+    /// Summary statistics (same accounting as the mechanisms).
+    #[must_use]
+    pub fn stats(&self) -> osp_econ::Stats {
+        self.to_ledger().stats(&self.realized_values())
+    }
+}
+
+/// Runs the baseline once per optimization of the schedule.
+#[must_use]
+pub fn run_schedule(costs: &[Money], values: &ValueSchedule) -> MultiRegretOutcome {
+    let mut per_opt = BTreeMap::new();
+    for (idx, &cost) in costs.iter().enumerate() {
+        let j = OptId(u32::try_from(idx).unwrap());
+        let out = run(cost, values.opt_entries(j), values.horizon());
+        per_opt.insert(j, out);
+    }
+    MultiRegretOutcome { per_opt }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(d: i64) -> Money {
+        Money::from_dollars(d)
+    }
+
+    fn series(start: u32, values: &[i64]) -> SlotSeries {
+        SlotSeries::new(SlotId(start), values.iter().map(|&v| m(v)).collect()).unwrap()
+    }
+
+    #[test]
+    fn trigger_waits_for_enough_regret() {
+        // C = 50; one user worth 20/slot over 5 slots. Regret reaches
+        // 20, 40, 60 … so t_r = 4 (R(4) = 60 ≥ 50).
+        let s = series(1, &[20, 20, 20, 20, 20]);
+        let out = run(m(50), [(UserId(0), &s)], 5);
+        assert_eq!(out.implemented_at, Some(SlotId(4)));
+        // Residual after t_r: slot 5 only = 20; price 20, loss 30.
+        assert_eq!(out.price, Some(m(20)));
+        assert_eq!(out.payments[&UserId(0)], m(20));
+        assert_eq!(out.realized[&UserId(0)], m(20));
+        // Utility: 20 realized − 50 cost = −30. Regret built too late.
+        assert_eq!(out.total_utility(), m(-30));
+        assert_eq!(out.cloud_balance(), m(-30));
+    }
+
+    #[test]
+    fn cheap_optimization_triggers_early_and_recovers() {
+        let s = series(1, &[20, 20, 20, 20, 20]);
+        let out = run(m(15), [(UserId(0), &s)], 5);
+        assert_eq!(out.implemented_at, Some(SlotId(2)));
+        // Residual slots 3..5 = 60; the smallest recovering price is
+        // C/1 = 15, recovering the cost exactly.
+        assert_eq!(out.price, Some(m(15)));
+        assert_eq!(out.cloud_balance(), Money::ZERO);
+        assert_eq!(out.total_utility(), m(45));
+    }
+
+    #[test]
+    fn never_triggers_when_values_too_small() {
+        let s = series(1, &[1, 1]);
+        let out = run(m(100), [(UserId(0), &s)], 2);
+        assert!(!out.is_implemented());
+        assert_eq!(out.total_utility(), Money::ZERO);
+        assert_eq!(out.cloud_balance(), Money::ZERO);
+    }
+
+    #[test]
+    fn trigger_at_horizon_end_means_pure_loss() {
+        // Regret covers the cost only at the last slot: no residual
+        // value remains, nobody pays, the cloud eats the full cost.
+        let s = series(1, &[30, 30]);
+        let out = run(m(55), [(UserId(0), &s)], 2);
+        assert!(!out.is_implemented());
+
+        let s = series(1, &[30, 30, 0]);
+        let out = run(m(55), [(UserId(0), &s)], 3);
+        assert_eq!(out.implemented_at, Some(SlotId(3)));
+        assert_eq!(out.price, None);
+        assert_eq!(out.total_utility(), m(-55));
+        assert_eq!(out.cloud_balance(), m(-55));
+    }
+
+    #[test]
+    fn multiple_users_share_via_single_price() {
+        // Two users, 10/slot each for 4 slots, C = 30: regret 20, 40 →
+        // t_r = 3. Residuals: 10 each (slot 4). Price 10 collects 20,
+        // loss 10.
+        let a = series(1, &[10, 10, 10, 10]);
+        let b = series(1, &[10, 10, 10, 10]);
+        let out = run(m(30), [(UserId(0), &a), (UserId(1), &b)], 4);
+        assert_eq!(out.implemented_at, Some(SlotId(3)));
+        assert_eq!(out.price, Some(m(10)));
+        assert_eq!(out.total_payments(), m(20));
+        assert_eq!(out.cloud_balance(), m(-10));
+        // Realized 20 − cost 30.
+        assert_eq!(out.total_utility(), m(-10));
+    }
+
+    #[test]
+    fn late_arrivals_are_priced_with_perfect_knowledge() {
+        // u0 builds regret in slots 1–2; u1 arrives at slot 4 with a
+        // large residual and is known to the oracle pricer.
+        let early = series(1, &[30, 30]);
+        let late = series(4, &[100]);
+        let out = run(m(55), [(UserId(0), &early), (UserId(1), &late)], 4);
+        assert_eq!(out.implemented_at, Some(SlotId(3)));
+        // u1 is the only future taker: smallest recovering price C/1.
+        assert_eq!(out.price, Some(m(55)));
+        assert_eq!(out.payments[&UserId(1)], m(55));
+        assert!(!out.payments.contains_key(&UserId(0)));
+        assert_eq!(out.cloud_balance(), Money::ZERO);
+    }
+
+    #[test]
+    fn schedule_runner_merges_accounting() {
+        let mut sched = ValueSchedule::new(3);
+        sched
+            .set(UserId(0), OptId(0), series(1, &[30, 30, 30]))
+            .unwrap();
+        sched
+            .set(UserId(0), OptId(1), series(1, &[1, 1, 1]))
+            .unwrap();
+        let multi = run_schedule(&[m(25), m(50)], &sched);
+        assert!(multi.per_opt[&OptId(0)].is_implemented());
+        assert!(!multi.per_opt[&OptId(1)].is_implemented());
+        let stats = multi.stats();
+        assert_eq!(stats.total_cost, m(25));
+        let ledger = multi.to_ledger();
+        assert_eq!(ledger.total_cost(), m(25));
+    }
+}

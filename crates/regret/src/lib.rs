@@ -1,0 +1,31 @@
+//! # osp-regret — the regret-based baseline (§7.1)
+//!
+//! Reimplementation of the core of the state-of-the-art approach by
+//! Dash, Kantere et al. that the paper compares against:
+//!
+//! 1. **Regret accumulation.** For each optimization `j`, the regret at
+//!    slot `t` is the value that *would have been realized* had `j`
+//!    existed from the start: `R_j(t) = Σ_{τ<t} Σ_i v_ij(τ)`.
+//! 2. **Greedy trigger.** Implement `j` at the first slot `t_r` with
+//!    `C_j ≤ R_j(t_r)`.
+//! 3. **Oracle pricing.** Charge future users a single access price
+//!    `p_j = argmin_p max{L_j(p, t_r), 0}` where
+//!    `L_j(p, t_r) = C_j − p·|{i : Σ_{t>t_r} v_ij(t) ≥ p}|`, choosing
+//!    the smallest minimizer. The price search assumes *perfect
+//!    knowledge of future users' values*, making this an upper bound on
+//!    how well Regret can do in practice (§7.1).
+//!
+//! Unlike the mechanisms in `osp-core`, Regret (a) trusts users to
+//! reveal true values and (b) does not guarantee cost recovery — the
+//! experiments of §7 quantify both weaknesses.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod additive;
+pub mod pricing;
+pub mod subst;
+
+pub use additive::{MultiRegretOutcome, RegretOutcome};
+pub use pricing::PriceDecision;
+pub use subst::{SubstRegretOutcome, SubstUserValue};

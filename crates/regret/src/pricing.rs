@@ -1,0 +1,219 @@
+//! Loss-minimizing oracle pricing (§7.1).
+//!
+//! After implementing an optimization at slot `t_r`, Regret charges a
+//! single price `p` to every future user willing to pay it. With
+//! `I(p) = |{i : residual_i ≥ p}|` future takers, the cloud's loss is
+//! `L(p) = C − p·I(p)`; the baseline picks `p = argmin_p max{L(p), 0}`,
+//! breaking ties toward the smallest price so user utilities are
+//! maximal.
+//!
+//! Two regimes:
+//!
+//! * **Recovery possible** (`max_k k·r_(k) ≥ C` over the descending
+//!   residuals `r_(1) ≥ r_(2) ≥ …`): every recovering price ties at
+//!   loss 0, so the tie-break picks the *smallest* recovering price.
+//!   Scanning taker counts from largest to smallest, the first `k`
+//!   with `C/k ≤ r_(k)` yields it: `p = C/k` (any smaller price
+//!   collects less than `C` from every possible taker set). The cloud
+//!   then recovers the cost *exactly* — the flat zero-balance regime
+//!   of Figures 1–2.
+//! * **Recovery impossible**: `L` is decreasing in `p` wherever `I(p)`
+//!   is constant, so the maximum revenue is attained at one of the
+//!   residual values; the smallest revenue-maximizing residual wins.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use serde::{Deserialize, Serialize};
+
+use osp_econ::{Money, UserId};
+
+/// The outcome of the price search.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PriceDecision {
+    /// The chosen price; `None` when no user has positive residual
+    /// value (nothing can be recovered, the loss is the full cost).
+    pub price: Option<Money>,
+    /// Users who accept the price (`residual_i ≥ p`).
+    pub serviced: BTreeSet<UserId>,
+    /// `p · |serviced|`.
+    pub collected: Money,
+    /// `max{C − collected, 0}` — the cloud's loss at the optimum.
+    pub loss: Money,
+}
+
+impl PriceDecision {
+    /// `true` iff the collected payments cover the cost.
+    #[must_use]
+    pub fn recovers_cost(&self) -> bool {
+        self.loss.is_zero()
+    }
+}
+
+/// Finds the loss-minimizing price for `cost` given each user's
+/// residual future value. Zero-residual users can never be serviced.
+#[must_use]
+pub fn oracle_price(cost: Money, residuals: &BTreeMap<UserId, Money>) -> PriceDecision {
+    debug_assert!(cost.is_positive());
+    // Positive residuals, descending: r[0] ≥ r[1] ≥ …
+    let mut sorted: Vec<Money> = residuals
+        .values()
+        .copied()
+        .filter(|r| r.is_positive())
+        .collect();
+    sorted.sort_unstable_by(|a, b| b.cmp(a));
+
+    if sorted.is_empty() {
+        return PriceDecision {
+            price: None,
+            serviced: BTreeSet::new(),
+            collected: Money::ZERO,
+            loss: cost,
+        };
+    }
+
+    // Regime 1: smallest recovering price, if any. With k takers the
+    // smallest workable price is C/k, feasible iff the k-th residual
+    // affords it; larger k ⇒ smaller price, so scan k descending.
+    let mut price = None;
+    for k in (1..=sorted.len()).rev() {
+        let p = cost.split_among(k);
+        if sorted[k - 1] >= p {
+            price = Some(p);
+            break;
+        }
+    }
+    // Regime 2: no recovery — maximize revenue r_(k)·k; ties prefer the
+    // smaller price (max user utility, §7.1).
+    let price = price.unwrap_or_else(|| {
+        let mut best = (Money::ZERO, Money::ZERO); // (revenue, price)
+        for (idx, &r) in sorted.iter().enumerate() {
+            let revenue = r * (idx + 1);
+            if revenue > best.0 || (revenue == best.0 && r < best.1) {
+                best = (revenue, r);
+            }
+        }
+        best.1
+    });
+
+    let serviced: BTreeSet<UserId> = residuals
+        .iter()
+        .filter(|(_, &r)| r >= price)
+        .map(|(&u, _)| u)
+        .collect();
+    let collected = price * serviced.len();
+    PriceDecision {
+        price: Some(price),
+        loss: (cost - collected).clamp_non_negative(),
+        collected,
+        serviced,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn m(d: i64) -> Money {
+        Money::from_dollars(d)
+    }
+
+    fn residuals(rs: &[i64]) -> BTreeMap<UserId, Money> {
+        rs.iter()
+            .enumerate()
+            .map(|(i, &r)| (UserId(u32::try_from(i).unwrap()), m(r)))
+            .collect()
+    }
+
+    #[test]
+    fn picks_high_price_when_it_minimizes_loss() {
+        // C = 12, residuals [10, 4]: p=4 collects 8 (loss 4);
+        // p=10 collects 10 (loss 2) — the optimum.
+        let d = oracle_price(m(12), &residuals(&[10, 4]));
+        assert_eq!(d.price, Some(m(10)));
+        assert_eq!(d.loss, m(2));
+        assert_eq!(d.serviced, [UserId(0)].into());
+    }
+
+    #[test]
+    fn prefers_smallest_recovering_price() {
+        // C = 8: p=4 collects exactly 8 and p=10 also recovers; ties on
+        // zero loss go to the smaller price (max user utility).
+        let d = oracle_price(m(8), &residuals(&[10, 4]));
+        assert_eq!(d.price, Some(m(4)));
+        assert!(d.recovers_cost());
+        assert_eq!(d.serviced.len(), 2);
+        assert_eq!(d.collected, m(8));
+    }
+
+    #[test]
+    fn no_positive_residuals_means_full_loss() {
+        let d = oracle_price(m(7), &residuals(&[0, 0]));
+        assert_eq!(d.price, None);
+        assert_eq!(d.loss, m(7));
+        assert!(d.serviced.is_empty());
+    }
+
+    #[test]
+    fn single_user_prices_at_her_residual() {
+        let d = oracle_price(m(100), &residuals(&[30]));
+        assert_eq!(d.price, Some(m(30)));
+        assert_eq!(d.loss, m(70));
+    }
+
+    #[test]
+    fn recovery_is_exact_when_possible() {
+        // C = 5, residuals [10, 10]: the smallest recovering price is
+        // the continuous C/2 = 2.5 — not a residual boundary — and the
+        // cloud recovers exactly, never over-charging.
+        let d = oracle_price(m(5), &residuals(&[10, 10]));
+        assert_eq!(d.price, Some(Money::from_cents(250)));
+        assert_eq!(d.collected, m(5));
+        assert!(d.recovers_cost());
+    }
+
+    #[test]
+    fn skips_infeasible_large_taker_counts() {
+        // C = 30, residuals [40, 5]: C/2 = 15 > 5 rules out two takers;
+        // C/1 = 30 ≤ 40 works. Exactly one taker at price 30.
+        let d = oracle_price(m(30), &residuals(&[40, 5]));
+        assert_eq!(d.price, Some(m(30)));
+        assert_eq!(d.serviced, [UserId(0)].into());
+        assert_eq!(d.loss, Money::ZERO);
+    }
+
+    proptest! {
+        /// The enumeration really is the argmin: no candidate price
+        /// does better than the chosen one, and the serviced set is
+        /// exactly the takers.
+        #[test]
+        fn choice_is_optimal(cost in 1i64..200, rs in proptest::collection::vec(0i64..100, 1..10)) {
+            let cost = m(cost);
+            let residuals = residuals(&rs);
+            let d = oracle_price(cost, &residuals);
+            for &p in residuals.values().filter(|r| r.is_positive()) {
+                let takers = residuals.values().filter(|&&r| r >= p).count();
+                let loss = (cost - p * takers).clamp_non_negative();
+                prop_assert!(d.loss <= loss);
+            }
+            if let Some(p) = d.price {
+                for (&u, &r) in &residuals {
+                    prop_assert_eq!(d.serviced.contains(&u), r >= p);
+                }
+                prop_assert_eq!(d.collected, p * d.serviced.len());
+            }
+        }
+
+        /// Serviced users are individually rational: price ≤ residual.
+        #[test]
+        fn serviced_users_can_afford(cost in 1i64..200, rs in proptest::collection::vec(0i64..100, 1..10)) {
+            let residuals = residuals(&rs);
+            let d = oracle_price(m(cost), &residuals);
+            if let Some(p) = d.price {
+                for u in &d.serviced {
+                    prop_assert!(residuals[u] >= p);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,236 @@
+//! Regret baseline for substitutable optimizations (§7.1).
+//!
+//! "For substitutable optimizations, once an optimization `j` is
+//! implemented for a user `i`, she stops benefiting from the other
+//! optimizations `J \ {j}` and does not contribute to their regret."
+//!
+//! The simulation walks slots in order; at the start of each slot every
+//! not-yet-implemented optimization whose accumulated regret covers its
+//! cost is implemented (in `OptId` order when several trigger
+//! together). Implementation immediately prices and assigns the
+//! willing unassigned users — with perfect knowledge of future values,
+//! as in the additive case — and assigned users stop accruing regret
+//! from that slot on.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use osp_econ::schedule::SlotSeries;
+use osp_econ::{Ledger, Money, OptId, SlotId, UserId};
+
+use crate::pricing;
+
+/// A user's (true) substitutable valuation: any optimization in
+/// `substitutes` yields her per-slot values.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SubstUserValue {
+    /// The user.
+    pub user: UserId,
+    /// Her substitute set `J_i`.
+    pub substitutes: Vec<OptId>,
+    /// Her per-slot values over her service interval.
+    pub series: SlotSeries,
+}
+
+/// Outcome of the substitutable Regret baseline.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SubstRegretOutcome {
+    /// Per-optimization costs.
+    pub costs: Vec<Money>,
+    /// Implemented optimizations: trigger slot and access price.
+    pub implemented: BTreeMap<OptId, (SlotId, Option<Money>)>,
+    /// The optimization each paying user was assigned.
+    pub assignments: BTreeMap<UserId, OptId>,
+    /// Payments by assigned users.
+    pub payments: BTreeMap<UserId, Money>,
+    /// Value realized by each assigned user.
+    pub realized: BTreeMap<UserId, Money>,
+}
+
+impl SubstRegretOutcome {
+    /// Total cost of implemented optimizations.
+    #[must_use]
+    pub fn total_cost(&self) -> Money {
+        self.implemented
+            .keys()
+            .map(|j| self.costs[j.index() as usize])
+            .sum()
+    }
+
+    /// Total collected from users.
+    #[must_use]
+    pub fn total_payments(&self) -> Money {
+        self.payments.values().copied().sum()
+    }
+
+    /// Total social utility: realized value minus implemented cost.
+    #[must_use]
+    pub fn total_utility(&self) -> Money {
+        self.realized.values().copied().sum::<Money>() - self.total_cost()
+    }
+
+    /// Payments minus cost; negative ⇒ loss.
+    #[must_use]
+    pub fn cloud_balance(&self) -> Money {
+        self.total_payments() - self.total_cost()
+    }
+
+    /// Builds the shared [`Ledger`].
+    #[must_use]
+    pub fn to_ledger(&self) -> Ledger {
+        let mut ledger = Ledger::new();
+        for &j in self.implemented.keys() {
+            ledger.record_cost(j, self.costs[j.index() as usize]);
+        }
+        for (&u, &p) in &self.payments {
+            ledger.record_payment(u, self.assignments[&u], p);
+        }
+        ledger
+    }
+
+    /// Summary statistics.
+    #[must_use]
+    pub fn stats(&self) -> osp_econ::Stats {
+        self.to_ledger().stats(&self.realized)
+    }
+}
+
+/// Runs the substitutable Regret baseline.
+#[must_use]
+pub fn run(costs: &[Money], users: &[SubstUserValue], horizon: u32) -> SubstRegretOutcome {
+    let mut outcome = SubstRegretOutcome {
+        costs: costs.to_vec(),
+        implemented: BTreeMap::new(),
+        assignments: BTreeMap::new(),
+        payments: BTreeMap::new(),
+        realized: BTreeMap::new(),
+    };
+    let mut regret: Vec<Money> = vec![Money::ZERO; costs.len()];
+
+    for t in 1..=horizon {
+        let t = SlotId(t);
+
+        // Trigger check (R_j(t) sums slots strictly before t).
+        for (idx, &cost) in costs.iter().enumerate() {
+            let j = OptId(u32::try_from(idx).unwrap());
+            if outcome.implemented.contains_key(&j) || regret[idx] < cost {
+                continue;
+            }
+            // Price over residuals of unassigned users wanting j, with
+            // perfect knowledge of future arrivals.
+            let residuals: BTreeMap<UserId, Money> = users
+                .iter()
+                .filter(|u| {
+                    !outcome.assignments.contains_key(&u.user)
+                        && u.substitutes.contains(&j)
+                })
+                .map(|u| (u.user, u.series.residual_from(t.next())))
+                .collect();
+            let decision = pricing::oracle_price(cost, &residuals);
+            outcome.implemented.insert(j, (t, decision.price));
+            if let Some(p) = decision.price {
+                for &u in &decision.serviced {
+                    outcome.assignments.insert(u, j);
+                    outcome.payments.insert(u, p);
+                    outcome.realized.insert(u, residuals[&u]);
+                }
+            }
+        }
+
+        // Accumulate this slot's regret from unassigned users.
+        for u in users {
+            if outcome.assignments.contains_key(&u.user) {
+                continue;
+            }
+            let v = u.series.value_at(t);
+            if v.is_zero() {
+                continue;
+            }
+            for &j in &u.substitutes {
+                if !outcome.implemented.contains_key(&j) {
+                    regret[j.index() as usize] += v;
+                }
+            }
+        }
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(d: i64) -> Money {
+        Money::from_dollars(d)
+    }
+
+    fn user(u: u32, start: u32, values: &[i64], subs: &[u32]) -> SubstUserValue {
+        SubstUserValue {
+            user: UserId(u),
+            substitutes: subs.iter().map(|&j| OptId(j)).collect(),
+            series: SlotSeries::new(SlotId(start), values.iter().map(|&v| m(v)).collect())
+                .unwrap(),
+        }
+    }
+
+    #[test]
+    fn assigned_users_stop_feeding_other_regrets() {
+        // u0 wants either opt; opt0 is cheap and triggers at t=2. Once
+        // u0 is assigned to opt0, opt1's regret freezes at its t≤2
+        // level and never reaches its cost.
+        let users = vec![user(0, 1, &[10, 10, 10, 10], &[0, 1])];
+        let out = run(&[m(10), m(25)], &users, 4);
+        assert!(out.implemented.contains_key(&OptId(0)));
+        assert!(!out.implemented.contains_key(&OptId(1)));
+        assert_eq!(out.assignments[&UserId(0)], OptId(0));
+    }
+
+    #[test]
+    fn regret_is_per_optimization() {
+        // Disjoint users feed disjoint optimizations.
+        let users = vec![
+            user(0, 1, &[20, 20, 20], &[0]),
+            user(1, 1, &[5, 5, 5], &[1]),
+        ];
+        let out = run(&[m(30), m(100)], &users, 3);
+        // opt0: regret 20, 40 ≥ 30 at t=3; opt1 never triggers.
+        assert_eq!(out.implemented[&OptId(0)].0, SlotId(3));
+        assert!(!out.implemented.contains_key(&OptId(1)));
+    }
+
+    #[test]
+    fn simultaneous_triggers_resolve_in_opt_order() {
+        // Both opts reach their cost at t=2; opt0 (processed first)
+        // takes the user; opt1 then implements with no taker and eats
+        // its cost.
+        let users = vec![user(0, 1, &[50, 50, 50], &[0, 1])];
+        let out = run(&[m(40), m(40)], &users, 3);
+        assert_eq!(out.assignments[&UserId(0)], OptId(0));
+        assert!(out.implemented.contains_key(&OptId(1)));
+        assert_eq!(out.implemented[&OptId(1)].1, None);
+        // opt0 recovered exactly (price C/1 = 40), opt1 lost 40.
+        assert_eq!(out.cloud_balance(), m(-40));
+    }
+
+    #[test]
+    fn accounting_matches_ledger() {
+        let users = vec![
+            user(0, 1, &[30, 30, 30], &[0]),
+            user(1, 2, &[30, 30], &[0]),
+        ];
+        let out = run(&[m(25)], &users, 3);
+        let ledger = out.to_ledger();
+        assert_eq!(ledger.total_cost(), out.total_cost());
+        assert_eq!(ledger.total_payments(), out.total_payments());
+        let stats = out.stats();
+        assert_eq!(stats.total_utility, out.total_utility());
+    }
+
+    #[test]
+    fn no_users_no_implementations() {
+        let out = run(&[m(10)], &[], 5);
+        assert!(out.implemented.is_empty());
+        assert_eq!(out.total_utility(), Money::ZERO);
+    }
+}

@@ -1,0 +1,116 @@
+//! Arrival processes for the skew experiment (§7.5).
+//!
+//! Users pick the slot they enter the system from one of three
+//! distributions:
+//!
+//! * **Uniform** over the horizon (the default in §7.3–7.4);
+//! * **Early**: `1 + ⌊Exp(mean)⌋`, clamped to the horizon — simulates
+//!   datasets that become stale (paper uses mean 1.28);
+//! * **Late**: `horizon − ⌊Exp(mean)⌋`, clamped to slot 1 — simulates
+//!   datasets that become popular over time (paper uses mean 1.2; its
+//!   footnote 8 observes the clamp is rarely needed at that mean).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use osp_econ::SlotId;
+
+/// A distribution over arrival slots.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalProcess {
+    /// Uniform over `1..=horizon`.
+    Uniform,
+    /// Exponentially clustered at the start of the horizon.
+    EarlyExponential {
+        /// Mean of the exponential in slots.
+        mean: f64,
+    },
+    /// Exponentially clustered at the end of the horizon.
+    LateExponential {
+        /// Mean of the exponential in slots.
+        mean: f64,
+    },
+}
+
+impl ArrivalProcess {
+    /// Draws an arrival slot in `1..=horizon`.
+    pub fn sample(&self, rng: &mut StdRng, horizon: u32) -> SlotId {
+        debug_assert!(horizon >= 1);
+        match *self {
+            ArrivalProcess::Uniform => SlotId(rng.gen_range(1..=horizon)),
+            ArrivalProcess::EarlyExponential { mean } => {
+                let offset = sample_exponential(rng, mean).floor() as u32;
+                SlotId((1 + offset).min(horizon))
+            }
+            ArrivalProcess::LateExponential { mean } => {
+                let offset = sample_exponential(rng, mean).floor() as u32;
+                SlotId(horizon.saturating_sub(offset).max(1))
+            }
+        }
+    }
+}
+
+/// Inverse-CDF exponential sample with the given mean.
+fn sample_exponential(rng: &mut StdRng, mean: f64) -> f64 {
+    debug_assert!(mean > 0.0);
+    // gen::<f64>() ∈ [0, 1); use 1 − u ∈ (0, 1] to keep ln finite.
+    let u: f64 = rng.gen();
+    -mean * (1.0 - u).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn draws(p: ArrivalProcess, horizon: u32, n: usize) -> Vec<u32> {
+        let mut rng = StdRng::seed_from_u64(42);
+        (0..n).map(|_| p.sample(&mut rng, horizon).index()).collect()
+    }
+
+    #[test]
+    fn samples_stay_in_range() {
+        for p in [
+            ArrivalProcess::Uniform,
+            ArrivalProcess::EarlyExponential { mean: 1.28 },
+            ArrivalProcess::LateExponential { mean: 1.2 },
+        ] {
+            for s in draws(p, 12, 5000) {
+                assert!((1..=12).contains(&s), "{p:?} produced slot {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_covers_the_horizon() {
+        let ds = draws(ArrivalProcess::Uniform, 12, 5000);
+        for t in 1..=12 {
+            assert!(ds.contains(&t), "slot {t} never drawn");
+        }
+    }
+
+    #[test]
+    fn early_clusters_low_late_clusters_high() {
+        let early = draws(ArrivalProcess::EarlyExponential { mean: 1.28 }, 12, 5000);
+        let late = draws(ArrivalProcess::LateExponential { mean: 1.2 }, 12, 5000);
+        let mean = |v: &[u32]| v.iter().map(|&x| f64::from(x)).sum::<f64>() / v.len() as f64;
+        assert!(mean(&early) < 3.5, "early mean {}", mean(&early));
+        assert!(mean(&late) > 9.5, "late mean {}", mean(&late));
+        // Footnote 8: with mean ~1.2 the bulk lands on the first /
+        // last slot.
+        let first = early.iter().filter(|&&s| s == 1).count();
+        assert!(first > 1500, "only {first} of 5000 at slot 1");
+    }
+
+    #[test]
+    fn horizon_one_always_returns_slot_one() {
+        for p in [
+            ArrivalProcess::Uniform,
+            ArrivalProcess::EarlyExponential { mean: 1.28 },
+            ArrivalProcess::LateExponential { mean: 1.2 },
+        ] {
+            assert!(draws(p, 1, 100).iter().all(|&s| s == 1));
+        }
+    }
+}

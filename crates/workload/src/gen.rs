@@ -1,0 +1,238 @@
+//! Scenario samplers implementing the §7.3–7.6 workload parameters.
+//!
+//! All randomness flows through a seeded [`StdRng`], and values are
+//! drawn on the micro-dollar grid so the sampled games stay inside the
+//! exact-arithmetic world end to end.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use osp_core::prelude::*;
+
+use crate::arrivals::ArrivalProcess;
+use crate::scenario::{AdditiveScenario, SubstScenario, SubstUserSpec};
+
+/// A value drawn uniformly from `[0, 1)` dollars on the micro grid
+/// (the per-user valuation of §7.3: six users have expected total
+/// value 3.0).
+pub fn uniform_value(rng: &mut StdRng) -> Money {
+    Money::from_micros(rng.gen_range(0..1_000_000))
+}
+
+/// Parameters of an additive scenario (Figures 2(a), 2(b), 3, 4).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdditiveConfig {
+    /// Collaboration size (6 = small, 24 = large; §7.3).
+    pub num_users: u32,
+    /// Number of slots users sample their start from (12 in §7.3; 1–12
+    /// on the x-axis of Figure 3(a)).
+    pub horizon: u32,
+    /// Arrival process (uniform except in §7.5).
+    pub arrivals: ArrivalProcess,
+    /// Service duration `d` in slots: users bid `(s_i, s_i + d − 1)`
+    /// and split their value evenly (1 except in Figure 3(b)).
+    pub duration: u32,
+}
+
+impl AdditiveConfig {
+    /// §7.3's small collaboration: 6 users over 12 slots, single-slot
+    /// bids, uniform arrivals.
+    #[must_use]
+    pub fn small() -> Self {
+        AdditiveConfig {
+            num_users: 6,
+            horizon: 12,
+            arrivals: ArrivalProcess::Uniform,
+            duration: 1,
+        }
+    }
+
+    /// §7.3's large collaboration: 24 users.
+    #[must_use]
+    pub fn large() -> Self {
+        AdditiveConfig {
+            num_users: 24,
+            ..Self::small()
+        }
+    }
+
+    /// The scenario horizon: start slots are drawn from `1..=horizon`,
+    /// so intervals extend to `horizon + duration − 1`.
+    #[must_use]
+    pub fn effective_horizon(&self) -> u32 {
+        self.horizon + self.duration - 1
+    }
+}
+
+/// Samples one additive scenario.
+pub fn additive_scenario(cfg: &AdditiveConfig, cost: Money, rng: &mut StdRng) -> AdditiveScenario {
+    debug_assert!(cfg.duration >= 1 && cfg.horizon >= 1);
+    let users = (0..cfg.num_users)
+        .map(|u| {
+            let start = cfg.arrivals.sample(rng, cfg.horizon);
+            let end = SlotId(start.index() + cfg.duration - 1);
+            let total = uniform_value(rng);
+            let series = SlotSeries::split_evenly(start, end, total)
+                .expect("duration ≥ 1 yields a non-empty series");
+            (UserId(u), series)
+        })
+        .collect();
+    AdditiveScenario {
+        horizon: cfg.effective_horizon(),
+        cost,
+        users,
+    }
+}
+
+/// Parameters of a substitutable scenario (Figures 2(c), 2(d), 5).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SubstConfig {
+    /// Collaboration size.
+    pub num_users: u32,
+    /// Number of slots.
+    pub horizon: u32,
+    /// Total number of optimizations on offer.
+    pub num_opts: u32,
+    /// Substitute-set size per user (3 throughout §7).
+    pub substitutes_per_user: u32,
+}
+
+impl SubstConfig {
+    /// §7.3.2's configuration: 12 optimizations, 3 substitutes per
+    /// user, 12 slots.
+    #[must_use]
+    pub fn collab(num_users: u32) -> Self {
+        SubstConfig {
+            num_users,
+            horizon: 12,
+            num_opts: 12,
+            substitutes_per_user: 3,
+        }
+    }
+
+    /// §7.6's selectivity variant: `selectivity = substitutes/num_opts`
+    /// (3-of-4 = 0.75 "low", 3-of-12 = 0.25 "high").
+    #[must_use]
+    pub fn selectivity(num_opts: u32) -> Self {
+        SubstConfig {
+            num_users: 6,
+            horizon: 12,
+            num_opts,
+            substitutes_per_user: 3,
+        }
+    }
+}
+
+/// Samples one substitutable scenario. Costs are drawn uniformly from
+/// `[0, 2·mean_cost]` per optimization ("not all substitutes are
+/// equally expensive", §7.3.2), floored at one micro-dollar to satisfy
+/// the model's `C_j > 0`.
+pub fn subst_scenario(cfg: &SubstConfig, mean_cost: Money, rng: &mut StdRng) -> SubstScenario {
+    debug_assert!(cfg.substitutes_per_user <= cfg.num_opts);
+    let two_c = mean_cost + mean_cost;
+    let micros_hi = (two_c.as_ratio().to_f64() * 1e6).round() as i64;
+    let costs: Vec<Money> = (0..cfg.num_opts)
+        .map(|_| Money::from_micros(rng.gen_range(0..=micros_hi).max(1)))
+        .collect();
+
+    let mut all_opts: Vec<OptId> = (0..cfg.num_opts).map(OptId).collect();
+    let users = (0..cfg.num_users)
+        .map(|u| {
+            all_opts.shuffle(rng);
+            let substitutes = all_opts[..cfg.substitutes_per_user as usize].to_vec();
+            let slot = SlotId(rng.gen_range(1..=cfg.horizon));
+            let series = SlotSeries::single(slot, uniform_value(rng)).expect("single slot");
+            SubstUserSpec {
+                user: UserId(u),
+                substitutes,
+                series,
+            }
+        })
+        .collect();
+    SubstScenario {
+        horizon: cfg.horizon,
+        costs,
+        users,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn additive_scenario_shape() {
+        let cfg = AdditiveConfig::small();
+        let mut rng = StdRng::seed_from_u64(7);
+        let sc = additive_scenario(&cfg, Money::from_cents(30), &mut rng);
+        assert_eq!(sc.users.len(), 6);
+        assert_eq!(sc.horizon, 12);
+        for (_, s) in &sc.users {
+            assert_eq!(s.start(), s.end()); // duration 1
+            assert!(s.total() < Money::from_dollars(1));
+            assert!(!s.total().is_negative());
+        }
+    }
+
+    #[test]
+    fn multi_slot_scenario_splits_values() {
+        let cfg = AdditiveConfig {
+            duration: 4,
+            ..AdditiveConfig::small()
+        };
+        let mut rng = StdRng::seed_from_u64(7);
+        let sc = additive_scenario(&cfg, Money::from_cents(30), &mut rng);
+        assert_eq!(sc.horizon, 15);
+        for (_, s) in &sc.users {
+            assert_eq!(s.end().index() - s.start().index() + 1, 4);
+            let per_slot = s.value_at(s.start());
+            assert_eq!(per_slot * 4, s.total());
+        }
+    }
+
+    #[test]
+    fn subst_scenario_shape() {
+        let cfg = SubstConfig::collab(24);
+        let mut rng = StdRng::seed_from_u64(9);
+        let sc = subst_scenario(&cfg, Money::from_cents(100), &mut rng);
+        assert_eq!(sc.costs.len(), 12);
+        assert_eq!(sc.users.len(), 24);
+        for c in &sc.costs {
+            assert!(c.is_positive());
+            assert!(*c <= Money::from_cents(200));
+        }
+        for u in &sc.users {
+            assert_eq!(u.substitutes.len(), 3);
+            let mut subs = u.substitutes.clone();
+            subs.dedup();
+            assert_eq!(subs.len(), 3, "substitutes must be distinct");
+        }
+    }
+
+    #[test]
+    fn generation_is_seed_deterministic() {
+        let cfg = SubstConfig::collab(6);
+        let a = subst_scenario(&cfg, Money::from_cents(50), &mut StdRng::seed_from_u64(1));
+        let b = subst_scenario(&cfg, Money::from_cents(50), &mut StdRng::seed_from_u64(1));
+        assert_eq!(a, b);
+        let c = subst_scenario(&cfg, Money::from_cents(50), &mut StdRng::seed_from_u64(2));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn mean_cost_scales_sampled_costs() {
+        let cfg = SubstConfig::collab(6);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut sum = Money::ZERO;
+        let n = 200;
+        for _ in 0..n {
+            let sc = subst_scenario(&cfg, Money::from_cents(100), &mut rng);
+            sum += sc.costs.iter().copied().sum::<Money>();
+        }
+        let mean = sum.split_among(n * 12).to_f64();
+        assert!((mean - 1.0).abs() < 0.05, "empirical mean {mean}");
+    }
+}

@@ -1,0 +1,28 @@
+//! # osp-workload — simulated workloads for the §7.3–7.6 evaluation
+//!
+//! The paper's simulator was never released; this crate re-derives it
+//! from the parameters spelled out in the text:
+//!
+//! * [`arrivals`] — uniform / early-exponential / late-exponential
+//!   arrival processes (§7.5);
+//! * [`gen`] — scenario samplers (collaboration sizes, single- and
+//!   multi-slot bids, substitute sets, `U[0, 2c]` costs);
+//! * [`scenario`] — runnable scenarios evaluating AddOn/SubstOn and the
+//!   Regret baseline on identical true values;
+//! * [`points`] — seed-averaged comparison points (common random
+//!   numbers across sweep points);
+//! * [`sweeps`] — the exact x-axes and configurations of Figures 2–5.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arrivals;
+pub mod gen;
+pub mod points;
+pub mod scenario;
+pub mod sweeps;
+
+pub use arrivals::ArrivalProcess;
+pub use gen::{AdditiveConfig, SubstConfig};
+pub use points::{additive_point, subst_point, ComparisonPoint};
+pub use scenario::{AdditiveScenario, RunResult, SubstScenario, SubstUserSpec};

@@ -1,0 +1,149 @@
+//! Averaged comparison points: run both approaches over many sampled
+//! scenarios and report mean utilities/balances (exactly — the mean of
+//! exact rationals is exact).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use osp_core::prelude::*;
+
+use crate::gen::{self, AdditiveConfig, SubstConfig};
+
+/// Mean results of mechanism vs baseline over `trials` scenarios.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ComparisonPoint {
+    /// Mean AddOn/SubstOn total utility.
+    pub mechanism_utility: Money,
+    /// Mean AddOn/SubstOn cloud balance (≥ 0 by cost recovery).
+    pub mechanism_balance: Money,
+    /// Mean Regret total utility.
+    pub regret_utility: Money,
+    /// Mean Regret cloud balance (negative ⇒ loss).
+    pub regret_balance: Money,
+    /// Number of scenarios averaged.
+    pub trials: u32,
+}
+
+/// Derives the per-trial RNG. Trials share seeds across sweep points
+/// (common random numbers), which removes sampling noise from the
+/// *difference* between curves.
+fn trial_rng(base_seed: u64, trial: u32) -> StdRng {
+    StdRng::seed_from_u64(base_seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(u64::from(trial) + 1)))
+}
+
+/// Runs `trials` additive scenarios at one cost point.
+pub fn additive_point(
+    cfg: &AdditiveConfig,
+    cost: Money,
+    trials: u32,
+    base_seed: u64,
+) -> Result<ComparisonPoint> {
+    assert!(trials > 0);
+    let mut mech_u = Money::ZERO;
+    let mut mech_b = Money::ZERO;
+    let mut reg_u = Money::ZERO;
+    let mut reg_b = Money::ZERO;
+    for trial in 0..trials {
+        let mut rng = trial_rng(base_seed, trial);
+        let sc = gen::additive_scenario(cfg, cost, &mut rng);
+        let mech = sc.run_addon()?;
+        let reg = sc.run_regret();
+        mech_u += mech.utility;
+        mech_b += mech.balance;
+        reg_u += reg.utility;
+        reg_b += reg.balance;
+    }
+    let n = trials as usize;
+    Ok(ComparisonPoint {
+        mechanism_utility: mech_u.split_among(n),
+        mechanism_balance: mech_b.split_among(n),
+        regret_utility: reg_u.split_among(n),
+        regret_balance: reg_b.split_among(n),
+        trials,
+    })
+}
+
+/// Runs `trials` substitutable scenarios at one mean-cost point.
+pub fn subst_point(
+    cfg: &SubstConfig,
+    mean_cost: Money,
+    trials: u32,
+    base_seed: u64,
+) -> Result<ComparisonPoint> {
+    assert!(trials > 0);
+    let mut mech_u = Money::ZERO;
+    let mut mech_b = Money::ZERO;
+    let mut reg_u = Money::ZERO;
+    let mut reg_b = Money::ZERO;
+    for trial in 0..trials {
+        let mut rng = trial_rng(base_seed, trial);
+        let sc = gen::subst_scenario(cfg, mean_cost, &mut rng);
+        let mech = sc.run_subston(TieBreak::LowestOptId)?;
+        let reg = sc.run_regret();
+        mech_u += mech.utility;
+        mech_b += mech.balance;
+        reg_u += reg.utility;
+        reg_b += reg.balance;
+    }
+    let n = trials as usize;
+    Ok(ComparisonPoint {
+        mechanism_utility: mech_u.split_among(n),
+        mechanism_balance: mech_b.split_among(n),
+        regret_utility: reg_u.split_among(n),
+        regret_balance: reg_b.split_among(n),
+        trials,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn additive_point_is_deterministic() {
+        let cfg = AdditiveConfig::small();
+        let a = additive_point(&cfg, Money::from_cents(30), 50, 1).unwrap();
+        let b = additive_point(&cfg, Money::from_cents(30), 50, 1).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mechanism_balance_is_never_negative() {
+        let cfg = AdditiveConfig::small();
+        for cents in [3, 30, 90, 200] {
+            let p = additive_point(&cfg, Money::from_cents(cents), 100, 7).unwrap();
+            assert!(
+                !p.mechanism_balance.is_negative(),
+                "cost {cents}: balance {}",
+                p.mechanism_balance
+            );
+        }
+    }
+
+    #[test]
+    fn cheap_optimizations_yield_positive_utility_for_both() {
+        let cfg = AdditiveConfig::small();
+        let p = additive_point(&cfg, Money::from_cents(3), 200, 11).unwrap();
+        assert!(p.mechanism_utility.is_positive());
+        assert!(p.regret_utility.is_positive());
+    }
+
+    #[test]
+    fn expensive_optimizations_drive_regret_negative_but_not_addon() {
+        // §7.3.1: past a point Regret implements at a loss; AddOn never
+        // has negative utility.
+        let cfg = AdditiveConfig::small();
+        let p = additive_point(&cfg, Money::from_cents(250), 200, 11).unwrap();
+        assert!(!p.mechanism_utility.is_negative());
+        assert!(p.regret_utility.is_negative() || p.regret_balance.is_negative());
+    }
+
+    #[test]
+    fn subst_point_runs_and_respects_cost_recovery() {
+        let cfg = SubstConfig::collab(6);
+        let p = subst_point(&cfg, Money::from_cents(50), 50, 3).unwrap();
+        assert!(!p.mechanism_balance.is_negative());
+        assert_eq!(p.trials, 50);
+    }
+}

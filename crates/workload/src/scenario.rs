@@ -1,0 +1,257 @@
+//! Runnable scenarios: a sampled game plus the machinery to evaluate
+//! both approaches on it under identical accounting.
+//!
+//! A scenario holds the users' **true** values. Both runners assume
+//! truthful declarations — the baseline because it has no other choice
+//! (§8), the mechanisms because truthfulness is their dominant
+//! strategy; the strategic deviations are exercised separately in
+//! `osp-core::strategy`.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use osp_core::prelude::*;
+use osp_regret::SubstUserValue;
+
+/// Utility/balance pair produced by one run (exact arithmetic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Total social utility (realized value − implemented cost).
+    pub utility: Money,
+    /// Cloud balance (payments − implemented cost); negative ⇒ loss.
+    pub balance: Money,
+}
+
+impl RunResult {
+    /// The all-zero result (nothing implemented).
+    pub const ZERO: RunResult = RunResult {
+        utility: Money::ZERO,
+        balance: Money::ZERO,
+    };
+}
+
+/// A single-optimization additive scenario (the shape of Figures 2(a),
+/// 2(b), 3 and 4).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AdditiveScenario {
+    /// Number of slots `z`.
+    pub horizon: u32,
+    /// The optimization's cost.
+    pub cost: Money,
+    /// Each user's true per-slot values.
+    pub users: Vec<(UserId, SlotSeries)>,
+}
+
+impl AdditiveScenario {
+    /// Sum of all user values (the efficiency ceiling when the cost is
+    /// negligible).
+    #[must_use]
+    pub fn total_value(&self) -> Money {
+        self.users.iter().map(|(_, s)| s.total()).sum()
+    }
+
+    /// Runs the AddOn mechanism with truthful bids.
+    pub fn run_addon(&self) -> Result<RunResult> {
+        let bids = self
+            .users
+            .iter()
+            .map(|(u, s)| OnlineBid::new(*u, s.clone()))
+            .collect();
+        let game = AddOnGame::new(self.horizon, self.cost, bids)?;
+        let out = addon::run(&game)?;
+        let realized: Money = self
+            .users
+            .iter()
+            .map(|(u, s)| out.realized_value(*u, s))
+            .sum();
+        let (utility, balance) = if out.is_implemented() {
+            (realized - self.cost, out.total_payments() - self.cost)
+        } else {
+            (Money::ZERO, Money::ZERO)
+        };
+        Ok(RunResult { utility, balance })
+    }
+
+    /// Runs the Regret baseline on the same true values.
+    #[must_use]
+    pub fn run_regret(&self) -> RunResult {
+        let out = osp_regret::additive::run(
+            self.cost,
+            self.users.iter().map(|(u, s)| (*u, s)),
+            self.horizon,
+        );
+        RunResult {
+            utility: out.total_utility(),
+            balance: out.cloud_balance(),
+        }
+    }
+}
+
+/// One user of a substitutable scenario.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SubstUserSpec {
+    /// The user.
+    pub user: UserId,
+    /// Her substitute set `J_i`.
+    pub substitutes: Vec<OptId>,
+    /// Her true per-slot values.
+    pub series: SlotSeries,
+}
+
+/// A substitutable scenario (the shape of Figures 2(c), 2(d) and 5).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SubstScenario {
+    /// Number of slots `z`.
+    pub horizon: u32,
+    /// Per-optimization costs.
+    pub costs: Vec<Money>,
+    /// The users.
+    pub users: Vec<SubstUserSpec>,
+}
+
+impl SubstScenario {
+    /// Sum of all user values.
+    #[must_use]
+    pub fn total_value(&self) -> Money {
+        self.users.iter().map(|u| u.series.total()).sum()
+    }
+
+    /// Runs the SubstOn mechanism with truthful bids.
+    pub fn run_subston(&self, tiebreak: TieBreak) -> Result<RunResult> {
+        let bids = self
+            .users
+            .iter()
+            .map(|u| SubstOnlineBid {
+                user: u.user,
+                substitutes: u.substitutes.iter().copied().collect(),
+                series: u.series.clone(),
+            })
+            .collect();
+        let game = SubstOnGame::new(self.horizon, self.costs.clone(), bids)?;
+        let out = subston::run(&game, tiebreak)?;
+        let truth: BTreeMap<UserId, SlotSeries> = self
+            .users
+            .iter()
+            .map(|u| (u.user, u.series.clone()))
+            .collect();
+        let realized: Money = truth
+            .iter()
+            .map(|(u, s)| out.realized_value(*u, s))
+            .sum();
+        Ok(RunResult {
+            utility: realized - out.total_cost(),
+            balance: out.total_payments() - out.total_cost(),
+        })
+    }
+
+    /// Runs the substitutable Regret baseline on the same true values.
+    #[must_use]
+    pub fn run_regret(&self) -> RunResult {
+        let users: Vec<SubstUserValue> = self
+            .users
+            .iter()
+            .map(|u| SubstUserValue {
+                user: u.user,
+                substitutes: u.substitutes.clone(),
+                series: u.series.clone(),
+            })
+            .collect();
+        let out = osp_regret::subst::run(&self.costs, &users, self.horizon);
+        RunResult {
+            utility: out.total_utility(),
+            balance: out.cloud_balance(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(d: i64) -> Money {
+        Money::from_dollars(d)
+    }
+
+    fn series(start: u32, values: &[i64]) -> SlotSeries {
+        SlotSeries::new(SlotId(start), values.iter().map(|&v| m(v)).collect()).unwrap()
+    }
+
+    #[test]
+    fn addon_runner_matches_manual_accounting() {
+        // Example 3 scenario: utility = (101 + 32 + 26 + 26) − 100 = 85;
+        // balance = 175 − 100 = 75.
+        let sc = AdditiveScenario {
+            horizon: 3,
+            cost: m(100),
+            users: vec![
+                (UserId(0), series(1, &[101])),
+                (UserId(1), series(1, &[16, 16, 16])),
+                (UserId(2), series(2, &[26])),
+                (UserId(3), series(2, &[26])),
+            ],
+        };
+        let r = sc.run_addon().unwrap();
+        assert_eq!(r.utility, m(85));
+        assert_eq!(r.balance, m(75));
+        assert_eq!(sc.total_value(), m(201));
+    }
+
+    #[test]
+    fn unimplemented_scenarios_are_all_zero() {
+        let sc = AdditiveScenario {
+            horizon: 2,
+            cost: m(1000),
+            users: vec![(UserId(0), series(1, &[1, 1]))],
+        };
+        assert_eq!(sc.run_addon().unwrap(), RunResult::ZERO);
+        assert_eq!(sc.run_regret(), RunResult::ZERO);
+    }
+
+    #[test]
+    fn addon_never_loses_regret_can() {
+        // Values build regret slowly; Regret implements late and eats
+        // a loss, AddOn implements immediately (first slot already has
+        // residual ≥ cost for u0) and recovers fully.
+        let sc = AdditiveScenario {
+            horizon: 4,
+            cost: m(50),
+            users: vec![(UserId(0), series(1, &[20, 20, 20, 20]))],
+        };
+        let addon = sc.run_addon().unwrap();
+        let regret = sc.run_regret();
+        assert!(addon.balance >= Money::ZERO);
+        assert_eq!(addon.utility, m(30)); // 80 − 50
+        assert!(regret.balance.is_negative());
+        assert!(regret.utility < addon.utility);
+    }
+
+    #[test]
+    fn subst_runner_example_8() {
+        let sc = SubstScenario {
+            horizon: 3,
+            costs: vec![m(60), m(100), m(50)],
+            users: vec![
+                SubstUserSpec {
+                    user: UserId(0),
+                    substitutes: vec![OptId(0), OptId(1)],
+                    series: series(1, &[100, 100]),
+                },
+                SubstUserSpec {
+                    user: UserId(1),
+                    substitutes: vec![OptId(0), OptId(1), OptId(2)],
+                    series: series(2, &[100, 100]),
+                },
+                SubstUserSpec {
+                    user: UserId(2),
+                    substitutes: vec![OptId(2)],
+                    series: series(3, &[100]),
+                },
+            ],
+        };
+        let r = sc.run_subston(TieBreak::LowestOptId).unwrap();
+        // Example 8: value 500, costs 110, payments 110.
+        assert_eq!(r.utility, m(390));
+        assert_eq!(r.balance, Money::ZERO);
+    }
+}

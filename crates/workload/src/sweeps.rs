@@ -1,0 +1,163 @@
+//! The exact parameter sweeps of Figures 2–5.
+//!
+//! Each function returns the x-axis values or configuration for one
+//! figure; the `osp-bench` harness iterates them and prints the same
+//! series the paper plots. Cost axes follow the paper's tick labels
+//! (e.g. Figure 2(a) ticks 0.03, 0.21, …, 2.91 ⇒ a sweep over
+//! `0.03..=2.91`); we sample at a finer grid than the ticks.
+
+use osp_econ::Money;
+
+use crate::arrivals::ArrivalProcess;
+use crate::gen::{AdditiveConfig, SubstConfig};
+
+/// Cost sweep of Figures 2(a), 2(c) and 5: $0.03 to $2.91 in $0.06
+/// steps (49 points; paper ticks every third point).
+#[must_use]
+pub fn small_collab_costs() -> Vec<Money> {
+    (3..=291).step_by(6).map(Money::from_cents).collect()
+}
+
+/// Cost sweep of Figures 2(b) and 2(d): $0.12 to $11.64 in $0.24
+/// steps.
+#[must_use]
+pub fn large_collab_costs() -> Vec<Money> {
+    (12..=1164).step_by(24).map(Money::from_cents).collect()
+}
+
+/// Cost sweep of Figure 4: $0.03 to $1.71 in $0.06 steps.
+#[must_use]
+pub fn skew_costs() -> Vec<Money> {
+    (3..=171).step_by(6).map(Money::from_cents).collect()
+}
+
+/// Figure 2(a): additive, small collaboration.
+#[must_use]
+pub fn fig2a() -> (AdditiveConfig, Vec<Money>) {
+    (AdditiveConfig::small(), small_collab_costs())
+}
+
+/// Figure 2(b): additive, large collaboration.
+#[must_use]
+pub fn fig2b() -> (AdditiveConfig, Vec<Money>) {
+    (AdditiveConfig::large(), large_collab_costs())
+}
+
+/// Figure 2(c): substitutable, small collaboration (12 optimizations,
+/// 3 substitutes per user, mean-cost sweep).
+#[must_use]
+pub fn fig2c() -> (SubstConfig, Vec<Money>) {
+    (SubstConfig::collab(6), small_collab_costs())
+}
+
+/// Figure 2(d): substitutable, large collaboration.
+#[must_use]
+pub fn fig2d() -> (SubstConfig, Vec<Money>) {
+    (SubstConfig::collab(24), large_collab_costs())
+}
+
+/// Figure 3(a): the x-axis is the total number of slots (1..=12);
+/// users bid for a single slot. Utility difference is averaged over
+/// the Figure 2(a) cost sweep.
+#[must_use]
+pub fn fig3a_configs() -> Vec<AdditiveConfig> {
+    (1..=12)
+        .map(|slots| AdditiveConfig {
+            horizon: slots,
+            ..AdditiveConfig::small()
+        })
+        .collect()
+}
+
+/// Figure 3(b): the x-axis is the service duration `d` (1..=12); users
+/// bid `(s_i, s_i + d − 1)` with `s_i` uniform over 12 slots, value
+/// split evenly over the `d` slots.
+#[must_use]
+pub fn fig3b_configs() -> Vec<AdditiveConfig> {
+    (1..=12)
+        .map(|duration| AdditiveConfig {
+            duration,
+            ..AdditiveConfig::small()
+        })
+        .collect()
+}
+
+/// Figure 4: the three arrival processes (§7.5). Ratios are reported
+/// against Early-AddOn.
+#[must_use]
+pub fn fig4_arrivals() -> [(&'static str, ArrivalProcess); 3] {
+    [
+        ("Uniform", ArrivalProcess::Uniform),
+        ("Early", ArrivalProcess::EarlyExponential { mean: 1.28 }),
+        ("Late", ArrivalProcess::LateExponential { mean: 1.2 }),
+    ]
+}
+
+/// Figure 5(a): low selectivity — each user picks 3 of 4
+/// optimizations.
+#[must_use]
+pub fn fig5a() -> (SubstConfig, Vec<Money>) {
+    (SubstConfig::selectivity(4), small_collab_costs())
+}
+
+/// Figure 5(b): high selectivity — each user picks 3 of 12.
+#[must_use]
+pub fn fig5b() -> (SubstConfig, Vec<Money>) {
+    (SubstConfig::selectivity(12), small_collab_costs())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_endpoints_match_paper_ticks() {
+        let s = small_collab_costs();
+        assert_eq!(s.first().copied(), Some(Money::from_cents(3)));
+        assert_eq!(s.last().copied(), Some(Money::from_cents(291)));
+        let l = large_collab_costs();
+        assert_eq!(l.first().copied(), Some(Money::from_cents(12)));
+        assert_eq!(l.last().copied(), Some(Money::from_cents(1164)));
+        let k = skew_costs();
+        assert_eq!(k.last().copied(), Some(Money::from_cents(171)));
+    }
+
+    #[test]
+    fn paper_tick_labels_are_on_the_grid() {
+        // Fig 2(a) ticks: 0.03, 0.21, 0.39 … = 3 + 18k cents.
+        let s = small_collab_costs();
+        for k in 0..17 {
+            let tick = Money::from_cents(3 + 18 * k);
+            assert!(s.contains(&tick), "tick {tick} missing");
+        }
+        // Fig 2(b) ticks: 0.12, 0.84 … = 12 + 72k cents.
+        let l = large_collab_costs();
+        for k in 0..17 {
+            let tick = Money::from_cents(12 + 72 * k);
+            assert!(l.contains(&tick), "tick {tick} missing");
+        }
+    }
+
+    #[test]
+    fn fig3_configs_vary_the_right_knob() {
+        let a = fig3a_configs();
+        assert_eq!(a.len(), 12);
+        assert_eq!(a[0].horizon, 1);
+        assert_eq!(a[11].horizon, 12);
+        assert!(a.iter().all(|c| c.duration == 1 && c.num_users == 6));
+
+        let b = fig3b_configs();
+        assert_eq!(b[0].duration, 1);
+        assert_eq!(b[11].duration, 12);
+        assert!(b.iter().all(|c| c.horizon == 12 && c.num_users == 6));
+    }
+
+    #[test]
+    fn fig5_selectivities() {
+        let (a, _) = fig5a();
+        assert_eq!(a.substitutes_per_user, 3);
+        assert_eq!(a.num_opts, 4);
+        let (b, _) = fig5b();
+        assert_eq!(b.num_opts, 12);
+    }
+}

@@ -1,0 +1,137 @@
+//! Three pricing rules on one physical-design problem: the Shapley
+//! mechanism (the paper's choice), a weighted Moulin rule, and VCG.
+//!
+//! A generated population of analysts shares a telemetry dataset. One
+//! index would accelerate everyone. Who should the cloud charge?
+//!
+//! * **Shapley / egalitarian** (paper §4): equal shares, exact cost
+//!   recovery, truthful — but users below the share are priced out.
+//! * **Weighted Moulin**: same guarantees, but shares follow a public
+//!   weight (here: how often each analyst queries), shifting the burden
+//!   toward heavy users.
+//! * **VCG**: implements whenever the *total* value covers the cost and
+//!   charges only pivotal users — efficient, truthful, and routinely
+//!   leaves the cloud underwater. The Moulin–Shenker impossibility in
+//!   one table.
+//!
+//! Run with: `cargo run --release --example pricing_rules`
+
+use std::collections::BTreeMap;
+
+use osp::cloudsim::catalog::table;
+use osp::cloudsim::{
+    self, Catalog, CloudOptimization, CostModel, OptimizationKind, PricePlan, WorkloadConfig,
+};
+use osp::prelude::*;
+
+fn main() -> Result<()> {
+    // -- The shared dataset and a candidate index ------------------------
+    let mut catalog = Catalog::new();
+    let events = catalog.add_table(table(
+        "telemetry",
+        60_000_000,
+        64,
+        &[("device", 300_000), ("status", 4)],
+    ));
+    let cm = CostModel::default();
+    let price = PricePlan::paper_ec2();
+    let index = CloudOptimization::new(
+        "btree(device)",
+        OptimizationKind::BTreeIndex { table: events, column: 0 },
+    );
+    let cost = price.optimization_cost(&index, &catalog, &cm, 12).unwrap();
+
+    // -- A generated analyst population ----------------------------------
+    let workloads = cloudsim::generate_workloads(
+        &catalog,
+        &WorkloadConfig {
+            seed: 7,
+            num_users: 5,
+            queries_per_user: (1, 3),
+            horizon: 1, // offline comparison
+            executions_per_slot: (40, 400),
+            join_probability: 0.0,
+            aggregate_probability: 0.3,
+        },
+    );
+    let schedule = cloudsim::derive_schedule(
+        &workloads,
+        &catalog,
+        &cm,
+        &price,
+        std::slice::from_ref(&index),
+        1,
+    )
+    .unwrap();
+
+    println!("== One ${:.2} index, five analysts ==\n", cost.to_f64());
+    let mut game = AdditiveOfflineGame::new(vec![cost])?;
+    let mut values: BTreeMap<UserId, Money> = BTreeMap::new();
+    let mut weights: BTreeMap<UserId, u32> = BTreeMap::new();
+    for w in &workloads {
+        let v = schedule.value(w.user, OptId(0), SlotId(1));
+        game.bid(w.user, OptId(0), v)?;
+        values.insert(w.user, v);
+        weights.insert(w.user, w.executions_per_slot);
+        println!(
+            "  {}: values the index at {} ({} runs/slot)",
+            w.user, v, w.executions_per_slot
+        );
+    }
+    let total: Money = values.values().copied().sum();
+    println!("\n  total value {total} vs cost {cost}\n");
+
+    // -- Rule 1: the paper's Shapley mechanism ---------------------------
+    let shap = addoff::run(&game);
+    print_rule("shapley (equal shares)", &values, |u| {
+        shap.payments.get(&(u, OptId(0))).copied()
+    });
+    let collected: Money = shap.payments.values().copied().sum();
+    println!("  cloud balance: {}\n", collected - if shap.implemented.is_empty() { Money::ZERO } else { cost });
+
+    // -- Rule 2: weighted Moulin -----------------------------------------
+    let sharing = moulin::WeightedSharing::new(weights);
+    let bids: BTreeMap<UserId, Money> = values.clone();
+    let weighted = moulin::run(cost, &bids, &sharing);
+    print_rule("moulin (weighted by runs/slot)", &values, |u| {
+        weighted.shares.get(&u).copied()
+    });
+    let collected = weighted.total_collected();
+    println!(
+        "  cloud balance: {}\n",
+        collected - if weighted.is_implemented() { cost } else { Money::ZERO }
+    );
+
+    // -- Rule 3: VCG -------------------------------------------------------
+    let v = vcg::run(&game);
+    print_rule("vcg (Clarke pivots)", &values, |u| {
+        v.implemented
+            .contains_key(&OptId(0))
+            .then(|| v.total_paid_by(u))
+    });
+    println!(
+        "  cloud balance: {} — the deficit the cloud eats for full efficiency\n",
+        -v.deficit(|_| cost)
+    );
+
+    println!(
+        "No rule gets all three of truthfulness, cost recovery and efficiency\n\
+         (Moulin & Shenker); the paper picks the first two — the ablation\n\
+         `figures ablations` quantifies what that choice costs."
+    );
+    Ok(())
+}
+
+fn print_rule(
+    name: &str,
+    values: &BTreeMap<UserId, Money>,
+    payment: impl Fn(UserId) -> Option<Money>,
+) {
+    println!("-- {name}");
+    for (&u, &v) in values {
+        match payment(u) {
+            Some(p) => println!("  {u}: pays {p:<12} utility {}", v - p),
+            None => println!("  {u}: not serviced"),
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! # osp — pricing shared optimizations in the cloud
+//!
+//! Umbrella crate for the workspace reproducing *"How to Price Shared
+//! Optimizations in the Cloud"* (Upadhyaya, Balazinska, Suciu;
+//! VLDB 2012). Re-exports every sub-crate:
+//!
+//! * [`core`] — the mechanisms (Shapley, AddOff, AddOn, SubstOff,
+//!   SubstOn), strategies, audits;
+//! * [`econ`] — exact money, ids, value schedules, ledgers;
+//! * [`regret`] — the regret-accumulation baseline;
+//! * [`cloudsim`] — the cloud data-service simulator deriving values
+//!   from query speed-ups;
+//! * [`astro`] — the astronomy use-case substrate;
+//! * [`workload`] — the §7 scenario generators.
+//!
+//! See `examples/` for runnable walkthroughs, starting with
+//! `cargo run --example quickstart`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use osp_astro as astro;
+pub use osp_cloudsim as cloudsim;
+pub use osp_core as core;
+pub use osp_econ as econ;
+pub use osp_regret as regret;
+pub use osp_workload as workload;
+
+/// Everything most programs need.
+pub mod prelude {
+    pub use osp_core::prelude::*;
+    pub use osp_workload::{AdditiveScenario, RunResult, SubstScenario};
+}

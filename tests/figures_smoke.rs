@@ -1,0 +1,155 @@
+//! Small-scale runs of every figure generator, asserting the *shape*
+//! claims of §7 (who wins, where losses start, how skew and
+//! selectivity move the curves). Full-scale tables come from
+//! `cargo run -p osp-bench --release --bin figures -- all`.
+
+use osp_bench::{fig1, sweeps};
+use osp_workload::sweeps as figdefs;
+use osp::prelude::Money;
+use osp_workload::{additive_point, subst_point, AdditiveConfig, ArrivalProcess};
+
+const TRIALS: u32 = 120;
+const SEED: u64 = 0xC0FFEE;
+
+// Re-export Money constructor for brevity.
+fn cents(c: i64) -> Money {
+    Money::from_cents(c)
+}
+
+#[test]
+fn fig1_addon_dominates_regret() {
+    let data = osp_astro::UseCaseData::paper_calibrated();
+    let rows = fig1::run(&data, &[10, 50, 90], 300).unwrap();
+    for r in &rows {
+        assert!(r.addon_utility >= r.regret_utility - 1e-9, "{r:?}");
+        assert!(r.addon_utility >= 0.0);
+    }
+    // Utility grows with usage intensity.
+    assert!(rows[2].addon_utility > rows[0].addon_utility);
+}
+
+#[test]
+fn fig2a_shapes() {
+    let (cfg, _) = figdefs::fig2a();
+    let costs: Vec<Money> = [3, 18, 120, 291].map(cents).to_vec();
+    let rows = sweeps::additive_sweep(&cfg, &costs, TRIALS, SEED).unwrap();
+    // Cheap: both earn; AddOn above Regret (§7.3.1: 1.43× average in
+    // the Regret-positive range).
+    assert!(rows[0].mechanism_utility > rows[0].regret_utility);
+    assert!(rows[0].regret_utility > 0.0);
+    // Regret's balance near zero at the very cheap end, negative later.
+    assert!(rows[0].regret_balance.abs() < 0.05);
+    assert!(rows[2].regret_balance < 0.0);
+    // Expensive: AddOn shuts off cleanly (≥ 0), Regret goes negative.
+    let last = rows.last().unwrap();
+    assert!(last.mechanism_utility >= 0.0);
+    assert!(last.regret_utility < 0.0);
+}
+
+#[test]
+fn fig2b_large_collaboration_sustains_higher_costs() {
+    let (small, _) = figdefs::fig2a();
+    let (large, _) = figdefs::fig2b();
+    // At a cost where the small group has given up, the large group
+    // still extracts utility (§7.3: "users in larger collaborations can
+    /* buy costlier optimizations"). */
+    let cost = cents(291);
+    let s = additive_point(&small, cost, TRIALS, SEED).unwrap();
+    let l = additive_point(&large, cost, TRIALS, SEED).unwrap();
+    assert!(l.mechanism_utility > s.mechanism_utility);
+    assert!(l.mechanism_utility.is_positive());
+}
+
+#[test]
+fn fig2_regret_loss_onset_scales_with_group_size() {
+    // §7.3.1: loss onset at ≈0.18 for 6 users vs ≈1.80 for 24 users —
+    // "without knowing the future users, the cloud can not know when to
+    // avoid Regret". We check the ordering, not the absolute values.
+    let (small, _) = figdefs::fig2a();
+    let (large, _) = figdefs::fig2b();
+    let onset = |cfg: &AdditiveConfig, sweep: &[Money]| -> f64 {
+        for &c in sweep {
+            let p = additive_point(cfg, c, TRIALS, SEED).unwrap();
+            if p.regret_balance.to_f64() < -0.01 {
+                return c.to_f64();
+            }
+        }
+        f64::INFINITY
+    };
+    let sweep: Vec<Money> = (1..=40).map(|k| cents(6 * k)).collect();
+    let small_onset = onset(&small, &sweep);
+    let large_onset = onset(&large, &sweep);
+    assert!(
+        small_onset < large_onset,
+        "small {small_onset} should lose earlier than large {large_onset}"
+    );
+}
+
+#[test]
+fn fig2cd_subst_utilities_below_additive() {
+    // §7.3.2: substitutes lower overall utility for both approaches
+    // (fewer users per optimization).
+    let cost = cents(60);
+    let (add_cfg, _) = figdefs::fig2a();
+    let (sub_cfg, _) = figdefs::fig2c();
+    let add = additive_point(&add_cfg, cost, TRIALS, SEED).unwrap();
+    let sub = subst_point(&sub_cfg, cost, TRIALS, SEED).unwrap();
+    assert!(sub.mechanism_utility < add.mechanism_utility);
+    assert!(!sub.mechanism_balance.is_negative());
+}
+
+#[test]
+fn fig3b_spreading_value_grows_the_advantage() {
+    // §7.4: as users spread value across more slots, AddOn's average
+    // advantage over Regret grows (0.77 → 0.98 in the paper).
+    let rows = sweeps::fig3b(TRIALS, SEED).unwrap();
+    let d1 = rows.iter().find(|r| r.x == 1).unwrap().advantage;
+    let d12 = rows.iter().find(|r| r.x == 12).unwrap().advantage;
+    assert!(d12 > d1, "d=12 advantage {d12} ≤ d=1 advantage {d1}");
+}
+
+#[test]
+fn fig4_skew_helps_addon_hurts_regret() {
+    // §7.5: with early clustering AddOn finds a slot with enough value
+    // sooner; Regret wastes accumulated regret. Compare at a moderate
+    // cost.
+    let cost = cents(54);
+    let mk = |arrivals| AdditiveConfig {
+        arrivals,
+        ..AdditiveConfig::small()
+    };
+    let uniform = additive_point(&mk(ArrivalProcess::Uniform), cost, 400, SEED).unwrap();
+    let early = additive_point(
+        &mk(ArrivalProcess::EarlyExponential { mean: 1.28 }),
+        cost,
+        400,
+        SEED,
+    )
+    .unwrap();
+    assert!(
+        early.mechanism_utility > uniform.mechanism_utility,
+        "early {:?} ≤ uniform {:?}",
+        early.mechanism_utility,
+        uniform.mechanism_utility
+    );
+    // Regret prefers uniform arrivals to early ones.
+    assert!(early.regret_utility < uniform.regret_utility);
+}
+
+#[test]
+fn fig5_selectivity_lowers_utility() {
+    // §7.6: moving from 3-of-4 to 3-of-12 lowers both approaches'
+    // utility at the same mean cost.
+    let cost = cents(36);
+    let (low, _) = figdefs::fig5a();
+    let (high, _) = figdefs::fig5b();
+    let l = subst_point(&low, cost, 400, SEED).unwrap();
+    let h = subst_point(&high, cost, 400, SEED).unwrap();
+    assert!(
+        h.mechanism_utility < l.mechanism_utility,
+        "high selectivity {:?} ≥ low {:?}",
+        h.mechanism_utility,
+        l.mechanism_utility
+    );
+    assert!(h.regret_utility < l.regret_utility);
+}

@@ -1,0 +1,163 @@
+//! Property-based checks of the paper's guarantees on random games:
+//! cost recovery (Eq. 4), individual rationality of truthful users,
+//! and structural soundness of every outcome.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::{prop_assert, prop_assert_eq, proptest, Strategy as PropStrategy};
+
+use osp::prelude::*;
+
+/// Random single-slot-value online bid within a horizon of 6.
+fn arb_online_bids(max_users: usize) -> impl PropStrategy<Value = Vec<OnlineBid>> {
+    proptest::collection::vec(
+        (1u32..=6, 0u32..=3, proptest::collection::vec(0i64..200, 1..4)),
+        1..max_users,
+    )
+    .prop_map(|raw| {
+        raw.into_iter()
+            .enumerate()
+            .map(|(i, (start, extra, cents))| {
+                let start = start.min(6);
+                let len = (cents.len() as u32).min(7 - start).max(1) as usize;
+                let _ = extra;
+                let values = cents[..len].iter().map(|&c| Money::from_cents(c)).collect();
+                OnlineBid::new(
+                    UserId(u32::try_from(i).unwrap()),
+                    SlotSeries::new(SlotId(start), values).unwrap(),
+                )
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    /// AddOn: implemented ⇒ payments ≥ cost; truthful users never pay
+    /// more than their realized value; structure is sound.
+    #[test]
+    fn addon_cost_recovery_and_ir(
+        cost_cents in 1i64..500,
+        bids in arb_online_bids(8),
+    ) {
+        let cost = Money::from_cents(cost_cents);
+        let game = AddOnGame::new(6, cost, bids.clone()).unwrap();
+        let out = addon::run(&game).unwrap();
+        audit::check_addon_outcome(&out).unwrap();
+        if out.is_implemented() {
+            prop_assert!(out.total_payments() >= cost);
+        } else {
+            prop_assert!(out.payments.is_empty());
+        }
+        // Individual rationality against true values (= bids here).
+        for bid in &bids {
+            let u = out.utility(bid.user, &bid.series);
+            prop_assert!(
+                !u.is_negative(),
+                "truthful {} got negative utility {u}", bid.user
+            );
+        }
+    }
+
+    /// AddOn payments are monotone: a user leaving later (weakly larger
+    /// cumulative set) never pays more than one leaving earlier.
+    #[test]
+    fn addon_exit_later_never_pays_more(
+        cost_cents in 1i64..500,
+        bids in arb_online_bids(8),
+    ) {
+        let cost = Money::from_cents(cost_cents);
+        let game = AddOnGame::new(6, cost, bids.clone()).unwrap();
+        let out = addon::run(&game).unwrap();
+        let mut by_exit: Vec<(SlotId, Money)> = bids
+            .iter()
+            .filter_map(|b| out.payments.get(&b.user).map(|&p| (b.series.end(), p)))
+            .collect();
+        by_exit.sort();
+        for pair in by_exit.windows(2) {
+            prop_assert!(
+                pair[1].1 <= pair[0].1,
+                "later exit pays more: {pair:?}"
+            );
+        }
+    }
+
+    /// SubstOn: same guarantees in the substitutable setting.
+    #[test]
+    fn subston_cost_recovery_and_ir(
+        costs in proptest::collection::vec(1i64..300, 1..4),
+        raw in proptest::collection::vec(
+            (1u32..=4, 0i64..200, proptest::collection::vec(0u32..4, 1..4)),
+            1..8,
+        ),
+    ) {
+        let n_opts = costs.len() as u32;
+        let costs: Vec<Money> = costs.into_iter().map(Money::from_cents).collect();
+        let bids: Vec<SubstOnlineBid> = raw
+            .into_iter()
+            .enumerate()
+            .map(|(i, (slot, cents, subs))| SubstOnlineBid {
+                user: UserId(u32::try_from(i).unwrap()),
+                substitutes: subs.into_iter().map(|j| OptId(j % n_opts)).collect(),
+                series: SlotSeries::single(SlotId(slot), Money::from_cents(cents)).unwrap(),
+            })
+            .collect();
+        let truth: BTreeMap<UserId, SlotSeries> =
+            bids.iter().map(|b| (b.user, b.series.clone())).collect();
+        let game = SubstOnGame::new(4, costs, bids).unwrap();
+        let out = subston::run(&game, TieBreak::LowestOptId).unwrap();
+        audit::check_subston_outcome(&out).unwrap();
+        prop_assert!(out.total_payments() >= out.total_cost());
+        let stats = out.stats(&truth);
+        audit::check_individual_rationality(&stats).unwrap();
+        prop_assert!(!stats.cloud_balance.is_negative());
+    }
+
+    /// AddOff (offline): exact cost recovery and equal treatment.
+    #[test]
+    fn addoff_exact_recovery(
+        costs in proptest::collection::vec(1i64..300, 1..4),
+        raw in proptest::collection::vec((0u32..4, 0i64..200), 0..16),
+    ) {
+        let n_opts = costs.len() as u32;
+        let costs: Vec<Money> = costs.into_iter().map(Money::from_cents).collect();
+        let mut game = AdditiveOfflineGame::new(costs.clone()).unwrap();
+        for (i, (j, cents)) in raw.into_iter().enumerate() {
+            game.bid(
+                UserId(u32::try_from(i).unwrap()),
+                OptId(j % n_opts),
+                Money::from_cents(cents),
+            )
+            .unwrap();
+        }
+        let out = addoff::run(&game);
+        audit::check_offline_outcome(&out).unwrap();
+        let ledger = out.to_ledger(|j| costs[j.index() as usize]);
+        // Offline Shapley recovers each cost *exactly*.
+        prop_assert_eq!(ledger.cloud_balance(), Money::ZERO);
+    }
+
+    /// The regret baseline on identical games: the mechanism's balance
+    /// is never negative while regret's may be; and whenever regret
+    /// implements nothing, its utility is exactly zero.
+    #[test]
+    fn regret_vs_mechanism_balance(
+        cost_cents in 1i64..500,
+        bids in arb_online_bids(8),
+    ) {
+        let cost = Money::from_cents(cost_cents);
+        let sc = osp::workload::AdditiveScenario {
+            horizon: 6,
+            cost,
+            users: bids.iter().map(|b| (b.user, b.series.clone())).collect(),
+        };
+        let mech = sc.run_addon().unwrap();
+        let reg = sc.run_regret();
+        prop_assert!(!mech.balance.is_negative());
+        prop_assert!(!mech.utility.is_negative());
+        // Regret's utility can be negative, but only when it built the
+        // optimization (its loss comes from implementing).
+        if reg.utility.is_negative() {
+            prop_assert!(reg.balance.is_negative() || reg.utility >= reg.balance);
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! End-to-end pipelines across crates: query workloads → values →
+//! mechanisms, and the astronomy derivation chain.
+
+use osp::astro::{find_halos, simulate, MergerTree, UniverseConfig, UseCaseData};
+use osp::cloudsim::catalog::table;
+use osp::cloudsim::{
+    derive_schedule, Catalog, CloudOptimization, CostModel, LogicalPlan, OptimizationKind,
+    PricePlan, UserWorkload,
+};
+use osp::prelude::*;
+
+/// cloudsim → core: values derived from query speed-ups feed AddOn,
+/// which implements exactly the optimizations whose derived joint
+/// value covers their cost.
+#[test]
+fn cloudsim_values_drive_the_mechanism() {
+    let mut catalog = Catalog::new();
+    let events = catalog.add_table(table(
+        "events",
+        80_000_000,
+        64,
+        &[("tenant", 200_000), ("kind", 4)],
+    ));
+    let cm = CostModel::default();
+    let price = PricePlan::paper_ec2();
+
+    let tenant_query = LogicalPlan::scan(events).eq_filter(&catalog, events, 0).unwrap();
+    let opts = vec![
+        CloudOptimization::new(
+            "idx-tenant",
+            OptimizationKind::BTreeIndex { table: events, column: 0 },
+        ),
+        // An index on an unselective column: worthless, must never be
+        // implemented.
+        CloudOptimization::new(
+            "idx-kind",
+            OptimizationKind::BTreeIndex { table: events, column: 1 },
+        ),
+    ];
+
+    let workloads: Vec<UserWorkload> = (0..4)
+        .map(|u| UserWorkload {
+            user: UserId(u),
+            queries: vec![tenant_query.clone()],
+            start: SlotId(1 + u % 3),
+            end: SlotId(4),
+            executions_per_slot: 60,
+        })
+        .collect();
+
+    let schedule = derive_schedule(&workloads, &catalog, &cm, &price, &opts, 4).unwrap();
+    assert_eq!(schedule.opts(), vec![OptId(0)], "only the useful index has value");
+
+    let costs: Vec<Money> = opts
+        .iter()
+        .map(|o| price.optimization_cost(o, &catalog, &cm, 12).unwrap())
+        .collect();
+    let out = addon::run_schedule(&costs, &schedule).unwrap();
+    assert!(out.per_opt[&OptId(0)].is_implemented());
+    assert!(!out.per_opt[&OptId(1)].is_implemented());
+
+    let stats = out.stats(&schedule);
+    assert!(stats.total_utility.is_positive());
+    assert!(!stats.cloud_balance.is_negative());
+    audit::check_individual_rationality(&stats).unwrap();
+}
+
+/// The astronomy chain is deterministic end to end, and the derived
+/// economics respond to scale the way the paper's do.
+#[test]
+fn astro_pipeline_is_deterministic_and_sane() {
+    let cfg = UniverseConfig {
+        seed: 99,
+        num_snapshots: 8,
+        num_halos: 6,
+        particles_per_halo: 40,
+        background_particles: 60,
+        ..UniverseConfig::default()
+    };
+    let a = UseCaseData::from_universe(&simulate(&cfg), 6.0, 10, 12, 50_000).unwrap();
+    let b = UseCaseData::from_universe(&simulate(&cfg), 6.0, 10, 12, 50_000).unwrap();
+    assert_eq!(a, b, "same seed ⇒ same economics");
+
+    // Larger hosted datasets cost more to optimize and save more.
+    let big = UseCaseData::from_universe(&simulate(&cfg), 6.0, 10, 12, 200_000).unwrap();
+    assert!(big.opt_costs[0] > a.opt_costs[0]);
+    assert!(big.per_exec_value[0][7] > a.per_exec_value[0][7]);
+}
+
+/// Halo finding + merger trees behave across the simulated history:
+/// every final halo has a traceable chain, and totals are conserved.
+#[test]
+fn merger_tree_chains_cover_history() {
+    let u = simulate(&UniverseConfig {
+        seed: 5,
+        num_snapshots: 10,
+        num_halos: 7,
+        particles_per_halo: 50,
+        background_particles: 40,
+        box_size: 900.0,
+        halo_sigma: 1.2,
+        merger_rate: 0.4,
+    });
+    let catalogs: Vec<_> = u.snapshots.iter().map(|s| find_halos(s, 6.0, 10)).collect();
+    let tree = MergerTree::link(&catalogs);
+    assert_eq!(tree.levels(), 9);
+    let last = catalogs.last().unwrap();
+    let clustered: usize = last.halos.iter().map(|h| h.members.len()).sum();
+    // All halo-track particles (7 × 50) cluster; background does not.
+    assert!(clustered >= 300, "only {clustered} particles in halos");
+    for h in &last.halos {
+        let chain = tree.trace_chain(h.id);
+        assert_eq!(chain.len(), 10);
+        assert!(chain[9].is_some());
+    }
+}
+
+/// Figure 1 calibrated data drives both approaches coherently: the
+/// per-user per-execution totals agree with §7.2's published savings.
+#[test]
+fn calibrated_use_case_totals() {
+    let d = UseCaseData::paper_calibrated();
+    // Per-execution total saving per user: MV27 + 1¢ per other touched
+    // snapshot: u0: 18 + 26 = 44¢; u1: 7 + 13 = 20¢; u2: 3 + 6 = 9¢.
+    let totals: Vec<Money> = (0..6)
+        .map(|u| d.per_exec_value[u].iter().copied().sum())
+        .collect();
+    assert_eq!(totals[0], Money::from_cents(44));
+    assert_eq!(totals[1], Money::from_cents(20));
+    assert_eq!(totals[2], Money::from_cents(9));
+    assert_eq!(totals[3], Money::from_cents(42));
+    assert_eq!(totals[4], Money::from_cents(22));
+    assert_eq!(totals[5], Money::from_cents(10));
+
+    // With everyone subscribed all year at 90 executions, AddOn builds
+    // the snapshot-27 materialization (group value 90 × 57¢ ≫ $2.31).
+    let schedule = d.schedule(&[(1, 4); 6], 90);
+    let out = addon::run_schedule(&d.opt_costs, &schedule).unwrap();
+    assert!(out.per_opt[&OptId(26)].is_implemented());
+    let stats = out.stats(&schedule);
+    assert!(!stats.cloud_balance.is_negative());
+    assert!(stats.total_utility.is_positive());
+}

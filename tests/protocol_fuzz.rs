@@ -1,0 +1,172 @@
+//! Protocol fuzzing of the interactive online mechanisms: random
+//! operation sequences against [`AddOnState`] / [`SubstOnState`] must
+//! never panic, must reject protocol violations with typed errors, and
+//! must leave the accounting invariants intact at the end.
+
+use proptest::prelude::{prop_assert, proptest, Strategy as PropStrategy};
+
+use osp::prelude::*;
+
+/// A random client operation.
+#[derive(Debug, Clone)]
+enum Op {
+    Submit {
+        user: u32,
+        start: u32,
+        values: Vec<i64>,
+    },
+    Revise {
+        user: u32,
+        from: u32,
+        values: Vec<i64>,
+    },
+    Advance,
+}
+
+fn arb_ops() -> impl PropStrategy<Value = Vec<Op>> {
+    use proptest::prelude::*;
+    proptest::collection::vec(
+        prop_oneof![
+            3 => (0u32..6, 1u32..=8, proptest::collection::vec(0i64..100, 1..4))
+                .prop_map(|(user, start, values)| Op::Submit { user, start, values }),
+            1 => (0u32..6, 1u32..=8, proptest::collection::vec(0i64..200, 1..4))
+                .prop_map(|(user, from, values)| Op::Revise { user, from, values }),
+            4 => Just(Op::Advance),
+        ],
+        0..30,
+    )
+}
+
+proptest! {
+    /// Whatever the clients throw at it, AddOnState either applies the
+    /// operation or returns a typed error — and the final outcome
+    /// satisfies the audit.
+    #[test]
+    fn addon_state_survives_arbitrary_clients(
+        cost in 1i64..400,
+        ops in arb_ops(),
+    ) {
+        const HORIZON: u32 = 6;
+        let mut st = AddOnState::new(Money::from_cents(cost), HORIZON).unwrap();
+        let mut advances = 0u32;
+        for op in ops {
+            match op {
+                Op::Submit { user, start, values } => {
+                    let series = SlotSeries::new(
+                        SlotId(start),
+                        values.iter().map(|&v| Money::from_cents(v)).collect(),
+                    )
+                    .unwrap();
+                    let res = st.submit(OnlineBid::new(UserId(user), series.clone()));
+                    // The only legal rejections:
+                    if let Err(e) = res {
+                        prop_assert!(matches!(
+                            e,
+                            MechanismError::DuplicateUser { .. }
+                                | MechanismError::RetroactiveBid { .. }
+                                | MechanismError::BeyondHorizon { .. }
+                        ), "unexpected submit error {e:?}");
+                    }
+                }
+                Op::Revise { user, from, values } => {
+                    let res = st.revise(
+                        UserId(user),
+                        SlotId(from),
+                        values.iter().map(|&v| Money::from_cents(v)).collect(),
+                    );
+                    if let Err(e) = res {
+                        prop_assert!(matches!(
+                            e,
+                            MechanismError::UnknownUser { .. }
+                                | MechanismError::RetroactiveBid { .. }
+                                | MechanismError::DownwardRevision { .. }
+                                | MechanismError::BeyondHorizon { .. }
+                        ), "unexpected revise error {e:?}");
+                    }
+                }
+                Op::Advance => {
+                    if advances < HORIZON {
+                        let report = st.advance().unwrap();
+                        advances += 1;
+                        // Shares only ever shrink (cumulative set grows).
+                        if let Some(share) = report.share {
+                            prop_assert!(share.is_positive());
+                        }
+                    } else {
+                        let exhausted = matches!(
+                            st.advance(),
+                            Err(MechanismError::HorizonExhausted { .. })
+                        );
+                        prop_assert!(exhausted);
+                    }
+                }
+            }
+        }
+        let out = st.finish().unwrap();
+        audit::check_addon_outcome(&out).unwrap();
+        // The share timeline is monotone non-increasing once set.
+        let shares: Vec<Money> = out.share_by_slot.iter().flatten().copied().collect();
+        for w in shares.windows(2) {
+            prop_assert!(w[1] <= w[0], "share rose: {w:?}");
+        }
+    }
+
+    /// Same exercise for SubstOnState with random substitute sets.
+    #[test]
+    fn subston_state_survives_arbitrary_clients(
+        costs in proptest::collection::vec(1i64..300, 1..4),
+        ops in arb_ops(),
+        masks in proptest::collection::vec(1u32..8, 30),
+    ) {
+        const HORIZON: u32 = 6;
+        let n_opts = costs.len() as u32;
+        let costs: Vec<Money> = costs.into_iter().map(Money::from_cents).collect();
+        let mut st = SubstOnState::new(costs, HORIZON, TieBreak::LowestOptId).unwrap();
+        let mut advances = 0u32;
+        for (k, op) in ops.into_iter().enumerate() {
+            match op {
+                Op::Submit { user, start, values } => {
+                    let series = SlotSeries::new(
+                        SlotId(start),
+                        values.iter().map(|&v| Money::from_cents(v)).collect(),
+                    )
+                    .unwrap();
+                    let substitutes = (0..n_opts)
+                        .filter(|j| (masks[k] >> j) & 1 == 1)
+                        .map(OptId)
+                        .collect();
+                    let res = st.submit(SubstOnlineBid {
+                        user: UserId(user),
+                        substitutes,
+                        series,
+                    });
+                    if let Err(e) = res {
+                        prop_assert!(matches!(
+                            e,
+                            MechanismError::DuplicateUser { .. }
+                                | MechanismError::RetroactiveBid { .. }
+                                | MechanismError::BeyondHorizon { .. }
+                                | MechanismError::EmptySubstituteSet { .. }
+                                | MechanismError::UnknownOpt { .. }
+                        ), "unexpected submit error {e:?}");
+                    }
+                }
+                Op::Revise { .. } => { /* SubstOn takes no revisions */ }
+                Op::Advance => {
+                    if advances < HORIZON {
+                        st.advance().unwrap();
+                        advances += 1;
+                    } else {
+                        let exhausted = matches!(
+                            st.advance(),
+                            Err(MechanismError::HorizonExhausted { .. })
+                        );
+                        prop_assert!(exhausted);
+                    }
+                }
+            }
+        }
+        let out = st.finish().unwrap();
+        audit::check_subston_outcome(&out).unwrap();
+    }
+}

@@ -1,0 +1,138 @@
+//! Serialization round trips for every shareable artifact: scenarios,
+//! games, outcomes, and results survive JSON unchanged (experiments
+//! persist their inputs/outputs as JSON/CSV).
+
+use osp::prelude::*;
+
+fn d(x: i64) -> Money {
+    Money::from_dollars(x)
+}
+
+fn series(start: u32, values: &[i64]) -> SlotSeries {
+    SlotSeries::new(SlotId(start), values.iter().map(|&v| d(v)).collect()).unwrap()
+}
+
+fn round_trip<T>(value: &T) -> T
+where
+    T: serde::Serialize + serde::de::DeserializeOwned,
+{
+    let json = serde_json::to_string(value).expect("serialize");
+    serde_json::from_str(&json).expect("deserialize")
+}
+
+#[test]
+fn games_round_trip() {
+    let mut offline = AdditiveOfflineGame::new(vec![d(10), d(20)]).unwrap();
+    offline.bid(UserId(0), OptId(1), d(5)).unwrap();
+    assert_eq!(round_trip(&offline), offline);
+
+    let addon_game = AddOnGame::new(
+        3,
+        d(100),
+        vec![OnlineBid::new(UserId(0), series(1, &[5, 5, 5]))],
+    )
+    .unwrap();
+    assert_eq!(round_trip(&addon_game), addon_game);
+
+    let subst = SubstOffGame::new(
+        vec![d(10)],
+        vec![SubstBid {
+            user: UserId(0),
+            substitutes: [OptId(0)].into(),
+            value: d(5),
+        }],
+    )
+    .unwrap();
+    assert_eq!(round_trip(&subst), subst);
+}
+
+#[test]
+fn offline_outcome_round_trips() {
+    let mut game = AdditiveOfflineGame::new(vec![d(100)]).unwrap();
+    game.bid(UserId(0), OptId(0), d(60)).unwrap();
+    game.bid(UserId(1), OptId(0), d(55)).unwrap();
+    let out = addoff::run(&game);
+    assert!(!out.payments.is_empty());
+    assert_eq!(round_trip(&out), out);
+}
+
+#[test]
+fn outcomes_round_trip() {
+    let game = AddOnGame::new(
+        3,
+        d(100),
+        vec![
+            OnlineBid::new(UserId(0), series(1, &[101])),
+            OnlineBid::new(UserId(1), series(2, &[60, 60])),
+        ],
+    )
+    .unwrap();
+    let out = addon::run(&game).unwrap();
+    assert_eq!(round_trip(&out), out);
+
+    let subst_game = SubstOnGame::new(
+        2,
+        vec![d(10)],
+        vec![SubstOnlineBid {
+            user: UserId(0),
+            substitutes: [OptId(0)].into(),
+            series: series(1, &[20, 20]),
+        }],
+    )
+    .unwrap();
+    let out = subston::run(&subst_game, TieBreak::LowestOptId).unwrap();
+    assert_eq!(round_trip(&out), out);
+}
+
+#[test]
+fn scenarios_and_stats_round_trip() {
+    let sc = osp::workload::AdditiveScenario {
+        horizon: 3,
+        cost: d(7),
+        users: vec![(UserId(0), series(1, &[3, 3, 3]))],
+    };
+    assert_eq!(round_trip(&sc), sc);
+
+    let mut ledger = Ledger::new();
+    ledger.record_cost(OptId(0), d(7));
+    ledger.record_payment(UserId(0), OptId(0), d(7));
+    let stats = ledger.stats(&[(UserId(0), d(9))].into());
+    assert_eq!(round_trip(&stats), stats);
+    assert_eq!(round_trip(&ledger), ledger);
+}
+
+#[test]
+fn cloudsim_artifacts_round_trip() {
+    use osp::cloudsim::catalog::table;
+    use osp::cloudsim::{Catalog, CloudOptimization, LogicalPlan, OptimizationKind};
+
+    let mut catalog = Catalog::new();
+    let t = catalog.add_table(table("t", 100, 8, &[("a", 10)]));
+    assert_eq!(round_trip(&catalog), catalog);
+
+    let q = LogicalPlan::scan(t).eq_filter(&catalog, t, 0).unwrap().aggregate(5);
+    assert_eq!(round_trip(&q), q);
+
+    let opt = CloudOptimization::new(
+        "mv",
+        OptimizationKind::MaterializedView { definition: q },
+    );
+    assert_eq!(round_trip(&opt), opt);
+}
+
+#[test]
+fn astro_artifacts_round_trip() {
+    use osp::astro::{simulate, UniverseConfig, UseCaseData};
+    let cfg = UniverseConfig {
+        num_snapshots: 3,
+        num_halos: 3,
+        particles_per_halo: 10,
+        background_particles: 5,
+        ..UniverseConfig::default()
+    };
+    let u = simulate(&cfg);
+    assert_eq!(round_trip(&u), u);
+
+    let d = UseCaseData::paper_calibrated();
+    assert_eq!(round_trip(&d), d);
+}

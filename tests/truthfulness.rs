@@ -1,0 +1,264 @@
+//! Truthfulness, empirically: across random games and deviation
+//! menus, no user improves on truthful bidding — offline in the
+//! dominant-strategy sense, online in the model-free (worst case over
+//! futures) sense of §5.2.
+
+use proptest::prelude::*;
+
+use osp::prelude::*;
+use osp_core::strategy::{self, Strategy};
+
+fn cents(c: i64) -> Money {
+    Money::from_cents(c)
+}
+
+/// The deviation menu exercised everywhere.
+fn deviations() -> Vec<Strategy> {
+    vec![
+        Strategy::ScaleBid(Ratio::new(1, 2)),
+        Strategy::ScaleBid(Ratio::new(1, 4)),
+        Strategy::ScaleBid(Ratio::new(3, 2)),
+        Strategy::ScaleBid(Ratio::new(3, 1)),
+        Strategy::ScaleBid(Ratio::ZERO),
+        Strategy::HideUntil(SlotId(2)),
+        Strategy::HideUntil(SlotId(3)),
+        Strategy::DelayArrival(1),
+        Strategy::DelayArrival(2),
+        Strategy::FlatBid(cents(50)),
+        Strategy::FlatBid(cents(500)),
+    ]
+}
+
+/// Runs the AddOn game where `deviator` uses `bid_series` while others
+/// bid truthfully; returns the deviator's utility against `truth`.
+fn addon_utility_with(
+    cost: Money,
+    horizon: u32,
+    others: &[(UserId, SlotSeries)],
+    deviator: UserId,
+    bid_series: SlotSeries,
+    truth: &SlotSeries,
+) -> Money {
+    let mut bids: Vec<OnlineBid> = others
+        .iter()
+        .map(|(u, s)| OnlineBid::new(*u, s.clone()))
+        .collect();
+    bids.push(OnlineBid::new(deviator, bid_series));
+    let game = AddOnGame::new(horizon, cost, bids).expect("valid game");
+    let out = addon::run(&game).expect("mechanism runs");
+    out.utility(deviator, truth)
+}
+
+proptest! {
+    /// Model-free truthfulness of AddOn: the deviator is the last
+    /// arrival and no bids follow hers (the §5.2 worst case — the
+    /// minimum over futures is attained when no future bids arrive).
+    /// Truthful bidding maximizes that worst case.
+    #[test]
+    fn addon_model_free_truthfulness(
+        cost in 1i64..600,
+        others in proptest::collection::vec((1u32..=3, 0i64..200), 0..6),
+        truth_start in 3u32..=5,
+        truth_values in proptest::collection::vec(0i64..200, 1..3),
+    ) {
+        let cost = Money::from_cents(cost);
+        let horizon = 6;
+        // Earlier users (slots 1..=3), truthful.
+        let others: Vec<(UserId, SlotSeries)> = others
+            .into_iter()
+            .enumerate()
+            .map(|(i, (slot, v))| {
+                (
+                    UserId(u32::try_from(i).unwrap()),
+                    SlotSeries::single(SlotId(slot), cents(v)).unwrap(),
+                )
+            })
+            .collect();
+        // The deviator arrives at truth_start ≥ every other arrival.
+        let len = truth_values.len().min((horizon - truth_start + 1) as usize);
+        let truth = SlotSeries::new(
+            SlotId(truth_start),
+            truth_values[..len].iter().map(|&v| cents(v)).collect(),
+        )
+        .unwrap();
+        let deviator = UserId(100);
+
+        let honest =
+            addon_utility_with(cost, horizon, &others, deviator, truth.clone(), &truth);
+        prop_assert!(!honest.is_negative(), "truthful utility must be ≥ 0");
+
+        for strategy in deviations() {
+            let Some(bid) = strategy::apply(&truth, &strategy) else { continue };
+            // DelayArrival shifts s_i; both bids still start ≥ truth_start,
+            // so the deviator remains the last arrival.
+            let lied = addon_utility_with(cost, horizon, &others, deviator, bid, &truth);
+            prop_assert!(
+                lied <= honest,
+                "{strategy:?} beat truthfulness: {lied} > {honest}"
+            );
+        }
+    }
+
+    /// Offline Shapley dominant-strategy truthfulness through AddOff,
+    /// including multi-optimization games (deviate on every
+    /// optimization simultaneously by scaling).
+    #[test]
+    fn addoff_truthfulness_under_scaling(
+        costs in proptest::collection::vec(1i64..300, 1..3),
+        raw in proptest::collection::vec((0u32..3, 0i64..150), 1..10),
+        num in 0i64..=6, // scale factor num/2
+    ) {
+        let n_opts = costs.len() as u32;
+        let costs: Vec<Money> = costs.into_iter().map(Money::from_cents).collect();
+        let build = |deviant_scale: Option<(UserId, Ratio)>| {
+            let mut game = AdditiveOfflineGame::new(costs.clone()).unwrap();
+            for (i, (j, v)) in raw.iter().enumerate() {
+                let user = UserId(u32::try_from(i).unwrap());
+                let mut amount = cents(*v);
+                if let Some((du, scale)) = deviant_scale {
+                    if du == user {
+                        amount = Money::from_ratio(amount.as_ratio() * scale);
+                    }
+                }
+                game.bid(user, OptId(j % n_opts), amount).unwrap();
+            }
+            game
+        };
+        let honest_game = build(None);
+        let honest_out = addoff::run(&honest_game);
+
+        let scale = Ratio::new(num as i128, 2);
+        for i in 0..raw.len() {
+            let user = UserId(u32::try_from(i).unwrap());
+            let honest_utility: Money = (0..n_opts)
+                .map(OptId)
+                .map(|j| {
+                    if honest_out.is_granted(user, j) {
+                        honest_game.bid_of(user, j) - honest_out.payments[&(user, j)]
+                    } else {
+                        Money::ZERO
+                    }
+                })
+                .sum();
+            let lied_game = build(Some((user, scale)));
+            let lied_out = addoff::run(&lied_game);
+            let lied_utility: Money = (0..n_opts)
+                .map(OptId)
+                .map(|j| {
+                    if lied_out.is_granted(user, j) {
+                        // Value is the TRUE value, payment from the lie.
+                        honest_game.bid_of(user, j) - lied_out.payments[&(user, j)]
+                    } else {
+                        Money::ZERO
+                    }
+                })
+                .sum();
+            prop_assert!(
+                lied_utility <= honest_utility,
+                "{user} gains by scaling bids ×{scale}"
+            );
+        }
+    }
+
+    /// SubstOff truthfulness over value misreports (the set misreport
+    /// cases are covered by the Example 7 unit tests).
+    #[test]
+    fn substoff_value_truthfulness(
+        costs in proptest::collection::vec(10i64..200, 2..4),
+        raw in proptest::collection::vec((0i64..150, 1u32..4), 2..7),
+        lie in 0i64..300,
+    ) {
+        let n_opts = costs.len() as u32;
+        let costs: Vec<Money> = costs.into_iter().map(Money::from_cents).collect();
+        let build = |deviant: Option<(usize, Money)>| {
+            let bids = raw
+                .iter()
+                .enumerate()
+                .map(|(i, (v, mask))| {
+                    let substitutes = (0..n_opts)
+                        .filter(|j| (mask >> j) & 1 == 1 || *j == 0)
+                        .map(OptId)
+                        .collect();
+                    let mut value = cents(*v);
+                    if let Some((du, amount)) = deviant {
+                        if du == i {
+                            value = amount;
+                        }
+                    }
+                    SubstBid {
+                        user: UserId(u32::try_from(i).unwrap()),
+                        substitutes,
+                        value,
+                    }
+                })
+                .collect();
+            SubstOffGame::new(costs.clone(), bids).unwrap()
+        };
+        let honest = substoff::run(&build(None), TieBreak::LowestOptId);
+        for (i, (v, _)) in raw.iter().enumerate() {
+            let user = UserId(u32::try_from(i).unwrap());
+            let truth = cents(*v);
+            let honest_u = match honest.assignments.get(&user) {
+                Some(_) => truth - honest.payments[&user],
+                None => Money::ZERO,
+            };
+            let lied = substoff::run(&build(Some((i, cents(lie)))), TieBreak::LowestOptId);
+            let lied_u = match lied.assignments.get(&user) {
+                Some(_) => truth - lied.payments[&user],
+                None => Money::ZERO,
+            };
+            prop_assert!(
+                lied_u <= honest_u,
+                "{user} gains by bidding {lie} instead of {truth}"
+            );
+        }
+    }
+}
+
+/// Group strategy-proofness of the Shapley mechanism on a small
+/// exhaustive game: no coalition deviation (over a grid of joint
+/// misreports) makes any member strictly better off without hurting
+/// another.
+#[test]
+fn shapley_group_strategyproof_exhaustively() {
+    let cost = cents(300);
+    let truths = [cents(160), cents(140), cents(90)];
+    let grid = [0i64, 50, 90, 100, 140, 150, 160, 200, 300];
+
+    let run = |bids: [Money; 3]| {
+        let mut game = AdditiveOfflineGame::new(vec![cost]).unwrap();
+        for (i, b) in bids.iter().enumerate() {
+            game.bid(UserId(u32::try_from(i).unwrap()), OptId(0), *b).unwrap();
+        }
+        let out = addoff::run(&game);
+        [0, 1, 2].map(|i| {
+            let u = UserId(i);
+            if out.is_granted(u, OptId(0)) {
+                truths[i as usize] - out.payments[&(u, OptId(0))]
+            } else {
+                Money::ZERO
+            }
+        })
+    };
+
+    let honest = run([truths[0], truths[1], truths[2]]);
+    for &b0 in &grid {
+        for &b1 in &grid {
+            for &b2 in &grid {
+                let lied = run([cents(b0), cents(b1), cents(b2)]);
+                // A deviation is only "used" by members whose bid moved.
+                let moved = [
+                    cents(b0) != truths[0],
+                    cents(b1) != truths[1],
+                    cents(b2) != truths[2],
+                ];
+                let any_gain = (0..3).any(|i| moved[i] && lied[i] > honest[i]);
+                let none_hurt = (0..3).all(|i| !moved[i] || lied[i] >= honest[i]);
+                assert!(
+                    !(any_gain && none_hurt),
+                    "coalition {moved:?} profits: bids ({b0},{b1},{b2}), {lied:?} vs {honest:?}"
+                );
+            }
+        }
+    }
+}
