@@ -98,7 +98,11 @@ pub fn select_gamma(catalog: &HaloCatalog, band: MassBand, env: Environment) -> 
             .unwrap_or(f64::INFINITY)
     };
     let lo = quantile(qlo);
-    let hi = if qhi > 1.0 { f64::INFINITY } else { quantile(qhi) };
+    let hi = if qhi > 1.0 {
+        f64::INFINITY
+    } else {
+        quantile(qhi)
+    };
 
     catalog
         .halos
@@ -141,7 +145,14 @@ mod tests {
         particles.extend(cluster(10..16, 5.0));
         particles.extend(cluster(16..20, 300.0));
         particles.extend(cluster(20..22, 600.0));
-        find_halos(&Snapshot { index: 1, particles }, 0.5, 2)
+        find_halos(
+            &Snapshot {
+                index: 1,
+                particles,
+            },
+            0.5,
+            2,
+        )
     }
 
     #[test]

@@ -97,7 +97,8 @@ pub fn find_halos(snapshot: &Snapshot, linking_length: f64, min_members: usize) 
         }
         // Cross-cell pairs: visit each unordered neighbor pair once by
         // only looking at lexicographically greater cells.
-        for dx in -1..=1i64 {            for dy in -1..=1i64 {
+        for dx in -1..=1i64 {
+            for dy in -1..=1i64 {
                 for dz in -1..=1i64 {
                     if (dx, dy, dz) <= (0, 0, 0) {
                         continue;
@@ -121,10 +122,7 @@ pub fn find_halos(snapshot: &Snapshot, linking_length: f64, min_members: usize) 
         .components(min_members.max(1))
         .into_iter()
         .map(|indices| {
-            let mut members: Vec<u32> = indices
-                .iter()
-                .map(|&i| ps[i as usize].id)
-                .collect();
+            let mut members: Vec<u32> = indices.iter().map(|&i| ps[i as usize].id).collect();
             members.sort_unstable();
             let mass: f64 = indices.iter().map(|&i| ps[i as usize].mass).sum();
             let mut center = [0.0f64; 3];
@@ -196,7 +194,14 @@ mod tests {
         let particles = (0..10)
             .map(|i| p(i, f64::from(i) * 0.9, 0.0, 0.0))
             .collect();
-        let cat = find_halos(&Snapshot { index: 1, particles }, 1.0, 2);
+        let cat = find_halos(
+            &Snapshot {
+                index: 1,
+                particles,
+            },
+            1.0,
+            2,
+        );
         assert_eq!(cat.halos.len(), 1);
         assert_eq!(cat.halos[0].members.len(), 10);
     }
@@ -213,7 +218,14 @@ mod tests {
             1,
         );
         assert_eq!(tight.halos.len(), 2);
-        let loose = find_halos(&Snapshot { index: 1, particles }, 2.5, 1);
+        let loose = find_halos(
+            &Snapshot {
+                index: 1,
+                particles,
+            },
+            2.5,
+            1,
+        );
         assert_eq!(loose.halos.len(), 1);
     }
 

@@ -106,9 +106,9 @@ mod tests {
             .iter()
             .enumerate()
             .flat_map(|(g, ids)| {
-                ids.iter().enumerate().map(move |(k, &id)| {
-                    p(id, g as f64 * 100.0 + k as f64 * 0.1)
-                })
+                ids.iter()
+                    .enumerate()
+                    .map(move |(k, &id)| p(id, g as f64 * 100.0 + k as f64 * 0.1))
             })
             .collect();
         find_halos(&Snapshot { index, particles }, 0.5, 2)
@@ -169,11 +169,8 @@ mod tests {
             halo_sigma: 1.0,
             merger_rate: 0.6,
         });
-        let catalogs: Vec<HaloCatalog> = u
-            .snapshots
-            .iter()
-            .map(|s| find_halos(s, 6.0, 10))
-            .collect();
+        let catalogs: Vec<HaloCatalog> =
+            u.snapshots.iter().map(|s| find_halos(s, 6.0, 10)).collect();
         assert!(catalogs.iter().all(|c| !c.halos.is_empty()));
         let tree = MergerTree::link(&catalogs);
         assert_eq!(tree.levels(), 5);

@@ -165,8 +165,7 @@ pub fn simulate(config: &UniverseConfig) -> Universe {
         for t in tracks.iter().filter(|t| t.alive) {
             // Cloud radius grows with membership (heavier halos are
             // bigger), keeping intra-halo spacing linkable.
-            let sigma =
-                config.halo_sigma * (t.particles.len() as f64 / 64.0).cbrt().max(1.0);
+            let sigma = config.halo_sigma * (t.particles.len() as f64 / 64.0).cbrt().max(1.0);
             for &id in &t.particles {
                 let pos = [
                     (t.center[0] + gauss(&mut rng) * sigma).rem_euclid(config.box_size),
@@ -234,10 +233,7 @@ mod tests {
         let a = simulate(&small());
         let b = simulate(&small());
         assert_eq!(a, b);
-        let c = simulate(&UniverseConfig {
-            seed: 8,
-            ..small()
-        });
+        let c = simulate(&UniverseConfig { seed: 8, ..small() });
         assert_ne!(a, c);
     }
 

@@ -23,8 +23,8 @@
 use serde::{Deserialize, Serialize};
 
 use osp_cloudsim::{
-    Catalog, CatalogError, CloudOptimization, CostModel, LogicalPlan, OptimizationKind,
-    PricePlan, Table,
+    Catalog, CatalogError, CloudOptimization, CostModel, LogicalPlan, OptimizationKind, PricePlan,
+    Table,
 };
 use osp_econ::schedule::SlotSeries;
 use osp_econ::{Money, OptId, SlotId, UserId, ValueSchedule};
@@ -44,10 +44,7 @@ pub const NUM_USERS: usize = 6;
 /// from the final snapshot (stride 2 over 27 snapshots: 27, 25, …, 1).
 #[must_use]
 pub fn snapshots_for_stride(stride: u32, num_snapshots: u32) -> Vec<u32> {
-    (1..=num_snapshots)
-        .rev()
-        .step_by(stride as usize)
-        .collect()
+    (1..=num_snapshots).rev().step_by(stride as usize).collect()
 }
 
 /// Everything the Figure 1 experiment needs, independent of where the
@@ -329,10 +326,7 @@ mod tests {
         assert!(d.opt_costs.iter().all(|&c| c == Money::from_cents(231)));
         // MV on snapshot 27 = opt index 26.
         let mv27: Vec<Money> = (0..6).map(|u| d.per_exec_value[u][26]).collect();
-        assert_eq!(
-            mv27,
-            [18, 7, 3, 16, 9, 4].map(Money::from_cents).to_vec()
-        );
+        assert_eq!(mv27, [18, 7, 3, 16, 9, 4].map(Money::from_cents).to_vec());
         // Stride-4 users have no value for snapshot 26 (not on their
         // grid) but 1¢ for snapshot 23.
         assert_eq!(d.per_exec_value[2][25], Money::ZERO);

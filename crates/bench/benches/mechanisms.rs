@@ -63,12 +63,8 @@ fn bench_interactive_addon(c: &mut Criterion) {
             let mut st = AddOnState::new(Money::from_dollars(10), 12).unwrap();
             for u in 0..24u32 {
                 let start = 1 + (u % 12);
-                let series = SlotSeries::constant(
-                    SlotId(start),
-                    SlotId(12),
-                    Money::from_cents(50),
-                )
-                .unwrap();
+                let series =
+                    SlotSeries::constant(SlotId(start), SlotId(12), Money::from_cents(50)).unwrap();
                 // Interleave submissions with slot advances.
                 if start == 1 {
                     st.submit(OnlineBid::new(UserId(u), series)).unwrap();
@@ -78,12 +74,9 @@ fn bench_interactive_addon(c: &mut Criterion) {
                 if t > 1 {
                     for u in 0..24u32 {
                         if 1 + (u % 12) == t {
-                            let series = SlotSeries::constant(
-                                SlotId(t),
-                                SlotId(12),
-                                Money::from_cents(50),
-                            )
-                            .unwrap();
+                            let series =
+                                SlotSeries::constant(SlotId(t), SlotId(12), Money::from_cents(50))
+                                    .unwrap();
                             st.submit(OnlineBid::new(UserId(u), series)).unwrap();
                         }
                     }

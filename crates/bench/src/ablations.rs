@@ -28,7 +28,13 @@ pub fn efficiency_gap(trials: u32, seed: u64) -> ResultTable {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut table = ResultTable::new(
         "Efficiency gap: mechanism welfare / first-best welfare",
-        &["game", "trials", "mean_ratio", "worst_ratio", "optimal_hit_rate"],
+        &[
+            "game",
+            "trials",
+            "mean_ratio",
+            "worst_ratio",
+            "optimal_hit_rate",
+        ],
     );
 
     // Additive offline: 6 users, 3 optimizations, cents-valued bids.
@@ -54,11 +60,7 @@ pub fn efficiency_gap(trials: u32, seed: u64) -> ResultTable {
             .iter()
             .map(|&(u, j)| game.bid_of(u, j))
             .sum::<Money>()
-            - out
-                .implemented
-                .keys()
-                .map(|&j| game.cost(j))
-                .sum::<Money>();
+            - out.implemented.keys().map(|&j| game.cost(j)).sum::<Money>();
         let optimal = welfare::optimal_additive_offline(&game);
         if optimal.is_positive() {
             ratios.push(welfare.to_f64() / optimal.to_f64());
@@ -122,8 +124,12 @@ pub fn shapley_vs_vcg(trials: u32, seed: u64) -> ResultTable {
         let cost = Money::from_cents(rng.gen_range(50..300));
         let mut game = AdditiveOfflineGame::new(vec![cost]).expect("positive cost");
         for u in 0..6 {
-            game.bid(UserId(u), OptId(0), Money::from_cents(rng.gen_range(0..100)))
-                .expect("valid bid");
+            game.bid(
+                UserId(u),
+                OptId(0),
+                Money::from_cents(rng.gen_range(0..100)),
+            )
+            .expect("valid bid");
         }
         let shap = addoff::run(&game);
         shapley_welfare += shap
@@ -132,7 +138,12 @@ pub fn shapley_vs_vcg(trials: u32, seed: u64) -> ResultTable {
             .map(|&(u, j)| game.bid_of(u, j))
             .sum::<Money>()
             .to_f64()
-            - shap.implemented.keys().map(|&j| game.cost(j)).sum::<Money>().to_f64();
+            - shap
+                .implemented
+                .keys()
+                .map(|&j| game.cost(j))
+                .sum::<Money>()
+                .to_f64();
         let v = vcg::run(&game);
         vcg_welfare += v
             .implemented
@@ -147,14 +158,23 @@ pub fn shapley_vs_vcg(trials: u32, seed: u64) -> ResultTable {
     let n = f64::from(trials);
     let mut table = ResultTable::new(
         "Shapley vs VCG: welfare and cost recovery (6 users, 1 optimization)",
-        &["mechanism", "mean_welfare", "welfare_vs_optimal", "cost_recovered"],
+        &[
+            "mechanism",
+            "mean_welfare",
+            "welfare_vs_optimal",
+            "cost_recovered",
+        ],
     );
     table.push_row(vec![
         "shapley (AddOff)".into(),
         format!("{:.4}", shapley_welfare / n),
         format!(
             "{:.2}",
-            if optimal_welfare > 0.0 { shapley_welfare / optimal_welfare } else { 1.0 }
+            if optimal_welfare > 0.0 {
+                shapley_welfare / optimal_welfare
+            } else {
+                1.0
+            }
         ),
         "1.00 (exact)".into(),
     ]);
@@ -163,11 +183,19 @@ pub fn shapley_vs_vcg(trials: u32, seed: u64) -> ResultTable {
         format!("{:.4}", vcg_welfare / n),
         format!(
             "{:.2}",
-            if optimal_welfare > 0.0 { vcg_welfare / optimal_welfare } else { 1.0 }
+            if optimal_welfare > 0.0 {
+                vcg_welfare / optimal_welfare
+            } else {
+                1.0
+            }
         ),
         format!(
             "{:.2} (deficit {:.4}/game)",
-            if vcg_cost > 0.0 { 1.0 - vcg_deficit / vcg_cost } else { 1.0 },
+            if vcg_cost > 0.0 {
+                1.0 - vcg_deficit / vcg_cost
+            } else {
+                1.0
+            },
             vcg_deficit / n
         ),
     ]);
@@ -212,8 +240,7 @@ fn addon_frozen_share(cost: Money, bids: &[(UserId, SlotSeries)], horizon: u32) 
             }
             Some((_, share)) => {
                 for (u, s) in bids {
-                    if !serviced.contains_key(u) && s.start() <= t && s.residual_from(t) >= share
-                    {
+                    if !serviced.contains_key(u) && s.start() <= t && s.residual_from(t) >= share {
                         serviced.insert(*u, t);
                     }
                 }

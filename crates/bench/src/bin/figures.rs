@@ -25,8 +25,18 @@ struct Options {
 }
 
 const ALL_TARGETS: [&str; 12] = [
-    "fig1", "fig2a", "fig2b", "fig2c", "fig2d", "fig3a", "fig3b", "fig4", "fig5a", "fig5b",
-    "ablations", "table1",
+    "fig1",
+    "fig2a",
+    "fig2b",
+    "fig2c",
+    "fig2d",
+    "fig3a",
+    "fig3b",
+    "fig4",
+    "fig5a",
+    "fig5b",
+    "ablations",
+    "table1",
 ];
 
 fn usage() -> String {
@@ -156,9 +166,16 @@ fn run_target(target: &str, opts: &Options) -> Result<(), String> {
             };
             let rows = fig1::run(&data, &fig1::paper_executions(), opts.samples)
                 .map_err(|e| e.to_string())?;
-            let mode = if opts.synthetic { "synthetic" } else { "calibrated" };
+            let mode = if opts.synthetic {
+                "synthetic"
+            } else {
+                "calibrated"
+            };
             let mut t = ResultTable::new(
-                format!("Figure 1: astronomy use case ({mode}, {} alternatives/point)", opts.samples),
+                format!(
+                    "Figure 1: astronomy use case ({mode}, {} alternatives/point)",
+                    opts.samples
+                ),
                 &[
                     "executions",
                     "addon_utility",
@@ -188,8 +205,8 @@ fn run_target(target: &str, opts: &Options) -> Result<(), String> {
             } else {
                 figdefs::fig2b()
             };
-            let rows =
-                sweeps::additive_sweep(&cfg, &costs, opts.trials, seed).map_err(|e| e.to_string())?;
+            let rows = sweeps::additive_sweep(&cfg, &costs, opts.trials, seed)
+                .map_err(|e| e.to_string())?;
             let title = format!(
                 "Figure 2({}): additive optimization, {} users, {} trials/point",
                 if target == "fig2a" { 'a' } else { 'b' },

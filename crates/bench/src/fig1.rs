@@ -131,7 +131,10 @@ mod tests {
 
     #[test]
     fn paper_x_axis() {
-        assert_eq!(paper_executions(), vec![1, 10, 20, 30, 40, 50, 60, 70, 80, 90]);
+        assert_eq!(
+            paper_executions(),
+            vec![1, 10, 20, 30, 40, 50, 60, 70, 80, 90]
+        );
     }
 
     #[test]

@@ -1,10 +1,13 @@
 //! Tiny fork-join helper: map a function over inputs on all cores.
 //!
 //! The sweeps are embarrassingly parallel (independent cost points /
-//! alternative blocks); `crossbeam::scope` gives us scoped threads
-//! without pulling a full work-stealing runtime into the workspace.
+//! alternative blocks); `std::thread::scope` gives us scoped threads
+//! without pulling a work-stealing runtime into the workspace.
 
 /// Maps `f` over `inputs` in parallel, preserving order.
+///
+/// Falls back to a sequential map for empty or single-element inputs,
+/// so the chunk arithmetic below never sees a zero length.
 pub fn par_map<T, R, F>(inputs: &[T], f: F) -> Vec<R>
 where
     T: Sync,
@@ -14,7 +17,7 @@ where
     let threads = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1)
-        .min(inputs.len().max(1));
+        .min(inputs.len());
     if threads <= 1 || inputs.len() <= 1 {
         return inputs.iter().map(&f).collect();
     }
@@ -22,17 +25,16 @@ where
     let mut results: Vec<Option<R>> = Vec::with_capacity(inputs.len());
     results.resize_with(inputs.len(), || None);
 
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for (block, out) in inputs.chunks(chunk).zip(results.chunks_mut(chunk)) {
             let f = &f;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for (x, slot) in block.iter().zip(out.iter_mut()) {
                     *slot = Some(f(x));
                 }
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
 
     results
         .into_iter()
@@ -52,9 +54,49 @@ mod tests {
     }
 
     #[test]
-    fn handles_empty_and_single() {
+    fn handles_empty_input() {
         let empty: Vec<u32> = vec![];
         assert!(par_map(&empty, |&x| x).is_empty());
+    }
+
+    #[test]
+    fn handles_single_element() {
         assert_eq!(par_map(&[7], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn handles_fewer_inputs_than_threads() {
+        // With inputs in 2..available_parallelism the naive chunking
+        // `len / threads` would be zero; cover every small size.
+        let threads = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        for n in 2..=threads.max(4) {
+            let inputs: Vec<usize> = (0..n).collect();
+            assert_eq!(
+                par_map(&inputs, |&x| x + 1),
+                (1..=n).collect::<Vec<_>>(),
+                "n = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn handles_more_inputs_than_threads() {
+        let inputs: Vec<i64> = (0..10_007).collect();
+        let out = par_map(&inputs, |&x| -x);
+        assert_eq!(out.len(), inputs.len());
+        assert!(out.iter().zip(&inputs).all(|(o, i)| *o == -i));
+    }
+
+    #[test]
+    fn propagates_panics() {
+        let caught = std::panic::catch_unwind(|| {
+            par_map(&[1, 2, 3, 4], |&x| {
+                assert!(x != 3, "boom");
+                x
+            })
+        });
+        assert!(caught.is_err());
     }
 }

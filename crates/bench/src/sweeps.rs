@@ -76,12 +76,22 @@ pub struct Fig3Row {
 
 /// Figure 3(a): vary the number of slots users sample from.
 pub fn fig3a(trials: u32, seed: u64) -> Result<Vec<Fig3Row>> {
-    fig3(&osp_workload::sweeps::fig3a_configs(), |c| c.horizon, trials, seed)
+    fig3(
+        &osp_workload::sweeps::fig3a_configs(),
+        |c| c.horizon,
+        trials,
+        seed,
+    )
 }
 
 /// Figure 3(b): vary the duration of each bid.
 pub fn fig3b(trials: u32, seed: u64) -> Result<Vec<Fig3Row>> {
-    fig3(&osp_workload::sweeps::fig3b_configs(), |c| c.duration, trials, seed)
+    fig3(
+        &osp_workload::sweeps::fig3b_configs(),
+        |c| c.duration,
+        trials,
+        seed,
+    )
 }
 
 fn fig3(

@@ -246,8 +246,8 @@ pub fn compile(file: &GameFile) -> Result<CompiledGame, InputError> {
                         .iter()
                         .map(|v| money(v))
                         .collect::<Result<Vec<_>, _>>()?;
-                    let series = SlotSeries::new(SlotId(bid.start), values)
-                        .map_err(MechanismError::from)?;
+                    let series =
+                        SlotSeries::new(SlotId(bid.start), values).map_err(MechanismError::from)?;
                     truth.insert((uid, j), series.clone());
                     per_opt[j.index() as usize].push(OnlineBid::new(uid, series));
                 }
@@ -292,17 +292,14 @@ pub fn compile(file: &GameFile) -> Result<CompiledGame, InputError> {
             for (k, user) in file.users.iter().enumerate() {
                 let uid = UserId(u32::try_from(k).unwrap());
                 let values = user.values.as_ref().ok_or_else(|| {
-                    InputError::Missing(format!(
-                        "user `{}` needs per-slot `values`",
-                        user.name
-                    ))
+                    InputError::Missing(format!("user `{}` needs per-slot `values`", user.name))
                 })?;
                 let values = values
                     .iter()
                     .map(|v| money(v))
                     .collect::<Result<Vec<_>, _>>()?;
-                let series = SlotSeries::new(SlotId(user.start), values)
-                    .map_err(MechanismError::from)?;
+                let series =
+                    SlotSeries::new(SlotId(user.start), values).map_err(MechanismError::from)?;
                 let substitutes: std::collections::BTreeSet<OptId> = user
                     .substitutes
                     .iter()

@@ -63,8 +63,8 @@ fn real_main() -> Result<(), String> {
         }
         Some("validate") => {
             let path = args.get(1).ok_or_else(|| usage().to_owned())?;
-            let json = std::fs::read_to_string(path)
-                .map_err(|e| format!("cannot read {path}: {e}"))?;
+            let json =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
             let compiled = input::parse(&json).map_err(|e| e.to_string())?;
             println!(
                 "ok: {} users, {} optimizations, horizon {}",
@@ -91,13 +91,16 @@ fn real_main() -> Result<(), String> {
                     other => return Err(format!("unknown flag `{other}`\n{}", usage())),
                 }
             }
-            let json = std::fs::read_to_string(path)
-                .map_err(|e| format!("cannot read {path}: {e}"))?;
+            let json =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
             let compiled = input::parse(&json).map_err(|e| e.to_string())?;
-            let report = report::run(&compiled, tiebreak, compare_regret)
-                .map_err(|e| e.to_string())?;
+            let report =
+                report::run(&compiled, tiebreak, compare_regret).map_err(|e| e.to_string())?;
             if as_json {
-                println!("{}", serde_json::to_string_pretty(&report.to_json()).unwrap());
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&report.to_json()).unwrap()
+                );
             } else {
                 print!("{}", report.render());
             }

@@ -145,8 +145,10 @@ pub fn run(compiled: &CompiledGame, tiebreak: TieBreak, compare_regret: bool) ->
                 if let Some(series) = compiled.truth.get(&(u, j)) {
                     value[u.index() as usize] += series.residual_from(t0);
                 }
-                granted[u.index() as usize]
-                    .push(format!("{} (from {t0})", compiled.opt_names[j.index() as usize]));
+                granted[u.index() as usize].push(format!(
+                    "{} (from {t0})",
+                    compiled.opt_names[j.index() as usize]
+                ));
             }
             "subston"
         }
@@ -200,11 +202,7 @@ fn regret_summary(compiled: &CompiledGame) -> RegretSummary {
             RegretSummary {
                 utility: stats.total_utility,
                 balance: stats.cloud_balance,
-                implemented: out
-                    .per_opt
-                    .values()
-                    .filter(|o| o.is_implemented())
-                    .count(),
+                implemented: out.per_opt.values().filter(|o| o.is_implemented()).count(),
             }
         }
         AnyGame::SubstOff(game) => {
@@ -290,7 +288,11 @@ impl Report {
         let _ = writeln!(
             out,
             "cost recovery: {} (cloud balance {balance})",
-            if balance.is_negative() { "VIOLATED" } else { "ok" },
+            if balance.is_negative() {
+                "VIOLATED"
+            } else {
+                "ok"
+            },
         );
         if let Some(r) = &self.regret {
             let _ = writeln!(

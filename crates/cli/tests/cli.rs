@@ -56,7 +56,10 @@ fn json_output_is_machine_readable() {
 
 #[test]
 fn bad_input_fails_with_message() {
-    let out = osp().args(["run", "/nonexistent/game.json"]).output().unwrap();
+    let out = osp()
+        .args(["run", "/nonexistent/game.json"])
+        .output()
+        .unwrap();
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
 
@@ -65,8 +68,15 @@ fn bad_input_fails_with_message() {
     assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
 
     let path = std::env::temp_dir().join(format!("osp-bad-{}.json", std::process::id()));
-    std::fs::write(&path, r#"{ "kind": "addoff", "optimizations": [], "users": [] "#).unwrap();
-    let out = osp().args(["run", path.to_str().unwrap()]).output().unwrap();
+    std::fs::write(
+        &path,
+        r#"{ "kind": "addoff", "optimizations": [], "users": [] "#,
+    )
+    .unwrap();
+    let out = osp()
+        .args(["run", path.to_str().unwrap()])
+        .output()
+        .unwrap();
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("invalid JSON"));
     std::fs::remove_file(&path).ok();

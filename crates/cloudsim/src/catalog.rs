@@ -174,7 +174,10 @@ mod tests {
         );
         assert_eq!(
             c.column(id, 3).unwrap_err(),
-            CatalogError::NoSuchColumn { table: id, column: 3 }
+            CatalogError::NoSuchColumn {
+                table: id,
+                column: 3
+            }
         );
     }
 

@@ -158,7 +158,10 @@ mod tests {
         let (c, t) = setup();
         let idx = CloudOptimization::new(
             "idx",
-            OptimizationKind::BTreeIndex { table: t, column: 0 },
+            OptimizationKind::BTreeIndex {
+                table: t,
+                column: 0,
+            },
         );
         assert_eq!(idx.storage_bytes(&c).unwrap(), 16_000_000);
     }
@@ -191,7 +194,10 @@ mod tests {
         let cm = CostModel::default();
         let idx = CloudOptimization::new(
             "idx",
-            OptimizationKind::BTreeIndex { table: t, column: 0 },
+            OptimizationKind::BTreeIndex {
+                table: t,
+                column: 0,
+            },
         );
         let rep = CloudOptimization::new(
             "rep",

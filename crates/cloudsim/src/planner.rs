@@ -203,17 +203,19 @@ pub fn best_plan(
                 }];
                 for opt in opts {
                     match &opt.kind {
-                        OptimizationKind::BTreeIndex { table: t, column: c }
-                            if t == table && c == column =>
-                        {
+                        OptimizationKind::BTreeIndex {
+                            table: t,
+                            column: c,
+                        } if t == table && c == column => {
                             candidates.push(PhysicalPlan::IndexScan {
                                 table: *table,
                                 matched_rows: output_rows,
                             });
                         }
-                        OptimizationKind::Partition { table: t, column: c }
-                            if t == table && c == column =>
-                        {
+                        OptimizationKind::Partition {
+                            table: t,
+                            column: c,
+                        } if t == table && c == column => {
                             let full = catalog.table(*table)?.bytes();
                             candidates.push(PhysicalPlan::PrunedScan {
                                 table: *table,
@@ -343,7 +345,10 @@ mod tests {
         let q = LogicalPlan::scan(t).eq_filter(&c, t, 0).unwrap(); // 100 rows
         let idx = CloudOptimization::new(
             "idx",
-            OptimizationKind::BTreeIndex { table: t, column: 0 },
+            OptimizationKind::BTreeIndex {
+                table: t,
+                column: 0,
+            },
         );
         let plan = best_plan(&q, &c, &cm, &[&idx]).unwrap();
         assert!(matches!(plan, PhysicalPlan::IndexScan { .. }), "{plan:?}");
@@ -359,7 +364,10 @@ mod tests {
         let q = LogicalPlan::scan(t).eq_filter(&c, t, 1).unwrap();
         let idx = CloudOptimization::new(
             "idx",
-            OptimizationKind::BTreeIndex { table: t, column: 1 },
+            OptimizationKind::BTreeIndex {
+                table: t,
+                column: 1,
+            },
         );
         let plan = best_plan(&q, &c, &cm, &[&idx]).unwrap();
         assert!(matches!(plan, PhysicalPlan::Filter { .. }), "{plan:?}");
@@ -415,7 +423,10 @@ mod tests {
         let q = LogicalPlan::scan(t).eq_filter(&c, t, 1).unwrap(); // sel 1/3
         let part = CloudOptimization::new(
             "part",
-            OptimizationKind::Partition { table: t, column: 1 },
+            OptimizationKind::Partition {
+                table: t,
+                column: 1,
+            },
         );
         let plan = best_plan(&q, &c, &cm, &[&part]).unwrap();
         match plan {
@@ -443,7 +454,13 @@ mod tests {
         let plan = best_plan(&q, &c, &cm, &[&proj]).unwrap();
         match &plan {
             PhysicalPlan::Filter { input, .. } => {
-                assert!(matches!(**input, PhysicalPlan::MvScan { bytes: 12_000_000, .. }));
+                assert!(matches!(
+                    **input,
+                    PhysicalPlan::MvScan {
+                        bytes: 12_000_000,
+                        ..
+                    }
+                ));
             }
             other => panic!("expected filter over projection, got {other:?}"),
         }
@@ -470,7 +487,10 @@ mod tests {
         let q = LogicalPlan::scan(t).eq_filter(&c, t, 0).unwrap();
         let idx = CloudOptimization::new(
             "idx",
-            OptimizationKind::BTreeIndex { table: t, column: 0 },
+            OptimizationKind::BTreeIndex {
+                table: t,
+                column: 0,
+            },
         );
         let rep = CloudOptimization::new(
             "rep",

@@ -111,11 +111,17 @@ mod tests {
         let opts = vec![
             CloudOptimization::new(
                 "idx-halo",
-                OptimizationKind::BTreeIndex { table: t, column: 0 },
+                OptimizationKind::BTreeIndex {
+                    table: t,
+                    column: 0,
+                },
             ),
             CloudOptimization::new(
                 "idx-kind",
-                OptimizationKind::BTreeIndex { table: t, column: 1 },
+                OptimizationKind::BTreeIndex {
+                    table: t,
+                    column: 1,
+                },
             ),
         ];
         let workloads = vec![
@@ -142,14 +148,10 @@ mod tests {
         let (c, opts, ws) = setup();
         let cm = CostModel::default();
         let price = PricePlan::paper_ec2();
-        let v = ws[0]
-            .slot_value_of(&c, &cm, &price, &opts[0])
-            .unwrap();
+        let v = ws[0].slot_value_of(&c, &cm, &price, &opts[0]).unwrap();
         assert!(v.is_positive());
         // Twice the queries and twice the executions ⇒ 4× the value.
-        let v1 = ws[1]
-            .slot_value_of(&c, &cm, &price, &opts[0])
-            .unwrap();
+        let v1 = ws[1].slot_value_of(&c, &cm, &price, &opts[0]).unwrap();
         assert_eq!(v, v1 * 4);
     }
 

@@ -51,7 +51,12 @@ impl Default for WorkloadConfig {
 
 /// Draws one random query over the catalog: a filtered scan, possibly
 /// joined to a second table, possibly aggregated.
-fn random_query(catalog: &Catalog, tables: &[TableId], rng: &mut StdRng, cfg: &WorkloadConfig) -> LogicalPlan {
+fn random_query(
+    catalog: &Catalog,
+    tables: &[TableId],
+    rng: &mut StdRng,
+    cfg: &WorkloadConfig,
+) -> LogicalPlan {
     let pick_filtered_scan = |rng: &mut StdRng| {
         let table = tables[rng.gen_range(0..tables.len())];
         let t = catalog.table(table).expect("table exists");
@@ -141,13 +146,7 @@ mod tests {
         let catalog = setup();
         let cfg = WorkloadConfig::default();
         assert_eq!(generate(&catalog, &cfg), generate(&catalog, &cfg));
-        let other = generate(
-            &catalog,
-            &WorkloadConfig {
-                seed: 43,
-                ..cfg
-            },
-        );
+        let other = generate(&catalog, &WorkloadConfig { seed: 43, ..cfg });
         assert_ne!(generate(&catalog, &cfg), other);
     }
 

@@ -129,8 +129,7 @@ mod tests {
     }
 
     fn build(costs: &[i64], bids: &[(u32, u32, i64)]) -> AdditiveOfflineGame {
-        let mut g =
-            AdditiveOfflineGame::new(costs.iter().map(|&c| m(c)).collect()).unwrap();
+        let mut g = AdditiveOfflineGame::new(costs.iter().map(|&c| m(c)).collect()).unwrap();
         for &(u, j, b) in bids {
             g.bid(UserId(u), OptId(j), m(b)).unwrap();
         }

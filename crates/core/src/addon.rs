@@ -333,8 +333,7 @@ impl AddOnOutcome {
     /// User `user`'s utility `U_i = V_i − P_i` against her true values.
     #[must_use]
     pub fn utility(&self, user: UserId, truth: &SlotSeries) -> Money {
-        self.realized_value(user, truth)
-            - self.payments.get(&user).copied().unwrap_or(Money::ZERO)
+        self.realized_value(user, truth) - self.payments.get(&user).copied().unwrap_or(Money::ZERO)
     }
 }
 
@@ -495,23 +494,14 @@ mod tests {
         // ride free at t=2. Under AddOn, hiding means she is *not* in
         // CS(1); at t=2 her residual 26 joins u0's committed bid, share
         // 50 > 26, so she is never serviced: hiding gains her nothing.
-        let hiding = AddOnGame::new(
-            2,
-            m(100),
-            vec![bid(0, 1, &[101]), bid(1, 2, &[26])],
-        )
-        .unwrap();
+        let hiding = AddOnGame::new(2, m(100), vec![bid(0, 1, &[101]), bid(1, 2, &[26])]).unwrap();
         let out = run(&hiding).unwrap();
         assert!(!out.first_serviced.contains_key(&UserId(1)));
         assert_eq!(out.payments.get(&UserId(1)), None);
 
         // Truthful, she is serviced from t=1 (52 ≥ 100/2) and pays 50.
-        let truthful = AddOnGame::new(
-            2,
-            m(100),
-            vec![bid(0, 1, &[101]), bid(1, 1, &[26, 26])],
-        )
-        .unwrap();
+        let truthful =
+            AddOnGame::new(2, m(100), vec![bid(0, 1, &[101]), bid(1, 1, &[26, 26])]).unwrap();
         let out = run(&truthful).unwrap();
         assert_eq!(out.first_serviced[&UserId(1)], SlotId(1));
         assert_eq!(out.payments[&UserId(1)], m(50));
@@ -522,12 +512,8 @@ mod tests {
         // Example 4's worst case: no future users arrive. If user 2
         // (values 16/slot, total 48) overbids ≥ 50, she is serviced and
         // pays 50 — utility 48 − 50 = −2 < 0.
-        let game = AddOnGame::new(
-            3,
-            m(100),
-            vec![bid(0, 1, &[101]), bid(1, 1, &[17, 17, 17])],
-        )
-        .unwrap();
+        let game =
+            AddOnGame::new(3, m(100), vec![bid(0, 1, &[101]), bid(1, 1, &[17, 17, 17])]).unwrap();
         // Truthful-ish low bid: not serviced alone with u0? Residual 51
         // ≥ 100/2 = 50, so she IS serviced and pays 50 when she leaves.
         let out = run(&game).unwrap();
@@ -546,7 +532,10 @@ mod tests {
         )
         .unwrap();
         let out = run(&game).unwrap();
-        assert_eq!(out.share_by_slot, vec![Some(m(90)), Some(m(45)), Some(m(30))]);
+        assert_eq!(
+            out.share_by_slot,
+            vec![Some(m(90)), Some(m(45)), Some(m(30))]
+        );
         assert_eq!(out.payments[&UserId(0)], m(90));
         assert_eq!(out.payments[&UserId(1)], m(45));
         assert_eq!(out.payments[&UserId(2)], m(30));
@@ -604,7 +593,8 @@ mod tests {
         let mut st2 = AddOnState::new(m(100), 3).unwrap();
         st2.submit(bid(0, 1, &[10, 10, 10])).unwrap();
         st2.advance().unwrap();
-        st2.revise(UserId(0), SlotId(2), vec![m(80), m(10)]).unwrap();
+        st2.revise(UserId(0), SlotId(2), vec![m(80), m(10)])
+            .unwrap();
         let r2 = st2.advance().unwrap();
         // Residual at t=2 is now 90 < 100: still not implemented…
         assert_eq!(r2.share, None);
@@ -655,8 +645,12 @@ mod tests {
             SlotSeries::new(SlotId(1), vec![m(60), m(0)]).unwrap(),
         )
         .unwrap();
-        bids.set(UserId(1), OptId(1), SlotSeries::single(SlotId(2), m(10)).unwrap())
-            .unwrap();
+        bids.set(
+            UserId(1),
+            OptId(1),
+            SlotSeries::single(SlotId(2), m(10)).unwrap(),
+        )
+        .unwrap();
 
         let out = run_schedule(&[m(100), m(50)], &bids).unwrap();
         assert!(out.per_opt[&OptId(0)].is_implemented());

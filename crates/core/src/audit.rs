@@ -115,7 +115,11 @@ pub fn check_offline_outcome(out: &OfflineOutcome) -> Result<(), AuditViolation>
         let Some(&share) = out.implemented.get(&opt) else {
             return Err(AuditViolation::GrantWithoutImplementation { user, opt });
         };
-        let paid = out.payments.get(&(user, opt)).copied().unwrap_or(Money::ZERO);
+        let paid = out
+            .payments
+            .get(&(user, opt))
+            .copied()
+            .unwrap_or(Money::ZERO);
         if paid != share {
             return Err(AuditViolation::UnequalTreatment {
                 opt,

@@ -105,7 +105,12 @@ impl fmt::Display for MechanismError {
             MechanismError::RetroactiveBid { user, start, now } => {
                 write!(f, "{user} bid starting {start}, but it is already {now}")
             }
-            MechanismError::DownwardRevision { user, slot, old, new } => write!(
+            MechanismError::DownwardRevision {
+                user,
+                slot,
+                old,
+                new,
+            } => write!(
                 f,
                 "{user} tried to lower bid at {slot} from {old} to {new}; revisions must be upward"
             ),
@@ -153,7 +158,10 @@ mod tests {
             now: SlotId(3),
         };
         let msg = e.to_string();
-        assert!(msg.contains("u2") && msg.contains("t1") && msg.contains("t3"), "{msg}");
+        assert!(
+            msg.contains("u2") && msg.contains("t1") && msg.contains("t3"),
+            "{msg}"
+        );
     }
 
     #[test]

@@ -338,11 +338,7 @@ mod tests {
         let bid = |u: u32, s: u32, vals: Vec<Money>| {
             OnlineBid::new(UserId(u), SlotSeries::new(SlotId(s), vals).unwrap())
         };
-        let err = AddOnGame::new(
-            3,
-            m(10),
-            vec![bid(0, 1, vec![m(1)]), bid(0, 2, vec![m(1)])],
-        );
+        let err = AddOnGame::new(3, m(10), vec![bid(0, 1, vec![m(1)]), bid(0, 2, vec![m(1)])]);
         assert!(matches!(err, Err(MechanismError::DuplicateUser { .. })));
 
         let err = AddOnGame::new(3, m(10), vec![bid(0, 3, vec![m(1), m(1)])]);

@@ -46,11 +46,11 @@ pub mod audit;
 pub mod error;
 pub mod game;
 pub mod moulin;
-pub mod vcg;
 pub mod shapley;
 pub mod strategy;
 pub mod substoff;
 pub mod subston;
+pub mod vcg;
 pub mod welfare;
 
 pub use error::{MechanismError, Result};
@@ -65,8 +65,8 @@ pub mod prelude {
         AddOnGame, AdditiveOfflineGame, OnlineBid, SubstBid, SubstOffGame, SubstOnGame,
         SubstOnlineBid,
     };
-    pub use crate::shapley::{self, ShapleyBid, ShapleyOutcome};
     pub use crate::moulin::{self, CostSharing, EgalitarianSharing, WeightedSharing};
+    pub use crate::shapley::{self, ShapleyBid, ShapleyOutcome};
     pub use crate::strategy::{self, Strategy};
     pub use crate::substoff::{self, SubstOffOutcome, TieBreak};
     pub use crate::subston::{self, SubstOnOutcome, SubstOnState};

@@ -60,10 +60,7 @@ impl WeightedSharing {
     /// ride free, breaking cost recovery of the serviced set).
     #[must_use]
     pub fn new(weights: BTreeMap<UserId, u32>) -> Self {
-        assert!(
-            weights.values().all(|&w| w > 0),
-            "weights must be positive"
-        );
+        assert!(weights.values().all(|&w| w > 0), "weights must be positive");
         WeightedSharing { weights }
     }
 

@@ -25,8 +25,7 @@ use crate::game::SubstOffGame;
 use crate::shapley::{self, ShapleyBid};
 
 /// How to resolve ties in the lowest-cost-share choice.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum TieBreak {
     /// Deterministic: pick the smallest [`OptId`] (default).
     #[default]
@@ -35,7 +34,6 @@ pub enum TieBreak {
     /// seed (the paper's Example 7 behaviour).
     Random(u64),
 }
-
 
 /// Outcome of a SubstOff run.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]

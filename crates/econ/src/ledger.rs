@@ -66,10 +66,7 @@ impl Ledger {
         if amount.is_zero() {
             return;
         }
-        *self
-            .payments
-            .entry((user, opt))
-            .or_insert(Money::ZERO) += amount;
+        *self.payments.entry((user, opt)).or_insert(Money::ZERO) += amount;
     }
 
     /// `p_ij` — what `user` paid for `opt`.

@@ -42,9 +42,7 @@ impl std::error::Error for ParseMoneyError {}
 /// assert_eq!(share * 4, cost);
 /// assert_eq!(share.to_string(), "$25.00");
 /// ```
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct Money(Ratio);
 
@@ -275,11 +273,7 @@ impl fmt::Display for Money {
         while digits.len() < 2 {
             digits.push('0');
         }
-        write!(
-            f,
-            "{sign}${whole}.{digits}{}",
-            if exact { "" } else { "…" }
-        )
+        write!(f, "{sign}${whole}.{digits}{}", if exact { "" } else { "…" })
     }
 }
 
@@ -296,7 +290,10 @@ mod tests {
 
     #[test]
     fn constructors_agree() {
-        assert_eq!(Money::from_dollars(2) + Money::from_cents(31), Money::from_cents(231));
+        assert_eq!(
+            Money::from_dollars(2) + Money::from_cents(31),
+            Money::from_cents(231)
+        );
         assert_eq!(Money::from_micros(1_000_000), Money::from_dollars(1));
     }
 
@@ -323,7 +320,10 @@ mod tests {
     #[test]
     fn clamp_non_negative() {
         assert_eq!(Money::from_dollars(-5).clamp_non_negative(), Money::ZERO);
-        assert_eq!(Money::from_dollars(5).clamp_non_negative(), Money::from_dollars(5));
+        assert_eq!(
+            Money::from_dollars(5).clamp_non_negative(),
+            Money::from_dollars(5)
+        );
     }
 
     #[test]
@@ -344,7 +344,16 @@ mod tests {
 
     #[test]
     fn parse_rejects_garbage() {
-        for bad in ["", "$", "1.2.3", "abc", "1,50", "--2", "1e3", "0.1234567890123456789"] {
+        for bad in [
+            "",
+            "$",
+            "1.2.3",
+            "abc",
+            "1,50",
+            "--2",
+            "1e3",
+            "0.1234567890123456789",
+        ] {
             assert!(bad.parse::<Money>().is_err(), "{bad:?} should not parse");
         }
     }
@@ -354,7 +363,11 @@ mod tests {
         for cents in [-12345i64, -1, 0, 1, 99, 100, 231, 123456] {
             let m = Money::from_cents(cents);
             let shown = m.to_string();
-            assert_eq!(shown.replace('$', "").parse::<Money>().unwrap(), m, "{shown}");
+            assert_eq!(
+                shown.replace('$', "").parse::<Money>().unwrap(),
+                m,
+                "{shown}"
+            );
         }
     }
 

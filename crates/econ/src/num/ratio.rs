@@ -135,7 +135,10 @@ impl Ratio {
         let g = i128::try_from(gcd(self.den.unsigned_abs(), rhs.den.unsigned_abs())).ok()?;
         let dg = rhs.den / g;
         let bg = self.den / g;
-        let num = self.num.checked_mul(dg)?.checked_add(rhs.num.checked_mul(bg)?)?;
+        let num = self
+            .num
+            .checked_mul(dg)?
+            .checked_add(rhs.num.checked_mul(bg)?)?;
         let den = self.den.checked_mul(dg)?;
         Self::checked_new(num, den)
     }

@@ -41,10 +41,11 @@ pub enum ScheduleError {
 impl fmt::Display for ScheduleError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ScheduleError::OutOfHorizon { start, end, horizon } => write!(
-                f,
-                "series [{start}, {end}] outside horizon 1..={horizon}"
-            ),
+            ScheduleError::OutOfHorizon {
+                start,
+                end,
+                horizon,
+            } => write!(f, "series [{start}, {end}] outside horizon 1..={horizon}"),
             ScheduleError::NegativeValue { slot, value } => {
                 write!(f, "negative value {value} at {slot}")
             }
@@ -100,11 +101,7 @@ impl SlotSeries {
 
     /// A total value split evenly across `[start, end]` (the Fig. 3(b)
     /// workload: "users divide their values equally among all d slots").
-    pub fn split_evenly(
-        start: SlotId,
-        end: SlotId,
-        total: Money,
-    ) -> Result<Self, ScheduleError> {
+    pub fn split_evenly(start: SlotId, end: SlotId, total: Money) -> Result<Self, ScheduleError> {
         if end < start {
             return Err(ScheduleError::EmptySeries);
         }
@@ -245,7 +242,8 @@ impl ValueSchedule {
     /// `v_ij(t)`; zero when no series exists.
     #[must_use]
     pub fn value(&self, user: UserId, opt: OptId, t: SlotId) -> Money {
-        self.series(user, opt).map_or(Money::ZERO, |s| s.value_at(t))
+        self.series(user, opt)
+            .map_or(Money::ZERO, |s| s.value_at(t))
     }
 
     /// `Σ_{τ ≥ t} v_ij(τ)`; zero when no series exists.
@@ -340,7 +338,10 @@ mod tests {
         ));
         assert!(matches!(
             SlotSeries::new(SlotId(1), vec![m(1), m(-1)]),
-            Err(ScheduleError::NegativeValue { slot: SlotId(2), .. })
+            Err(ScheduleError::NegativeValue {
+                slot: SlotId(2),
+                ..
+            })
         ));
     }
 
@@ -360,13 +361,25 @@ mod tests {
     fn schedule_queries() {
         let mut sched = ValueSchedule::new(3);
         sched
-            .set(UserId(0), OptId(0), SlotSeries::single(SlotId(1), m(100)).unwrap())
+            .set(
+                UserId(0),
+                OptId(0),
+                SlotSeries::single(SlotId(1), m(100)).unwrap(),
+            )
             .unwrap();
         sched
-            .set(UserId(1), OptId(0), SlotSeries::single(SlotId(2), m(50)).unwrap())
+            .set(
+                UserId(1),
+                OptId(0),
+                SlotSeries::single(SlotId(2), m(50)).unwrap(),
+            )
             .unwrap();
         sched
-            .set(UserId(1), OptId(1), SlotSeries::single(SlotId(3), m(25)).unwrap())
+            .set(
+                UserId(1),
+                OptId(1),
+                SlotSeries::single(SlotId(3), m(25)).unwrap(),
+            )
             .unwrap();
 
         assert_eq!(sched.users(), vec![UserId(0), UserId(1)]);
@@ -389,7 +402,11 @@ mod tests {
     fn serde_round_trip() {
         let mut sched = ValueSchedule::new(2);
         sched
-            .set(UserId(0), OptId(0), SlotSeries::single(SlotId(1), m(7)).unwrap())
+            .set(
+                UserId(0),
+                OptId(0),
+                SlotSeries::single(SlotId(1), m(7)).unwrap(),
+            )
             .unwrap();
         let json = serde_json::to_string(&sched).unwrap();
         let back: ValueSchedule = serde_json::from_str(&json).unwrap();

@@ -122,8 +122,7 @@ pub fn run(costs: &[Money], users: &[SubstUserValue], horizon: u32) -> SubstRegr
             let residuals: BTreeMap<UserId, Money> = users
                 .iter()
                 .filter(|u| {
-                    !outcome.assignments.contains_key(&u.user)
-                        && u.substitutes.contains(&j)
+                    !outcome.assignments.contains_key(&u.user) && u.substitutes.contains(&j)
                 })
                 .map(|u| (u.user, u.series.residual_from(t.next())))
                 .collect();
@@ -169,8 +168,7 @@ mod tests {
         SubstUserValue {
             user: UserId(u),
             substitutes: subs.iter().map(|&j| OptId(j)).collect(),
-            series: SlotSeries::new(SlotId(start), values.iter().map(|&v| m(v)).collect())
-                .unwrap(),
+            series: SlotSeries::new(SlotId(start), values.iter().map(|&v| m(v)).collect()).unwrap(),
         }
     }
 
@@ -215,10 +213,7 @@ mod tests {
 
     #[test]
     fn accounting_matches_ledger() {
-        let users = vec![
-            user(0, 1, &[30, 30, 30], &[0]),
-            user(1, 2, &[30, 30], &[0]),
-        ];
+        let users = vec![user(0, 1, &[30, 30, 30], &[0]), user(1, 2, &[30, 30], &[0])];
         let out = run(&[m(25)], &users, 3);
         let ledger = out.to_ledger();
         assert_eq!(ledger.total_cost(), out.total_cost());

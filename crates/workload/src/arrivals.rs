@@ -66,7 +66,9 @@ mod tests {
 
     fn draws(p: ArrivalProcess, horizon: u32, n: usize) -> Vec<u32> {
         let mut rng = StdRng::seed_from_u64(42);
-        (0..n).map(|_| p.sample(&mut rng, horizon).index()).collect()
+        (0..n)
+            .map(|_| p.sample(&mut rng, horizon).index())
+            .collect()
     }
 
     #[test]

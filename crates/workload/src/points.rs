@@ -29,7 +29,9 @@ pub struct ComparisonPoint {
 /// (common random numbers), which removes sampling noise from the
 /// *difference* between curves.
 fn trial_rng(base_seed: u64, trial: u32) -> StdRng {
-    StdRng::seed_from_u64(base_seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(u64::from(trial) + 1)))
+    StdRng::seed_from_u64(
+        base_seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(u64::from(trial) + 1)),
+    )
 }
 
 /// Runs `trials` additive scenarios at one cost point.

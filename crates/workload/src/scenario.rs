@@ -135,10 +135,7 @@ impl SubstScenario {
             .iter()
             .map(|u| (u.user, u.series.clone()))
             .collect();
-        let realized: Money = truth
-            .iter()
-            .map(|(u, s)| out.realized_value(*u, s))
-            .sum();
+        let realized: Money = truth.iter().map(|(u, s)| out.realized_value(*u, s)).sum();
         Ok(RunResult {
             utility: realized - out.total_cost(),
             balance: out.total_payments() - out.total_cost(),

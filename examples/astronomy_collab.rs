@@ -49,9 +49,12 @@ fn main() -> Result<()> {
     );
 
     // -- 3. Derive the §7.2 economics -------------------------------------
-    let data = UseCaseData::from_universe(&universe, 6.0, 10, 12, 100_000)
-        .expect("pipeline derivation");
-    println!("\nper-snapshot optimization costs (first 3): {:?}", &data.opt_costs[..3]);
+    let data =
+        UseCaseData::from_universe(&universe, 6.0, 10, 12, 100_000).expect("pipeline derivation");
+    println!(
+        "\nper-snapshot optimization costs (first 3): {:?}",
+        &data.opt_costs[..3]
+    );
     for (user, stride) in STRIDES.iter().enumerate() {
         let total: Money = data.per_exec_value[user].iter().copied().sum();
         println!(
@@ -75,19 +78,30 @@ fn main() -> Result<()> {
     let regret_stats = regret.stats();
 
     println!("\n== {executions} executions/user, full-year subscriptions ==\n");
-    println!("baseline (no optimizations): {}", data.baseline_cost(executions));
+    println!(
+        "baseline (no optimizations): {}",
+        data.baseline_cost(executions)
+    );
     println!(
         "AddOn : utility {}, cloud balance {}, {} of {} optimizations built",
         addon_stats.total_utility,
         addon_stats.cloud_balance,
-        addon.per_opt.values().filter(|o| o.is_implemented()).count(),
+        addon
+            .per_opt
+            .values()
+            .filter(|o| o.is_implemented())
+            .count(),
         data.opt_costs.len()
     );
     println!(
         "Regret: utility {}, cloud balance {}, {} built",
         regret_stats.total_utility,
         regret_stats.cloud_balance,
-        regret.per_opt.values().filter(|o| o.is_implemented()).count(),
+        regret
+            .per_opt
+            .values()
+            .filter(|o| o.is_implemented())
+            .count(),
     );
     assert!(addon_stats.cloud_balance >= Money::ZERO);
     println!(

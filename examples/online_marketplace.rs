@@ -39,7 +39,10 @@ fn main() -> Result<()> {
             state.revise(UserId(1), SlotId(3), vec![Money::from_dollars(40); 2])?;
             // A retroactive bid is rejected:
             let err = state.submit(OnlineBid::new(UserId(3), series(1, &[100])));
-            println!("  [month 3] late bid for month 1 rejected: {}", err.unwrap_err());
+            println!(
+                "  [month 3] late bid for month 1 rejected: {}",
+                err.unwrap_err()
+            );
         }
         // Month 5: a newcomer rides the now-cheap index.
         if month == 5 {

@@ -37,7 +37,10 @@ fn main() -> Result<()> {
     let price = PricePlan::paper_ec2();
     let index = CloudOptimization::new(
         "btree(device)",
-        OptimizationKind::BTreeIndex { table: events, column: 0 },
+        OptimizationKind::BTreeIndex {
+            table: events,
+            column: 0,
+        },
     );
     let cost = price.optimization_cost(&index, &catalog, &cm, 12).unwrap();
 
@@ -87,7 +90,15 @@ fn main() -> Result<()> {
         shap.payments.get(&(u, OptId(0))).copied()
     });
     let collected: Money = shap.payments.values().copied().sum();
-    println!("  cloud balance: {}\n", collected - if shap.implemented.is_empty() { Money::ZERO } else { cost });
+    println!(
+        "  cloud balance: {}\n",
+        collected
+            - if shap.implemented.is_empty() {
+                Money::ZERO
+            } else {
+                cost
+            }
+    );
 
     // -- Rule 2: weighted Moulin -----------------------------------------
     let sharing = moulin::WeightedSharing::new(weights);
@@ -99,7 +110,12 @@ fn main() -> Result<()> {
     let collected = weighted.total_collected();
     println!(
         "  cloud balance: {}\n",
-        collected - if weighted.is_implemented() { cost } else { Money::ZERO }
+        collected
+            - if weighted.is_implemented() {
+                cost
+            } else {
+                Money::ZERO
+            }
     );
 
     // -- Rule 3: VCG -------------------------------------------------------

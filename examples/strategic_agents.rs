@@ -41,7 +41,10 @@ fn main() -> Result<()> {
     println!("== Example 2: can user 2 free-ride by hiding her slot-1 value? ==\n");
     let strategies: [(&str, Strategy); 4] = [
         ("truthful", Strategy::Truthful),
-        ("hide until t=2 (the paper's cheat)", Strategy::HideUntil(SlotId(2))),
+        (
+            "hide until t=2 (the paper's cheat)",
+            Strategy::HideUntil(SlotId(2)),
+        ),
         ("underbid ×½", Strategy::ScaleBid(Ratio::new(1, 2))),
         ("overbid ×3", Strategy::ScaleBid(Ratio::new(3, 1))),
     ];

@@ -31,7 +31,9 @@ fn main() -> Result<()> {
     let price = PricePlan::paper_ec2();
 
     // The dashboard query: all readings of one device.
-    let query = LogicalPlan::scan(telemetry).eq_filter(&catalog, telemetry, 0).unwrap();
+    let query = LogicalPlan::scan(telemetry)
+        .eq_filter(&catalog, telemetry, 0)
+        .unwrap();
 
     let candidates = [
         CloudOptimization::new(

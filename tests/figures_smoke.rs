@@ -3,9 +3,9 @@
 //! selectivity move the curves). Full-scale tables come from
 //! `cargo run -p osp-bench --release --bin figures -- all`.
 
+use osp::prelude::Money;
 use osp_bench::{fig1, sweeps};
 use osp_workload::sweeps as figdefs;
-use osp::prelude::Money;
 use osp_workload::{additive_point, subst_point, AdditiveConfig, ArrivalProcess};
 
 const TRIALS: u32 = 120;

@@ -11,7 +11,11 @@ use osp::prelude::*;
 /// Random single-slot-value online bid within a horizon of 6.
 fn arb_online_bids(max_users: usize) -> impl PropStrategy<Value = Vec<OnlineBid>> {
     proptest::collection::vec(
-        (1u32..=6, 0u32..=3, proptest::collection::vec(0i64..200, 1..4)),
+        (
+            1u32..=6,
+            0u32..=3,
+            proptest::collection::vec(0i64..200, 1..4),
+        ),
         1..max_users,
     )
     .prop_map(|raw| {

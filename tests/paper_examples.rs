@@ -200,7 +200,10 @@ fn section_6_sybils_can_hurt_under_substitutes() {
     ];
     // Honest: only opt1 (cost 5) is implemented at share 2.5;
     // utilities 0.01 for u1 and 4.5 for u2.
-    let out = substoff::run(&SubstOffGame::new(costs.clone(), base.clone()).unwrap(), TieBreak::LowestOptId);
+    let out = substoff::run(
+        &SubstOffGame::new(costs.clone(), base.clone()).unwrap(),
+        TieBreak::LowestOptId,
+    );
     assert_eq!(out.implemented.len(), 1);
     assert_eq!(out.payments[&UserId(2)], cents(250));
     let honest_u2 = d(7) - out.payments[&UserId(2)];
@@ -218,9 +221,15 @@ fn section_6_sybils_can_hurt_under_substitutes() {
         substitutes: [OptId(0)].into(),
         value: cents(250),
     });
-    let out = substoff::run(&SubstOffGame::new(costs, sybil).unwrap(), TieBreak::LowestOptId);
+    let out = substoff::run(
+        &SubstOffGame::new(costs, sybil).unwrap(),
+        TieBreak::LowestOptId,
+    );
     assert_eq!(out.implemented.len(), 2);
     let sybil_u2 = d(7) - out.payments[&UserId(2)];
     assert_eq!(sybil_u2, d(2));
-    assert!(sybil_u2 < honest_u2, "the Sybil attack lowered u2's utility");
+    assert!(
+        sybil_u2 < honest_u2,
+        "the Sybil attack lowered u2's utility"
+    );
 }

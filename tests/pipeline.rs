@@ -24,17 +24,25 @@ fn cloudsim_values_drive_the_mechanism() {
     let cm = CostModel::default();
     let price = PricePlan::paper_ec2();
 
-    let tenant_query = LogicalPlan::scan(events).eq_filter(&catalog, events, 0).unwrap();
+    let tenant_query = LogicalPlan::scan(events)
+        .eq_filter(&catalog, events, 0)
+        .unwrap();
     let opts = vec![
         CloudOptimization::new(
             "idx-tenant",
-            OptimizationKind::BTreeIndex { table: events, column: 0 },
+            OptimizationKind::BTreeIndex {
+                table: events,
+                column: 0,
+            },
         ),
         // An index on an unselective column: worthless, must never be
         // implemented.
         CloudOptimization::new(
             "idx-kind",
-            OptimizationKind::BTreeIndex { table: events, column: 1 },
+            OptimizationKind::BTreeIndex {
+                table: events,
+                column: 1,
+            },
         ),
     ];
 
@@ -49,7 +57,11 @@ fn cloudsim_values_drive_the_mechanism() {
         .collect();
 
     let schedule = derive_schedule(&workloads, &catalog, &cm, &price, &opts, 4).unwrap();
-    assert_eq!(schedule.opts(), vec![OptId(0)], "only the useful index has value");
+    assert_eq!(
+        schedule.opts(),
+        vec![OptId(0)],
+        "only the useful index has value"
+    );
 
     let costs: Vec<Money> = opts
         .iter()

@@ -110,13 +110,13 @@ fn cloudsim_artifacts_round_trip() {
     let t = catalog.add_table(table("t", 100, 8, &[("a", 10)]));
     assert_eq!(round_trip(&catalog), catalog);
 
-    let q = LogicalPlan::scan(t).eq_filter(&catalog, t, 0).unwrap().aggregate(5);
+    let q = LogicalPlan::scan(t)
+        .eq_filter(&catalog, t, 0)
+        .unwrap()
+        .aggregate(5);
     assert_eq!(round_trip(&q), q);
 
-    let opt = CloudOptimization::new(
-        "mv",
-        OptimizationKind::MaterializedView { definition: q },
-    );
+    let opt = CloudOptimization::new("mv", OptimizationKind::MaterializedView { definition: q });
     assert_eq!(round_trip(&opt), opt);
 }
 

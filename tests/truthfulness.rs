@@ -228,7 +228,8 @@ fn shapley_group_strategyproof_exhaustively() {
     let run = |bids: [Money; 3]| {
         let mut game = AdditiveOfflineGame::new(vec![cost]).unwrap();
         for (i, b) in bids.iter().enumerate() {
-            game.bid(UserId(u32::try_from(i).unwrap()), OptId(0), *b).unwrap();
+            game.bid(UserId(u32::try_from(i).unwrap()), OptId(0), *b)
+                .unwrap();
         }
         let out = addoff::run(&game);
         [0, 1, 2].map(|i| {

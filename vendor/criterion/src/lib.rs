@@ -1,0 +1,256 @@
+//! A minimal, API-compatible subset of `criterion`, vendored so the
+//! workspace's benches compile and run without network access.
+//!
+//! Measurement model: each benchmark warms up briefly, then runs timed
+//! batches until ~`measurement_ms` have elapsed, reporting the mean
+//! time per iteration and the implied throughput when one was declared.
+//! No statistics beyond the mean, no plots, no baseline comparisons —
+//! enough to compare mechanism implementations locally.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    warmup_ms: u64,
+    measurement_ms: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Keep runs quick: the vendored harness reports means only, so
+        // long measurement windows buy nothing.
+        Criterion {
+            warmup_ms: 300,
+            measurement_ms: 1000,
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: None,
+            measurement_ms: None,
+        }
+    }
+
+    /// Runs a single benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_one(self, id, None, &mut f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+    /// Group-local override; never leaks into later groups.
+    measurement_ms: Option<u64>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the per-iteration work for throughput reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for API compatibility; the vendored harness sizes runs
+    /// by wall-clock, not sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Sets this group's measurement window (scoped to the group,
+    /// like real criterion).
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_ms = Some(d.as_millis() as u64);
+        self
+    }
+
+    fn effective(&self) -> Criterion {
+        Criterion {
+            warmup_ms: self.criterion.warmup_ms,
+            measurement_ms: self.measurement_ms.unwrap_or(self.criterion.measurement_ms),
+        }
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.0);
+        run_one(&self.effective(), &full, self.throughput, &mut f);
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.0);
+        run_one(&self.effective(), &full, self.throughput, &mut |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Identifier of one benchmark within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    #[must_use]
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{}/{}", function_name.into(), parameter))
+    }
+
+    /// Just the parameter.
+    #[must_use]
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Declared per-iteration work, for throughput lines.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Timing context handed to benchmark closures.
+pub struct Bencher {
+    iters_done: u64,
+    elapsed: Duration,
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Times `f` repeatedly until the measurement budget is spent.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let mut batch = 1u64;
+        while self.elapsed < self.budget {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            self.elapsed += start.elapsed();
+            self.iters_done += batch;
+            // Grow batches so cheap bodies aren't dominated by clock reads.
+            batch = batch.saturating_mul(2).min(1 << 20);
+        }
+    }
+}
+
+fn format_time(per_iter: f64) -> String {
+    if per_iter >= 1.0 {
+        format!("{per_iter:.3} s")
+    } else if per_iter >= 1e-3 {
+        format!("{:.3} ms", per_iter * 1e3)
+    } else if per_iter >= 1e-6 {
+        format!("{:.3} µs", per_iter * 1e6)
+    } else {
+        format!("{:.1} ns", per_iter * 1e9)
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    criterion: &Criterion,
+    id: &str,
+    throughput: Option<Throughput>,
+    f: &mut F,
+) {
+    // Warmup.
+    let mut warm = Bencher {
+        iters_done: 0,
+        elapsed: Duration::ZERO,
+        budget: Duration::from_millis(criterion.warmup_ms),
+    };
+    f(&mut warm);
+
+    // Measurement.
+    let mut bench = Bencher {
+        iters_done: 0,
+        elapsed: Duration::ZERO,
+        budget: Duration::from_millis(criterion.measurement_ms),
+    };
+    f(&mut bench);
+
+    if bench.iters_done == 0 {
+        println!("{id:<48} (no iterations run)");
+        return;
+    }
+    let per_iter = bench.elapsed.as_secs_f64() / bench.iters_done as f64;
+    let tail = match throughput {
+        Some(Throughput::Elements(n)) if per_iter > 0.0 => {
+            format!("  ({:.2} Melem/s)", n as f64 / per_iter / 1e6)
+        }
+        Some(Throughput::Bytes(n)) if per_iter > 0.0 => {
+            format!("  ({:.2} MiB/s)", n as f64 / per_iter / (1024.0 * 1024.0))
+        }
+        _ => String::new(),
+    };
+    println!(
+        "{id:<48} {:>12}/iter  [{} iters]{tail}",
+        format_time(per_iter),
+        bench.iters_done
+    );
+}
+
+/// Bundles benchmark functions into one group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Cargo passes flags like `--bench`; nothing to parse here.
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,230 @@
+//! A minimal, API-compatible subset of `proptest`, vendored so the
+//! workspace builds without network access.
+//!
+//! Differences from real proptest, deliberate for size:
+//!
+//! * **no shrinking** — a failing case reports its generated inputs via
+//!   the assertion message (every `prop_assert!` in this workspace
+//!   formats the offending values), but is not minimized;
+//! * strategies are pure generators (`generate(&mut TestRng)`), not
+//!   `ValueTree` factories;
+//! * the number of cases comes from `PROPTEST_CASES` (default 64).
+//!
+//! The surface the workspace uses — `proptest!`, `prop_assert!`,
+//! `prop_assert_eq!`, `prop_assume!`, `prop_oneof!`, integer/float
+//! range strategies, tuples, `Just`, `collection::{vec, btree_set}`,
+//! `sample::subsequence`, `prop_map`, `prop_flat_map`, `boxed` — works
+//! as documented there.
+
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+
+pub use strategy::{BoxedStrategy, Just, Strategy};
+
+/// Result of one generated test case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Failure or rejection of one generated case.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// An assertion failed; aborts the whole test.
+    Fail(String),
+    /// `prop_assume!` rejected the inputs; the case is retried.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure.
+    #[must_use]
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Builds a rejection.
+    #[must_use]
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Deterministic generator driving all strategies; wraps the vendored
+/// [`rand::StdRng`] (xoshiro256**) so the PRNG core lives in one place.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: rand::StdRng,
+}
+
+impl TestRng {
+    /// Seeds via SplitMix64 (delegates to [`rand::SeedableRng`]).
+    #[must_use]
+    pub fn seed_from_u64(state: u64) -> Self {
+        use rand::SeedableRng as _;
+        TestRng {
+            inner: rand::StdRng::seed_from_u64(state),
+        }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        use rand::Rng as _;
+        self.inner.next_u64()
+    }
+
+    /// Uniform in `[0, bound)`; `bound` must be positive.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        use rand::Rng as _;
+        debug_assert!(bound > 0);
+        self.inner.gen_range(0..bound)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        use rand::Rng as _;
+        self.inner.gen::<f64>()
+    }
+}
+
+/// Number of cases per property (reads `PROPTEST_CASES`).
+#[must_use]
+pub fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(64)
+}
+
+/// Runs `body` over `cases()` generated inputs; used by [`proptest!`].
+///
+/// # Panics
+/// Panics when a case fails or when too many cases are rejected.
+pub fn run_property(name: &str, mut body: impl FnMut(&mut TestRng) -> TestCaseResult) {
+    let cases = cases();
+    let mut rejections: u64 = 0;
+    let max_rejections = u64::from(cases) * 16 + 256;
+    // Per-property stream: hash the name so properties don't share one.
+    let mut seed: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        seed = (seed ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    let mut passed = 0;
+    let mut stream = 0u64;
+    while passed < cases {
+        let mut rng = TestRng::seed_from_u64(seed ^ stream);
+        stream += 1;
+        match body(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejections += 1;
+                assert!(
+                    rejections <= max_rejections,
+                    "property `{name}`: too many prop_assume! rejections \
+                     ({rejections} for {passed}/{cases} accepted cases)"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("property `{name}` failed at case {passed}: {msg}")
+            }
+        }
+    }
+}
+
+/// Everything tests usually import.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        TestCaseError, TestCaseResult,
+    };
+}
+
+/// Defines property-based tests:
+/// `proptest! { #[test] fn p(x in 0..10u32) { ... } }`.
+#[macro_export]
+macro_rules! proptest {
+    () => {};
+    ($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::run_property(stringify!($name), |__rng| {
+                $(let $pat = $crate::Strategy::generate(&($strat), __rng);)+
+                #[allow(unused_mut)]
+                let mut __case = move || -> $crate::TestCaseResult {
+                    $body
+                    Ok(())
+                };
+                __case()
+            });
+        }
+        $crate::proptest! { $($rest)* }
+    };
+}
+
+/// `assert!` that reports through the proptest harness.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// `assert_eq!` that reports through the proptest harness.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), __l, __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(*__l == *__r, $($fmt)*);
+    }};
+}
+
+/// `assert_ne!` that reports through the proptest harness.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            __l
+        );
+    }};
+}
+
+/// Rejects the current case unless the precondition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}
+
+/// Weighted choice among strategies with a common value type:
+/// `prop_oneof![3 => strat_a, 1 => strat_b]` (weights optional).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::WeightedUnion::new(vec![
+            $(($weight as u32, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::prop_oneof![$(1 => $strat),+]
+    };
+}

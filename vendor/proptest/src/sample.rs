@@ -1,0 +1,62 @@
+//! Sampling strategies (subset of `proptest::sample`).
+
+use crate::collection::SizeRange;
+use crate::strategy::Strategy;
+use crate::TestRng;
+
+/// Strategy yielding random subsequences of `items` (order preserved)
+/// with lengths drawn from `size`.
+pub fn subsequence<T: Clone>(items: Vec<T>, size: impl Into<SizeRange>) -> Subsequence<T> {
+    Subsequence {
+        items,
+        size: size.into(),
+    }
+}
+
+/// See [`subsequence`].
+pub struct Subsequence<T: Clone> {
+    items: Vec<T>,
+    size: SizeRange,
+}
+
+impl<T: Clone> Strategy for Subsequence<T> {
+    type Value = Vec<T>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<T> {
+        let n = self.items.len();
+        let mut k = self.size.pick_clamped(rng, n);
+        // Reservoir-free k-subset: walk items, keep each with the
+        // probability that exactly k of the remaining slots are taken.
+        let mut out = Vec::with_capacity(k);
+        let mut remaining = n;
+        for item in &self.items {
+            if k == 0 {
+                break;
+            }
+            // P(keep) = k / remaining.
+            if rng.below(remaining as u64) < k as u64 {
+                out.push(item.clone());
+                k -= 1;
+            }
+            remaining -= 1;
+        }
+        out
+    }
+}
+
+/// Strategy choosing one element of `items` uniformly.
+pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+    assert!(!items.is_empty(), "sample::select on empty vec");
+    Select { items }
+}
+
+/// See [`select`].
+pub struct Select<T: Clone> {
+    items: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.items[rng.below(self.items.len() as u64) as usize].clone()
+    }
+}

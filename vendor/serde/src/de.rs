@@ -1,0 +1,248 @@
+//! Deserialization traits and impls for std types.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::fmt::Display;
+use std::hash::Hash;
+
+use crate::value::{from_value, Number, Value};
+
+/// Deserializer-side error constraint (mirrors `serde::de::Error`).
+pub trait Error: Sized + std::error::Error {
+    /// Builds an error from any displayable message.
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// A source of one [`Value`] tree.
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: Error;
+    /// Yields the parsed value.
+    fn into_value(self) -> Result<Value, Self::Error>;
+}
+
+/// A type constructible from a [`Value`].
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes `Self` out of the given deserializer.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// Marker for types deserializable from an owned value (all of them,
+/// in this vendored implementation).
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+fn int_from<E: Error>(v: &Value, what: &str) -> Result<i128, E> {
+    match v {
+        Value::Number(Number::Int(i)) => Ok(*i),
+        // Tolerate "5.0"-style integral floats, but only inside the
+        // f64 exact-integer range — beyond ±2^53 the value is already
+        // approximate and a saturating cast would corrupt it silently.
+        Value::Number(Number::Float(f)) if f.fract() == 0.0 && f.abs() <= (1u64 << 53) as f64 => {
+            Ok(*f as i128)
+        }
+        other => Err(E::custom(format!("expected {what}, got {other:?}"))),
+    }
+}
+
+macro_rules! impl_de_int {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let v = deserializer.into_value()?;
+                let i = int_from::<D::Error>(&v, stringify!($t))?;
+                <$t>::try_from(i).map_err(|_| D::Error::custom(
+                    format!("{i} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_de_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl<'de> Deserialize<'de> for i128 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let v = deserializer.into_value()?;
+        int_from::<D::Error>(&v, "i128")
+    }
+}
+
+impl<'de> Deserialize<'de> for u128 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let v = deserializer.into_value()?;
+        let i = int_from::<D::Error>(&v, "u128")?;
+        u128::try_from(i).map_err(|_| D::Error::custom(format!("{i} out of range for u128")))
+    }
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.into_value()? {
+            Value::Number(Number::Int(i)) => Ok(i as f64),
+            Value::Number(Number::Float(f)) => Ok(f),
+            other => Err(D::Error::custom(format!("expected f64, got {other:?}"))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        f64::deserialize(deserializer).map(|f| f as f32)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.into_value()? {
+            Value::Bool(b) => Ok(b),
+            other => Err(D::Error::custom(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.into_value()? {
+            Value::String(s) => Ok(s),
+            other => Err(D::Error::custom(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(deserializer)?;
+        let mut it = s.chars();
+        match (it.next(), it.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(D::Error::custom("expected single-character string")),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.into_value()? {
+            Value::Null => Ok(()),
+            other => Err(D::Error::custom(format!("expected null, got {other:?}"))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.into_value()
+    }
+}
+
+impl<'de, T: DeserializeOwned> Deserialize<'de> for Box<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        T::deserialize(deserializer).map(Box::new)
+    }
+}
+
+impl<'de, T: DeserializeOwned> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.into_value()? {
+            Value::Null => Ok(None),
+            v => from_value(v).map(Some).map_err(D::Error::custom),
+        }
+    }
+}
+
+fn seq_items<E: Error>(v: Value, what: &str) -> Result<Vec<Value>, E> {
+    match v {
+        Value::Array(items) => Ok(items),
+        other => Err(E::custom(format!("expected {what}, got {other:?}"))),
+    }
+}
+
+impl<'de, T: DeserializeOwned> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        seq_items::<D::Error>(deserializer.into_value()?, "array")?
+            .into_iter()
+            .map(|v| from_value(v).map_err(D::Error::custom))
+            .collect()
+    }
+}
+
+impl<'de, T: DeserializeOwned, const N: usize> Deserialize<'de> for [T; N] {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let items: Vec<T> = Vec::deserialize(deserializer)?;
+        let len = items.len();
+        <[T; N]>::try_from(items)
+            .map_err(|_| D::Error::custom(format!("expected array of length {N}, got {len}")))
+    }
+}
+
+impl<'de, T: DeserializeOwned + Ord> Deserialize<'de> for BTreeSet<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        seq_items::<D::Error>(deserializer.into_value()?, "array")?
+            .into_iter()
+            .map(|v| from_value(v).map_err(D::Error::custom))
+            .collect()
+    }
+}
+
+fn map_pairs<K: DeserializeOwned, V: DeserializeOwned, E: Error>(
+    value: Value,
+) -> Result<Vec<(K, V)>, E> {
+    seq_items::<E>(value, "array of [key, value] pairs")?
+        .into_iter()
+        .map(|pair| {
+            let mut items = seq_items::<E>(pair, "[key, value] pair")?;
+            if items.len() != 2 {
+                return Err(E::custom("expected [key, value] pair"));
+            }
+            let v = items.pop().expect("len checked");
+            let k = items.pop().expect("len checked");
+            Ok((
+                from_value(k).map_err(E::custom)?,
+                from_value(v).map_err(E::custom)?,
+            ))
+        })
+        .collect()
+}
+
+impl<'de, K: DeserializeOwned + Ord, V: DeserializeOwned> Deserialize<'de> for BTreeMap<K, V> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        Ok(map_pairs::<K, V, D::Error>(deserializer.into_value()?)?
+            .into_iter()
+            .collect())
+    }
+}
+
+impl<'de, K: DeserializeOwned + Eq + Hash, V: DeserializeOwned> Deserialize<'de> for HashMap<K, V> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        Ok(map_pairs::<K, V, D::Error>(deserializer.into_value()?)?
+            .into_iter()
+            .collect())
+    }
+}
+
+macro_rules! impl_de_tuple {
+    ($(($len:literal : $($name:ident),+))*) => {$(
+        impl<'de, $($name: DeserializeOwned),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize<DE: Deserializer<'de>>(deserializer: DE) -> Result<Self, DE::Error> {
+                let items = seq_items::<DE::Error>(deserializer.into_value()?, "tuple array")?;
+                if items.len() != $len {
+                    return Err(DE::Error::custom(format!(
+                        "expected array of length {}, got {}", $len, items.len())));
+                }
+                let mut it = items.into_iter();
+                Ok(($({
+                    let v = it.next().expect("len checked");
+                    $name::deserialize(crate::value::ValueDeserializer(v))
+                        .map_err(DE::Error::custom)?
+                },)+))
+            }
+        }
+    )*};
+}
+
+impl_de_tuple! {
+    (1: A)
+    (2: A, B)
+    (3: A, B, C)
+    (4: A, B, C, D)
+    (5: A, B, C, D, E)
+}

@@ -1,0 +1,20 @@
+//! A minimal, API-compatible subset of `serde`, vendored so the
+//! workspace builds without network access to crates.io.
+//!
+//! The real serde drives serialization through `Serializer`/`Visitor`
+//! state machines; this implementation routes everything through one
+//! self-describing [`Value`] tree instead. The public trait signatures
+//! (`Serialize::serialize<S: Serializer>`, `Deserialize<'de>`,
+//! `de::Error::custom`, `DeserializeOwned`) match real serde closely
+//! enough that the workspace's hand-written impls and `with = "..."`
+//! modules compile unchanged. Swapping the real crates back in later
+//! only requires editing `[workspace.dependencies]`.
+
+pub mod de;
+pub mod ser;
+pub mod value;
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+pub use serde_derive::{Deserialize, Serialize};
+pub use value::{Number, Value};

@@ -1,0 +1,222 @@
+//! The self-describing data model everything serializes through.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A JSON-shaped value: the intermediate representation for both
+/// serialization and deserialization.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An ordered sequence.
+    Array(Vec<Value>),
+    /// A key → value map (sorted for deterministic output).
+    Object(BTreeMap<String, Value>),
+}
+
+/// Integer or floating-point payload of [`Value::Number`].
+#[derive(Debug, Clone, Copy)]
+pub enum Number {
+    /// Integral, preserved exactly over the full `i128` range.
+    Int(i128),
+    /// IEEE double.
+    Float(f64),
+}
+
+impl PartialEq for Number {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Number::Int(a), Number::Int(b)) => a == b,
+            (Number::Float(a), Number::Float(b)) => a == b,
+            (Number::Int(a), Number::Float(b)) | (Number::Float(b), Number::Int(a)) => {
+                *a as f64 == *b
+            }
+        }
+    }
+}
+
+impl Value {
+    /// Borrows the string payload, if this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a bool.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Numeric payload widened to `f64`, if this is a number.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(Number::Int(i)) => Some(*i as f64),
+            Value::Number(Number::Float(f)) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Integral payload, if this is an integral number.
+    #[must_use]
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(Number::Int(i)) => i64::try_from(*i).ok(),
+            _ => None,
+        }
+    }
+
+    /// Member lookup on objects; `None` for other shapes.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// `true` iff this is `null`.
+    #[must_use]
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+static NULL: Value = Value::Null;
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    /// Objects index by key; anything else (or a missing key) yields
+    /// `Value::Null`, mirroring `serde_json`.
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(v) => v.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        self.as_bool() == Some(*other)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<f64> for Value {
+    fn eq(&self, other: &f64) -> bool {
+        self.as_f64() == Some(*other)
+    }
+}
+
+impl PartialEq<i64> for Value {
+    fn eq(&self, other: &i64) -> bool {
+        matches!(self, Value::Number(n) if *n == Number::Int(i128::from(*other)))
+    }
+}
+
+impl PartialEq<u64> for Value {
+    fn eq(&self, other: &u64) -> bool {
+        matches!(self, Value::Number(n) if *n == Number::Int(i128::from(*other)))
+    }
+}
+
+/// Error produced by the concrete [`ValueSerializer`] /
+/// [`ValueDeserializer`] bridge. Implements both `ser::Error` and
+/// `de::Error` so generated code can convert it into any serializer's
+/// error with `Error::custom`.
+#[derive(Debug, Clone)]
+pub struct ValueError(pub String);
+
+impl fmt::Display for ValueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ValueError {}
+
+impl crate::ser::Error for ValueError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        ValueError(msg.to_string())
+    }
+}
+
+impl crate::de::Error for ValueError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        ValueError(msg.to_string())
+    }
+}
+
+/// The canonical serializer: produces the [`Value`] tree itself.
+pub struct ValueSerializer;
+
+impl crate::ser::Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = ValueError;
+    fn serialize_value(self, value: Value) -> Result<Value, ValueError> {
+        Ok(value)
+    }
+}
+
+/// The canonical deserializer: hands out an owned [`Value`].
+pub struct ValueDeserializer(pub Value);
+
+impl<'de> crate::de::Deserializer<'de> for ValueDeserializer {
+    type Error = ValueError;
+    fn into_value(self) -> Result<Value, ValueError> {
+        Ok(self.0)
+    }
+}
+
+/// Borrowing deserializer over `&Value` (clones on demand).
+pub struct ValueRefDeserializer<'a>(pub &'a Value);
+
+impl<'de, 'a> crate::de::Deserializer<'de> for ValueRefDeserializer<'a> {
+    type Error = ValueError;
+    fn into_value(self) -> Result<Value, ValueError> {
+        Ok(self.0.clone())
+    }
+}
+
+/// Serializes any `T: Serialize` into a [`Value`].
+pub fn to_value<T: crate::ser::Serialize + ?Sized>(value: &T) -> Result<Value, ValueError> {
+    value.serialize(ValueSerializer)
+}
+
+/// Deserializes any `T: Deserialize` out of an owned [`Value`].
+pub fn from_value<T: crate::de::DeserializeOwned>(value: Value) -> Result<T, ValueError> {
+    T::deserialize(ValueDeserializer(value))
+}

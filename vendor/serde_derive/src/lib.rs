@@ -1,0 +1,674 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! vendored serde facade. Written against `proc_macro` alone (no
+//! syn/quote — those are not available offline), so the parser is a
+//! small token walker tailored to the shapes this workspace uses:
+//!
+//! * named-field structs, tuple structs, unit structs (no generics);
+//! * enums with unit, newtype, and struct variants;
+//! * container attrs `#[serde(transparent)]`, `#[serde(rename_all = "lowercase")]`;
+//! * field attrs `#[serde(default)]`, `#[serde(default = "path")]`,
+//!   `#[serde(with = "module")]`.
+//!
+//! Unknown `#[serde(...)]` attributes are a hard error so drift is loud.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Default)]
+struct ContainerAttrs {
+    transparent: bool,
+    rename_all: Option<String>,
+}
+
+#[derive(Default, Clone)]
+struct FieldAttrs {
+    /// None = required; Some(None) = `Default::default()`; Some(Some(p)) = `p()`.
+    default: Option<Option<String>>,
+    with: Option<String>,
+}
+
+struct Field {
+    name: String,
+    attrs: FieldAttrs,
+}
+
+enum Fields {
+    Named(Vec<Field>),
+    /// Tuple struct/variant with this many fields.
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        attrs: ContainerAttrs,
+        variants: Vec<Variant>,
+    },
+}
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn is_punct(&self, c: char) -> bool {
+        matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == c)
+    }
+
+    fn is_ident(&self, s: &str) -> bool {
+        matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == s)
+    }
+
+    fn expect_ident(&mut self) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("serde derive: expected identifier, got {other:?}"),
+        }
+    }
+
+    /// Consumes leading `#[...]` attributes, returning the token streams
+    /// of `#[serde(...)]` groups' inner parenthesized contents.
+    fn take_attrs(&mut self) -> Vec<TokenStream> {
+        let mut serde_attrs = Vec::new();
+        while self.is_punct('#') {
+            self.next();
+            let group = match self.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+                other => panic!("serde derive: expected [...] after #, got {other:?}"),
+            };
+            let mut inner = Cursor::new(group.stream());
+            if inner.is_ident("serde") {
+                inner.next();
+                match inner.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        serde_attrs.push(g.stream());
+                    }
+                    other => panic!("serde derive: malformed #[serde(...)]: {other:?}"),
+                }
+            }
+        }
+        serde_attrs
+    }
+
+    /// Skips visibility qualifiers: `pub`, `pub(crate)`, `pub(in ...)`.
+    fn skip_vis(&mut self) {
+        if self.is_ident("pub") {
+            self.next();
+            if matches!(self.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                self.next();
+            }
+        }
+    }
+}
+
+fn literal_string(t: Option<TokenTree>) -> String {
+    match t {
+        Some(TokenTree::Literal(l)) => {
+            let s = l.to_string();
+            s.trim_matches('"').to_string()
+        }
+        other => panic!("serde derive: expected string literal, got {other:?}"),
+    }
+}
+
+fn parse_container_attrs(attrs: &[TokenStream]) -> ContainerAttrs {
+    let mut out = ContainerAttrs::default();
+    for stream in attrs {
+        let mut c = Cursor::new(stream.clone());
+        while c.peek().is_some() {
+            let key = c.expect_ident();
+            match key.as_str() {
+                "transparent" => out.transparent = true,
+                "rename_all" => {
+                    assert!(
+                        c.is_punct('='),
+                        "serde derive: rename_all needs `= \"...\"`"
+                    );
+                    c.next();
+                    out.rename_all = Some(literal_string(c.next()));
+                }
+                other => panic!("serde derive: unsupported container attr `{other}`"),
+            }
+            if c.is_punct(',') {
+                c.next();
+            }
+        }
+    }
+    out
+}
+
+fn parse_field_attrs(attrs: &[TokenStream]) -> FieldAttrs {
+    let mut out = FieldAttrs::default();
+    for stream in attrs {
+        let mut c = Cursor::new(stream.clone());
+        while c.peek().is_some() {
+            let key = c.expect_ident();
+            match key.as_str() {
+                "default" => {
+                    if c.is_punct('=') {
+                        c.next();
+                        out.default = Some(Some(literal_string(c.next())));
+                    } else {
+                        out.default = Some(None);
+                    }
+                }
+                "with" => {
+                    assert!(c.is_punct('='), "serde derive: with needs `= \"...\"`");
+                    c.next();
+                    out.with = Some(literal_string(c.next()));
+                }
+                other => panic!("serde derive: unsupported field attr `{other}`"),
+            }
+            if c.is_punct(',') {
+                c.next();
+            }
+        }
+    }
+    out
+}
+
+/// Parses `name: Type, ...` named fields, tracking `<...>` depth so
+/// commas inside generic arguments don't split fields.
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut c = Cursor::new(stream);
+    let mut fields = Vec::new();
+    while c.peek().is_some() {
+        let attrs = parse_field_attrs(&c.take_attrs());
+        if c.peek().is_none() {
+            break;
+        }
+        c.skip_vis();
+        let name = c.expect_ident();
+        assert!(
+            c.is_punct(':'),
+            "serde derive: expected `:` after field `{name}`"
+        );
+        c.next();
+        let mut angle_depth: i32 = 0;
+        while let Some(t) = c.peek() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    c.next();
+                    break;
+                }
+                _ => {}
+            }
+            c.next();
+        }
+        fields.push(Field { name, attrs });
+    }
+    fields
+}
+
+/// Counts top-level fields of a tuple struct/variant body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut c = Cursor::new(stream);
+    let mut count = 0;
+    let mut saw_tokens = false;
+    let mut angle_depth: i32 = 0;
+    while let Some(t) = c.next() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                count += 1;
+                saw_tokens = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_tokens = true;
+    }
+    if saw_tokens {
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut c = Cursor::new(stream);
+    let mut variants = Vec::new();
+    while c.peek().is_some() {
+        // Variant attrs (doc comments, #[default], ...) are irrelevant here.
+        let serde_attrs = c.take_attrs();
+        assert!(
+            serde_attrs.is_empty(),
+            "serde derive: variant-level #[serde(...)] attrs are not supported"
+        );
+        if c.peek().is_none() {
+            break;
+        }
+        let name = c.expect_ident();
+        let fields = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = parse_named_fields(g.stream());
+                c.next();
+                Fields::Named(f)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                c.next();
+                Fields::Tuple(n)
+            }
+            _ => Fields::Unit,
+        };
+        if c.is_punct('=') {
+            // Discriminant `= expr`: consume until comma.
+            while let Some(t) = c.peek() {
+                if matches!(t, TokenTree::Punct(p) if p.as_char() == ',') {
+                    break;
+                }
+                c.next();
+            }
+        }
+        if c.is_punct(',') {
+            c.next();
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut c = Cursor::new(input);
+    let attrs = parse_container_attrs(&c.take_attrs());
+    c.skip_vis();
+    let kw = c.expect_ident();
+    match kw.as_str() {
+        "struct" => {
+            let name = c.expect_ident();
+            assert!(
+                !c.is_punct('<'),
+                "serde derive: generic types are not supported (struct {name})"
+            );
+            let fields = match c.peek() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                _ => Fields::Unit,
+            };
+            // Keep attr handling loud: the only struct-level attr with
+            // an implementation here is `transparent` on a newtype
+            // (which coincides with the default 1-tuple handling).
+            assert!(
+                attrs.rename_all.is_none(),
+                "serde derive: rename_all is only supported on enums (struct {name})"
+            );
+            assert!(
+                !attrs.transparent || matches!(fields, Fields::Tuple(1)),
+                "serde derive: transparent requires a single-field tuple struct (struct {name})"
+            );
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let name = c.expect_ident();
+            assert!(
+                !c.is_punct('<'),
+                "serde derive: generic types are not supported (enum {name})"
+            );
+            let body = match c.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("serde derive: expected enum body, got {other:?}"),
+            };
+            assert!(
+                !attrs.transparent,
+                "serde derive: transparent is not supported on enums (enum {name})"
+            );
+            Item::Enum {
+                name,
+                attrs,
+                variants: parse_variants(body),
+            }
+        }
+        other => panic!("serde derive: expected struct or enum, got `{other}`"),
+    }
+}
+
+fn rename(variant: &str, rule: Option<&str>) -> String {
+    match rule {
+        None => variant.to_string(),
+        Some("lowercase") => variant.to_lowercase(),
+        Some("UPPERCASE") => variant.to_uppercase(),
+        Some("snake_case") => {
+            let mut out = String::new();
+            for (i, ch) in variant.chars().enumerate() {
+                if ch.is_uppercase() {
+                    if i > 0 {
+                        out.push('_');
+                    }
+                    out.extend(ch.to_lowercase());
+                } else {
+                    out.push(ch);
+                }
+            }
+            out
+        }
+        Some(other) => panic!("serde derive: unsupported rename_all rule `{other}`"),
+    }
+}
+
+const SER_ERR: &str = "|__e| <__S::Error as serde::ser::Error>::custom(__e)";
+const DE_ERR: &str = "|__e| <__D::Error as serde::de::Error>::custom(__e)";
+
+fn ser_named_fields(fields: &[Field], access: &str) -> String {
+    let mut code = String::from("let mut __obj = ::std::collections::BTreeMap::new();\n");
+    for f in fields {
+        let expr = match &f.attrs.with {
+            Some(module) => format!(
+                "{module}::serialize(&{access}{name}, serde::value::ValueSerializer).map_err({SER_ERR})?",
+                name = f.name
+            ),
+            None => format!(
+                "serde::value::to_value(&{access}{name}).map_err({SER_ERR})?",
+                name = f.name
+            ),
+        };
+        code.push_str(&format!(
+            "__obj.insert(\"{name}\".to_string(), {expr});\n",
+            name = f.name
+        ));
+    }
+    code
+}
+
+fn de_named_fields(fields: &[Field], obj: &str) -> String {
+    let mut code = String::new();
+    for f in fields {
+        let found = match &f.attrs.with {
+            Some(module) => format!(
+                "{module}::deserialize(serde::value::ValueDeserializer(__v.clone())).map_err({DE_ERR})?"
+            ),
+            None => format!("serde::value::from_value(__v.clone()).map_err({DE_ERR})?"),
+        };
+        let missing = match &f.attrs.default {
+            Some(None) => "::std::default::Default::default()".to_string(),
+            Some(Some(path)) => format!("{path}()"),
+            None => format!(
+                "return Err(<__D::Error as serde::de::Error>::custom(\"missing field `{name}`\"))",
+                name = f.name
+            ),
+        };
+        code.push_str(&format!(
+            "{name}: match {obj}.get(\"{name}\") {{ Some(__v) => {{ {found} }}, None => {{ {missing} }} }},\n",
+            name = f.name
+        ));
+    }
+    code
+}
+
+fn derive_serialize_impl(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields, .. } => {
+            let body = match fields {
+                Fields::Named(fs) => format!(
+                    "{}__serializer.serialize_value(serde::Value::Object(__obj))",
+                    ser_named_fields(fs, "self.")
+                ),
+                Fields::Tuple(1) => {
+                    // Newtype structs (incl. #[serde(transparent)]) are
+                    // serialized as their inner value.
+                    "self.0.serialize(__serializer)".to_string()
+                }
+                Fields::Tuple(n) => {
+                    let items = (0..*n)
+                        .map(|i| format!("serde::value::to_value(&self.{i}).map_err({SER_ERR})?"))
+                        .collect::<Vec<_>>()
+                        .join(", ");
+                    format!("__serializer.serialize_value(serde::Value::Array(vec![{items}]))")
+                }
+                Fields::Unit => "__serializer.serialize_value(serde::Value::Null)".to_string(),
+            };
+            format!(
+                "#[automatically_derived]\n\
+                 impl serde::ser::Serialize for {name} {{\n\
+                   fn serialize<__S: serde::ser::Serializer>(&self, __serializer: __S) \
+                     -> ::std::result::Result<__S::Ok, __S::Error> {{\n{body}\n}}\n}}"
+            )
+        }
+        Item::Enum {
+            name,
+            attrs,
+            variants,
+        } => {
+            let rule = attrs.rename_all.as_deref();
+            let arms = variants
+                .iter()
+                .map(|v| {
+                    let tag = rename(&v.name, rule);
+                    match &v.fields {
+                        Fields::Unit => format!(
+                            "{name}::{v} => __serializer.serialize_value(serde::Value::String(\"{tag}\".to_string())),",
+                            v = v.name
+                        ),
+                        Fields::Tuple(1) => format!(
+                            "{name}::{v}(__inner) => {{\n\
+                               let mut __obj = ::std::collections::BTreeMap::new();\n\
+                               __obj.insert(\"{tag}\".to_string(), serde::value::to_value(__inner).map_err({SER_ERR})?);\n\
+                               __serializer.serialize_value(serde::Value::Object(__obj))\n}},",
+                            v = v.name
+                        ),
+                        Fields::Tuple(n) => {
+                            let binds = (0..*n).map(|i| format!("__f{i}")).collect::<Vec<_>>().join(", ");
+                            let items = (0..*n)
+                                .map(|i| format!("serde::value::to_value(__f{i}).map_err({SER_ERR})?"))
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            format!(
+                                "{name}::{v}({binds}) => {{\n\
+                                   let mut __obj = ::std::collections::BTreeMap::new();\n\
+                                   __obj.insert(\"{tag}\".to_string(), serde::Value::Array(vec![{items}]));\n\
+                                   __serializer.serialize_value(serde::Value::Object(__obj))\n}},",
+                                v = v.name
+                            )
+                        }
+                        Fields::Named(fs) => {
+                            let binds = fs.iter().map(|f| f.name.clone()).collect::<Vec<_>>().join(", ");
+                            let inner = ser_named_fields(fs, "");
+                            format!(
+                                "{name}::{v} {{ {binds} }} => {{\n\
+                                   {inner}\
+                                   let mut __outer = ::std::collections::BTreeMap::new();\n\
+                                   __outer.insert(\"{tag}\".to_string(), serde::Value::Object(__obj));\n\
+                                   __serializer.serialize_value(serde::Value::Object(__outer))\n}},",
+                                v = v.name
+                            )
+                        }
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join("\n");
+            format!(
+                "#[automatically_derived]\n\
+                 impl serde::ser::Serialize for {name} {{\n\
+                   fn serialize<__S: serde::ser::Serializer>(&self, __serializer: __S) \
+                     -> ::std::result::Result<__S::Ok, __S::Error> {{\n\
+                     match self {{\n{arms}\n}}\n}}\n}}"
+            )
+        }
+    }
+}
+
+fn derive_deserialize_impl(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields, .. } => {
+            let body = match fields {
+                Fields::Named(fs) => {
+                    let inner = de_named_fields(fs, "__obj");
+                    format!(
+                        "let __value = __deserializer.into_value()?;\n\
+                         let __obj = match __value {{\n\
+                           serde::Value::Object(__m) => __m,\n\
+                           __other => return Err(<__D::Error as serde::de::Error>::custom(\
+                             format!(\"expected object for {name}, got {{__other:?}}\"))),\n\
+                         }};\n\
+                         Ok({name} {{\n{inner}}})"
+                    )
+                }
+                Fields::Tuple(1) => {
+                    format!("Ok({name}(serde::de::Deserialize::deserialize(__deserializer)?))")
+                }
+                Fields::Tuple(n) => {
+                    let items = (0..*n)
+                        .map(|i| {
+                            format!(
+                                "serde::value::from_value(__items[{i}].clone()).map_err({DE_ERR})?"
+                            )
+                        })
+                        .collect::<Vec<_>>()
+                        .join(", ");
+                    format!(
+                        "let __value = __deserializer.into_value()?;\n\
+                         let __items = match __value {{\n\
+                           serde::Value::Array(__a) if __a.len() == {n} => __a,\n\
+                           __other => return Err(<__D::Error as serde::de::Error>::custom(\
+                             format!(\"expected array of {n} for {name}, got {{__other:?}}\"))),\n\
+                         }};\n\
+                         Ok({name}({items}))"
+                    )
+                }
+                Fields::Unit => format!("__deserializer.into_value().map(|_| {name})"),
+            };
+            format!(
+                "#[automatically_derived]\n\
+                 impl<'de> serde::de::Deserialize<'de> for {name} {{\n\
+                   fn deserialize<__D: serde::de::Deserializer<'de>>(__deserializer: __D) \
+                     -> ::std::result::Result<Self, __D::Error> {{\n{body}\n}}\n}}"
+            )
+        }
+        Item::Enum {
+            name,
+            attrs,
+            variants,
+        } => {
+            let rule = attrs.rename_all.as_deref();
+            let unit_arms = variants
+                .iter()
+                .filter(|v| matches!(v.fields, Fields::Unit))
+                .map(|v| format!("\"{}\" => Ok({name}::{}),", rename(&v.name, rule), v.name))
+                .collect::<Vec<_>>()
+                .join("\n");
+            let tagged_arms = variants
+                .iter()
+                .filter(|v| !matches!(v.fields, Fields::Unit))
+                .map(|v| {
+                    let tag = rename(&v.name, rule);
+                    match &v.fields {
+                        Fields::Tuple(1) => format!(
+                            "\"{tag}\" => Ok({name}::{v}(serde::value::from_value(__inner).map_err({DE_ERR})?)),",
+                            v = v.name
+                        ),
+                        Fields::Tuple(n) => {
+                            let items = (0..*n)
+                                .map(|i| format!(
+                                    "serde::value::from_value(__items[{i}].clone()).map_err({DE_ERR})?"
+                                ))
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            format!(
+                                "\"{tag}\" => {{\n\
+                                   let __items = match __inner {{\n\
+                                     serde::Value::Array(__a) if __a.len() == {n} => __a,\n\
+                                     __other => return Err(<__D::Error as serde::de::Error>::custom(\
+                                       format!(\"expected array of {n} for {name}::{v}\"))),\n\
+                                   }};\n\
+                                   Ok({name}::{v}({items}))\n}},",
+                                v = v.name
+                            )
+                        }
+                        Fields::Named(fs) => {
+                            let inner = de_named_fields(fs, "__obj");
+                            format!(
+                                "\"{tag}\" => {{\n\
+                                   let __obj = match __inner {{\n\
+                                     serde::Value::Object(__m) => __m,\n\
+                                     __other => return Err(<__D::Error as serde::de::Error>::custom(\
+                                       format!(\"expected object for {name}::{v}\"))),\n\
+                                   }};\n\
+                                   Ok({name}::{v} {{\n{inner}}})\n}},",
+                                v = v.name
+                            )
+                        }
+                        Fields::Unit => unreachable!(),
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join("\n");
+            format!(
+                "#[automatically_derived]\n\
+                 impl<'de> serde::de::Deserialize<'de> for {name} {{\n\
+                   fn deserialize<__D: serde::de::Deserializer<'de>>(__deserializer: __D) \
+                     -> ::std::result::Result<Self, __D::Error> {{\n\
+                     match __deserializer.into_value()? {{\n\
+                       serde::Value::String(__s) => match __s.as_str() {{\n\
+                         {unit_arms}\n\
+                         __other => Err(<__D::Error as serde::de::Error>::custom(\
+                           format!(\"unknown {name} variant `{{__other}}`\"))),\n\
+                       }},\n\
+                       serde::Value::Object(__m) if __m.len() == 1 => {{\n\
+                         let (__tag, __inner) = __m.into_iter().next().expect(\"len checked\");\n\
+                         match __tag.as_str() {{\n\
+                           {tagged_arms}\n\
+                           __other => Err(<__D::Error as serde::de::Error>::custom(\
+                             format!(\"unknown {name} variant `{{__other}}`\"))),\n\
+                         }}\n\
+                       }},\n\
+                       __other => Err(<__D::Error as serde::de::Error>::custom(\
+                         format!(\"expected {name} variant, got {{__other:?}}\"))),\n\
+                     }}\n}}\n}}"
+            )
+        }
+    }
+}
+
+/// Derives `serde::ser::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    derive_serialize_impl(&item)
+        .parse()
+        .expect("serde derive: generated Serialize impl failed to parse")
+}
+
+/// Derives `serde::de::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    derive_deserialize_impl(&item)
+        .parse()
+        .expect("serde derive: generated Deserialize impl failed to parse")
+}

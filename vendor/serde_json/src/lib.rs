@@ -1,0 +1,185 @@
+//! A minimal, API-compatible subset of `serde_json`, vendored so the
+//! workspace builds without network access. Full JSON text parsing and
+//! printing over the [`serde::Value`] tree; integers round-trip exactly
+//! over the whole `i128` range (the workspace's `Ratio` needs that).
+
+use std::fmt;
+
+pub use serde::value::{from_value, to_value};
+pub use serde::{Number, Value};
+
+mod parse;
+mod print;
+
+/// Error for any JSON encode/decode failure.
+#[derive(Debug, Clone)]
+pub struct Error(pub(crate) String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl serde::ser::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl serde::de::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+/// Serializes `value` to a compact JSON string.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let v = serde::value::to_value(value).map_err(|e| Error(e.0))?;
+    Ok(print::compact(&v))
+}
+
+/// Serializes `value` to a 2-space-indented JSON string.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let v = serde::value::to_value(value).map_err(|e| Error(e.0))?;
+    Ok(print::pretty(&v))
+}
+
+/// Serializes `value` to JSON bytes.
+pub fn to_vec<T: serde::Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Deserializes a `T` from JSON text.
+pub fn from_str<T: serde::de::DeserializeOwned>(s: &str) -> Result<T, Error> {
+    let v = parse::parse(s)?;
+    serde::value::from_value(v).map_err(|e| Error(e.0))
+}
+
+/// Deserializes a `T` from JSON bytes.
+pub fn from_slice<T: serde::de::DeserializeOwned>(bytes: &[u8]) -> Result<T, Error> {
+    let s = std::str::from_utf8(bytes).map_err(|e| Error(format!("invalid UTF-8: {e}")))?;
+    from_str(s)
+}
+
+/// Infallible expression → [`Value`] conversion used by [`json!`].
+/// Serialization through the value tree cannot fail for the types the
+/// workspace feeds it; a failure becomes a `Value::Null`.
+#[doc(hidden)]
+pub fn __to_value_lenient<T: serde::Serialize + ?Sized>(value: &T) -> Value {
+    serde::value::to_value(value).unwrap_or(Value::Null)
+}
+
+/// Builds a [`Value`] from a JSON-ish literal. Supported subset:
+/// `null`, `true`/`false`, numeric/string literals, `[expr, ...]`
+/// arrays, `{"key": expr, ...}` objects, and arbitrary serializable
+/// expressions (including nested `json!` calls) in value position.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($elem:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::__to_value_lenient(&$elem) ),* ])
+    };
+    ({ $($key:literal : $value:expr),* $(,)? }) => {{
+        #[allow(unused_mut)]
+        let mut __map = ::std::collections::BTreeMap::new();
+        $( __map.insert($key.to_string(), $crate::__to_value_lenient(&$value)); )*
+        $crate::Value::Object(__map)
+    }};
+    ($other:expr) => { $crate::__to_value_lenient(&$other) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trips() {
+        assert_eq!(to_string(&42i64).unwrap(), "42");
+        assert_eq!(from_str::<i64>("42").unwrap(), 42);
+        assert_eq!(to_string(&-1.5f64).unwrap(), "-1.5");
+        assert_eq!(from_str::<f64>("-1.5").unwrap(), -1.5);
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(to_string(&"a\"b\n").unwrap(), r#""a\"b\n""#);
+        assert_eq!(from_str::<String>(r#""a\"b\n""#).unwrap(), "a\"b\n");
+        assert_eq!(from_str::<String>(r#""é😀""#).unwrap(), "é😀");
+    }
+
+    #[test]
+    fn i128_extremes_round_trip() {
+        for v in [i128::MAX, i128::MIN, 0, -1] {
+            let s = to_string(&v).unwrap();
+            assert_eq!(from_str::<i128>(&s).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let xs = vec![(1u32, "a".to_string()), (2, "b".to_string())];
+        let s = to_string(&xs).unwrap();
+        assert_eq!(from_str::<Vec<(u32, String)>>(&s).unwrap(), xs);
+
+        let m: std::collections::BTreeMap<(u32, u32), i64> =
+            [((1, 2), -3), ((4, 5), 6)].into_iter().collect();
+        let s = to_string(&m).unwrap();
+        assert_eq!(
+            from_str::<std::collections::BTreeMap<(u32, u32), i64>>(&s).unwrap(),
+            m
+        );
+    }
+
+    #[test]
+    fn json_macro_builds_objects() {
+        let v = json!({
+            "a": 1,
+            "b": [json!({"c": true}), json!(null)],
+            "s": "x",
+            "opt": Option::<i32>::None,
+        });
+        assert_eq!(v["a"], 1i64);
+        assert_eq!(v["b"][0]["c"], true);
+        assert!(v["b"][1].is_null());
+        assert_eq!(v["s"], "x");
+        assert!(v["opt"].is_null());
+        assert_eq!(v["missing"], Value::Null);
+    }
+
+    #[test]
+    fn malformed_json_is_an_error() {
+        assert!(from_str::<Value>("{ \"a\": ").is_err());
+        assert!(from_str::<Value>("[1, 2,,]").is_err());
+        assert!(from_str::<Value>("").is_err());
+        assert!(from_str::<Value>("{} trailing").is_err());
+    }
+
+    #[test]
+    fn non_json_numbers_are_rejected() {
+        for bad in ["1.", ".5", "01", "-01", "1e", "1e+", "+1", "1.e3"] {
+            assert!(from_str::<Value>(bad).is_err(), "{bad:?} should not parse");
+        }
+        // Valid spec forms still parse.
+        for good in ["0", "-0", "0.5", "10", "1e3", "1E-3", "1.5e+2"] {
+            assert!(from_str::<Value>(good).is_ok(), "{good:?} should parse");
+        }
+    }
+
+    #[test]
+    fn deep_nesting_errors_instead_of_overflowing() {
+        let deep = "[".repeat(100_000);
+        let err = from_str::<Value>(&deep).unwrap_err();
+        assert!(err.to_string().contains("recursion limit"), "{err}");
+        // Depths within the limit still work.
+        let ok = format!("{}1{}", "[".repeat(100), "]".repeat(100));
+        assert!(from_str::<Value>(&ok).is_ok());
+    }
+
+    #[test]
+    fn pretty_print_is_parseable() {
+        let v = json!({"a": [1, 2], "b": json!({"c": "d"})});
+        let s = to_string_pretty(&v).unwrap();
+        assert!(s.contains('\n'));
+        assert_eq!(from_str::<Value>(&s).unwrap(), v);
+    }
+}
