@@ -1,0 +1,69 @@
+//! Writes the repo's tracked mechanism perf record.
+//!
+//! ```text
+//! cargo run --release -p osp-bench --bin bench_json            # full suite
+//! cargo run --release -p osp-bench --bin bench_json -- --quick # CI mode
+//! cargo run --release -p osp-bench --bin bench_json -- --out perf.json
+//! ```
+//!
+//! Produces `BENCH_mechanisms.json` (see [`osp_bench::perf`]) and
+//! prints an aligned summary, including the AddOn incremental-vs-
+//! rebuild speedup per size.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use osp_bench::perf;
+
+fn main() -> ExitCode {
+    let mut quick = false;
+    let mut out = PathBuf::from("BENCH_mechanisms.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => match args.next() {
+                Some(path) => out = PathBuf::from(path),
+                None => {
+                    eprintln!("--out requires a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("unknown argument `{other}`");
+                eprintln!("usage: bench_json [--quick] [--out FILE]");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let report = perf::run(quick);
+
+    println!(
+        "{:<10} {:<12} {:>8} {:>6} {:>6} {:>10} {:>14}",
+        "mechanism", "engine", "users", "slots", "iters", "elapsed_s", "ops/sec"
+    );
+    for r in &report.records {
+        println!(
+            "{:<10} {:<12} {:>8} {:>6} {:>6} {:>10.3} {:>14.0}",
+            r.mechanism, r.engine, r.users, r.slots, r.iters, r.elapsed_s, r.ops_per_sec
+        );
+    }
+    for &(users, speedup) in &report.addon_speedup_incremental_over_rebuild {
+        println!("addon speedup (incremental / rebuild) at m = {users}: {speedup:.2}x");
+    }
+
+    let json = match serde_json::to_string_pretty(&report) {
+        Ok(json) => json,
+        Err(e) => {
+            eprintln!("failed to serialize report: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = std::fs::write(&out, json + "\n") {
+        eprintln!("failed to write {}: {e}", out.display());
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {}", out.display());
+    ExitCode::SUCCESS
+}

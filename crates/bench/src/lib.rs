@@ -9,10 +9,13 @@
 //! | [`sweeps`] | Figures 2(a)–(d), 3(a)–(b), 4, 5(a)–(b) |
 //! | [`ablations`] | efficiency gap, share policy, tie-breaking, exact-vs-float |
 //! | [`table`] | aligned-text + CSV output |
-//! | [`parallel`] | fork-join over sweep points |
+//! | [`parallel`] | work-stealing fork-join over sweep points |
+//! | [`perf`] | mechanism throughput record (`BENCH_mechanisms.json`) |
 //!
 //! Run everything with `cargo run -p osp-bench --release --bin
-//! figures -- all`; Criterion micro-benchmarks live in `benches/`.
+//! figures -- all`; Criterion micro-benchmarks live in `benches/`; the
+//! perf record is written by `cargo run --release -p osp-bench --bin
+//! bench_json`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -20,5 +23,6 @@
 pub mod ablations;
 pub mod fig1;
 pub mod parallel;
+pub mod perf;
 pub mod sweeps;
 pub mod table;

@@ -1,13 +1,24 @@
 //! Tiny fork-join helper: map a function over inputs on all cores.
 //!
-//! The sweeps are embarrassingly parallel (independent cost points /
-//! alternative blocks); `std::thread::scope` gives us scoped threads
-//! without pulling a work-stealing runtime into the workspace.
+//! The sweeps are embarrassingly parallel but far from uniform — cost
+//! points near the implementability threshold run whole extra mechanism
+//! rounds — so static chunking leaves cores idle behind the slowest
+//! block. Workers instead *steal* the next input off a shared atomic
+//! index, so load balances at item granularity without pulling a
+//! work-stealing runtime into the workspace.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 /// Maps `f` over `inputs` in parallel, preserving order.
 ///
-/// Falls back to a sequential map for empty or single-element inputs,
-/// so the chunk arithmetic below never sees a zero length.
+/// Work is distributed via an atomic next-index counter, so uneven
+/// per-item costs never strand a core behind a pre-assigned chunk.
+///
+/// # Panics
+/// If `f` panics for any input, the map stops handing out new work and
+/// re-raises the **original panic payload** on the calling thread once
+/// the in-flight items finish.
 pub fn par_map<T, R, F>(inputs: &[T], f: F) -> Vec<R>
 where
     T: Sync,
@@ -21,25 +32,42 @@ where
     if threads <= 1 || inputs.len() <= 1 {
         return inputs.iter().map(&f).collect();
     }
-    let chunk = inputs.len().div_ceil(threads);
-    let mut results: Vec<Option<R>> = Vec::with_capacity(inputs.len());
-    results.resize_with(inputs.len(), || None);
 
+    let next = AtomicUsize::new(0);
+    let poisoned = AtomicBool::new(false);
+    let mut indexed: Vec<(usize, R)> = Vec::with_capacity(inputs.len());
+
+    let (next, poisoned, f) = (&next, &poisoned, &f);
     std::thread::scope(|scope| {
-        for (block, out) in inputs.chunks(chunk).zip(results.chunks_mut(chunk)) {
-            let f = &f;
-            scope.spawn(move || {
-                for (x, slot) in block.iter().zip(out.iter_mut()) {
-                    *slot = Some(f(x));
+        let worker = move || {
+            let mut part = Vec::new();
+            while !poisoned.load(Ordering::Relaxed) {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(x) = inputs.get(i) else { break };
+                match catch_unwind(AssertUnwindSafe(|| f(x))) {
+                    Ok(r) => part.push((i, r)),
+                    Err(payload) => {
+                        // Stop the other workers from taking new items,
+                        // then let the join below re-raise this payload.
+                        poisoned.store(true, Ordering::Relaxed);
+                        resume_unwind(payload);
+                    }
                 }
-            });
+            }
+            part
+        };
+        let handles: Vec<_> = (0..threads).map(|_| scope.spawn(worker)).collect();
+        for handle in handles {
+            match handle.join() {
+                Ok(part) => indexed.extend(part),
+                Err(payload) => resume_unwind(payload),
+            }
         }
     });
 
-    results
-        .into_iter()
-        .map(|r| r.expect("all slots filled"))
-        .collect()
+    indexed.sort_unstable_by_key(|&(i, _)| i);
+    debug_assert!(indexed.iter().enumerate().all(|(k, &(i, _))| k == i));
+    indexed.into_iter().map(|(_, r)| r).collect()
 }
 
 #[cfg(test)]
@@ -98,5 +126,43 @@ mod tests {
             })
         });
         assert!(caught.is_err());
+    }
+
+    #[test]
+    fn propagates_the_original_panic_payload() {
+        let inputs: Vec<u32> = (0..64).collect();
+        let caught = std::panic::catch_unwind(|| {
+            par_map(&inputs, |&x| {
+                if x == 17 {
+                    std::panic::panic_any("seventeen exploded");
+                }
+                x
+            })
+        });
+        let payload = caught.expect_err("must panic");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .expect("payload type preserved");
+        assert_eq!(*msg, "seventeen exploded");
+    }
+
+    #[test]
+    fn balances_uneven_trial_costs() {
+        // One pathological item 100× the cost of the rest: with static
+        // chunking its whole chunk-mates would queue behind it; with
+        // stealing the result must still be complete and ordered.
+        let inputs: Vec<u64> = (0..257).collect();
+        let out = par_map(&inputs, |&x| {
+            let spin = if x == 0 { 100_000 } else { 1_000 };
+            (0..spin).fold(x, |acc, i| acc.wrapping_add(i)) % 7 + x
+        });
+        let seq: Vec<u64> = inputs
+            .iter()
+            .map(|&x| {
+                let spin = if x == 0 { 100_000 } else { 1_000 };
+                (0..spin).fold(x, |acc, i| acc.wrapping_add(i)) % 7 + x
+            })
+            .collect();
+        assert_eq!(out, seq);
     }
 }

@@ -1,0 +1,277 @@
+//! End-to-end throughput measurement for the online mechanisms.
+//!
+//! [`run`] drives AddOn and SubstOn over generated workloads at
+//! m ∈ {10³, 10⁴, 10⁵} users and a 20-slot horizon, once per
+//! [`Engine`], plus the Regret baseline for context, and reports
+//! **user-slot events per second**. The `bench_json` binary serializes
+//! the result as `BENCH_mechanisms.json`, the repo's tracked perf
+//! record: CI regenerates it on every PR (quick mode), so the
+//! mechanisms' perf trajectory is visible from this file's history.
+//!
+//! The headline comparison is `addon` `incremental` vs `rebuild` at
+//! m = 10⁵, z = 20: the persistent [`osp_core::prelude::Solver`] must
+//! beat the per-slot rebuild by a wide margin (≥ 3×) there, and the
+//! `speedup` map in the report states the measured ratio per size.
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use osp_core::prelude::*;
+use osp_workload::{gen, AdditiveConfig, ArrivalProcess, SubstConfig};
+
+/// One measured (mechanism, engine, size) point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchRecord {
+    /// Mechanism name: `addon`, `subston` or `regret`.
+    pub mechanism: String,
+    /// Shapley engine: `incremental`, `rebuild`, or `-` for baselines.
+    pub engine: String,
+    /// Number of users `m`.
+    pub users: u32,
+    /// Number of slots `z`.
+    pub slots: u32,
+    /// Full end-to-end runs measured.
+    pub iters: u32,
+    /// Total wall-clock seconds across all `iters`.
+    pub elapsed_s: f64,
+    /// `users · slots · iters / elapsed_s`.
+    pub ops_per_sec: f64,
+}
+
+/// The full perf record written to `BENCH_mechanisms.json`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerfReport {
+    /// Bumped when the record's shape or workloads change.
+    pub schema_version: u32,
+    /// `true` when produced with `--quick` (CI: fewer sizes, 1 iter).
+    pub quick: bool,
+    /// Every measured point.
+    pub records: Vec<BenchRecord>,
+    /// `(users, incremental/rebuild)` AddOn throughput ratio pairs, for
+    /// every size at which both engines were measured. (A list of
+    /// pairs, not a map: JSON object keys would have to be strings.)
+    pub addon_speedup_incremental_over_rebuild: Vec<(u32, f64)>,
+}
+
+impl PerfReport {
+    /// The record for one (mechanism, engine, users) point, if present.
+    #[must_use]
+    pub fn find(&self, mechanism: &str, engine: &str, users: u32) -> Option<&BenchRecord> {
+        self.records
+            .iter()
+            .find(|r| r.mechanism == mechanism && r.engine == engine && r.users == users)
+    }
+}
+
+/// The shared horizon `z` of every perf workload.
+pub const SLOTS: u32 = 20;
+
+const SEED: u64 = 0x05f5_c0de;
+
+fn engine_name(engine: Engine) -> &'static str {
+    match engine {
+        Engine::Incremental => "incremental",
+        Engine::Rebuild => "rebuild",
+    }
+}
+
+/// Repeats `f` until both `min_iters` runs and `min_secs` seconds have
+/// accumulated; returns `(iters, elapsed_seconds)`.
+fn measure<F: FnMut()>(mut f: F, min_iters: u32, min_secs: f64) -> (u32, f64) {
+    let start = Instant::now();
+    let mut iters = 0u32;
+    loop {
+        f();
+        iters += 1;
+        let elapsed = start.elapsed().as_secs_f64();
+        if iters >= min_iters && elapsed >= min_secs {
+            return (iters, elapsed);
+        }
+    }
+}
+
+fn additive_game(users: u32) -> AddOnGame {
+    let cfg = AdditiveConfig {
+        num_users: users,
+        horizon: SLOTS,
+        arrivals: ArrivalProcess::Uniform,
+        duration: 1,
+    };
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let sc = gen::additive_scenario(&cfg, Money::from_cents(60), &mut rng);
+    let bids = sc
+        .users
+        .iter()
+        .map(|(u, s)| OnlineBid::new(*u, s.clone()))
+        .collect();
+    AddOnGame::new(sc.horizon, sc.cost, bids).expect("generated game is valid")
+}
+
+fn subst_game(users: u32) -> SubstOnGame {
+    let cfg = SubstConfig {
+        num_users: users,
+        horizon: SLOTS,
+        num_opts: 12,
+        substitutes_per_user: 3,
+    };
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let sc = gen::subst_scenario(&cfg, Money::from_cents(60), &mut rng);
+    let bids = sc
+        .users
+        .iter()
+        .map(|u| SubstOnlineBid {
+            user: u.user,
+            substitutes: u.substitutes.iter().copied().collect(),
+            series: u.series.clone(),
+        })
+        .collect();
+    SubstOnGame::new(sc.horizon, sc.costs.clone(), bids).expect("generated game is valid")
+}
+
+/// Runs the full suite and assembles the report.
+///
+/// `quick` (CI mode) caps sizes at 10⁴ users and measures a single
+/// iteration per point; the default mode covers m ∈ {10³, 10⁴, 10⁵}
+/// (SubstOn's rebuild engine stops at 10⁴ — its per-slot phase loops
+/// over a six-digit bid map make 10⁵ pointlessly slow, and the record
+/// says so by omission) and runs each point for ≥ 0.5 s.
+#[must_use]
+pub fn run(quick: bool) -> PerfReport {
+    let (sizes, min_iters, min_secs): (&[u32], u32, f64) = if quick {
+        (&[1_000, 10_000], 1, 0.0)
+    } else {
+        (&[1_000, 10_000, 100_000], 2, 0.5)
+    };
+    // SubstOn runs 12 coupled optimizations per game; its rebuild
+    // engine is capped a decade lower to keep the suite's runtime sane.
+    let subst_cap = if quick { 1_000 } else { 100_000 };
+    let subst_rebuild_cap = if quick { 1_000 } else { 10_000 };
+
+    let mut records = Vec::new();
+    for &m in sizes {
+        let game = additive_game(m);
+        for engine in [Engine::Incremental, Engine::Rebuild] {
+            let (iters, elapsed) = measure(
+                || {
+                    addon::run_with_engine(&game, engine).expect("addon run");
+                },
+                min_iters,
+                min_secs,
+            );
+            records.push(record("addon", engine_name(engine), m, iters, elapsed));
+        }
+        let sc = osp_workload::AdditiveScenario {
+            horizon: game.horizon,
+            cost: game.cost,
+            users: game
+                .bids
+                .iter()
+                .map(|b| (b.user, b.series.clone()))
+                .collect(),
+        };
+        let (iters, elapsed) = measure(
+            || {
+                let _ = sc.run_regret();
+            },
+            min_iters,
+            min_secs,
+        );
+        records.push(record("regret", "-", m, iters, elapsed));
+    }
+    for &m in sizes {
+        if m > subst_cap {
+            continue;
+        }
+        let game = subst_game(m);
+        for engine in [Engine::Incremental, Engine::Rebuild] {
+            if engine == Engine::Rebuild && m > subst_rebuild_cap {
+                continue;
+            }
+            let (iters, elapsed) = measure(
+                || {
+                    subston::run_with_engine(&game, TieBreak::LowestOptId, engine)
+                        .expect("subston run");
+                },
+                min_iters,
+                min_secs,
+            );
+            records.push(record("subston", engine_name(engine), m, iters, elapsed));
+        }
+    }
+
+    let mut speedup = Vec::new();
+    for &m in sizes {
+        let inc = records
+            .iter()
+            .find(|r| r.mechanism == "addon" && r.engine == "incremental" && r.users == m);
+        let reb = records
+            .iter()
+            .find(|r| r.mechanism == "addon" && r.engine == "rebuild" && r.users == m);
+        if let (Some(inc), Some(reb)) = (inc, reb) {
+            speedup.push((m, inc.ops_per_sec / reb.ops_per_sec));
+        }
+    }
+
+    PerfReport {
+        schema_version: 1,
+        quick,
+        records,
+        addon_speedup_incremental_over_rebuild: speedup,
+    }
+}
+
+fn record(mechanism: &str, engine: &str, users: u32, iters: u32, elapsed_s: f64) -> BenchRecord {
+    let ops = f64::from(users) * f64::from(SLOTS) * f64::from(iters);
+    BenchRecord {
+        mechanism: mechanism.to_owned(),
+        engine: engine.to_owned(),
+        users,
+        slots: SLOTS,
+        iters,
+        elapsed_s,
+        ops_per_sec: ops / elapsed_s,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_report_covers_both_addon_engines() {
+        let report = run(true);
+        assert!(report.quick);
+        for engine in ["incremental", "rebuild"] {
+            let rec = report.find("addon", engine, 1_000).expect(engine);
+            assert!(rec.ops_per_sec > 0.0);
+            assert_eq!(rec.slots, SLOTS);
+        }
+        assert!(report.find("subston", "incremental", 1_000).is_some());
+        assert!(report.find("regret", "-", 1_000).is_some());
+        assert!(!report.addon_speedup_incremental_over_rebuild.is_empty());
+    }
+
+    #[test]
+    fn report_serializes_and_round_trips() {
+        let report = PerfReport {
+            schema_version: 1,
+            quick: true,
+            records: vec![BenchRecord {
+                mechanism: "addon".into(),
+                engine: "incremental".into(),
+                users: 1_000,
+                slots: SLOTS,
+                iters: 3,
+                elapsed_s: 0.5,
+                ops_per_sec: 120_000.0,
+            }],
+            addon_speedup_incremental_over_rebuild: vec![(1_000, 4.2)],
+        };
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        let back: PerfReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(report, back);
+    }
+}

@@ -14,6 +14,14 @@
 //! bids are rejected — and [`run`] drives it end-to-end for batch
 //! experiments.
 //!
+//! Two [`Engine`]s drive the per-slot Shapley computation: the default
+//! [`Engine::Incremental`] keeps one [`crate::shapley::Solver`] alive
+//! across slots (bids stay sorted, committing a slot's serviced cohort
+//! is O(1), arrivals/expiries are indexed by slot), while
+//! [`Engine::Rebuild`] re-runs [`crate::shapley::run`] on a freshly
+//! built bid map every slot — the paper-literal baseline. Outcomes are
+//! identical (property-tested); only the cost profile differs.
+//!
 //! ```
 //! use osp_core::prelude::*;
 //!
@@ -46,7 +54,7 @@
 //! # Ok::<(), osp_core::MechanismError>(())
 //! ```
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 
 use serde::{Deserialize, Serialize};
 
@@ -55,7 +63,7 @@ use osp_econ::{Ledger, Money, OptId, SlotId, UserId, ValueSchedule};
 
 use crate::error::{MechanismError, Result};
 use crate::game::{AddOnGame, OnlineBid};
-use crate::shapley::{self, ShapleyBid};
+use crate::shapley::{self, Engine, ShapleyBid, Solver};
 
 /// What happened in one slot.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -80,34 +88,69 @@ pub struct AddOnState {
     horizon: u32,
     /// Next slot to process (1-based). `now > horizon` ⇒ finished.
     now: u32,
-    bids: BTreeMap<UserId, SlotSeries>,
+    engine: Engine,
+    /// Never iterated (hash order must not leak), only looked up.
+    bids: HashMap<UserId, SlotSeries>,
+    /// [`Engine::Rebuild`] only: the cumulative set `CS_j(t)`. The
+    /// incremental engine reads commitment off the solver instead.
     cumulative: BTreeSet<UserId>,
+    /// Maintained directly by [`Engine::Rebuild`]; the incremental
+    /// engine logs into [`Self::first_log`] and sorts once at the end.
     first_serviced: BTreeMap<UserId, SlotId>,
+    /// Like [`Self::first_serviced`], with [`Self::pay_log`].
     payments: BTreeMap<UserId, Money>,
     implemented_at: Option<SlotId>,
     share_by_slot: Vec<Option<Money>>,
+    /// The persistent Shapley solver ([`Engine::Incremental`] only).
+    solver: Solver,
+    /// Started, uncommitted, not-yet-expired users: the only bids whose
+    /// residuals can still change between slots (incremental only).
+    pending: HashSet<UserId>,
+    /// `starts[t]`: users whose series starts at slot `t`, so arrivals
+    /// cost O(arrivals), not O(m) (incremental only).
+    starts: Vec<Vec<UserId>>,
+    /// `expiries[t]`: users whose series ends at slot `t`, so exit
+    /// payments cost O(exits), not O(m) (incremental only).
+    expiries: Vec<Vec<UserId>>,
+    /// Deferred `(user, first-serviced slot)` pairs (incremental only).
+    first_log: Vec<(UserId, SlotId)>,
+    /// Deferred `(user, exit payment)` pairs (incremental only).
+    pay_log: Vec<(UserId, Money)>,
 }
 
 impl AddOnState {
     /// Starts a game for one optimization of cost `cost` over
-    /// `horizon` slots.
+    /// `horizon` slots, using the default [`Engine::Incremental`].
     pub fn new(cost: Money, horizon: u32) -> Result<Self> {
+        Self::with_engine(cost, horizon, Engine::default())
+    }
+
+    /// Starts a game with an explicit per-slot Shapley [`Engine`].
+    pub fn with_engine(cost: Money, horizon: u32, engine: Engine) -> Result<Self> {
         if !cost.is_positive() {
             return Err(MechanismError::NonPositiveCost {
                 opt: OptId(0),
                 cost,
             });
         }
+        let slots = horizon as usize + 1; // 1-based slot indexing
         Ok(AddOnState {
             cost,
             horizon,
             now: 1,
-            bids: BTreeMap::new(),
+            engine,
+            bids: HashMap::new(),
             cumulative: BTreeSet::new(),
             first_serviced: BTreeMap::new(),
             payments: BTreeMap::new(),
             implemented_at: None,
             share_by_slot: Vec::with_capacity(horizon as usize),
+            solver: Solver::new(cost)?,
+            pending: HashSet::new(),
+            starts: vec![Vec::new(); slots],
+            expiries: vec![Vec::new(); slots],
+            first_log: Vec::new(),
+            pay_log: Vec::new(),
         })
     }
 
@@ -136,6 +179,8 @@ impl AddOnState {
                 horizon: self.horizon,
             });
         }
+        self.starts[bid.start().index() as usize].push(bid.user);
+        self.expiries[bid.end().index() as usize].push(bid.user);
         self.bids.insert(bid.user, bid.series);
         Ok(())
     }
@@ -196,7 +241,22 @@ impl AddOnState {
             values.push(v);
         }
         let series = SlotSeries::new(start, values)?;
+        let old_end = old.end().index() as usize;
+        if series.end().index() as usize != old_end {
+            self.expiries[old_end].retain(|&u| u != user);
+            self.expiries[series.end().index() as usize].push(user);
+        }
         self.bids.insert(user, series);
+        // An extension can resurrect a user the incremental engine
+        // already retired (expired unserviced ⇒ dropped from `pending`
+        // and the solver): their new end is ≥ `from` ≥ `now`, so they
+        // bid again. Started, uncommitted, untracked ⇒ re-add.
+        if start.index() < self.now
+            && !self.pending.contains(&user)
+            && self.solver.bid(user).is_none()
+        {
+            self.pending.insert(user);
+        }
         Ok(())
     }
 
@@ -204,13 +264,115 @@ impl AddOnState {
     /// cumulative-set update, and exit payments (Mechanism 2 lines
     /// 2–19).
     pub fn advance(&mut self) -> Result<SlotReport> {
+        Ok(self.step(true)?.expect("report requested"))
+    }
+
+    /// One slot of Mechanism 2. `want_report = false` (the batch
+    /// drivers) skips materializing the per-slot [`SlotReport`] — the
+    /// `active` set alone would cost O(|CS|) per slot.
+    fn step(&mut self, want_report: bool) -> Result<Option<SlotReport>> {
         if self.now > self.horizon {
             return Err(MechanismError::HorizonExhausted {
                 horizon: self.horizon,
             });
         }
         let t = SlotId(self.now);
+        match self.engine {
+            Engine::Incremental => Ok(self.step_incremental(t, want_report)),
+            Engine::Rebuild => Ok(Some(self.step_rebuild(t))),
+        }
+    }
 
+    /// One slot on the persistent solver: no per-slot maps are
+    /// allocated and committed/unseen users cost nothing, but every
+    /// *pending* (started, uncommitted, unexpired) user still pays a
+    /// `residual_from` re-sum per slot — O(arrivals + pending ·
+    /// remaining-duration + exits). With short-lived bids pending stays
+    /// small; a running per-user residual (subtract `value_at(t-1)`
+    /// each slot) would cut the re-sum to O(1) and is on the roadmap.
+    fn step_incremental(&mut self, t: SlotId, want_report: bool) -> Option<SlotReport> {
+        // Retire bids that expired last slot without ever being
+        // serviced: their residual is zero from here on, and a zero bid
+        // can never clear a positive share (§4.1), so dropping them
+        // entirely leaves every future outcome unchanged.
+        if self.now > 1 {
+            for i in 0..self.expiries[self.now as usize - 1].len() {
+                let u = self.expiries[self.now as usize - 1][i];
+                if self.pending.remove(&u) {
+                    self.solver.remove(u);
+                }
+            }
+        }
+        // Lines 3–11: reveal bids whose series starts now. Unseen users
+        // (`s_i > t`) are skipped entirely rather than materialized as
+        // zero bids — same outcome, no per-slot O(m) sweep.
+        let arrived = std::mem::take(&mut self.starts[self.now as usize]);
+        self.pending.extend(arrived);
+
+        // Line 13: one incremental Shapley solve over committed +
+        // residual bids; the serviced prefix commits in place.
+        let bids = &self.bids;
+        self.solver
+            .update_bids(self.pending.iter().map(|&u| (u, bids[&u].residual_from(t))));
+        let sol = self.solver.solve();
+        let share = sol.share;
+        let newly: Vec<UserId> = self
+            .solver
+            .serviced_finite(&sol)
+            .iter()
+            .map(|&(_, u)| u)
+            .collect();
+        self.solver.commit_top(sol.serviced_finite);
+        for &u in &newly {
+            self.pending.remove(&u);
+            self.first_log.push((u, t));
+        }
+
+        if share.is_some() && self.implemented_at.is_none() {
+            self.implemented_at = Some(t);
+        }
+        self.share_by_slot.push(share);
+
+        // Lines 15–19: users pay when their bid expires, at the share
+        // of this slot's (grown) cumulative set.
+        let mut payments = Vec::new();
+        for i in 0..self.expiries[self.now as usize].len() {
+            let u = self.expiries[self.now as usize][i];
+            if self.solver.bid(u) == Some(ShapleyBid::Committed) {
+                let p = share.expect("a committed user implies implementation");
+                self.pay_log.push((u, p));
+                payments.push((u, p));
+            }
+        }
+        payments.sort_unstable();
+
+        self.now += 1;
+        if !want_report {
+            return None;
+        }
+        // Line 14: the active members of the cumulative set (read off
+        // the solver's committed prefix).
+        let active: BTreeSet<UserId> = self
+            .solver
+            .committed_users()
+            .filter(|u| self.bids[u].end() >= t)
+            .collect();
+        Some(SlotReport {
+            slot: t,
+            active,
+            newly_serviced: newly.into_iter().collect(),
+            share,
+            payments,
+        })
+    }
+
+    /// One slot as the seed's literal Mechanism 2 transcription: a
+    /// fresh `BTreeMap` over **every** submitted bid (unseen users
+    /// become `Value(0)`), a from-scratch [`shapley::run`], and O(m)
+    /// sweeps for payments and the active set. Kept bit-identical to
+    /// the pre-solver implementation as the benchmark baseline and the
+    /// equivalence oracle.
+    fn step_rebuild(&mut self, t: SlotId) -> SlotReport {
         // Lines 3–11: committed / residual / unseen bids.
         let shapley_bids: BTreeMap<UserId, ShapleyBid> = self
             .bids
@@ -262,21 +424,28 @@ impl AddOnState {
                 payments.push((u, p));
             }
         }
+        payments.sort_unstable();
 
         self.now += 1;
-        Ok(SlotReport {
+        SlotReport {
             slot: t,
             active,
             newly_serviced,
             share,
             payments,
-        })
+        }
     }
 
     /// Runs the remaining slots and returns the final outcome.
     pub fn finish(mut self) -> Result<AddOnOutcome> {
         while self.now <= self.horizon {
-            self.advance()?;
+            self.step(false)?;
+        }
+        if self.engine == Engine::Incremental {
+            self.first_log.sort_unstable();
+            self.first_serviced = self.first_log.drain(..).collect();
+            self.pay_log.sort_unstable_by_key(|&(u, _)| u);
+            self.payments = self.pay_log.drain(..).collect();
         }
         Ok(AddOnOutcome {
             cost: self.cost,
@@ -338,9 +507,15 @@ impl AddOnOutcome {
 }
 
 /// Batch driver: reveals every bid at its start slot and advances
-/// through the horizon.
+/// through the horizon (default [`Engine::Incremental`]).
 pub fn run(game: &AddOnGame) -> Result<AddOnOutcome> {
-    let mut state = AddOnState::new(game.cost, game.horizon)?;
+    run_with_engine(game, Engine::default())
+}
+
+/// [`run`] with an explicit per-slot Shapley [`Engine`]; outcomes are
+/// engine-independent (property-tested), only the cost profile differs.
+pub fn run_with_engine(game: &AddOnGame, engine: Engine) -> Result<AddOnOutcome> {
+    let mut state = AddOnState::with_engine(game.cost, game.horizon, engine)?;
     let mut by_start: BTreeMap<SlotId, Vec<&OnlineBid>> = BTreeMap::new();
     for bid in &game.bids {
         by_start.entry(bid.start()).or_default().push(bid);
@@ -351,7 +526,7 @@ pub fn run(game: &AddOnGame) -> Result<AddOnOutcome> {
                 state.submit(bid.clone())?;
             }
         }
-        state.advance()?;
+        state.step(false)?;
     }
     state.finish()
 }
@@ -405,6 +580,15 @@ impl MultiAddOnOutcome {
 /// Runs AddOn per optimization over a *bid* schedule (each `(i, j)`
 /// series becomes an online bid for optimization `j`).
 pub fn run_schedule(costs: &[Money], bids: &ValueSchedule) -> Result<MultiAddOnOutcome> {
+    run_schedule_with_engine(costs, bids, Engine::default())
+}
+
+/// [`run_schedule`] with an explicit per-slot Shapley [`Engine`].
+pub fn run_schedule_with_engine(
+    costs: &[Money],
+    bids: &ValueSchedule,
+    engine: Engine,
+) -> Result<MultiAddOnOutcome> {
     let mut per_opt = BTreeMap::new();
     for (idx, &cost) in costs.iter().enumerate() {
         let j = OptId(u32::try_from(idx).unwrap());
@@ -413,7 +597,7 @@ pub fn run_schedule(costs: &[Money], bids: &ValueSchedule) -> Result<MultiAddOnO
             .map(|(u, series)| OnlineBid::new(u, series.clone()))
             .collect();
         let game = AddOnGame::new(bids.horizon(), cost, opt_bids)?;
-        per_opt.insert(j, run(&game)?);
+        per_opt.insert(j, run_with_engine(&game, engine)?);
     }
     Ok(MultiAddOnOutcome { per_opt })
 }
@@ -605,6 +789,29 @@ mod tests {
     }
 
     #[test]
+    fn revision_after_expiry_resurrects_the_user_on_both_engines() {
+        // u0's bid expires unserviced at t=1; the incremental engine
+        // retires her at the start of t=2. A later extension (legal:
+        // `from ≥ now`, values only grow) must bring her back — the
+        // engines diverged here before the resurrection in `revise`.
+        let run_engine = |engine: Engine| {
+            let mut st = AddOnState::with_engine(m(100), 3, engine).unwrap();
+            st.submit(bid(0, 1, &[10])).unwrap();
+            st.advance().unwrap();
+            st.advance().unwrap();
+            st.revise(UserId(0), SlotId(3), vec![m(200)]).unwrap();
+            st.advance().unwrap();
+            st.finish().unwrap()
+        };
+        let inc = run_engine(Engine::Incremental);
+        let reb = run_engine(Engine::Rebuild);
+        assert_eq!(inc, reb);
+        // And the revision really took: u0 is serviced at t=3, pays 100.
+        assert_eq!(inc.first_serviced[&UserId(0)], SlotId(3));
+        assert_eq!(inc.payments[&UserId(0)], m(100));
+    }
+
+    #[test]
     fn revision_can_extend_the_exit_slot() {
         let mut st = AddOnState::new(m(100), 4).unwrap();
         st.submit(bid(0, 1, &[10, 10])).unwrap();
@@ -628,6 +835,147 @@ mod tests {
             st.advance(),
             Err(MechanismError::HorizonExhausted { .. })
         ));
+    }
+
+    /// The original, literal Mechanism 2 transcription: every bid known
+    /// upfront, and every slot rebuilds a full bid map that
+    /// materializes `Value(0)` for users whose series has not started —
+    /// the behaviour the optimized engines must reproduce exactly.
+    fn literal_reference(game: &AddOnGame) -> AddOnOutcome {
+        let mut cumulative: BTreeSet<UserId> = BTreeSet::new();
+        let mut first_serviced = BTreeMap::new();
+        let mut payments = BTreeMap::new();
+        let mut implemented_at = None;
+        let mut share_by_slot = Vec::new();
+        for t in 1..=game.horizon {
+            let t = SlotId(t);
+            let shapley_bids: BTreeMap<UserId, ShapleyBid> = game
+                .bids
+                .iter()
+                .map(|b| {
+                    let bid = if cumulative.contains(&b.user) {
+                        ShapleyBid::Committed
+                    } else if b.start() <= t {
+                        ShapleyBid::Value(b.series.residual_from(t))
+                    } else {
+                        ShapleyBid::Value(Money::ZERO)
+                    };
+                    (b.user, bid)
+                })
+                .collect();
+            let result = shapley::run(game.cost, &shapley_bids);
+            for &u in result.serviced.difference(&cumulative) {
+                first_serviced.insert(u, t);
+            }
+            let share = result.is_implemented().then_some(result.share);
+            cumulative = result.serviced;
+            if share.is_some() && implemented_at.is_none() {
+                implemented_at = Some(t);
+            }
+            share_by_slot.push(share);
+            for b in &game.bids {
+                if b.end() == t && cumulative.contains(&b.user) {
+                    payments.insert(b.user, result.share);
+                }
+            }
+        }
+        AddOnOutcome {
+            cost: game.cost,
+            horizon: game.horizon,
+            implemented_at,
+            first_serviced,
+            payments,
+            share_by_slot,
+        }
+    }
+
+    fn arb_addon_game() -> impl proptest::prelude::Strategy<Value = AddOnGame> {
+        use proptest::prelude::*;
+        (1i64..400, 1u32..=5)
+            .prop_flat_map(|(cost, horizon)| {
+                let user = (1u32..=horizon, proptest::collection::vec(0i64..200, 1..=5));
+                (
+                    Just(cost),
+                    Just(horizon),
+                    proptest::collection::vec(user, 0..10),
+                )
+            })
+            .prop_map(|(cost, horizon, users)| {
+                let bids = users
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, (start, mut values))| {
+                        let max_len = (horizon - start + 1) as usize;
+                        values.truncate(max_len);
+                        let series = SlotSeries::new(
+                            SlotId(start),
+                            values.into_iter().map(Money::from_cents).collect(),
+                        )
+                        .unwrap();
+                        OnlineBid::new(UserId(u32::try_from(i).unwrap()), series)
+                    })
+                    .collect();
+                AddOnGame::new(horizon, Money::from_cents(cost), bids).unwrap()
+            })
+    }
+
+    proptest::proptest! {
+        /// Tentpole + regression: the incremental solver engine, the
+        /// per-slot rebuild engine (which now skips unseen users), and
+        /// the literal reference (which materializes zero bids for
+        /// unseen users) all produce identical outcomes.
+        #[test]
+        fn engines_and_literal_reference_agree(game in arb_addon_game()) {
+            use proptest::prelude::*;
+            let incremental = run_with_engine(&game, Engine::Incremental).unwrap();
+            let rebuild = run_with_engine(&game, Engine::Rebuild).unwrap();
+            let literal = literal_reference(&game);
+            prop_assert_eq!(&incremental, &rebuild);
+            prop_assert_eq!(&incremental, &literal);
+        }
+
+        /// Interactive parity: with every bid submitted upfront (so the
+        /// state machine holds genuinely unseen users), both engines
+        /// emit identical per-slot reports.
+        #[test]
+        fn engines_agree_slot_by_slot(game in arb_addon_game()) {
+            use proptest::prelude::*;
+            let mut inc = AddOnState::with_engine(game.cost, game.horizon, Engine::Incremental).unwrap();
+            let mut reb = AddOnState::with_engine(game.cost, game.horizon, Engine::Rebuild).unwrap();
+            for bid in &game.bids {
+                inc.submit(bid.clone()).unwrap();
+                reb.submit(bid.clone()).unwrap();
+            }
+            for _ in 1..=game.horizon {
+                prop_assert_eq!(inc.advance().unwrap(), reb.advance().unwrap());
+            }
+            prop_assert_eq!(inc.finish().unwrap(), reb.finish().unwrap());
+        }
+    }
+
+    #[test]
+    fn engines_agree_under_revisions() {
+        for engine in [Engine::Incremental, Engine::Rebuild] {
+            let mut st = AddOnState::with_engine(m(100), 4, engine).unwrap();
+            st.submit(bid(0, 1, &[10, 10])).unwrap();
+            st.submit(bid(1, 2, &[5, 5, 5])).unwrap();
+            st.advance().unwrap();
+            // Extend u0's interval and raise u1's future values.
+            st.revise(UserId(0), SlotId(2), vec![m(10), m(20), m(70)])
+                .unwrap();
+            st.revise(UserId(1), SlotId(3), vec![m(60), m(40)]).unwrap();
+            let mut last = None;
+            for _ in 2..=4 {
+                last = Some(st.advance().unwrap());
+            }
+            let last = last.unwrap();
+            assert_eq!(last.slot, SlotId(4));
+            assert_eq!(
+                last.payments,
+                vec![(UserId(0), m(50)), (UserId(1), m(50))],
+                "engine {engine:?}"
+            );
+        }
     }
 
     #[test]

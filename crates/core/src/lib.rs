@@ -66,7 +66,7 @@ pub mod prelude {
         SubstOnlineBid,
     };
     pub use crate::moulin::{self, CostSharing, EgalitarianSharing, WeightedSharing};
-    pub use crate::shapley::{self, ShapleyBid, ShapleyOutcome};
+    pub use crate::shapley::{self, Engine, ShapleyBid, ShapleyOutcome, Solution, Solver};
     pub use crate::strategy::{self, Strategy};
     pub use crate::substoff::{self, SubstOffOutcome, TieBreak};
     pub use crate::subston::{self, SubstOnOutcome, SubstOnState};

@@ -200,6 +200,364 @@ pub fn value_bids(bids: impl IntoIterator<Item = (UserId, Money)>) -> BTreeMap<U
         .collect()
 }
 
+/// Which engine drives the per-slot Shapley computation inside the
+/// online mechanisms ([`crate::addon`], [`crate::subston`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Engine {
+    /// Reuse one incremental [`Solver`] across slots (default): bids
+    /// stay sorted between slots, committing the serviced prefix is
+    /// O(1), and no per-slot maps are allocated.
+    #[default]
+    Incremental,
+    /// Rebuild the residual bid map and re-run [`run`] from scratch
+    /// every slot — the paper-literal path, kept as the benchmark
+    /// baseline and as the oracle for engine-equivalence tests.
+    Rebuild,
+}
+
+/// Result of one [`Solver::solve`] call.
+///
+/// A `Solution` is only meaningful against the solver state it was
+/// computed from; mutate the solver and it goes stale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Solution {
+    /// How many *finite* bidders are serviced (the top-`k` prefix of
+    /// the solver's sorted region). Committed users are always serviced
+    /// on top of these.
+    pub serviced_finite: usize,
+    /// The common share `C/(c + k)`; `None` iff no one is serviced.
+    pub share: Option<Money>,
+}
+
+impl Solution {
+    /// `true` iff the optimization gets implemented.
+    #[must_use]
+    pub fn is_implemented(&self) -> bool {
+        self.share.is_some()
+    }
+}
+
+/// Incremental Shapley solver: the same mechanism as [`run`], factored
+/// as a persistent data structure for the online mechanisms.
+///
+/// [`run`] rebuilds and re-sorts the whole bid map on every call, so a
+/// `z`-slot online game pays `O(z · m log m)` plus `z` rounds of map
+/// and vector allocation. `Solver` instead keeps the finite bids in a
+/// **descending-sorted vector behind a committed prefix**:
+///
+/// ```text
+/// entries: [ committed users … | finite bids, sorted descending … ]
+///                               ^ committed_len
+/// ```
+///
+/// * [`Solver::update_bid`] inserts or moves one entry (binary search
+///   plus a contiguous rotate);
+/// * [`Solver::solve`] scans for the largest affordable prefix without
+///   allocating, exactly like [`run`]'s `chosen_k` loop;
+/// * [`Solver::commit_top`] absorbs the serviced prefix into the
+///   committed region by bumping `committed_len` — the serviced finite
+///   users are *already* at the front of the sorted region, so
+///   committing the whole slot's cohort is O(k) map updates and zero
+///   moves.
+///
+/// ### Invariants
+///
+/// 1. `entries[..committed_len]` hold the committed users, in
+///    commitment order; their `Money` component is ignored (committed
+///    means `b = ∞`).
+/// 2. `entries[committed_len..]` are strictly descending by
+///    `(value, user)` — strict because users are unique.
+/// 3. `states` mirrors `entries`: every user appears exactly once, with
+///    the value recorded in the vector (this is what makes the binary
+///    search in `find_finite` exact). It is a `HashMap` — O(1) on the
+///    hot paths and never iterated, so no ordering nondeterminism can
+///    leak into outcomes.
+///
+/// Equivalence with [`run`] and [`run_iterative`] under arbitrary
+/// `update_bid`/`commit`/`remove` interleavings is property-tested.
+#[derive(Debug, Clone)]
+pub struct Solver {
+    cost: Money,
+    entries: Vec<(Money, UserId)>,
+    committed_len: usize,
+    states: std::collections::HashMap<UserId, ShapleyBid>,
+}
+
+impl Solver {
+    /// Creates a solver for one optimization of cost `cost > 0`.
+    pub fn new(cost: Money) -> crate::Result<Self> {
+        Self::with_capacity(cost, 0)
+    }
+
+    /// Like [`Solver::new`], pre-allocating room for `capacity` bids so
+    /// steady-state operation never reallocates.
+    pub fn with_capacity(cost: Money, capacity: usize) -> crate::Result<Self> {
+        if !cost.is_positive() {
+            return Err(crate::MechanismError::NonPositiveCost {
+                opt: osp_econ::OptId(0),
+                cost,
+            });
+        }
+        Ok(Solver {
+            cost,
+            entries: Vec::with_capacity(capacity),
+            committed_len: 0,
+            states: std::collections::HashMap::with_capacity(capacity),
+        })
+    }
+
+    /// The optimization's cost `C`.
+    #[must_use]
+    pub fn cost(&self) -> Money {
+        self.cost
+    }
+
+    /// Total number of users (committed + finite).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` iff no user has a bid.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of committed users `c`.
+    #[must_use]
+    pub fn committed_count(&self) -> usize {
+        self.committed_len
+    }
+
+    /// The committed users, in commitment order.
+    pub fn committed_users(&self) -> impl Iterator<Item = UserId> + '_ {
+        self.entries[..self.committed_len].iter().map(|&(_, u)| u)
+    }
+
+    /// The current bid of `user`, if any.
+    #[must_use]
+    pub fn bid(&self, user: UserId) -> Option<ShapleyBid> {
+        self.states.get(&user).copied()
+    }
+
+    /// Position of the finite entry `(value, user)` in the sorted
+    /// region (absolute index into `entries`).
+    fn find_finite(&self, value: Money, user: UserId) -> usize {
+        let key = (value, user);
+        let rel = self.entries[self.committed_len..].partition_point(|&e| e > key);
+        let pos = self.committed_len + rel;
+        debug_assert_eq!(self.entries[pos], key, "states out of sync with entries");
+        pos
+    }
+
+    /// Absolute insertion index keeping the sorted region descending.
+    fn insertion_point(&self, value: Money, user: UserId) -> usize {
+        let key = (value, user);
+        self.committed_len + self.entries[self.committed_len..].partition_point(|&e| e > key)
+    }
+
+    /// Sets (or inserts) `user`'s finite bid. A no-op for committed
+    /// users — their bid is `∞` and stays `∞` (matching the online
+    /// mechanisms, where revisions of serviced users are irrelevant).
+    pub fn update_bid(&mut self, user: UserId, value: Money) {
+        debug_assert!(!value.is_negative(), "bids must be non-negative");
+        match self.states.get(&user) {
+            Some(ShapleyBid::Committed) => return,
+            Some(&ShapleyBid::Value(old)) if old == value => return,
+            Some(&ShapleyBid::Value(old)) => {
+                let from = self.find_finite(old, user);
+                let to = self.insertion_point(value, user);
+                // `to` was computed with the old entry still in place;
+                // rotate moves it to its new slot in one contiguous pass.
+                if to > from {
+                    self.entries[from..to].rotate_left(1);
+                    self.entries[to - 1] = (value, user);
+                } else {
+                    self.entries[to..=from].rotate_right(1);
+                    self.entries[to] = (value, user);
+                }
+            }
+            None => {
+                let to = self.insertion_point(value, user);
+                self.entries.insert(to, (value, user));
+            }
+        }
+        self.states.insert(user, ShapleyBid::Value(value));
+    }
+
+    /// Batch [`Solver::update_bid`]: applies a whole slot's worth of
+    /// arrivals and residual changes in one compaction + merge pass —
+    /// `O(f + a log a)` for `a` updates against `f` finite bids, where
+    /// `a` one-at-a-time inserts would pay `O(a·f)` memmove.
+    ///
+    /// Each user may appear **at most once** per batch (the online
+    /// mechanisms feed this from a set); a duplicate trips a debug
+    /// assertion. Committed users and unchanged values are skipped.
+    pub fn update_bids<I>(&mut self, updates: I)
+    where
+        I: IntoIterator<Item = (UserId, Money)>,
+    {
+        let mut fresh: Vec<(Money, UserId)> = Vec::new();
+        let mut stale: Vec<(Money, UserId)> = Vec::new();
+        for (user, value) in updates {
+            debug_assert!(!value.is_negative(), "bids must be non-negative");
+            match self.states.get(&user) {
+                Some(ShapleyBid::Committed) => {}
+                Some(&ShapleyBid::Value(old)) => {
+                    if old != value {
+                        stale.push((old, user));
+                        fresh.push((value, user));
+                        self.states.insert(user, ShapleyBid::Value(value));
+                    }
+                }
+                None => {
+                    fresh.push((value, user));
+                    self.states.insert(user, ShapleyBid::Value(value));
+                }
+            }
+        }
+        let c = self.committed_len;
+        if !stale.is_empty() {
+            // One pass over the finite region, dropping the old entries
+            // of every changed bid (both lists share the sort order).
+            stale.sort_unstable_by(|a, b| b.cmp(a));
+            let mut si = 0;
+            let mut write = c;
+            for read in c..self.entries.len() {
+                if si < stale.len() && self.entries[read] == stale[si] {
+                    si += 1;
+                    continue;
+                }
+                self.entries[write] = self.entries[read];
+                write += 1;
+            }
+            debug_assert_eq!(si, stale.len(), "duplicate user in update_bids batch?");
+            self.entries.truncate(write);
+        }
+        if fresh.is_empty() {
+            return;
+        }
+        // Merge the sorted batch into the sorted finite region from the
+        // back (largest write index = smallest value).
+        fresh.sort_unstable_by(|a, b| b.cmp(a));
+        let mut i = self.entries.len();
+        let mut j = fresh.len();
+        self.entries.resize(i + j, (Money::ZERO, UserId(u32::MAX)));
+        let mut w = self.entries.len();
+        while j > 0 {
+            w -= 1;
+            if i > c && self.entries[i - 1] < fresh[j - 1] {
+                i -= 1;
+                self.entries[w] = self.entries[i];
+            } else {
+                j -= 1;
+                self.entries[w] = fresh[j];
+            }
+        }
+    }
+
+    /// Forces `user` into the serviced set forever (`b = ∞`). Users
+    /// without a current bid may be committed directly.
+    pub fn commit(&mut self, user: UserId) {
+        match self.states.get(&user) {
+            Some(ShapleyBid::Committed) => return,
+            Some(&ShapleyBid::Value(v)) => {
+                let pos = self.find_finite(v, user);
+                self.entries[self.committed_len..=pos].rotate_right(1);
+            }
+            None => {
+                self.entries.insert(self.committed_len, (Money::ZERO, user));
+            }
+        }
+        self.states.insert(user, ShapleyBid::Committed);
+        self.committed_len += 1;
+    }
+
+    /// Removes `user`'s finite bid (e.g. an expired, never-serviced
+    /// bidder). Returns `false` when the user had no bid.
+    ///
+    /// # Panics
+    /// Panics if `user` is committed — committed users can never leave
+    /// the serviced set (Mechanism 2 line 5).
+    pub fn remove(&mut self, user: UserId) -> bool {
+        match self.states.get(&user) {
+            None => false,
+            Some(ShapleyBid::Committed) => {
+                panic!("cannot remove committed {user} from a Shapley solver")
+            }
+            Some(&ShapleyBid::Value(v)) => {
+                let pos = self.find_finite(v, user);
+                self.entries.remove(pos);
+                self.states.remove(&user);
+                true
+            }
+        }
+    }
+
+    /// Runs the mechanism over the current bids: the largest `k` such
+    /// that the `k`-th highest finite bid affords `C/(c + k)`.
+    ///
+    /// Allocation-free; the affordability test is the cross-multiplied
+    /// `b_k · (c + k) ≥ C`, avoiding a division per candidate `k`.
+    #[must_use]
+    pub fn solve(&self) -> Solution {
+        let c = self.committed_len;
+        let finite = &self.entries[c..];
+        let mut chosen_k = 0;
+        for k in (1..=finite.len()).rev() {
+            if finite[k - 1].0 * (c + k) >= self.cost {
+                chosen_k = k;
+                break;
+            }
+        }
+        if chosen_k == 0 && c == 0 {
+            Solution {
+                serviced_finite: 0,
+                share: None,
+            }
+        } else {
+            Solution {
+                serviced_finite: chosen_k,
+                share: Some(self.cost.split_among(c + chosen_k)),
+            }
+        }
+    }
+
+    /// The serviced finite bidders of `solution`: the top of the sorted
+    /// region, in descending bid order.
+    #[must_use]
+    pub fn serviced_finite(&self, solution: &Solution) -> &[(Money, UserId)] {
+        &self.entries[self.committed_len..self.committed_len + solution.serviced_finite]
+    }
+
+    /// Commits the top `k` finite bidders — exactly the serviced set of
+    /// a just-computed [`Solution`]. They already sit at the front of
+    /// the sorted region, so no entries move.
+    pub fn commit_top(&mut self, k: usize) {
+        debug_assert!(self.committed_len + k <= self.entries.len());
+        for i in self.committed_len..self.committed_len + k {
+            self.states.insert(self.entries[i].1, ShapleyBid::Committed);
+        }
+        self.committed_len += k;
+    }
+
+    /// Materializes `solution` as a full [`ShapleyOutcome`] (allocates;
+    /// the online mechanisms only do this when a report is requested).
+    #[must_use]
+    pub fn outcome(&self, solution: &Solution) -> ShapleyOutcome {
+        let serviced: BTreeSet<UserId> = self.entries
+            [..self.committed_len + solution.serviced_finite]
+            .iter()
+            .map(|&(_, u)| u)
+            .collect();
+        ShapleyOutcome {
+            serviced,
+            share: solution.share.unwrap_or(Money::ZERO),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -337,6 +695,93 @@ mod tests {
         }
     }
 
+    #[test]
+    fn solver_matches_run_on_paper_examples() {
+        for (cost, bids) in [
+            game(100, &[30, 40, 50, 60]),
+            game(100, &[10, 30, 50, 60]),
+            game(100, &[10, 10, 10]),
+            game(100, &[25, 25, 25, 25]),
+            game(100, &[101]),
+            game(7, &[1, 2, 3]),
+        ] {
+            let mut solver = Solver::new(cost).unwrap();
+            for (&u, &b) in &bids {
+                match b {
+                    ShapleyBid::Value(v) => solver.update_bid(u, v),
+                    ShapleyBid::Committed => solver.commit(u),
+                }
+            }
+            let sol = solver.solve();
+            assert_eq!(solver.outcome(&sol), run(cost, &bids));
+        }
+    }
+
+    #[test]
+    fn solver_commit_top_absorbs_the_serviced_prefix() {
+        let mut solver = Solver::new(m(100)).unwrap();
+        for (i, v) in [30, 40, 50, 60].into_iter().enumerate() {
+            solver.update_bid(UserId(u32::try_from(i).unwrap()), m(v));
+        }
+        let sol = solver.solve();
+        assert_eq!(sol.serviced_finite, 4);
+        assert_eq!(sol.share, Some(m(25)));
+        solver.commit_top(sol.serviced_finite);
+        assert_eq!(solver.committed_count(), 4);
+        // Committed users stay serviced even after their bids are gone.
+        let sol = solver.solve();
+        assert_eq!(sol.serviced_finite, 0);
+        assert_eq!(sol.share, Some(m(25)));
+        assert_eq!(solver.bid(UserId(0)), Some(ShapleyBid::Committed));
+    }
+
+    #[test]
+    fn solver_update_and_remove_keep_order() {
+        let mut solver = Solver::new(m(100)).unwrap();
+        solver.update_bid(UserId(0), m(10));
+        solver.update_bid(UserId(1), m(90));
+        solver.update_bid(UserId(2), m(30));
+        // Move u0 up past u2, then down again, then drop u1.
+        solver.update_bid(UserId(0), m(60));
+        let sol = solver.solve();
+        assert_eq!(sol.share, Some(m(50)));
+        solver.update_bid(UserId(0), m(5));
+        assert!(solver.remove(UserId(1)));
+        assert!(!solver.remove(UserId(7)));
+        let sol = solver.solve();
+        assert!(!sol.is_implemented());
+        assert_eq!(solver.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot remove committed")]
+    fn solver_remove_committed_panics() {
+        let mut solver = Solver::new(m(10)).unwrap();
+        solver.commit(UserId(3));
+        solver.remove(UserId(3));
+    }
+
+    /// One random solver operation.
+    #[derive(Debug, Clone)]
+    enum SolverOp {
+        Update(u32, i64),
+        Commit(u32),
+        Remove(u32),
+        SolveAndCommitTop,
+    }
+
+    fn arb_solver_ops() -> impl Strategy<Value = Vec<SolverOp>> {
+        proptest::collection::vec(
+            prop_oneof![
+                5 => (0u32..10, 0i64..200).prop_map(|(u, v)| SolverOp::Update(u, v)),
+                2 => (0u32..10).prop_map(SolverOp::Commit),
+                2 => (0u32..10).prop_map(SolverOp::Remove),
+                1 => Just(SolverOp::SolveAndCommitTop),
+            ],
+            0..40,
+        )
+    }
+
     /// Strategy: games with small integer cents to hit ties and
     /// thresholds often.
     fn arb_game() -> impl Strategy<Value = (Money, BTreeMap<UserId, ShapleyBid>)> {
@@ -372,6 +817,105 @@ mod tests {
         #[test]
         fn sorted_equals_iterative((cost, bids) in arb_game()) {
             prop_assert_eq!(run(cost, &bids), run_iterative(cost, &bids));
+        }
+
+        /// The incremental solver is the same mechanism as `run` and
+        /// `run_iterative` on a one-shot game.
+        #[test]
+        fn solver_equals_run_and_iterative((cost, bids) in arb_game()) {
+            let mut solver = Solver::new(cost).unwrap();
+            for (&u, &b) in &bids {
+                match b {
+                    ShapleyBid::Value(v) => solver.update_bid(u, v),
+                    ShapleyBid::Committed => solver.commit(u),
+                }
+            }
+            let out = solver.outcome(&solver.solve());
+            prop_assert_eq!(&out, &run(cost, &bids));
+            prop_assert_eq!(&out, &run_iterative(cost, &bids));
+        }
+
+        /// The batch update is exactly a sequence of single updates
+        /// (over distinct users), whatever the solver already holds.
+        #[test]
+        fn batch_update_equals_single_updates(
+            cost in 1i64..400,
+            initial in proptest::collection::vec((0u32..12, 0i64..200), 0..12),
+            commits in proptest::collection::vec(0u32..12, 0..4),
+            batch in proptest::collection::btree_map(0u32..12, 0i64..200, 0..12),
+        ) {
+            let cost = Money::from_cents(cost);
+            let mut batched = Solver::new(cost).unwrap();
+            for &(u, v) in &initial {
+                batched.update_bid(UserId(u), Money::from_cents(v));
+            }
+            for &u in &commits {
+                batched.commit(UserId(u));
+            }
+            let mut sequential = batched.clone();
+            batched.update_bids(
+                batch.iter().map(|(&u, &v)| (UserId(u), Money::from_cents(v))),
+            );
+            for (&u, &v) in &batch {
+                sequential.update_bid(UserId(u), Money::from_cents(v));
+            }
+            prop_assert_eq!(&batched.entries, &sequential.entries);
+            prop_assert_eq!(&batched.states, &sequential.states);
+            prop_assert_eq!(batched.committed_len, sequential.committed_len);
+        }
+
+        /// Under arbitrary update/commit/remove/commit-top
+        /// interleavings, the solver always agrees with a from-scratch
+        /// `run` (and therefore `run_iterative`) on the equivalent bid
+        /// map — including between mutations.
+        #[test]
+        fn solver_matches_rebuild_under_interleavings(
+            cost in 1i64..400,
+            ops in arb_solver_ops(),
+        ) {
+            let cost = Money::from_cents(cost);
+            let mut solver = Solver::new(cost).unwrap();
+            let mut model: BTreeMap<UserId, ShapleyBid> = BTreeMap::new();
+            for op in ops {
+                match op {
+                    SolverOp::Update(u, v) => {
+                        let user = UserId(u);
+                        let value = Money::from_cents(v);
+                        solver.update_bid(user, value);
+                        // Committed users ignore updates, like the map
+                        // the online mechanisms would feed `run`.
+                        if model.get(&user) != Some(&ShapleyBid::Committed) {
+                            model.insert(user, ShapleyBid::Value(value));
+                        }
+                    }
+                    SolverOp::Commit(u) => {
+                        solver.commit(UserId(u));
+                        model.insert(UserId(u), ShapleyBid::Committed);
+                    }
+                    SolverOp::Remove(u) => {
+                        let user = UserId(u);
+                        if model.get(&user) == Some(&ShapleyBid::Committed) {
+                            continue; // removal of committed users is forbidden
+                        }
+                        prop_assert_eq!(solver.remove(user), model.remove(&user).is_some());
+                    }
+                    SolverOp::SolveAndCommitTop => {
+                        let sol = solver.solve();
+                        let newly: Vec<UserId> =
+                            solver.serviced_finite(&sol).iter().map(|&(_, u)| u).collect();
+                        solver.commit_top(sol.serviced_finite);
+                        for u in newly {
+                            model.insert(u, ShapleyBid::Committed);
+                        }
+                    }
+                }
+                let expected = run(cost, &model);
+                prop_assert_eq!(solver.outcome(&solver.solve()), expected);
+                prop_assert_eq!(
+                    solver.committed_count(),
+                    model.values().filter(|b| matches!(b, ShapleyBid::Committed)).count()
+                );
+            }
         }
 
         /// Cost recovery: serviced users pay exactly C_j in total.

@@ -33,8 +33,10 @@
 //! # Ok::<(), osp_core::MechanismError>(())
 //! ```
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use osp_econ::schedule::SlotSeries;
@@ -42,7 +44,7 @@ use osp_econ::{Ledger, Money, OptId, SlotId, UserId};
 
 use crate::error::{MechanismError, Result};
 use crate::game::{SubstOnGame, SubstOnlineBid};
-use crate::shapley::ShapleyBid;
+use crate::shapley::{Engine, ShapleyBid, Solver};
 use crate::substoff::{self, SubstBidMap, TieBreak};
 
 /// What happened in one SubstOn slot.
@@ -63,28 +65,57 @@ pub struct SubstOnState {
     horizon: u32,
     now: u32,
     tiebreak: TieBreak,
+    engine: Engine,
     bids: BTreeMap<UserId, SubstOnlineBid>,
     assigned: BTreeMap<UserId, OptId>,
     first_serviced: BTreeMap<UserId, SlotId>,
     implemented_at: BTreeMap<OptId, SlotId>,
     payments: BTreeMap<UserId, Money>,
+    /// One persistent Shapley solver per optimization
+    /// ([`Engine::Incremental`] only).
+    solvers: Vec<Solver>,
+    /// Started, unassigned, not-yet-expired users.
+    pending: BTreeSet<UserId>,
+    /// `start slot → users`, so arrivals cost O(arrivals), not O(m).
+    starts: BTreeMap<u32, Vec<UserId>>,
+    /// `end slot → users`, so exit payments cost O(exits), not O(m).
+    expiries: BTreeMap<u32, Vec<UserId>>,
 }
 
 impl SubstOnState {
     /// Starts a game over `horizon` slots for optimizations with the
-    /// given costs.
+    /// given costs, using the default [`Engine::Incremental`].
     pub fn new(costs: Vec<Money>, horizon: u32, tiebreak: TieBreak) -> Result<Self> {
+        Self::with_engine(costs, horizon, tiebreak, Engine::default())
+    }
+
+    /// Starts a game with an explicit per-slot Shapley [`Engine`].
+    pub fn with_engine(
+        costs: Vec<Money>,
+        horizon: u32,
+        tiebreak: TieBreak,
+        engine: Engine,
+    ) -> Result<Self> {
         crate::game::validate_costs(&costs)?;
+        let solvers = costs
+            .iter()
+            .map(|&c| Solver::new(c))
+            .collect::<Result<_>>()?;
         Ok(SubstOnState {
             costs,
             horizon,
             now: 1,
             tiebreak,
+            engine,
             bids: BTreeMap::new(),
             assigned: BTreeMap::new(),
             first_serviced: BTreeMap::new(),
             implemented_at: BTreeMap::new(),
             payments: BTreeMap::new(),
+            solvers,
+            pending: BTreeSet::new(),
+            starts: BTreeMap::new(),
+            expiries: BTreeMap::new(),
         })
     }
 
@@ -120,6 +151,14 @@ impl SubstOnState {
                 horizon: self.horizon,
             });
         }
+        self.starts
+            .entry(bid.start().index())
+            .or_default()
+            .push(bid.user);
+        self.expiries
+            .entry(bid.end().index())
+            .or_default()
+            .push(bid.user);
         self.bids.insert(bid.user, bid);
         Ok(())
     }
@@ -133,56 +172,59 @@ impl SubstOnState {
         }
         let t = SlotId(self.now);
 
-        // Build the forced/residual bid map.
-        let mut bid_map: SubstBidMap = BTreeMap::new();
-        for (&u, bid) in &self.bids {
-            let per_opt: BTreeMap<OptId, ShapleyBid> = match self.assigned.get(&u) {
-                // Granted users: ∞ on their optimization, 0 elsewhere
-                // (a zero bid can never be serviced, so we simply omit
-                // the other optimizations).
-                Some(&j) => [(j, ShapleyBid::Committed)].into(),
-                None if bid.start() <= t => {
-                    let residual = bid.series.residual_from(t);
-                    bid.substitutes
-                        .iter()
-                        .map(|&j| (j, ShapleyBid::Value(residual)))
-                        .collect()
+        // Retire bids that expired last slot without being granted:
+        // their residual is zero, and zero bids can never be serviced.
+        if self.now > 1 {
+            if let Some(gone) = self.expiries.get(&(self.now - 1)) {
+                for &u in gone {
+                    if self.pending.remove(&u) && self.engine == Engine::Incremental {
+                        for &j in &self.bids[&u].substitutes {
+                            self.solvers[j.index() as usize].remove(u);
+                        }
+                    }
                 }
-                // Unseen users are pruned (b'_ij ← 0).
-                None => BTreeMap::new(),
+            }
+        }
+        // Reveal bids whose series starts now; unseen users are skipped
+        // entirely (`b'_ij ← 0` prunes them in the paper).
+        if let Some(arrived) = self.starts.remove(&self.now) {
+            self.pending.extend(arrived);
+        }
+
+        // Per-optimization share of this slot's SubstOff run, and the
+        // users granted in this slot's phases.
+        let (shares, newly_assigned): (Vec<Option<Money>>, BTreeMap<UserId, OptId>) =
+            match self.engine {
+                Engine::Incremental => self.phases_incremental(t),
+                Engine::Rebuild => self.phases_rebuild(t),
             };
-            if !per_opt.is_empty() {
-                bid_map.insert(u, per_opt);
-            }
-        }
 
-        let result = substoff::run_with_bids(&self.costs, &bid_map, self.tiebreak);
-
-        let mut newly_assigned = BTreeMap::new();
-        for (&u, &j) in &result.assignments {
-            match self.assigned.get(&u) {
-                Some(&prev) => debug_assert_eq!(prev, j, "granted user switched optimization"),
-                None => {
-                    self.assigned.insert(u, j);
-                    self.first_serviced.insert(u, t);
-                    newly_assigned.insert(u, j);
-                }
-            }
+        for (&u, &j) in &newly_assigned {
+            self.assigned.insert(u, j);
+            self.first_serviced.insert(u, t);
+            self.pending.remove(&u);
         }
-        for &j in result.implemented.keys() {
-            self.implemented_at.entry(j).or_insert(t);
+        for (idx, share) in shares.iter().enumerate() {
+            if share.is_some() {
+                self.implemented_at
+                    .entry(OptId(u32::try_from(idx).unwrap()))
+                    .or_insert(t);
+            }
         }
 
         // Users pay when their bid expires, at their optimization's
         // share from *this* run (departed users were kept in the game,
         // so shares keep dropping as newcomers join — Example 8).
         let mut payments = Vec::new();
-        for (&u, bid) in &self.bids {
-            if bid.end() == t && self.assigned.contains_key(&u) {
-                let p = result.payments.get(&u).copied().unwrap_or(Money::ZERO);
-                self.payments.insert(u, p);
-                payments.push((u, p));
+        if let Some(expiring) = self.expiries.get(&self.now) {
+            for &u in expiring {
+                if let Some(&j) = self.assigned.get(&u) {
+                    let p = shares[j.index() as usize].unwrap_or(Money::ZERO);
+                    self.payments.insert(u, p);
+                    payments.push((u, p));
+                }
             }
+            payments.sort_unstable();
         }
 
         self.now += 1;
@@ -191,6 +233,120 @@ impl SubstOnState {
             newly_assigned,
             payments,
         })
+    }
+
+    /// One slot's SubstOff phase loop over the persistent per-opt
+    /// solvers. Replicates [`substoff::run_with_bids`] exactly —
+    /// including tie-break order and RNG consumption — but grants
+    /// mutate the solvers in place instead of rebuilding bid maps.
+    fn phases_incremental(&mut self, t: SlotId) -> (Vec<Option<Money>>, BTreeMap<UserId, OptId>) {
+        // Batch the residual updates per optimization so each solver
+        // takes one merge pass instead of per-user sorted inserts.
+        let mut per_opt: Vec<Vec<(UserId, Money)>> = vec![Vec::new(); self.costs.len()];
+        for &u in &self.pending {
+            let bid = &self.bids[&u];
+            let residual = bid.series.residual_from(t);
+            for &j in &bid.substitutes {
+                per_opt[j.index() as usize].push((u, residual));
+            }
+        }
+        for (solver, updates) in self.solvers.iter_mut().zip(per_opt) {
+            solver.update_bids(updates);
+        }
+
+        let mut shares: Vec<Option<Money>> = vec![None; self.costs.len()];
+        let mut newly_assigned = BTreeMap::new();
+        let mut rng = match self.tiebreak {
+            TieBreak::Random(seed) => Some(StdRng::seed_from_u64(seed)),
+            TieBreak::LowestOptId => None,
+        };
+        loop {
+            // Feasibility sweep over the not-yet-implemented (this
+            // slot) optimizations, in OptId order like the offline
+            // phase loop.
+            let feasible: Vec<(usize, crate::shapley::Solution)> = self
+                .solvers
+                .iter()
+                .enumerate()
+                .filter(|(idx, _)| shares[*idx].is_none())
+                .filter_map(|(idx, solver)| {
+                    let sol = solver.solve();
+                    sol.is_implemented().then_some((idx, sol))
+                })
+                .collect();
+            let Some(min_share) = feasible.iter().filter_map(|(_, sol)| sol.share).min() else {
+                return (shares, newly_assigned); // J_f = ∅
+            };
+            let tied: Vec<usize> = feasible
+                .iter()
+                .enumerate()
+                .filter(|(_, (_, sol))| sol.share == Some(min_share))
+                .map(|(k, _)| k)
+                .collect();
+            let pick = match &mut rng {
+                Some(rng) if tied.len() > 1 => tied[rng.gen_range(0..tied.len())],
+                _ => tied[0],
+            };
+            let (jidx, sol) = feasible[pick];
+            let j = OptId(u32::try_from(jidx).unwrap());
+            shares[jidx] = Some(min_share);
+
+            let newly: Vec<UserId> = self.solvers[jidx]
+                .serviced_finite(&sol)
+                .iter()
+                .map(|&(_, u)| u)
+                .collect();
+            self.solvers[jidx].commit_top(sol.serviced_finite);
+            for u in newly {
+                newly_assigned.insert(u, j);
+                // b_ij' ← 0 ∀j' ≠ j, forever: the no-switch rule.
+                for &other in &self.bids[&u].substitutes {
+                    if other != j {
+                        self.solvers[other.index() as usize].remove(u);
+                    }
+                }
+            }
+        }
+    }
+
+    /// One slot as a from-scratch [`substoff::run_with_bids`] over a
+    /// freshly built forced/residual bid map — the paper-literal
+    /// baseline engine.
+    fn phases_rebuild(&mut self, t: SlotId) -> (Vec<Option<Money>>, BTreeMap<UserId, OptId>) {
+        let mut bid_map: SubstBidMap = BTreeMap::new();
+        // Granted users: ∞ on their optimization, 0 elsewhere (a zero
+        // bid can never be serviced, so the rest are simply omitted).
+        for (&u, &j) in &self.assigned {
+            bid_map.insert(u, [(j, ShapleyBid::Committed)].into());
+        }
+        for &u in &self.pending {
+            let bid = &self.bids[&u];
+            let residual = bid.series.residual_from(t);
+            bid_map.insert(
+                u,
+                bid.substitutes
+                    .iter()
+                    .map(|&j| (j, ShapleyBid::Value(residual)))
+                    .collect(),
+            );
+        }
+
+        let result = substoff::run_with_bids(&self.costs, &bid_map, self.tiebreak);
+
+        let mut shares: Vec<Option<Money>> = vec![None; self.costs.len()];
+        for (&j, &share) in &result.implemented {
+            shares[j.index() as usize] = Some(share);
+        }
+        let mut newly_assigned = BTreeMap::new();
+        for (&u, &j) in &result.assignments {
+            match self.assigned.get(&u) {
+                Some(&prev) => debug_assert_eq!(prev, j, "granted user switched optimization"),
+                None => {
+                    newly_assigned.insert(u, j);
+                }
+            }
+        }
+        (shares, newly_assigned)
     }
 
     /// Runs the remaining slots and returns the final outcome.
@@ -276,9 +432,19 @@ impl SubstOnOutcome {
 }
 
 /// Batch driver: reveals every bid at its start slot and advances
-/// through the horizon.
+/// through the horizon (default [`Engine::Incremental`]).
 pub fn run(game: &SubstOnGame, tiebreak: TieBreak) -> Result<SubstOnOutcome> {
-    let mut state = SubstOnState::new(game.costs.clone(), game.horizon, tiebreak)?;
+    run_with_engine(game, tiebreak, Engine::default())
+}
+
+/// [`run`] with an explicit per-slot Shapley [`Engine`]; outcomes are
+/// engine-independent (property-tested), only the cost profile differs.
+pub fn run_with_engine(
+    game: &SubstOnGame,
+    tiebreak: TieBreak,
+    engine: Engine,
+) -> Result<SubstOnOutcome> {
+    let mut state = SubstOnState::with_engine(game.costs.clone(), game.horizon, tiebreak, engine)?;
     let mut by_start: BTreeMap<SlotId, Vec<&SubstOnlineBid>> = BTreeMap::new();
     for bid in &game.bids {
         by_start.entry(bid.start()).or_default().push(bid);
@@ -427,6 +593,89 @@ mod tests {
             st.submit(bid(0, 2, 2, 10, &[0])),
             Err(MechanismError::DuplicateUser { .. })
         ));
+    }
+
+    /// Random substitutable online games: horizon ≤ 4, ≤ 4 opts, ≤ 8
+    /// users with arbitrary substitute sets and intervals.
+    fn arb_subston_game() -> impl proptest::prelude::Strategy<Value = SubstOnGame> {
+        use proptest::prelude::*;
+        (proptest::collection::vec(1i64..300, 1..=4), 1u32..=4)
+            .prop_flat_map(|(costs, horizon)| {
+                let n = u32::try_from(costs.len()).unwrap();
+                let user = (
+                    1u32..=horizon,
+                    1u32..=horizon,
+                    0i64..300,
+                    proptest::collection::btree_set(0..n, 1..=costs.len()),
+                );
+                (
+                    Just(costs),
+                    Just(horizon),
+                    proptest::collection::vec(user, 0..8),
+                )
+            })
+            .prop_map(|(costs, horizon, users)| {
+                let bids = users
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, (start, len, value, subs))| {
+                        let start = start.min(horizon);
+                        let end = (start + len - 1).min(horizon);
+                        SubstOnlineBid {
+                            user: UserId(u32::try_from(i).unwrap()),
+                            substitutes: subs.into_iter().map(OptId).collect(),
+                            series: SlotSeries::constant(
+                                SlotId(start),
+                                SlotId(end),
+                                Money::from_cents(value),
+                            )
+                            .unwrap(),
+                        }
+                    })
+                    .collect();
+                SubstOnGame::new(
+                    horizon,
+                    costs.into_iter().map(Money::from_cents).collect(),
+                    bids,
+                )
+                .unwrap()
+            })
+    }
+
+    proptest::proptest! {
+        /// The per-opt incremental solvers and the per-slot SubstOff
+        /// rebuild are the same mechanism, for both tie-break policies
+        /// (the random one must also consume its RNG identically).
+        #[test]
+        fn engines_agree(game in arb_subston_game(), seed in 0u64..8) {
+            use proptest::prelude::*;
+            for tiebreak in [TieBreak::LowestOptId, TieBreak::Random(seed)] {
+                let inc = run_with_engine(&game, tiebreak, Engine::Incremental).unwrap();
+                let reb = run_with_engine(&game, tiebreak, Engine::Rebuild).unwrap();
+                prop_assert_eq!(&inc, &reb);
+            }
+        }
+
+        /// Slot-by-slot parity of the interactive state machine, with
+        /// every bid submitted upfront so unseen users sit in the state.
+        #[test]
+        fn engines_agree_slot_by_slot(game in arb_subston_game()) {
+            use proptest::prelude::*;
+            let mut inc = SubstOnState::with_engine(
+                game.costs.clone(), game.horizon, TieBreak::LowestOptId, Engine::Incremental,
+            ).unwrap();
+            let mut reb = SubstOnState::with_engine(
+                game.costs.clone(), game.horizon, TieBreak::LowestOptId, Engine::Rebuild,
+            ).unwrap();
+            for bid in &game.bids {
+                inc.submit(bid.clone()).unwrap();
+                reb.submit(bid.clone()).unwrap();
+            }
+            for _ in 1..=game.horizon {
+                prop_assert_eq!(inc.advance().unwrap(), reb.advance().unwrap());
+            }
+            prop_assert_eq!(inc.finish().unwrap(), reb.finish().unwrap());
+        }
     }
 
     #[test]

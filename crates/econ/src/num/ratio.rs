@@ -128,8 +128,41 @@ impl Ratio {
     }
 
     /// Checked addition.
+    ///
+    /// Fast paths (bit-for-bit identical to the general cross-multiply
+    /// route, see the equivalence property tests):
+    ///
+    /// * both integers — one `i128` add, no gcd at all;
+    /// * equal denominators — one numerator add plus a single
+    ///   normalizing gcd instead of two;
+    /// * one integer side — `a + c/d = (a·d + c)/d` is *already*
+    ///   normalized because `gcd(a·d + c, d) = gcd(c, d) = 1`, so no
+    ///   gcd runs at all.
     #[must_use]
     pub fn checked_add(self, rhs: Self) -> Option<Self> {
+        if self.den == rhs.den {
+            let num = self.num.checked_add(rhs.num)?;
+            if self.den == 1 {
+                return Some(Ratio { num, den: 1 });
+            }
+            return Self::checked_new(num, self.den);
+        }
+        if self.den == 1 {
+            // `rhs.num/rhs.den` is normalized, so the sum is too: any
+            // common factor of `a·d + c` and `d` would divide `c`.
+            let num = self.num.checked_mul(rhs.den)?.checked_add(rhs.num)?;
+            return Some(Ratio { num, den: rhs.den });
+        }
+        if rhs.den == 1 {
+            let num = rhs.num.checked_mul(self.den)?.checked_add(self.num)?;
+            return Some(Ratio { num, den: self.den });
+        }
+        self.checked_add_general(rhs)
+    }
+
+    /// The general denominator-mixing addition; the slow path that the
+    /// [`Self::checked_add`] fast paths must agree with.
+    fn checked_add_general(self, rhs: Self) -> Option<Self> {
         // a/b + c/d = (a·(d/g) + c·(b/g)) / (b·(d/g)) with g = gcd(b, d):
         // reducing by g first keeps intermediates small.
         let g = i128::try_from(gcd(self.den.unsigned_abs(), rhs.den.unsigned_abs())).ok()?;
@@ -159,8 +192,38 @@ impl Ratio {
     }
 
     /// Checked multiplication.
+    ///
+    /// Fast paths: either factor zero, both integers (no gcd), and one
+    /// integer factor (a single cross-reducing gcd, already normalized).
     #[must_use]
     pub fn checked_mul(self, rhs: Self) -> Option<Self> {
+        if self.num == 0 || rhs.num == 0 {
+            return Some(Self::ZERO);
+        }
+        if rhs.den == 1 {
+            if self.den == 1 {
+                return Some(Ratio {
+                    num: self.num.checked_mul(rhs.num)?,
+                    den: 1,
+                });
+            }
+            // (a/b)·c = (a·(c/g)) / (b/g) with g = gcd(c, b): both parts
+            // of the result are coprime by construction of a/b.
+            let g = i128::try_from(gcd(rhs.num.unsigned_abs(), self.den.unsigned_abs())).ok()?;
+            return Some(Ratio {
+                num: self.num.checked_mul(rhs.num / g)?,
+                den: self.den / g,
+            });
+        }
+        if self.den == 1 {
+            return rhs.checked_mul(self);
+        }
+        self.checked_mul_general(rhs)
+    }
+
+    /// The general cross-reducing multiplication; the slow path that the
+    /// [`Self::checked_mul`] fast paths must agree with.
+    fn checked_mul_general(self, rhs: Self) -> Option<Self> {
         // Cross-reduce before multiplying to limit growth:
         // (a/b)·(c/d) = (a/g1)·(c/g2) / ((b/g2)·(d/g1)).
         let g1 = i128::try_from(gcd(self.num.unsigned_abs(), rhs.den.unsigned_abs())).ok()?;
@@ -185,14 +248,29 @@ impl Ratio {
     /// Exact division by a positive integer count — the shape of every
     /// Shapley cost share `C_j / |S_j|`.
     ///
+    /// Implemented directly (one gcd, no intermediate `Ratio`) because
+    /// the mechanisms call it once per candidate serviced-set size.
+    ///
     /// # Panics
-    /// Panics if `count == 0`.
+    /// Panics if `count == 0`, or on `i128` overflow.
     #[must_use]
     pub fn div_count(self, count: usize) -> Self {
         assert!(count > 0, "cannot split a cost among zero users");
+        if self.num == 0 {
+            return Self::ZERO;
+        }
         let count = i128::try_from(count).expect("user count fits in i128");
-        self.checked_div(Ratio::from_int(count))
-            .expect("Ratio overflow in div_count")
+        // (a/b)/k = (a/g) / (b·(k/g)) with g = gcd(a, k); coprime parts
+        // stay coprime, so no renormalization is needed.
+        let g = i128::try_from(gcd(self.num.unsigned_abs(), count.unsigned_abs()))
+            .expect("gcd of i128 magnitudes fits in i128");
+        Ratio {
+            num: self.num / g,
+            den: self
+                .den
+                .checked_mul(count / g)
+                .expect("Ratio overflow in div_count"),
+        }
     }
 
     /// Smaller of two values.
@@ -252,6 +330,16 @@ impl PartialOrd for Ratio {
 
 impl Ord for Ratio {
     fn cmp(&self, other: &Self) -> Ordering {
+        // Equal denominators (both positive) compare by numerator alone,
+        // and differing signs decide without any multiplication — the
+        // two cases the mechanism hot loops hit almost exclusively.
+        if self.den == other.den {
+            return self.num.cmp(&other.num);
+        }
+        let (ls, rs) = (self.num.signum(), other.num.signum());
+        if ls != rs {
+            return ls.cmp(&rs);
+        }
         // a/b vs c/d  <=>  a·d vs c·b (denominators positive). Use the
         // native product when it cannot overflow, the 256-bit comparison
         // otherwise.
@@ -313,8 +401,34 @@ impl DivAssign for Ratio {
 }
 
 impl Sum for Ratio {
+    /// Sums with **deferred normalization**: the accumulator is kept as
+    /// a raw (numerator, positive denominator) pair and reduced exactly
+    /// once at the end, so a run of same-denominator terms (the shape of
+    /// every residual-value sum on the micros grid) costs one `i128`
+    /// add per term instead of a 128-bit gcd per term. Exactness is
+    /// unchanged; the equivalence with the naive fold is property-tested.
+    ///
+    /// # Panics
+    /// Panics on `i128` overflow, like the eager `+` it replaces (the
+    /// un-reduced intermediates can overflow slightly earlier).
     fn sum<I: Iterator<Item = Ratio>>(iter: I) -> Ratio {
-        iter.fold(Ratio::ZERO, |acc, x| acc + x)
+        let mut num: i128 = 0;
+        let mut den: i128 = 1;
+        for x in iter {
+            if x.den == den {
+                num = num.checked_add(x.num).expect("Ratio overflow in sum");
+            } else {
+                let g = i128::try_from(gcd(den.unsigned_abs(), x.den.unsigned_abs()))
+                    .expect("gcd of i128 magnitudes fits in i128");
+                let dg = x.den / g;
+                num = num
+                    .checked_mul(dg)
+                    .and_then(|n| n.checked_add(x.num.checked_mul(den / g)?))
+                    .expect("Ratio overflow in sum");
+                den = den.checked_mul(dg).expect("Ratio overflow in sum");
+            }
+        }
+        Ratio::new(num, den)
     }
 }
 
@@ -461,6 +575,34 @@ mod tests {
         (-1_000_000i128..1_000_000, 1i128..1_000).prop_map(|(n, d)| Ratio::new(n, d))
     }
 
+    /// Ratios biased towards the shapes the fast paths target: integers,
+    /// and shared denominators (the micros / cents grids).
+    fn grid_ratio() -> impl Strategy<Value = Ratio> {
+        let dens = prop_oneof![
+            Just(1i128),
+            Just(2),
+            Just(3),
+            Just(100),
+            Just(1_000_000),
+            2i128..1_000,
+        ];
+        (-1_000_000i128..1_000_000, dens).prop_map(|(n, d)| Ratio::new(n, d))
+    }
+
+    /// Reference slow path: cross-multiply then normalize via
+    /// `checked_new`. Every fast path must agree with this bit-for-bit.
+    fn slow_add(a: Ratio, b: Ratio) -> Ratio {
+        Ratio::checked_new(a.num * b.den + b.num * a.den, a.den * b.den).unwrap()
+    }
+
+    fn slow_mul(a: Ratio, b: Ratio) -> Ratio {
+        Ratio::checked_new(a.num * b.num, a.den * b.den).unwrap()
+    }
+
+    fn slow_cmp(a: Ratio, b: Ratio) -> Ordering {
+        (a.num * b.den).cmp(&(b.num * a.den))
+    }
+
     proptest! {
         #[test]
         fn add_commutes(a in small_ratio(), b in small_ratio()) {
@@ -508,6 +650,63 @@ mod tests {
             let share = total.div_count(k);
             let sum: Ratio = std::iter::repeat_n(share, k).sum();
             prop_assert_eq!(sum, total);
+        }
+
+        /// Fast-path add ≡ `checked_new`-normalized cross-multiplication.
+        #[test]
+        fn add_fast_paths_match_slow_path(a in grid_ratio(), b in grid_ratio()) {
+            prop_assert_eq!(a + b, slow_add(a, b));
+            prop_assert_eq!(a.checked_add_general(b).unwrap(), slow_add(a, b));
+        }
+
+        /// Fast-path sub ≡ slow path (exercises the negated add paths).
+        #[test]
+        fn sub_fast_paths_match_slow_path(a in grid_ratio(), b in grid_ratio()) {
+            prop_assert_eq!(a - b, slow_add(a, -b));
+        }
+
+        /// Fast-path mul ≡ `checked_new`-normalized naive product.
+        #[test]
+        fn mul_fast_paths_match_slow_path(a in grid_ratio(), b in grid_ratio()) {
+            prop_assert_eq!(a * b, slow_mul(a, b));
+            prop_assert_eq!(a.checked_mul_general(b).unwrap(), slow_mul(a, b));
+        }
+
+        /// Fast-path cmp ≡ cross-multiplied comparison.
+        #[test]
+        fn cmp_fast_paths_match_slow_path(a in grid_ratio(), b in grid_ratio()) {
+            prop_assert_eq!(a.cmp(&b), slow_cmp(a, b));
+            prop_assert_eq!(a.cmp(&a), Ordering::Equal);
+        }
+
+        /// Direct div_count ≡ division by the integer ratio.
+        #[test]
+        fn div_count_matches_checked_div(a in grid_ratio(), k in 1usize..500) {
+            let slow = a
+                .checked_div(Ratio::from_int(i128::try_from(k).unwrap()))
+                .unwrap();
+            prop_assert_eq!(a.div_count(k), slow);
+        }
+
+        /// Deferred-normalization sum ≡ eager fold with `+`.
+        #[test]
+        fn sum_matches_eager_fold(xs in proptest::collection::vec(grid_ratio(), 0..24)) {
+            let eager = xs.iter().fold(Ratio::ZERO, |acc, &x| acc + x);
+            let deferred: Ratio = xs.iter().copied().sum();
+            prop_assert_eq!(deferred, eager);
+        }
+
+        /// Every fast-path result upholds the normalization invariants.
+        #[test]
+        fn fast_path_results_are_normalized(a in grid_ratio(), b in grid_ratio(), k in 1usize..60) {
+            for c in [a + b, a - b, a * b, a.div_count(k)] {
+                prop_assert!(c.denom() > 0);
+                let g = super::gcd(c.numer().unsigned_abs(), c.denom().unsigned_abs());
+                prop_assert!(c.is_zero() || g == 1);
+                if c.is_zero() {
+                    prop_assert_eq!(c.denom(), 1);
+                }
+            }
         }
     }
 }
