@@ -40,17 +40,26 @@ fn main() -> ExitCode {
     let report = perf::run(quick);
 
     println!(
-        "{:<10} {:<12} {:>8} {:>6} {:>6} {:>10} {:>14}",
-        "mechanism", "engine", "users", "slots", "iters", "elapsed_s", "ops/sec"
+        "{:<10} {:<16} {:<12} {:>8} {:>6} {:>6} {:>10} {:>14}",
+        "mechanism", "workload", "engine", "users", "slots", "iters", "elapsed_s", "ops/sec"
     );
     for r in &report.records {
         println!(
-            "{:<10} {:<12} {:>8} {:>6} {:>6} {:>10.3} {:>14.0}",
-            r.mechanism, r.engine, r.users, r.slots, r.iters, r.elapsed_s, r.ops_per_sec
+            "{:<10} {:<16} {:<12} {:>8} {:>6} {:>6} {:>10.3} {:>14.0}",
+            r.mechanism,
+            r.workload,
+            r.engine,
+            r.users,
+            r.slots,
+            r.iters,
+            r.elapsed_s,
+            r.ops_per_sec
         );
     }
-    for &(users, speedup) in &report.addon_speedup_incremental_over_rebuild {
-        println!("addon speedup (incremental / rebuild) at m = {users}: {speedup:.2}x");
+    for (mechanism, workload, users, speedup) in &report.speedup_incremental_over_rebuild {
+        println!(
+            "{mechanism}/{workload} speedup (incremental / rebuild) at m = {users}: {speedup:.2}x"
+        );
     }
 
     let json = match serde_json::to_string_pretty(&report) {

@@ -1,0 +1,450 @@
+//! Differential oracle harness for the online mechanisms.
+//!
+//! Every fast path added to [`osp_core::addon`] / [`osp_core::subston`]
+//! (the persistent Shapley solver, running residuals, the batched
+//! multi-opt phase loop) diverges further from the paper-literal code,
+//! and unit tests only guard the divergences someone thought of. This
+//! module is the systematic guard: it generates randomized
+//! *long-horizon* games — arrive/revise/expire/reject interleavings,
+//! 1–16 optimizations, adversarial bid series (zero-value tails,
+//! zero-head spikes, long-lived constants) — and drives each game
+//! through **both** engines simultaneously, slot by slot:
+//!
+//! * every client operation (submit / revise) must succeed on both
+//!   engines or fail on both with the *same* typed error;
+//! * every slot's report — grants, share (price), exit payments — must
+//!   be identical;
+//! * the final outcomes and their ledger totals must be identical.
+//!
+//! A mismatch returns `Err(description)` rather than panicking, so
+//! callers (the `tests/differential.rs` proptest wrapper, which runs
+//! ≥ 256 games per mechanism, and the nightly `proptest-deep` CI job)
+//! can report the offending seed. New fast paths get locked down by
+//! construction: if the optimized engine and the rebuild oracle ever
+//! disagree on any reachable interleaving, this harness is the test
+//! that fails.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use osp_core::prelude::*;
+
+/// How many operations of each kind a differential run executed —
+/// returned so tests can assert the generator actually exercises the
+/// interleavings it promises (rejections included).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpMix {
+    /// Accepted bid submissions.
+    pub submits: u32,
+    /// Accepted revisions (AddOn only).
+    pub revises: u32,
+    /// Revisions applied to a user whose bid had already expired
+    /// (resurrections — the shape PR 4's review fix showed is easy to
+    /// get wrong).
+    pub resurrections: u32,
+    /// Operations rejected (identically, on both engines).
+    pub rejections: u32,
+    /// Bid series submitted with a zero-value tail.
+    pub zero_tails: u32,
+}
+
+/// Parameters of one randomized AddOn differential game.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AddOnDiffConfig {
+    /// Seed of the whole game script.
+    pub seed: u64,
+    /// Horizon `z` (long-horizon: the defaults in the tests use
+    /// 20..=48).
+    pub horizon: u32,
+    /// Upper bound on the number of users submitted over the game.
+    pub max_users: u32,
+    /// Optimization cost in cents.
+    pub cost_cents: i64,
+}
+
+/// Parameters of one randomized SubstOn differential game.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubstOnDiffConfig {
+    /// Seed of the whole game script.
+    pub seed: u64,
+    /// Horizon `z`.
+    pub horizon: u32,
+    /// Upper bound on the number of users submitted over the game.
+    pub max_users: u32,
+    /// Number of optimizations (1–16).
+    pub num_opts: u32,
+    /// Mean optimization cost in cents.
+    pub mean_cost_cents: i64,
+    /// Tie-break policy (both engines must consume the RNG
+    /// identically).
+    pub tiebreak: TieBreak,
+}
+
+/// An adversarial per-slot value series of length `len`:
+/// constant / zero tail / zero-head spike / fully random. Returns the
+/// values and whether they end in a zero tail.
+fn adversarial_values(rng: &mut StdRng, len: usize, max_cents: i64) -> (Vec<Money>, bool) {
+    let shape = rng.gen_range(0..4u8);
+    let v = rng.gen_range(0..=max_cents);
+    let values: Vec<Money> = match shape {
+        // Constant (the long-lived-bid hot path).
+        0 => vec![Money::from_cents(v); len],
+        // Zero tail: positive head, zeros to expiry — the residual
+        // hits zero while the bid is still live.
+        1 => (0..len)
+            .map(|k| {
+                if k < len.div_ceil(2) {
+                    Money::from_cents(v)
+                } else {
+                    Money::ZERO
+                }
+            })
+            .collect(),
+        // Zero head + late spike: the user is worthless until almost
+        // the end (exercises zero bids that later rise via residuals).
+        2 => (0..len)
+            .map(|k| {
+                if k == len - 1 {
+                    Money::from_cents(v)
+                } else {
+                    Money::ZERO
+                }
+            })
+            .collect(),
+        // Arbitrary, zero-inclusive.
+        _ => (0..len)
+            .map(|_| Money::from_cents(rng.gen_range(0..=max_cents)))
+            .collect(),
+    };
+    let zero_tail = values.last() == Some(&Money::ZERO);
+    (values, zero_tail)
+}
+
+fn mismatch(
+    context: &str,
+    slot: u32,
+    inc: impl std::fmt::Debug,
+    reb: impl std::fmt::Debug,
+) -> String {
+    format!("engines diverged at slot {slot} on {context}:\n  incremental: {inc:?}\n  rebuild:     {reb:?}")
+}
+
+/// Runs one randomized AddOn game through both engines. Returns the
+/// (identical) outcome and the operation mix, or a description of the
+/// first divergence.
+pub fn addon_differential(cfg: &AddOnDiffConfig) -> Result<(AddOnOutcome, OpMix), String> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let cost = Money::from_cents(cfg.cost_cents.max(1));
+    let mut inc = AddOnState::with_engine(cost, cfg.horizon, Engine::Incremental)
+        .map_err(|e| format!("constructor failed: {e}"))?;
+    let mut reb = AddOnState::with_engine(cost, cfg.horizon, Engine::Rebuild)
+        .map_err(|e| format!("constructor failed: {e}"))?;
+
+    let mut mix = OpMix::default();
+    let mut next_user = 0u32;
+    // Users we have submitted, with their start slot and current end
+    // slot (the end is tracked so revisions can deliberately target —
+    // and correctly detect — expired users).
+    let mut known: Vec<(UserId, u32, u32)> = Vec::new();
+
+    for now in 1..=cfg.horizon {
+        // A burst of arrivals: bids starting now or in the near future.
+        let arrivals = rng
+            .gen_range(0..=3u32)
+            .min(cfg.max_users - next_user.min(cfg.max_users));
+        for _ in 0..arrivals {
+            let user = UserId(next_user);
+            next_user += 1;
+            let start = rng.gen_range(now..=(now + 3).min(cfg.horizon));
+            let max_len = (cfg.horizon - start + 1) as usize;
+            let len = rng.gen_range(1..=max_len.min(12));
+            let (values, zero_tail) = adversarial_values(&mut rng, len, cfg.cost_cents);
+            let series = SlotSeries::new(SlotId(start), values).expect("non-empty, non-negative");
+            let end = series.end().index();
+            let a = inc.submit(OnlineBid::new(user, series.clone()));
+            let b = reb.submit(OnlineBid::new(user, series));
+            if a != b {
+                return Err(mismatch("submit", now, &a, &b));
+            }
+            match a {
+                Ok(()) => {
+                    known.push((user, start, end));
+                    mix.submits += 1;
+                    mix.zero_tails += u32::from(zero_tail);
+                }
+                Err(_) => mix.rejections += 1,
+            }
+        }
+        // Deliberate protocol violations: both engines must reject
+        // identically (duplicate user / retroactive bid).
+        if now > 1 && rng.gen_bool(0.25) {
+            let bad = if rng.gen_bool(0.5) && !known.is_empty() {
+                // Duplicate user.
+                let (user, _, _) = known[rng.gen_range(0..known.len())];
+                OnlineBid::new(
+                    user,
+                    SlotSeries::single(SlotId(now), Money::from_cents(1)).unwrap(),
+                )
+            } else {
+                // Retroactive bid.
+                let user = UserId(next_user + 10_000);
+                OnlineBid::new(
+                    user,
+                    SlotSeries::single(SlotId(now - 1), Money::from_cents(1)).unwrap(),
+                )
+            };
+            let a = inc.submit(bad.clone());
+            let b = reb.submit(bad);
+            if a != b {
+                return Err(mismatch("rejected submit", now, &a, &b));
+            }
+            if a.is_err() {
+                mix.rejections += 1;
+            }
+        }
+        // Revisions: upward rewrites of a known user's future values,
+        // sometimes extending past her old end (the resurrection path
+        // when she already expired), sometimes illegal (downward /
+        // retroactive / beyond-horizon) and rejected by both.
+        let revisions = rng.gen_range(0..=2u32);
+        for _ in 0..revisions {
+            if known.is_empty() {
+                break;
+            }
+            let pick = rng.gen_range(0..known.len());
+            let (user, start, old_end) = known[pick];
+            let from = rng.gen_range(now.saturating_sub(1).max(1)..=(now + 2).min(cfg.horizon));
+            let max_len = (cfg.horizon - from + 1) as usize;
+            let len = rng.gen_range(1..=max_len.min(12));
+            // Mostly-legal values: high enough to clear the upward
+            // constraint; sometimes deliberately downward (zero).
+            let values: Vec<Money> = if rng.gen_bool(0.2) {
+                vec![Money::ZERO; len]
+            } else {
+                (0..len)
+                    .map(|_| Money::from_cents(rng.gen_range(cfg.cost_cents..=2 * cfg.cost_cents)))
+                    .collect()
+            };
+            let expired = old_end < now;
+            let a = inc.revise(user, SlotId(from), values.clone());
+            let b = reb.revise(user, SlotId(from), values);
+            if a != b {
+                return Err(mismatch("revise", now, &a, &b));
+            }
+            match a {
+                Ok(()) => {
+                    // `revise` clamps `from` to the series start, so
+                    // the true new end is from_idx + len - 1 (the
+                    // mechanism rejects anything shorter than old_end).
+                    let from_idx = from.max(start);
+                    known[pick].2 = from_idx + u32::try_from(len).unwrap() - 1;
+                    mix.revises += 1;
+                    mix.resurrections += u32::from(expired);
+                }
+                Err(_) => mix.rejections += 1,
+            }
+        }
+
+        // The slot itself: grants, share, and exit payments must agree.
+        let a = inc
+            .advance()
+            .map_err(|e| format!("incremental advance failed: {e}"))?;
+        let b = reb
+            .advance()
+            .map_err(|e| format!("rebuild advance failed: {e}"))?;
+        if a != b {
+            return Err(mismatch("slot report", now, &a, &b));
+        }
+    }
+
+    let inc_out = inc
+        .finish()
+        .map_err(|e| format!("incremental finish failed: {e}"))?;
+    let reb_out = reb
+        .finish()
+        .map_err(|e| format!("rebuild finish failed: {e}"))?;
+    if inc_out != reb_out {
+        return Err(mismatch("final outcome", cfg.horizon, &inc_out, &reb_out));
+    }
+    // Ledger totals: same collected money, slot by slot they already
+    // agreed, so this is the end-to-end accounting cross-check.
+    if inc_out.total_payments() != reb_out.total_payments() {
+        return Err(mismatch(
+            "total payments",
+            cfg.horizon,
+            inc_out.total_payments(),
+            reb_out.total_payments(),
+        ));
+    }
+    audit::check_addon_outcome(&inc_out).map_err(|e| format!("audit failed: {e}"))?;
+    Ok((inc_out, mix))
+}
+
+/// Runs one randomized SubstOn game through both engines. Returns the
+/// (identical) outcome and the operation mix, or a description of the
+/// first divergence.
+pub fn subston_differential(cfg: &SubstOnDiffConfig) -> Result<(SubstOnOutcome, OpMix), String> {
+    assert!(
+        (1..=16).contains(&cfg.num_opts),
+        "num_opts must be in 1..=16"
+    );
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let costs: Vec<Money> = (0..cfg.num_opts)
+        .map(|_| Money::from_cents(rng.gen_range(1..=2 * cfg.mean_cost_cents)))
+        .collect();
+    let mut inc = SubstOnState::with_engine(
+        costs.clone(),
+        cfg.horizon,
+        cfg.tiebreak,
+        Engine::Incremental,
+    )
+    .map_err(|e| format!("constructor failed: {e}"))?;
+    let mut reb = SubstOnState::with_engine(costs, cfg.horizon, cfg.tiebreak, Engine::Rebuild)
+        .map_err(|e| format!("constructor failed: {e}"))?;
+
+    let mut mix = OpMix::default();
+    let mut next_user = 0u32;
+    let mut known: Vec<UserId> = Vec::new();
+
+    for now in 1..=cfg.horizon {
+        let arrivals = rng
+            .gen_range(0..=3u32)
+            .min(cfg.max_users - next_user.min(cfg.max_users));
+        for _ in 0..arrivals {
+            let user = UserId(next_user);
+            next_user += 1;
+            let start = rng.gen_range(now..=(now + 3).min(cfg.horizon));
+            let max_len = (cfg.horizon - start + 1) as usize;
+            let len = rng.gen_range(1..=max_len.min(12));
+            let (values, zero_tail) = adversarial_values(&mut rng, len, cfg.mean_cost_cents);
+            let series = SlotSeries::new(SlotId(start), values).expect("non-empty, non-negative");
+            // At least one substitute, plus a random subset.
+            let guaranteed = OptId(rng.gen_range(0..cfg.num_opts));
+            let subs: std::collections::BTreeSet<OptId> = (0..cfg.num_opts)
+                .filter(|_| rng.gen_bool(0.4))
+                .map(OptId)
+                .chain([guaranteed])
+                .collect();
+            let bid = SubstOnlineBid {
+                user,
+                substitutes: subs,
+                series,
+            };
+            let a = inc.submit(bid.clone());
+            let b = reb.submit(bid);
+            if a != b {
+                return Err(mismatch("submit", now, &a, &b));
+            }
+            match a {
+                Ok(()) => {
+                    known.push(user);
+                    mix.submits += 1;
+                    mix.zero_tails += u32::from(zero_tail);
+                }
+                Err(_) => mix.rejections += 1,
+            }
+        }
+        // Deliberate rejections: duplicate user / unknown optimization.
+        if rng.gen_bool(0.25) && !known.is_empty() {
+            let bad = SubstOnlineBid {
+                user: known[rng.gen_range(0..known.len())],
+                substitutes: [OptId(cfg.num_opts * u32::from(rng.gen_bool(0.5)))].into(),
+                series: SlotSeries::single(SlotId(now), Money::from_cents(1)).unwrap(),
+            };
+            let a = inc.submit(bad.clone());
+            let b = reb.submit(bad);
+            if a != b {
+                return Err(mismatch("rejected submit", now, &a, &b));
+            }
+            if a.is_err() {
+                mix.rejections += 1;
+            }
+        }
+
+        let a = inc
+            .advance()
+            .map_err(|e| format!("incremental advance failed: {e}"))?;
+        let b = reb
+            .advance()
+            .map_err(|e| format!("rebuild advance failed: {e}"))?;
+        if a != b {
+            return Err(mismatch("slot report", now, &a, &b));
+        }
+    }
+
+    let inc_out = inc
+        .finish()
+        .map_err(|e| format!("incremental finish failed: {e}"))?;
+    let reb_out = reb
+        .finish()
+        .map_err(|e| format!("rebuild finish failed: {e}"))?;
+    if inc_out != reb_out {
+        return Err(mismatch("final outcome", cfg.horizon, &inc_out, &reb_out));
+    }
+    let (li, lr) = (inc_out.to_ledger(), reb_out.to_ledger());
+    if li.total_payments() != lr.total_payments() || li.total_cost() != lr.total_cost() {
+        return Err(mismatch(
+            "ledger totals",
+            cfg.horizon,
+            (li.total_cost(), li.total_payments()),
+            (lr.total_cost(), lr.total_payments()),
+        ));
+    }
+    audit::check_subston_outcome(&inc_out).map_err(|e| format!("audit failed: {e}"))?;
+    Ok((inc_out, mix))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addon_fixed_seeds_agree() {
+        let mut mix = OpMix::default();
+        for seed in 0..32 {
+            let cfg = AddOnDiffConfig {
+                seed,
+                horizon: 24 + (seed as u32 % 3) * 8,
+                max_users: 24,
+                cost_cents: 200,
+            };
+            let (_, m) = addon_differential(&cfg).unwrap();
+            mix.submits += m.submits;
+            mix.revises += m.revises;
+            mix.resurrections += m.resurrections;
+            mix.rejections += m.rejections;
+            mix.zero_tails += m.zero_tails;
+        }
+        // The generator must actually exercise every interleaving it
+        // promises, across a batch of seeds.
+        assert!(mix.submits > 100, "submits: {mix:?}");
+        assert!(mix.revises > 20, "revises: {mix:?}");
+        assert!(mix.resurrections > 0, "resurrections: {mix:?}");
+        assert!(mix.rejections > 20, "rejections: {mix:?}");
+        assert!(mix.zero_tails > 20, "zero tails: {mix:?}");
+    }
+
+    #[test]
+    fn subston_fixed_seeds_agree_across_opt_counts_and_tiebreaks() {
+        let mut mix = OpMix::default();
+        for seed in 0..16 {
+            for tiebreak in [TieBreak::LowestOptId, TieBreak::Random(seed)] {
+                let cfg = SubstOnDiffConfig {
+                    seed,
+                    horizon: 20,
+                    max_users: 20,
+                    num_opts: 1 + (seed as u32 % 16),
+                    mean_cost_cents: 150,
+                    tiebreak,
+                };
+                let (_, m) = subston_differential(&cfg).unwrap();
+                mix.submits += m.submits;
+                mix.rejections += m.rejections;
+                mix.zero_tails += m.zero_tails;
+            }
+        }
+        assert!(mix.submits > 100, "submits: {mix:?}");
+        assert!(mix.rejections > 10, "rejections: {mix:?}");
+        assert!(mix.zero_tails > 10, "zero tails: {mix:?}");
+    }
+}

@@ -11,6 +11,7 @@
 //! | [`table`] | aligned-text + CSV output |
 //! | [`parallel`] | work-stealing fork-join over sweep points |
 //! | [`perf`] | mechanism throughput record (`BENCH_mechanisms.json`) |
+//! | [`differential`] | fast-vs-reference oracle for the online mechanisms |
 //!
 //! Run everything with `cargo run -p osp-bench --release --bin
 //! figures -- all`; Criterion micro-benchmarks live in `benches/`; the
@@ -21,6 +22,7 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod differential;
 pub mod fig1;
 pub mod parallel;
 pub mod perf;

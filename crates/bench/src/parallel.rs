@@ -147,6 +147,50 @@ mod tests {
     }
 
     #[test]
+    fn empty_input_never_invokes_the_closure() {
+        let empty: Vec<u8> = vec![];
+        let out: Vec<u8> = par_map(&empty, |_| panic!("must not be called"));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_item_runs_on_the_calling_thread() {
+        // The <= 1 fast path must not spawn: the closure sees the
+        // caller's thread id.
+        let caller = std::thread::current().id();
+        let out = par_map(&[42u8], |&x| (x, std::thread::current().id()));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, 42);
+        assert_eq!(out[0].1, caller);
+    }
+
+    #[test]
+    fn propagates_panic_payload_from_a_non_first_worker() {
+        // Item 0 spins long enough that (with ≥ 2 workers) the
+        // panicking last item is taken by a *different* worker than the
+        // one holding item 0 — the join loop must still surface the
+        // original payload, not a generic "a worker panicked". The
+        // String payload also exercises a non-`&'static str` type.
+        let inputs: Vec<u64> = (0..64).collect();
+        let caught = std::panic::catch_unwind(|| {
+            par_map(&inputs, |&x| {
+                if x == 0 {
+                    return (0..5_000_000u64).fold(x, |acc, i| acc.wrapping_add(i));
+                }
+                if x == 63 {
+                    std::panic::panic_any(format!("worker died on item {x}"));
+                }
+                x
+            })
+        });
+        let payload = caught.expect_err("must panic");
+        let msg = payload
+            .downcast_ref::<String>()
+            .expect("String payload type preserved");
+        assert_eq!(msg, "worker died on item 63");
+    }
+
+    #[test]
     fn balances_uneven_trial_costs() {
         // One pathological item 100× the cost of the rest: with static
         // chunking its whole chunk-mates would queue behind it; with

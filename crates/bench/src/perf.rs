@@ -1,17 +1,30 @@
 //! End-to-end throughput measurement for the online mechanisms.
 //!
-//! [`run`] drives AddOn and SubstOn over generated workloads at
-//! m ∈ {10³, 10⁴, 10⁵} users and a 20-slot horizon, once per
-//! [`Engine`], plus the Regret baseline for context, and reports
-//! **user-slot events per second**. The `bench_json` binary serializes
-//! the result as `BENCH_mechanisms.json`, the repo's tracked perf
-//! record: CI regenerates it on every PR (quick mode), so the
-//! mechanisms' perf trajectory is visible from this file's history.
+//! [`run`] drives AddOn and SubstOn over three generated workloads,
+//! once per [`Engine`], plus the Regret baseline for context, and
+//! reports **user-slot events per second**:
 //!
-//! The headline comparison is `addon` `incremental` vs `rebuild` at
-//! m = 10⁵, z = 20: the persistent [`osp_core::prelude::Solver`] must
-//! beat the per-slot rebuild by a wide margin (≥ 3×) there, and the
-//! `speedup` map in the report states the measured ratio per size.
+//! * `uniform_z20` — the original AddOn stress: m ∈ {10³, 10⁴, 10⁵}
+//!   single-slot bids over a 20-slot horizon (arrival/commit churn);
+//! * `longlived_z120` — bids spanning 109 of 120 slots, cost scaled so
+//!   a sizeable tail of users stays *pending* for ~100 slots. This is
+//!   the workload where per-slot `residual_from` re-sums cost
+//!   O(pending · remaining-duration); the running-residual tracker
+//!   ([`osp_econ::ResidualTracker`]) makes it O(pending);
+//! * `subst12_z20` — SubstOn with 12 coupled optimizations, the
+//!   workload the batched multi-opt pass (shared scratch arena + cached
+//!   per-opt solutions) exists for.
+//!
+//! The `bench_json` binary serializes the result as
+//! `BENCH_mechanisms.json`, the repo's tracked perf record: CI
+//! regenerates it on every PR (quick mode), so the mechanisms' perf
+//! trajectory is visible from this file's history.
+//!
+//! The headline comparisons are `addon/uniform_z20` `incremental` vs
+//! `rebuild` at m = 10⁵ (the persistent [`osp_core::prelude::Solver`]
+//! must beat the per-slot rebuild ≥ 3× there) and
+//! `addon/longlived_z120` at m = 10⁴, and the `speedup` list in the
+//! report states the measured ratio per (mechanism, workload, size).
 
 use std::time::Instant;
 
@@ -27,6 +40,8 @@ use osp_workload::{gen, AdditiveConfig, ArrivalProcess, SubstConfig};
 pub struct BenchRecord {
     /// Mechanism name: `addon`, `subston` or `regret`.
     pub mechanism: String,
+    /// Workload name: `uniform_z20`, `longlived_z120` or `subst12_z20`.
+    pub workload: String,
     /// Shapley engine: `incremental`, `rebuild`, or `-` for baselines.
     pub engine: String,
     /// Number of users `m`.
@@ -50,24 +65,52 @@ pub struct PerfReport {
     pub quick: bool,
     /// Every measured point.
     pub records: Vec<BenchRecord>,
-    /// `(users, incremental/rebuild)` AddOn throughput ratio pairs, for
-    /// every size at which both engines were measured. (A list of
-    /// pairs, not a map: JSON object keys would have to be strings.)
-    pub addon_speedup_incremental_over_rebuild: Vec<(u32, f64)>,
+    /// `(mechanism, workload, users, incremental/rebuild)` throughput
+    /// ratios, one per point measured under both engines. (A list, not
+    /// a map: JSON object keys would have to be strings.)
+    pub speedup_incremental_over_rebuild: Vec<(String, String, u32, f64)>,
 }
 
 impl PerfReport {
-    /// The record for one (mechanism, engine, users) point, if present.
+    /// The record for one (mechanism, workload, engine, users) point,
+    /// if present.
     #[must_use]
-    pub fn find(&self, mechanism: &str, engine: &str, users: u32) -> Option<&BenchRecord> {
-        self.records
-            .iter()
-            .find(|r| r.mechanism == mechanism && r.engine == engine && r.users == users)
+    pub fn find(
+        &self,
+        mechanism: &str,
+        workload: &str,
+        engine: &str,
+        users: u32,
+    ) -> Option<&BenchRecord> {
+        self.records.iter().find(|r| {
+            r.mechanism == mechanism
+                && r.workload == workload
+                && r.engine == engine
+                && r.users == users
+        })
     }
 }
 
-/// The shared horizon `z` of every perf workload.
+/// The horizon `z` of the uniform and substitutable perf workloads.
 pub const SLOTS: u32 = 20;
+
+/// Arrival window of the long-lived workload: starts in `1..=12`.
+pub const LONG_ARRIVAL_WINDOW: u32 = 12;
+
+/// Bid duration of the long-lived workload, chosen so the effective
+/// horizon is [`LONG_SLOTS`] (z ≥ 100: the regime the running-residual
+/// tracker targets).
+pub const LONG_DURATION: u32 = 109;
+
+/// Effective horizon of the long-lived workload.
+pub const LONG_SLOTS: u32 = LONG_ARRIVAL_WINDOW + LONG_DURATION - 1;
+
+/// Workload names as recorded in `BENCH_mechanisms.json`.
+pub const WORKLOAD_UNIFORM: &str = "uniform_z20";
+/// See [`WORKLOAD_UNIFORM`].
+pub const WORKLOAD_LONGLIVED: &str = "longlived_z120";
+/// See [`WORKLOAD_UNIFORM`].
+pub const WORKLOAD_SUBST12: &str = "subst12_z20";
 
 const SEED: u64 = 0x05f5_c0de;
 
@@ -110,6 +153,28 @@ fn additive_game(users: u32) -> AddOnGame {
     AddOnGame::new(sc.horizon, sc.cost, bids).expect("generated game is valid")
 }
 
+/// The long-lived-bid AddOn stress: every bid spans [`LONG_DURATION`]
+/// slots, and the cost (`$users/10`) is high enough that a sizeable
+/// tail of users can never afford the share and stays pending — the
+/// worst case for per-slot residual re-sums.
+fn additive_long_game(users: u32) -> AddOnGame {
+    let cfg = AdditiveConfig {
+        num_users: users,
+        horizon: LONG_ARRIVAL_WINDOW,
+        arrivals: ArrivalProcess::Uniform,
+        duration: LONG_DURATION,
+    };
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let cost = Money::from_dollars(i64::from(users / 10).max(1));
+    let sc = gen::additive_scenario(&cfg, cost, &mut rng);
+    let bids = sc
+        .users
+        .iter()
+        .map(|(u, s)| OnlineBid::new(*u, s.clone()))
+        .collect();
+    AddOnGame::new(sc.horizon, sc.cost, bids).expect("generated game is valid")
+}
+
 fn subst_game(users: u32) -> SubstOnGame {
     let cfg = SubstConfig {
         num_users: users,
@@ -137,7 +202,9 @@ fn subst_game(users: u32) -> SubstOnGame {
 /// iteration per point; the default mode covers m ∈ {10³, 10⁴, 10⁵}
 /// (SubstOn's rebuild engine stops at 10⁴ — its per-slot phase loops
 /// over a six-digit bid map make 10⁵ pointlessly slow, and the record
-/// says so by omission) and runs each point for ≥ 0.5 s.
+/// says so by omission) and runs each point for ≥ 0.5 s. The
+/// long-lived workload covers m ∈ {10³, 10⁴} (its per-run work is
+/// 6× the uniform workload's at equal m).
 #[must_use]
 pub fn run(quick: bool) -> PerfReport {
     let (sizes, min_iters, min_secs): (&[u32], u32, f64) = if quick {
@@ -145,6 +212,7 @@ pub fn run(quick: bool) -> PerfReport {
     } else {
         (&[1_000, 10_000, 100_000], 2, 0.5)
     };
+    let long_sizes: &[u32] = if quick { &[500] } else { &[1_000, 10_000] };
     // SubstOn runs 12 coupled optimizations per game; its rebuild
     // engine is capped a decade lower to keep the suite's runtime sane.
     let subst_cap = if quick { 1_000 } else { 100_000 };
@@ -161,7 +229,15 @@ pub fn run(quick: bool) -> PerfReport {
                 min_iters,
                 min_secs,
             );
-            records.push(record("addon", engine_name(engine), m, iters, elapsed));
+            records.push(record(
+                "addon",
+                WORKLOAD_UNIFORM,
+                engine_name(engine),
+                m,
+                SLOTS,
+                iters,
+                elapsed,
+            ));
         }
         let sc = osp_workload::AdditiveScenario {
             horizon: game.horizon,
@@ -179,7 +255,36 @@ pub fn run(quick: bool) -> PerfReport {
             min_iters,
             min_secs,
         );
-        records.push(record("regret", "-", m, iters, elapsed));
+        records.push(record(
+            "regret",
+            WORKLOAD_UNIFORM,
+            "-",
+            m,
+            SLOTS,
+            iters,
+            elapsed,
+        ));
+    }
+    for &m in long_sizes {
+        let game = additive_long_game(m);
+        for engine in [Engine::Incremental, Engine::Rebuild] {
+            let (iters, elapsed) = measure(
+                || {
+                    addon::run_with_engine(&game, engine).expect("addon run");
+                },
+                min_iters,
+                min_secs,
+            );
+            records.push(record(
+                "addon",
+                WORKLOAD_LONGLIVED,
+                engine_name(engine),
+                m,
+                LONG_SLOTS,
+                iters,
+                elapsed,
+            ));
+        }
     }
     for &m in sizes {
         if m > subst_cap {
@@ -198,38 +303,60 @@ pub fn run(quick: bool) -> PerfReport {
                 min_iters,
                 min_secs,
             );
-            records.push(record("subston", engine_name(engine), m, iters, elapsed));
+            records.push(record(
+                "subston",
+                WORKLOAD_SUBST12,
+                engine_name(engine),
+                m,
+                SLOTS,
+                iters,
+                elapsed,
+            ));
         }
     }
 
     let mut speedup = Vec::new();
-    for &m in sizes {
-        let inc = records
-            .iter()
-            .find(|r| r.mechanism == "addon" && r.engine == "incremental" && r.users == m);
-        let reb = records
-            .iter()
-            .find(|r| r.mechanism == "addon" && r.engine == "rebuild" && r.users == m);
-        if let (Some(inc), Some(reb)) = (inc, reb) {
-            speedup.push((m, inc.ops_per_sec / reb.ops_per_sec));
+    for inc in records.iter().filter(|r| r.engine == "incremental") {
+        let reb = records.iter().find(|r| {
+            r.mechanism == inc.mechanism
+                && r.workload == inc.workload
+                && r.engine == "rebuild"
+                && r.users == inc.users
+        });
+        if let Some(reb) = reb {
+            speedup.push((
+                inc.mechanism.clone(),
+                inc.workload.clone(),
+                inc.users,
+                inc.ops_per_sec / reb.ops_per_sec,
+            ));
         }
     }
 
     PerfReport {
-        schema_version: 1,
+        schema_version: 2,
         quick,
         records,
-        addon_speedup_incremental_over_rebuild: speedup,
+        speedup_incremental_over_rebuild: speedup,
     }
 }
 
-fn record(mechanism: &str, engine: &str, users: u32, iters: u32, elapsed_s: f64) -> BenchRecord {
-    let ops = f64::from(users) * f64::from(SLOTS) * f64::from(iters);
+fn record(
+    mechanism: &str,
+    workload: &str,
+    engine: &str,
+    users: u32,
+    slots: u32,
+    iters: u32,
+    elapsed_s: f64,
+) -> BenchRecord {
+    let ops = f64::from(users) * f64::from(slots) * f64::from(iters);
     BenchRecord {
         mechanism: mechanism.to_owned(),
+        workload: workload.to_owned(),
         engine: engine.to_owned(),
         users,
-        slots: SLOTS,
+        slots,
         iters,
         elapsed_s,
         ops_per_sec: ops / elapsed_s,
@@ -241,26 +368,51 @@ mod tests {
     use super::*;
 
     #[test]
-    fn quick_report_covers_both_addon_engines() {
+    fn quick_report_covers_every_workload_and_engine() {
         let report = run(true);
         assert!(report.quick);
         for engine in ["incremental", "rebuild"] {
-            let rec = report.find("addon", engine, 1_000).expect(engine);
+            let rec = report
+                .find("addon", WORKLOAD_UNIFORM, engine, 1_000)
+                .expect(engine);
             assert!(rec.ops_per_sec > 0.0);
             assert_eq!(rec.slots, SLOTS);
+            let rec = report
+                .find("addon", WORKLOAD_LONGLIVED, engine, 500)
+                .expect(engine);
+            assert!(rec.ops_per_sec > 0.0);
+            assert_eq!(rec.slots, LONG_SLOTS);
         }
-        assert!(report.find("subston", "incremental", 1_000).is_some());
-        assert!(report.find("regret", "-", 1_000).is_some());
-        assert!(!report.addon_speedup_incremental_over_rebuild.is_empty());
+        assert!(report
+            .find("subston", WORKLOAD_SUBST12, "incremental", 1_000)
+            .is_some());
+        assert!(report
+            .find("regret", WORKLOAD_UNIFORM, "-", 1_000)
+            .is_some());
+        // One speedup entry per point measured under both engines:
+        // addon uniform ×2, addon longlived ×1, subston ×1.
+        assert!(report.speedup_incremental_over_rebuild.len() >= 4);
+    }
+
+    #[test]
+    fn long_workload_has_the_promised_horizon() {
+        const { assert!(LONG_SLOTS >= 100) };
+        let game = additive_long_game(500);
+        assert_eq!(game.horizon, LONG_SLOTS);
+        assert!(game
+            .bids
+            .iter()
+            .all(|b| b.end().index() - b.start().index() + 1 == LONG_DURATION));
     }
 
     #[test]
     fn report_serializes_and_round_trips() {
         let report = PerfReport {
-            schema_version: 1,
+            schema_version: 2,
             quick: true,
             records: vec![BenchRecord {
                 mechanism: "addon".into(),
+                workload: WORKLOAD_UNIFORM.into(),
                 engine: "incremental".into(),
                 users: 1_000,
                 slots: SLOTS,
@@ -268,7 +420,12 @@ mod tests {
                 elapsed_s: 0.5,
                 ops_per_sec: 120_000.0,
             }],
-            addon_speedup_incremental_over_rebuild: vec![(1_000, 4.2)],
+            speedup_incremental_over_rebuild: vec![(
+                "addon".into(),
+                WORKLOAD_UNIFORM.into(),
+                1_000,
+                4.2,
+            )],
         };
         let json = serde_json::to_string_pretty(&report).unwrap();
         let back: PerfReport = serde_json::from_str(&json).unwrap();

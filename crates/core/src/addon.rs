@@ -59,7 +59,7 @@ use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use serde::{Deserialize, Serialize};
 
 use osp_econ::schedule::SlotSeries;
-use osp_econ::{Ledger, Money, OptId, SlotId, UserId, ValueSchedule};
+use osp_econ::{Ledger, Money, OptId, ResidualTracker, SlotId, UserId, ValueSchedule};
 
 use crate::error::{MechanismError, Result};
 use crate::game::{AddOnGame, OnlineBid};
@@ -82,7 +82,12 @@ pub struct SlotReport {
 }
 
 /// The AddOn mechanism as an interactive state machine.
-#[derive(Debug, Clone)]
+///
+/// Serializes in full — a mid-game checkpoint deserializes into a
+/// state that continues bit-identically (see
+/// `tests/serde_roundtrip.rs`), which is what makes long-horizon games
+/// resumable across process restarts.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct AddOnState {
     cost: Money,
     horizon: u32,
@@ -106,6 +111,12 @@ pub struct AddOnState {
     /// Started, uncommitted, not-yet-expired users: the only bids whose
     /// residuals can still change between slots (incremental only).
     pending: HashSet<UserId>,
+    /// Running residual `Σ_{τ ≥ now} v(τ)` for every pending user:
+    /// seeded at arrival, decremented by `value_at(t)` as slot `t`
+    /// retires, re-seeded on `revise` — so the per-slot solver update
+    /// costs O(pending), not O(pending · remaining-duration)
+    /// (incremental only; mirrors [`Self::pending`] exactly).
+    residuals: ResidualTracker,
     /// `starts[t]`: users whose series starts at slot `t`, so arrivals
     /// cost O(arrivals), not O(m) (incremental only).
     starts: Vec<Vec<UserId>>,
@@ -147,6 +158,7 @@ impl AddOnState {
             share_by_slot: Vec::with_capacity(horizon as usize),
             solver: Solver::new(cost)?,
             pending: HashSet::new(),
+            residuals: ResidualTracker::new(),
             starts: vec![Vec::new(); slots],
             expiries: vec![Vec::new(); slots],
             first_log: Vec::new(),
@@ -257,6 +269,12 @@ impl AddOnState {
         {
             self.pending.insert(user);
         }
+        // The running residual was seeded from the old series; re-seed
+        // it from the new one (covers the resurrection above, too).
+        if self.pending.contains(&user) {
+            self.residuals
+                .reset(user, &self.bids[&user], SlotId(self.now));
+        }
         Ok(())
     }
 
@@ -284,12 +302,11 @@ impl AddOnState {
     }
 
     /// One slot on the persistent solver: no per-slot maps are
-    /// allocated and committed/unseen users cost nothing, but every
-    /// *pending* (started, uncommitted, unexpired) user still pays a
-    /// `residual_from` re-sum per slot — O(arrivals + pending ·
-    /// remaining-duration + exits). With short-lived bids pending stays
-    /// small; a running per-user residual (subtract `value_at(t-1)`
-    /// each slot) would cut the re-sum to O(1) and is on the roadmap.
+    /// allocated, committed/unseen users cost nothing, and pending
+    /// users bid their *running* residual ([`ResidualTracker`]) — one
+    /// subtraction per slot instead of an O(remaining-duration)
+    /// `residual_from` re-sum. Total per-slot cost: O(arrivals +
+    /// pending + exits), even for long-lived bids.
     fn step_incremental(&mut self, t: SlotId, want_report: bool) -> Option<SlotReport> {
         // Retire bids that expired last slot without ever being
         // serviced: their residual is zero from here on, and a zero bid
@@ -300,20 +317,26 @@ impl AddOnState {
                 let u = self.expiries[self.now as usize - 1][i];
                 if self.pending.remove(&u) {
                     self.solver.remove(u);
+                    self.residuals.remove(u);
                 }
             }
         }
         // Lines 3–11: reveal bids whose series starts now. Unseen users
         // (`s_i > t`) are skipped entirely rather than materialized as
-        // zero bids — same outcome, no per-slot O(m) sweep.
+        // zero bids — same outcome, no per-slot O(m) sweep. Arrivals
+        // seed their running residual (their one full suffix sum).
         let arrived = std::mem::take(&mut self.starts[self.now as usize]);
+        for &u in &arrived {
+            self.residuals.insert(u, &self.bids[&u], t);
+        }
         self.pending.extend(arrived);
 
         // Line 13: one incremental Shapley solve over committed +
-        // residual bids; the serviced prefix commits in place.
-        let bids = &self.bids;
-        self.solver
-            .update_bids(self.pending.iter().map(|&u| (u, bids[&u].residual_from(t))));
+        // running-residual bids; the serviced prefix commits in place.
+        // (`residuals` mirrors `pending`, so this feeds exactly the
+        // pending users; `update_bids` sorts internally, so the hash
+        // iteration order cannot leak into the outcome.)
+        self.solver.update_bids(self.residuals.iter());
         let sol = self.solver.solve();
         let share = sol.share;
         let newly: Vec<UserId> = self
@@ -325,6 +348,7 @@ impl AddOnState {
         self.solver.commit_top(sol.serviced_finite);
         for &u in &newly {
             self.pending.remove(&u);
+            self.residuals.remove(u);
             self.first_log.push((u, t));
         }
 
@@ -345,6 +369,12 @@ impl AddOnState {
             }
         }
         payments.sort_unstable();
+
+        // Slot `t` retires: every still-pending user's running residual
+        // drops by `value_at(t)`, restoring the invariant
+        // `residuals[u] = residual_from(now)` for the next slot.
+        let bids = &self.bids;
+        self.residuals.advance(t, |u| &bids[&u]);
 
         self.now += 1;
         if !want_report {
@@ -444,7 +474,12 @@ impl AddOnState {
         if self.engine == Engine::Incremental {
             self.first_log.sort_unstable();
             self.first_serviced = self.first_log.drain(..).collect();
-            self.pay_log.sort_unstable_by_key(|&(u, _)| u);
+            // A committed user can pay twice: once at her original
+            // expiry and again if a revision extended her end. The
+            // *last* (chronological) payment is the final one, matching
+            // the rebuild engine's per-slot map overwrite — so the sort
+            // must be stable (pay_log is in slot order).
+            self.pay_log.sort_by_key(|&(u, _)| u);
             self.payments = self.pay_log.drain(..).collect();
         }
         Ok(AddOnOutcome {
@@ -809,6 +844,37 @@ mod tests {
         // And the revision really took: u0 is serviced at t=3, pays 100.
         assert_eq!(inc.first_serviced[&UserId(0)], SlotId(3));
         assert_eq!(inc.payments[&UserId(0)], m(100));
+    }
+
+    #[test]
+    fn committed_user_extended_after_paying_repays_at_new_exit() {
+        // u0 commits and pays $100 at her t=1 exit. A later revision
+        // extends her end to t=3; when she finally leaves she pays the
+        // *current* (lower) share instead, on both engines — the final
+        // payments map must keep the chronologically-last payment.
+        // (Found by the differential oracle: the incremental engine's
+        // deferred pay_log used an unstable per-user sort, so which of
+        // the two payments survived was arbitrary.)
+        let run_engine = |engine: Engine| {
+            let mut st = AddOnState::with_engine(m(100), 3, engine).unwrap();
+            st.submit(bid(0, 1, &[101])).unwrap();
+            let r1 = st.advance().unwrap();
+            assert_eq!(r1.payments, vec![(UserId(0), m(100))]);
+            st.revise(UserId(0), SlotId(2), vec![m(0), m(0)]).unwrap();
+            st.submit(bid(1, 2, &[60, 60])).unwrap();
+            st.advance().unwrap();
+            let r3 = st.advance().unwrap();
+            assert_eq!(
+                r3.payments,
+                vec![(UserId(0), m(50)), (UserId(1), m(50))],
+                "{engine:?}"
+            );
+            st.finish().unwrap()
+        };
+        let inc = run_engine(Engine::Incremental);
+        let reb = run_engine(Engine::Rebuild);
+        assert_eq!(inc, reb);
+        assert_eq!(inc.payments[&UserId(0)], m(50));
     }
 
     #[test]

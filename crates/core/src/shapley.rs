@@ -275,7 +275,11 @@ impl Solution {
 ///
 /// Equivalence with [`run`] and [`run_iterative`] under arbitrary
 /// `update_bid`/`commit`/`remove` interleavings is property-tested.
-#[derive(Debug, Clone)]
+///
+/// The solver serializes (all fields are plain data), so the online
+/// state machines that embed it can be checkpointed mid-game and
+/// resumed — see `tests/serde_roundtrip.rs`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Solver {
     cost: Money,
     entries: Vec<(Money, UserId)>,

@@ -40,11 +40,11 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use osp_econ::schedule::SlotSeries;
-use osp_econ::{Ledger, Money, OptId, SlotId, UserId};
+use osp_econ::{Ledger, Money, OptId, ResidualTracker, SlotId, UserId};
 
 use crate::error::{MechanismError, Result};
 use crate::game::{SubstOnGame, SubstOnlineBid};
-use crate::shapley::{Engine, ShapleyBid, Solver};
+use crate::shapley::{Engine, ShapleyBid, Solution, Solver};
 use crate::substoff::{self, SubstBidMap, TieBreak};
 
 /// What happened in one SubstOn slot.
@@ -58,8 +58,68 @@ pub struct SubstSlotReport {
     pub payments: Vec<(UserId, Money)>,
 }
 
+/// Reusable scratch of the batched multi-opt phase loop: per-opt
+/// update buckets plus a cross-slot solution cache, all allocated once
+/// and reused for every slot of the game.
+///
+/// The whole struct is rebuildable from the solvers (empty buckets ⇒
+/// next [`BatchScratch::ensure`] marks every solver dirty ⇒ full
+/// re-solve), which is why serialization skips it: a resumed game
+/// starts with a cold cache and identical outcomes.
+#[derive(Debug, Clone, Default)]
+struct BatchScratch {
+    /// `per_opt[j]`: this slot's `(user, running residual)` updates for
+    /// optimization `j`, drained into the solver's batch merge.
+    per_opt: Vec<Vec<(UserId, Money)>>,
+    /// `solutions[j]`: the cached feasible solution of solver `j`
+    /// (`None` = infeasible), valid while `!dirty[j]`.
+    solutions: Vec<Option<Solution>>,
+    /// `dirty[j]`: solver `j` mutated since `solutions[j]` was
+    /// computed (bid updates this slot, or users lost to a grant).
+    dirty: Vec<bool>,
+}
+
+impl BatchScratch {
+    /// Sizes the buffers for `n` optimizations (a no-op after the first
+    /// slot; after deserialization it re-marks every solver dirty).
+    fn ensure(&mut self, n: usize) {
+        if self.per_opt.len() != n {
+            self.per_opt.resize_with(n, Vec::new);
+            self.solutions = vec![None; n];
+            self.dirty = vec![true; n];
+        }
+    }
+}
+
+mod scratch_serde {
+    //! The scratch is pure rebuildable cache: checkpoints store `null`
+    //! and a resumed game starts cold (every solver dirty), which the
+    //! phase loop handles by re-solving — outcomes are unchanged.
+    use super::BatchScratch;
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+    pub(super) fn serialize<S: Serializer>(
+        _: &BatchScratch,
+        serializer: S,
+    ) -> Result<S::Ok, S::Error> {
+        None::<u8>.serialize(serializer)
+    }
+
+    pub(super) fn deserialize<'de, D: Deserializer<'de>>(
+        deserializer: D,
+    ) -> Result<BatchScratch, D::Error> {
+        Option::<u8>::deserialize(deserializer)?;
+        Ok(BatchScratch::default())
+    }
+}
+
 /// The SubstOn mechanism as an interactive state machine.
-#[derive(Debug, Clone)]
+///
+/// Serializes in full — a mid-game checkpoint deserializes into a
+/// state that continues bit-identically (see
+/// `tests/serde_roundtrip.rs`); only the [`BatchScratch`] cache is
+/// dropped and rebuilt cold.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SubstOnState {
     costs: Vec<Money>,
     horizon: u32,
@@ -76,6 +136,13 @@ pub struct SubstOnState {
     solvers: Vec<Solver>,
     /// Started, unassigned, not-yet-expired users.
     pending: BTreeSet<UserId>,
+    /// Running residual per pending user — one entry per user, shared
+    /// by all her substitute opts ([`Engine::Incremental`] only).
+    residuals: ResidualTracker,
+    /// Reused buffers + solution cache of the batched phase loop
+    /// ([`Engine::Incremental`] only).
+    #[serde(with = "scratch_serde")]
+    scratch: BatchScratch,
     /// `start slot → users`, so arrivals cost O(arrivals), not O(m).
     starts: BTreeMap<u32, Vec<UserId>>,
     /// `end slot → users`, so exit payments cost O(exits), not O(m).
@@ -114,6 +181,8 @@ impl SubstOnState {
             payments: BTreeMap::new(),
             solvers,
             pending: BTreeSet::new(),
+            residuals: ResidualTracker::new(),
+            scratch: BatchScratch::default(),
             starts: BTreeMap::new(),
             expiries: BTreeMap::new(),
         })
@@ -174,20 +243,36 @@ impl SubstOnState {
 
         // Retire bids that expired last slot without being granted:
         // their residual is zero, and zero bids can never be serviced.
+        if self.now > 1 && self.engine == Engine::Incremental {
+            self.scratch.ensure(self.costs.len());
+        }
         if self.now > 1 {
             if let Some(gone) = self.expiries.get(&(self.now - 1)) {
                 for &u in gone {
                     if self.pending.remove(&u) && self.engine == Engine::Incremental {
                         for &j in &self.bids[&u].substitutes {
                             self.solvers[j.index() as usize].remove(u);
+                            // Removing a (zero-residual) bid can never
+                            // flip an infeasible solver feasible, but
+                            // the cached solution's serviced prefix is
+                            // stale all the same — honour the dirty
+                            // contract rather than rely on that.
+                            self.scratch.dirty[j.index() as usize] = true;
                         }
+                        self.residuals.remove(u);
                     }
                 }
             }
         }
         // Reveal bids whose series starts now; unseen users are skipped
-        // entirely (`b'_ij ← 0` prunes them in the paper).
+        // entirely (`b'_ij ← 0` prunes them in the paper). Arrivals
+        // seed their running residual (their one full suffix sum).
         if let Some(arrived) = self.starts.remove(&self.now) {
+            if self.engine == Engine::Incremental {
+                for &u in &arrived {
+                    self.residuals.insert(u, &self.bids[&u].series, t);
+                }
+            }
             self.pending.extend(arrived);
         }
 
@@ -203,6 +288,7 @@ impl SubstOnState {
             self.assigned.insert(u, j);
             self.first_serviced.insert(u, t);
             self.pending.remove(&u);
+            self.residuals.remove(u);
         }
         for (idx, share) in shares.iter().enumerate() {
             if share.is_some() {
@@ -227,6 +313,14 @@ impl SubstOnState {
             payments.sort_unstable();
         }
 
+        // Slot `t` retires: every still-pending user's running residual
+        // drops by `value_at(t)`, restoring the invariant
+        // `residuals[u] = residual_from(now)` for the next slot.
+        if self.engine == Engine::Incremental {
+            let bids = &self.bids;
+            self.residuals.advance(t, |u| &bids[&u].series);
+        }
+
         self.now += 1;
         Ok(SubstSlotReport {
             slot: t,
@@ -236,25 +330,46 @@ impl SubstOnState {
     }
 
     /// One slot's SubstOff phase loop over the persistent per-opt
-    /// solvers. Replicates [`substoff::run_with_bids`] exactly —
-    /// including tie-break order and RNG consumption — but grants
-    /// mutate the solvers in place instead of rebuilding bid maps.
+    /// solvers, batched: a single pass over the pending users buckets
+    /// each user's O(1) *running* residual into her substitutes' update
+    /// lists (buffers reused across opts and slots — zero steady-state
+    /// allocation), and the phase loop re-solves only *dirty* solvers
+    /// (bids changed this slot, or users lost to a grant), reusing
+    /// cached solutions across phases *and* slots for the rest.
+    /// Replicates [`substoff::run_with_bids`] exactly — including
+    /// tie-break order and RNG consumption — but grants mutate the
+    /// solvers in place instead of rebuilding bid maps.
     fn phases_incremental(&mut self, t: SlotId) -> (Vec<Option<Money>>, BTreeMap<UserId, OptId>) {
-        // Batch the residual updates per optimization so each solver
-        // takes one merge pass instead of per-user sorted inserts.
-        let mut per_opt: Vec<Vec<(UserId, Money)>> = vec![Vec::new(); self.costs.len()];
+        let n = self.costs.len();
+        self.scratch.ensure(n);
+        let BatchScratch {
+            per_opt,
+            solutions,
+            dirty,
+        } = &mut self.scratch;
+
+        // One touch per pending user's bid row: read the running
+        // residual, fan it out to her substitute opts' buckets.
         for &u in &self.pending {
             let bid = &self.bids[&u];
-            let residual = bid.series.residual_from(t);
+            let residual = self
+                .residuals
+                .get(u)
+                .expect("pending user has a tracked residual");
+            debug_assert_eq!(residual, bid.series.residual_from(t));
             for &j in &bid.substitutes {
                 per_opt[j.index() as usize].push((u, residual));
             }
         }
-        for (solver, updates) in self.solvers.iter_mut().zip(per_opt) {
-            solver.update_bids(updates);
+        for (jidx, (solver, updates)) in self.solvers.iter_mut().zip(per_opt.iter_mut()).enumerate()
+        {
+            if !updates.is_empty() {
+                solver.update_bids(updates.drain(..));
+                dirty[jidx] = true;
+            }
         }
 
-        let mut shares: Vec<Option<Money>> = vec![None; self.costs.len()];
+        let mut shares: Vec<Option<Money>> = vec![None; n];
         let mut newly_assigned = BTreeMap::new();
         let mut rng = match self.tiebreak {
             TieBreak::Random(seed) => Some(StdRng::seed_from_u64(seed)),
@@ -263,31 +378,32 @@ impl SubstOnState {
         loop {
             // Feasibility sweep over the not-yet-implemented (this
             // slot) optimizations, in OptId order like the offline
-            // phase loop.
-            let feasible: Vec<(usize, crate::shapley::Solution)> = self
-                .solvers
-                .iter()
-                .enumerate()
-                .filter(|(idx, _)| shares[*idx].is_none())
-                .filter_map(|(idx, solver)| {
-                    let sol = solver.solve();
-                    sol.is_implemented().then_some((idx, sol))
-                })
-                .collect();
-            let Some(min_share) = feasible.iter().filter_map(|(_, sol)| sol.share).min() else {
+            // phase loop; clean solvers answer from cache.
+            for jidx in 0..n {
+                if shares[jidx].is_none() && dirty[jidx] {
+                    let sol = self.solvers[jidx].solve();
+                    solutions[jidx] = sol.is_implemented().then_some(sol);
+                    dirty[jidx] = false;
+                }
+            }
+            let feasible = |jidx: &usize| shares[*jidx].is_none() && solutions[*jidx].is_some();
+            let Some(min_share) = (0..n)
+                .filter(|jidx| feasible(jidx))
+                .filter_map(|jidx| solutions[jidx].and_then(|sol| sol.share))
+                .min()
+            else {
                 return (shares, newly_assigned); // J_f = ∅
             };
-            let tied: Vec<usize> = feasible
-                .iter()
-                .enumerate()
-                .filter(|(_, (_, sol))| sol.share == Some(min_share))
-                .map(|(k, _)| k)
+            let tied: Vec<usize> = (0..n)
+                .filter(|jidx| feasible(jidx))
+                .filter(|&jidx| solutions[jidx].and_then(|sol| sol.share) == Some(min_share))
                 .collect();
             let pick = match &mut rng {
                 Some(rng) if tied.len() > 1 => tied[rng.gen_range(0..tied.len())],
                 _ => tied[0],
             };
-            let (jidx, sol) = feasible[pick];
+            let jidx = pick;
+            let sol = solutions[jidx].expect("picked optimization is feasible");
             let j = OptId(u32::try_from(jidx).unwrap());
             shares[jidx] = Some(min_share);
 
@@ -297,12 +413,16 @@ impl SubstOnState {
                 .map(|&(_, u)| u)
                 .collect();
             self.solvers[jidx].commit_top(sol.serviced_finite);
+            // The commit changed solver `jidx`; its cached solution is
+            // stale for the *next* slot.
+            dirty[jidx] = true;
             for u in newly {
                 newly_assigned.insert(u, j);
                 // b_ij' ← 0 ∀j' ≠ j, forever: the no-switch rule.
                 for &other in &self.bids[&u].substitutes {
                     if other != j {
                         self.solvers[other.index() as usize].remove(u);
+                        dirty[other.index() as usize] = true;
                     }
                 }
             }

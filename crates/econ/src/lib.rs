@@ -15,6 +15,9 @@
 //! * [`ValueSchedule`] — the function `v_ij(t)` mapping (user,
 //!   optimization, slot) to a value, used both as "true values" in
 //!   experiments and to derive truthful bids.
+//! * [`ResidualTracker`] — per-user *running* residuals
+//!   `Σ_{τ ≥ t} v(τ)`, the O(1)-per-slot form of the quantity the
+//!   online mechanisms bid every slot.
 //! * [`valuation`] — the additive (Eq. 1) and substitutable (§6)
 //!   valuation models.
 //! * [`ledger`] — payment/cost bookkeeping and the derived statistics
@@ -32,6 +35,7 @@ pub mod ids;
 pub mod ledger;
 pub mod money;
 pub mod num;
+pub mod residual;
 pub mod schedule;
 pub mod valuation;
 
@@ -39,5 +43,6 @@ pub use ids::{OptId, SlotId, UserId};
 pub use ledger::{Ledger, Stats, UserStats};
 pub use money::Money;
 pub use num::ratio::Ratio;
+pub use residual::ResidualTracker;
 pub use schedule::{SlotSeries, ValueSchedule};
 pub use valuation::{AdditiveValuation, SubstitutableValuation, Valuation};

@@ -1,0 +1,249 @@
+//! Running residual values for the online mechanisms.
+//!
+//! At every slot `t`, Mechanism 2 (AddOn) and Mechanism 4 (SubstOn) bid
+//! each pending user's *residual* value `b'_i = Σ_{τ ≥ t} v_i(τ)`
+//! (Mechanism 2 line 7). Recomputing that suffix sum from the
+//! [`SlotSeries`] costs O(remaining-duration) per user per slot —
+//! O(pending · remaining-duration) per slot in aggregate, which is the
+//! dominant cost of long-lived-bid games (z ≥ 100).
+//!
+//! [`ResidualTracker`] keeps the residual *running* instead: a user's
+//! entry is seeded once from her series (O(duration), amortized over
+//! her lifetime), decremented by `v_i(t)` when slot `t` retires
+//! ([`ResidualTracker::advance`] — O(1) per pending user), and
+//! recomputed only on the rare events that change the series (an upward
+//! revision, or a resurrection after an unserviced expiry). Both online
+//! mechanisms share this type; exactness is preserved because every
+//! update is the same exact [`Money`] arithmetic the direct suffix sum
+//! would perform.
+//!
+//! ```
+//! use osp_econ::{Money, ResidualTracker, SlotId, SlotSeries, UserId};
+//!
+//! let series = SlotSeries::new(
+//!     SlotId(1),
+//!     vec![Money::from_dollars(3), Money::from_dollars(2)],
+//! )
+//! .unwrap();
+//! let mut tracker = ResidualTracker::new();
+//! tracker.insert(UserId(0), &series, SlotId(1));
+//! assert_eq!(tracker.get(UserId(0)), Some(Money::from_dollars(5)));
+//! // Slot 1 retires: the running residual drops by v(1).
+//! tracker.advance(SlotId(1), |_| &series);
+//! assert_eq!(tracker.get(UserId(0)), Some(Money::from_dollars(2)));
+//! assert_eq!(series.residual_from(SlotId(2)), Money::from_dollars(2));
+//! ```
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{SlotId, UserId};
+use crate::money::Money;
+use crate::schedule::SlotSeries;
+
+/// Per-user running residuals `Σ_{τ ≥ now} v_i(τ)` for a set of pending
+/// users.
+///
+/// The tracker itself does not know `now`; its invariant is maintained
+/// by the owning mechanism: *every entry equals
+/// `series.residual_from(now)` for the mechanism's current slot*. The
+/// mechanism upholds it by calling [`ResidualTracker::advance`] exactly
+/// once per processed slot and [`ResidualTracker::reset`] whenever a
+/// user's series changes.
+///
+/// Entries are stored in a `HashMap` — O(1) on the per-slot hot path
+/// and only ever iterated to feed batch solver updates (which sort
+/// internally), so hash order cannot leak into outcomes.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResidualTracker {
+    residuals: HashMap<UserId, Money>,
+}
+
+impl ResidualTracker {
+    /// An empty tracker.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Like [`ResidualTracker::new`], pre-sized for `capacity` users.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        ResidualTracker {
+            residuals: HashMap::with_capacity(capacity),
+        }
+    }
+
+    /// Number of tracked users.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.residuals.len()
+    }
+
+    /// `true` iff no user is tracked.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.residuals.is_empty()
+    }
+
+    /// Starts tracking `user` with residual `series.residual_from(now)`
+    /// (one O(duration) suffix sum — the last one this user pays until
+    /// her series changes).
+    pub fn insert(&mut self, user: UserId, series: &SlotSeries, now: SlotId) {
+        self.residuals.insert(user, series.residual_from(now));
+    }
+
+    /// Re-seeds `user`'s residual after her series changed (upward
+    /// revision, resurrection). Same cost and semantics as
+    /// [`ResidualTracker::insert`]; spelled differently so call sites
+    /// say why they recompute.
+    pub fn reset(&mut self, user: UserId, series: &SlotSeries, now: SlotId) {
+        self.insert(user, series, now);
+    }
+
+    /// The running residual of `user`, if tracked.
+    #[must_use]
+    pub fn get(&self, user: UserId) -> Option<Money> {
+        self.residuals.get(&user).copied()
+    }
+
+    /// Stops tracking `user` (serviced, or expired unserviced).
+    pub fn remove(&mut self, user: UserId) -> Option<Money> {
+        self.residuals.remove(&user)
+    }
+
+    /// Retires `retiring` for every tracked user: subtracts
+    /// `v_i(retiring)` from each running residual. O(1) per user —
+    /// this is the whole point of the tracker.
+    ///
+    /// `series_of` must return the series the residual was seeded from;
+    /// the subtraction keeps each entry equal to
+    /// `residual_from(retiring + 1)` exactly (values outside the series
+    /// read as zero, so already-expired entries are left at zero).
+    pub fn advance<'a>(
+        &mut self,
+        retiring: SlotId,
+        mut series_of: impl FnMut(UserId) -> &'a SlotSeries,
+    ) {
+        for (&user, residual) in &mut self.residuals {
+            let departed = series_of(user).value_at(retiring);
+            if !departed.is_zero() {
+                *residual -= departed;
+                debug_assert!(
+                    !residual.is_negative(),
+                    "running residual of {user} went negative"
+                );
+            }
+        }
+    }
+
+    /// Iterates `(user, running residual)` pairs in arbitrary (hash)
+    /// order. Feed this only into order-insensitive consumers.
+    pub fn iter(&self) -> impl Iterator<Item = (UserId, Money)> + '_ {
+        self.residuals.iter().map(|(&u, &r)| (u, r))
+    }
+
+    /// Drops every entry, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.residuals.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(c: i64) -> Money {
+        Money::from_cents(c)
+    }
+
+    fn series(start: u32, values: &[i64]) -> SlotSeries {
+        SlotSeries::new(SlotId(start), values.iter().map(|&v| m(v)).collect()).unwrap()
+    }
+
+    /// The invariant the online mechanisms rely on: seeding at any slot
+    /// and advancing slot by slot always matches the direct suffix sum.
+    #[test]
+    fn advance_matches_residual_from_at_every_slot() {
+        let s = series(2, &[10, 0, 30, 0, 50]);
+        let mut tracker = ResidualTracker::new();
+        tracker.insert(UserId(0), &s, SlotId(1));
+        for t in 1..=8u32 {
+            assert_eq!(
+                tracker.get(UserId(0)),
+                Some(s.residual_from(SlotId(t))),
+                "slot {t}"
+            );
+            tracker.advance(SlotId(t), |_| &s);
+        }
+        assert_eq!(tracker.get(UserId(0)), Some(Money::ZERO));
+    }
+
+    #[test]
+    fn zero_value_tail_stays_at_zero() {
+        // A bid ending in zeros: the residual hits zero *before* the
+        // series expires and must sit there without going negative.
+        let s = series(1, &[40, 0, 0]);
+        let mut tracker = ResidualTracker::new();
+        tracker.insert(UserId(3), &s, SlotId(1));
+        tracker.advance(SlotId(1), |_| &s);
+        assert_eq!(tracker.get(UserId(3)), Some(Money::ZERO));
+        tracker.advance(SlotId(2), |_| &s);
+        assert_eq!(tracker.get(UserId(3)), Some(Money::ZERO));
+    }
+
+    #[test]
+    fn reset_reseeds_after_a_revision() {
+        let old = series(1, &[10, 10]);
+        let mut tracker = ResidualTracker::new();
+        tracker.insert(UserId(1), &old, SlotId(1));
+        tracker.advance(SlotId(1), |_| &old);
+        // Upward revision from slot 2: [10, 25, 40].
+        let new = series(1, &[10, 25, 40]);
+        tracker.reset(UserId(1), &new, SlotId(2));
+        assert_eq!(tracker.get(UserId(1)), Some(m(65)));
+        tracker.advance(SlotId(2), |_| &new);
+        assert_eq!(tracker.get(UserId(1)), Some(m(40)));
+    }
+
+    #[test]
+    fn remove_and_len() {
+        let s = series(1, &[5]);
+        let mut tracker = ResidualTracker::with_capacity(4);
+        assert!(tracker.is_empty());
+        tracker.insert(UserId(0), &s, SlotId(1));
+        tracker.insert(UserId(1), &s, SlotId(1));
+        assert_eq!(tracker.len(), 2);
+        assert_eq!(tracker.remove(UserId(0)), Some(m(5)));
+        assert_eq!(tracker.remove(UserId(0)), None);
+        assert_eq!(tracker.get(UserId(0)), None);
+        assert_eq!(tracker.len(), 1);
+        tracker.clear();
+        assert!(tracker.is_empty());
+    }
+
+    #[test]
+    fn iter_yields_every_entry() {
+        let s = series(1, &[7]);
+        let mut tracker = ResidualTracker::new();
+        for u in 0..5 {
+            tracker.insert(UserId(u), &s, SlotId(1));
+        }
+        let mut seen: Vec<UserId> = tracker.iter().map(|(u, _)| u).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..5).map(UserId).collect::<Vec<_>>());
+        assert!(tracker.iter().all(|(_, r)| r == m(7)));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let s = series(1, &[10, 20]);
+        let mut tracker = ResidualTracker::new();
+        tracker.insert(UserId(0), &s, SlotId(1));
+        tracker.insert(UserId(9), &s, SlotId(2));
+        let json = serde_json::to_string(&tracker).unwrap();
+        let back: ResidualTracker = serde_json::from_str(&json).unwrap();
+        assert_eq!(tracker, back);
+    }
+}

@@ -1,0 +1,77 @@
+//! The standing differential oracle: randomized long-horizon games
+//! through the Incremental and Rebuild engines must agree slot by slot
+//! on grants, prices, payments, and final ledger totals.
+//!
+//! The game scripts live in [`osp_bench::differential`]; this wrapper
+//! drives them under proptest. Each proptest case runs
+//! [`GAMES_PER_CASE`] independently-seeded games, so the default 64
+//! cases already cover 256 games per mechanism (the acceptance floor),
+//! and the nightly `proptest-deep` CI job (`PROPTEST_CASES=2048`)
+//! covers 8192.
+
+use proptest::prelude::*;
+
+use osp_bench::differential::{
+    addon_differential, subston_differential, AddOnDiffConfig, SubstOnDiffConfig,
+};
+use osp_core::prelude::TieBreak;
+
+/// Games per proptest case (see module docs).
+const GAMES_PER_CASE: u64 = 4;
+
+proptest! {
+    /// AddOn: arrive/revise/expire/reject interleavings with
+    /// adversarial bid series over horizons up to 48 slots.
+    #[test]
+    fn addon_engines_agree_on_random_long_horizon_games(
+        seed in 0u64..1 << 48,
+        horizon in 20u32..=48,
+        max_users in 4u32..=32,
+        cost_cents in 1i64..=400,
+    ) {
+        for game in 0..GAMES_PER_CASE {
+            let cfg = AddOnDiffConfig {
+                seed: seed.wrapping_mul(GAMES_PER_CASE).wrapping_add(game),
+                horizon,
+                max_users,
+                cost_cents,
+            };
+            if let Err(divergence) = addon_differential(&cfg) {
+                prop_assert!(false, "{divergence}\nconfig: {cfg:?}");
+            }
+        }
+    }
+
+    /// SubstOn: 1–16 coupled optimizations, both tie-break policies
+    /// (the random one must consume its RNG identically on both
+    /// engines).
+    #[test]
+    fn subston_engines_agree_on_random_multi_opt_games(
+        seed in 0u64..1 << 48,
+        horizon in 16u32..=32,
+        max_users in 4u32..=24,
+        num_opts in 1u32..=16,
+        mean_cost_cents in 1i64..=300,
+        tie_seed in 0u64..8,
+    ) {
+        // tie_seed 0 exercises the deterministic policy; the rest, the
+        // seeded-random one.
+        let tiebreak = match tie_seed {
+            0 => TieBreak::LowestOptId,
+            s => TieBreak::Random(s),
+        };
+        for game in 0..GAMES_PER_CASE {
+            let cfg = SubstOnDiffConfig {
+                seed: seed.wrapping_mul(GAMES_PER_CASE).wrapping_add(game),
+                horizon,
+                max_users,
+                num_opts,
+                mean_cost_cents,
+                tiebreak,
+            };
+            if let Err(divergence) = subston_differential(&cfg) {
+                prop_assert!(false, "{divergence}\nconfig: {cfg:?}");
+            }
+        }
+    }
+}

@@ -3,7 +3,7 @@
 //! never panic, must reject protocol violations with typed errors, and
 //! must leave the accounting invariants intact at the end.
 
-use proptest::prelude::{prop_assert, proptest, Strategy as PropStrategy};
+use proptest::prelude::{prop_assert, prop_assert_eq, proptest, Strategy as PropStrategy};
 
 use osp::prelude::*;
 
@@ -109,6 +109,67 @@ proptest! {
         for w in shares.windows(2) {
             prop_assert!(w[1] <= w[0], "share rose: {w:?}");
         }
+    }
+
+    /// The two bid shapes PR 4's review fix showed are easy to get
+    /// wrong, fuzzed as an engine pair: series with **zero-value
+    /// tails** (the residual hits zero while the bid is live, so the
+    /// incremental engine must keep the user rather than retire her)
+    /// and **revisions after expiry** (the incremental engine retired
+    /// the user; an extension must resurrect her). Every operation
+    /// result, slot report, and the final outcome must be identical on
+    /// both engines.
+    #[test]
+    fn engines_agree_under_zero_tails_and_expiry_revivals(
+        cost in 1i64..400,
+        ops in arb_ops(),
+        zero_tail_mask in proptest::collection::vec(0u8..4, 30),
+    ) {
+        const HORIZON: u32 = 6;
+        let cost = Money::from_cents(cost);
+        let mut inc = AddOnState::with_engine(cost, HORIZON, Engine::Incremental).unwrap();
+        let mut reb = AddOnState::with_engine(cost, HORIZON, Engine::Rebuild).unwrap();
+        let mut advances = 0u32;
+        for (k, op) in ops.into_iter().enumerate() {
+            match op {
+                Op::Submit { user, start, mut values } => {
+                    // Force a zero tail on most submitted series: the
+                    // bid stays live for `tail` slots after its value
+                    // runs out.
+                    let tail = zero_tail_mask[k] as usize;
+                    values.extend(std::iter::repeat_n(0, tail));
+                    values.truncate(HORIZON as usize);
+                    let series = SlotSeries::new(
+                        SlotId(start),
+                        values.iter().map(|&v| Money::from_cents(v)).collect(),
+                    )
+                    .unwrap();
+                    let a = inc.submit(OnlineBid::new(UserId(user), series.clone()));
+                    let b = reb.submit(OnlineBid::new(UserId(user), series));
+                    prop_assert_eq!(a, b);
+                }
+                Op::Revise { user, from, values } => {
+                    // `arb_ops` draws `from` over the whole horizon, so
+                    // with short series this regularly lands *after*
+                    // the user's expiry — the resurrection path.
+                    let values: Vec<Money> =
+                        values.iter().map(|&v| Money::from_cents(v)).collect();
+                    let a = inc.revise(UserId(user), SlotId(from), values.clone());
+                    let b = reb.revise(UserId(user), SlotId(from), values);
+                    prop_assert_eq!(a, b);
+                }
+                Op::Advance => {
+                    if advances < HORIZON {
+                        prop_assert_eq!(inc.advance().unwrap(), reb.advance().unwrap());
+                        advances += 1;
+                    }
+                }
+            }
+        }
+        let inc_out = inc.finish().unwrap();
+        let reb_out = reb.finish().unwrap();
+        prop_assert_eq!(&inc_out, &reb_out);
+        audit::check_addon_outcome(&inc_out).unwrap();
     }
 
     /// Same exercise for SubstOnState with random substitute sets.

@@ -102,6 +102,79 @@ fn scenarios_and_stats_round_trip() {
 }
 
 #[test]
+fn residual_tracker_round_trips() {
+    use osp::econ::ResidualTracker;
+    let mut tracker = ResidualTracker::new();
+    tracker.insert(UserId(0), &series(1, &[3, 2]), SlotId(1));
+    tracker.insert(UserId(7), &series(2, &[5]), SlotId(1));
+    assert_eq!(round_trip(&tracker), tracker);
+}
+
+/// Resumable games, end to end: checkpoint an [`AddOnState`] mid-game
+/// (solver + running residuals included), resume the deserialized copy
+/// alongside the original, and require bit-identical reports and
+/// outcomes — on both engines.
+#[test]
+fn addon_state_checkpoint_resumes_identically() {
+    for engine in [Engine::Incremental, Engine::Rebuild] {
+        let mut st = AddOnState::with_engine(d(100), 5, engine).unwrap();
+        st.submit(OnlineBid::new(UserId(0), series(1, &[101, 0])))
+            .unwrap();
+        st.submit(OnlineBid::new(UserId(1), series(1, &[30, 30, 0])))
+            .unwrap();
+        st.submit(OnlineBid::new(UserId(2), series(3, &[80])))
+            .unwrap();
+        st.advance().unwrap();
+        st.revise(UserId(1), SlotId(2), vec![d(40), d(10), d(10)])
+            .unwrap();
+        st.advance().unwrap();
+
+        // Checkpoint after two slots and a revision.
+        let mut resumed: AddOnState = round_trip(&st);
+        for _ in 3..=5 {
+            assert_eq!(
+                st.advance().unwrap(),
+                resumed.advance().unwrap(),
+                "{engine:?}"
+            );
+        }
+        assert_eq!(st.finish().unwrap(), resumed.finish().unwrap());
+    }
+}
+
+/// Same exercise for [`SubstOnState`]: the checkpoint carries the
+/// per-opt solvers and residuals; the batched-solver scratch is cache
+/// and restarts cold without changing any outcome.
+#[test]
+fn subston_state_checkpoint_resumes_identically() {
+    for engine in [Engine::Incremental, Engine::Rebuild] {
+        let mut st =
+            SubstOnState::with_engine(vec![d(60), d(100), d(50)], 4, TieBreak::Random(7), engine)
+                .unwrap();
+        let sub_bid = |u: u32, start: u32, vals: &[i64], subs: &[u32]| SubstOnlineBid {
+            user: UserId(u),
+            substitutes: subs.iter().map(|&j| OptId(j)).collect(),
+            series: series(start, vals),
+        };
+        st.submit(sub_bid(0, 1, &[100, 100], &[0, 1])).unwrap();
+        st.submit(sub_bid(1, 2, &[100, 100], &[0, 1, 2])).unwrap();
+        st.submit(sub_bid(2, 3, &[100, 0], &[2])).unwrap();
+        st.advance().unwrap();
+        st.advance().unwrap();
+
+        let mut resumed: SubstOnState = round_trip(&st);
+        for _ in 3..=4 {
+            assert_eq!(
+                st.advance().unwrap(),
+                resumed.advance().unwrap(),
+                "{engine:?}"
+            );
+        }
+        assert_eq!(st.finish().unwrap(), resumed.finish().unwrap());
+    }
+}
+
+#[test]
 fn cloudsim_artifacts_round_trip() {
     use osp::cloudsim::catalog::table;
     use osp::cloudsim::{Catalog, CloudOptimization, LogicalPlan, OptimizationKind};

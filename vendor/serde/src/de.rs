@@ -1,6 +1,6 @@
 //! Deserialization traits and impls for std types.
 
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::fmt::Display;
 use std::hash::Hash;
 
@@ -175,6 +175,15 @@ impl<'de, T: DeserializeOwned, const N: usize> Deserialize<'de> for [T; N] {
 }
 
 impl<'de, T: DeserializeOwned + Ord> Deserialize<'de> for BTreeSet<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        seq_items::<D::Error>(deserializer.into_value()?, "array")?
+            .into_iter()
+            .map(|v| from_value(v).map_err(D::Error::custom))
+            .collect()
+    }
+}
+
+impl<'de, T: DeserializeOwned + Eq + Hash> Deserialize<'de> for HashSet<T> {
     fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
         seq_items::<D::Error>(deserializer.into_value()?, "array")?
             .into_iter()

@@ -1,6 +1,6 @@
 //! Serialization traits and impls for std types.
 
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::fmt::Display;
 
 use crate::value::{to_value, Number, Value};
@@ -142,6 +142,13 @@ impl<T: Serialize, const N: usize> Serialize for [T; N] {
 }
 
 impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let items = self.iter().map(sub).collect::<Result<Vec<_>, _>>()?;
+        serializer.serialize_value(Value::Array(items))
+    }
+}
+
+impl<T: Serialize> Serialize for HashSet<T> {
     fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
         let items = self.iter().map(sub).collect::<Result<Vec<_>, _>>()?;
         serializer.serialize_value(Value::Array(items))
