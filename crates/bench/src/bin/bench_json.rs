@@ -1,40 +1,129 @@
-//! Writes the repo's tracked mechanism perf record.
+//! Writes — and regression-checks — the repo's tracked mechanism perf
+//! record.
 //!
 //! ```text
 //! cargo run --release -p osp-bench --bin bench_json            # full suite
 //! cargo run --release -p osp-bench --bin bench_json -- --quick # CI mode
 //! cargo run --release -p osp-bench --bin bench_json -- --out perf.json
+//! cargo run --release -p osp-bench --bin bench_json -- --check --fresh perf.json
 //! ```
 //!
-//! Produces `BENCH_mechanisms.json` (see [`osp_bench::perf`]) and
-//! prints an aligned summary, including the AddOn incremental-vs-
-//! rebuild speedup per size.
+//! Without `--check`, produces `BENCH_mechanisms.json` (see
+//! [`osp_bench::perf`]) and prints an aligned summary, including the
+//! AddOn incremental-vs-rebuild speedup per size.
+//!
+//! With `--check`, compares a fresh report (`--fresh FILE`, or a fresh
+//! quick run when omitted) against the tracked baseline (`--baseline
+//! FILE`, default `BENCH_mechanisms.json`) and exits non-zero if any
+//! shared (mechanism, workload, engine, users) point lost more than
+//! `--tolerance` (default 0.15) of its baseline throughput. Fresh
+//! points the baseline lacks are listed informationally.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use osp_bench::perf;
+use osp_bench::perf::{self, PerfReport};
+
+fn load_report(path: &Path) -> Result<PerfReport, String> {
+    let json = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    serde_json::from_str(&json).map_err(|e| format!("bad perf report {}: {e}", path.display()))
+}
+
+fn run_check(
+    baseline_path: &Path,
+    fresh_path: Option<&Path>,
+    tolerance: f64,
+) -> Result<bool, String> {
+    let baseline = load_report(baseline_path)?;
+    let fresh = match fresh_path {
+        Some(path) => load_report(path)?,
+        None => {
+            eprintln!("no --fresh file given; measuring a quick run");
+            perf::run(true)
+        }
+    };
+    let result = perf::check(&baseline, &fresh, tolerance);
+    for line in &result.lines {
+        println!(
+            "{:<12} {:<44} baseline {:>12.0} fresh {:>12.0} ({:.2}x)",
+            if line.regressed { "REGRESSION" } else { "ok" },
+            line.label,
+            line.baseline_ops,
+            line.fresh_ops,
+            line.ratio
+        );
+    }
+    for label in &result.new_points {
+        println!("{:<12} {label} (no baseline point)", "new");
+    }
+    let regressed = result.regressions().count();
+    println!(
+        "checked {} points against {}: {} regressed (tolerance {:.0}%), {} new",
+        result.lines.len(),
+        baseline_path.display(),
+        regressed,
+        tolerance * 100.0,
+        result.new_points.len()
+    );
+    Ok(result.passed())
+}
 
 fn main() -> ExitCode {
     let mut quick = false;
+    let mut check = false;
     let mut out = PathBuf::from("BENCH_mechanisms.json");
+    let mut baseline = PathBuf::from("BENCH_mechanisms.json");
+    let mut fresh: Option<PathBuf> = None;
+    let mut tolerance = 0.15f64;
+    let usage = "usage: bench_json [--quick] [--out FILE] \
+                 [--check [--baseline FILE] [--fresh FILE] [--tolerance FRAC]]";
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--quick" => quick = true,
-            "--out" => match args.next() {
-                Some(path) => out = PathBuf::from(path),
-                None => {
-                    eprintln!("--out requires a path");
-                    return ExitCode::FAILURE;
-                }
-            },
-            other => {
-                eprintln!("unknown argument `{other}`");
-                eprintln!("usage: bench_json [--quick] [--out FILE]");
-                return ExitCode::FAILURE;
+        let path_value = |args: &mut dyn Iterator<Item = String>| match args.next() {
+            Some(path) => Ok(PathBuf::from(path)),
+            None => Err(format!("{arg} requires a value")),
+        };
+        let result = match arg.as_str() {
+            "--quick" => {
+                quick = true;
+                Ok(())
             }
+            "--check" => {
+                check = true;
+                Ok(())
+            }
+            "--out" => path_value(&mut args).map(|p| out = p),
+            "--baseline" => path_value(&mut args).map(|p| baseline = p),
+            "--fresh" => path_value(&mut args).map(|p| fresh = Some(p)),
+            "--tolerance" => match args.next().map(|v| v.parse::<f64>()) {
+                Some(Ok(t)) if (0.0..1.0).contains(&t) => {
+                    tolerance = t;
+                    Ok(())
+                }
+                _ => Err("--tolerance requires a fraction in [0, 1)".to_owned()),
+            },
+            other => Err(format!("unknown argument `{other}`")),
+        };
+        if let Err(e) = result {
+            eprintln!("{e}");
+            eprintln!("{usage}");
+            return ExitCode::FAILURE;
         }
+    }
+
+    if check {
+        return match run_check(&baseline, fresh.as_deref(), tolerance) {
+            Ok(true) => ExitCode::SUCCESS,
+            Ok(false) => {
+                eprintln!("perf regression beyond tolerance; see REGRESSION lines above");
+                ExitCode::FAILURE
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::FAILURE
+            }
+        };
     }
 
     let report = perf::run(quick);

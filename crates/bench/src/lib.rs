@@ -11,6 +11,7 @@
 //! | [`table`] | aligned-text + CSV output |
 //! | [`parallel`] | work-stealing fork-join over sweep points |
 //! | [`perf`] | mechanism throughput record (`BENCH_mechanisms.json`) |
+//! | [`server_load`] | multi-game load traces for the sharded server |
 //! | [`differential`] | fast-vs-reference oracle for the online mechanisms |
 //!
 //! Run everything with `cargo run -p osp-bench --release --bin
@@ -26,5 +27,6 @@ pub mod differential;
 pub mod fig1;
 pub mod parallel;
 pub mod perf;
+pub mod server_load;
 pub mod sweeps;
 pub mod table;

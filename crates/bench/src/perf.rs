@@ -35,6 +35,8 @@ use serde::{Deserialize, Serialize};
 use osp_core::prelude::*;
 use osp_workload::{gen, AdditiveConfig, ArrivalProcess, SubstConfig};
 
+use crate::server_load::{self, LoadConfig};
+
 /// One measured (mechanism, engine, size) point.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BenchRecord {
@@ -111,6 +113,18 @@ pub const WORKLOAD_UNIFORM: &str = "uniform_z20";
 pub const WORKLOAD_LONGLIVED: &str = "longlived_z120";
 /// See [`WORKLOAD_UNIFORM`].
 pub const WORKLOAD_SUBST12: &str = "subst12_z20";
+/// The sharded-server load trace: [`SERVER_GAMES`] concurrent games
+/// driven through the wire protocol (engine axis `server1`/`server4` =
+/// shard count). Identical in quick and full mode so the CI `--check`
+/// gate compares like against like.
+pub const WORKLOAD_MULTIGAME: &str = "multigame_1000g";
+
+/// Concurrent games in the [`WORKLOAD_MULTIGAME`] trace.
+pub const SERVER_GAMES: u64 = 1_000;
+/// Users per game in the [`WORKLOAD_MULTIGAME`] trace.
+pub const SERVER_USERS_PER_GAME: u32 = 4;
+/// Horizon of every game in the [`WORKLOAD_MULTIGAME`] trace.
+pub const SERVER_HORIZON: u32 = 6;
 
 const SEED: u64 = 0x05f5_c0de;
 
@@ -207,8 +221,13 @@ fn subst_game(users: u32) -> SubstOnGame {
 /// 6× the uniform workload's at equal m).
 #[must_use]
 pub fn run(quick: bool) -> PerfReport {
+    // Quick mode still amortizes over ≥ 0.15 s per point: a single
+    // cold iteration measures first-touch costs, not throughput, and
+    // sits 20–30% below the full-mode numbers for the same workload —
+    // which would trip the `check` gate against the committed
+    // (full-mode) baseline on every CI run.
     let (sizes, min_iters, min_secs): (&[u32], u32, f64) = if quick {
-        (&[1_000, 10_000], 1, 0.0)
+        (&[1_000, 10_000], 2, 0.15)
     } else {
         (&[1_000, 10_000, 100_000], 2, 0.5)
     };
@@ -315,6 +334,40 @@ pub fn run(quick: bool) -> PerfReport {
         }
     }
 
+    // The sharded server, replaying the same multi-game trace on one
+    // shard and on four: the `server4`/`server1` ratio is the server's
+    // parallel speedup, and both are regression-gated by `--check`.
+    for subst in [false, true] {
+        let trace = server_load::build_trace(&LoadConfig {
+            games: SERVER_GAMES,
+            users_per_game: SERVER_USERS_PER_GAME,
+            horizon: SERVER_HORIZON,
+            subst,
+            seed: SEED,
+        });
+        for shards in [1usize, 4] {
+            // Thread-parallel replays are noisier than the in-process
+            // loops; amortize over a full second in both modes.
+            let (iters, elapsed) = measure(
+                || {
+                    let result = server_load::replay(&trace, shards, 1_024);
+                    assert_eq!(result.errors, 0, "load trace must replay cleanly");
+                },
+                min_iters,
+                min_secs.max(1.0),
+            );
+            records.push(record(
+                if subst { "subston" } else { "addon" },
+                WORKLOAD_MULTIGAME,
+                &format!("server{shards}"),
+                SERVER_GAMES as u32 * SERVER_USERS_PER_GAME,
+                SERVER_HORIZON,
+                iters,
+                elapsed,
+            ));
+        }
+    }
+
     let mut speedup = Vec::new();
     for inc in records.iter().filter(|r| r.engine == "incremental") {
         let reb = records.iter().find(|r| {
@@ -363,6 +416,79 @@ fn record(
     }
 }
 
+/// One fresh point compared against the tracked baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckLine {
+    /// `mechanism/workload/engine m=users`.
+    pub label: String,
+    /// Baseline throughput.
+    pub baseline_ops: f64,
+    /// Fresh throughput.
+    pub fresh_ops: f64,
+    /// `fresh / baseline`.
+    pub ratio: f64,
+    /// `true` when the fresh point fell below `(1 − tolerance) ×
+    /// baseline`.
+    pub regressed: bool,
+}
+
+/// Outcome of [`check`]: every comparable point, plus the fresh points
+/// the baseline does not know yet (informational, never failing).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckReport {
+    /// Compared points, in fresh-record order.
+    pub lines: Vec<CheckLine>,
+    /// Labels of fresh points absent from the baseline.
+    pub new_points: Vec<String>,
+}
+
+impl CheckReport {
+    /// The regressed subset of [`CheckReport::lines`].
+    pub fn regressions(&self) -> impl Iterator<Item = &CheckLine> {
+        self.lines.iter().filter(|l| l.regressed)
+    }
+
+    /// `true` when no compared point regressed.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.regressions().next().is_none()
+    }
+}
+
+/// Compares `fresh` against `baseline` on the intersection of
+/// (mechanism, workload, engine, users) points: a fresh point slower
+/// than `(1 − tolerance) × baseline` is a regression. Fresh points the
+/// baseline lacks are reported as new, not failed — a PR adding a
+/// workload stays green until the refreshed baseline is committed.
+///
+/// The `server*` engine points (thread-parallel replays, at the mercy
+/// of the runner's scheduler) are gated at **double** the tolerance;
+/// single-threaded points get the tolerance as given.
+#[must_use]
+pub fn check(baseline: &PerfReport, fresh: &PerfReport, tolerance: f64) -> CheckReport {
+    let mut lines = Vec::new();
+    let mut new_points = Vec::new();
+    for f in &fresh.records {
+        let label = format!("{}/{}/{} m={}", f.mechanism, f.workload, f.engine, f.users);
+        let tol = if f.engine.starts_with("server") {
+            (tolerance * 2.0).min(0.95)
+        } else {
+            tolerance
+        };
+        match baseline.find(&f.mechanism, &f.workload, &f.engine, f.users) {
+            Some(b) => lines.push(CheckLine {
+                label,
+                baseline_ops: b.ops_per_sec,
+                fresh_ops: f.ops_per_sec,
+                ratio: f.ops_per_sec / b.ops_per_sec,
+                regressed: f.ops_per_sec < (1.0 - tol) * b.ops_per_sec,
+            }),
+            None => new_points.push(label),
+        }
+    }
+    CheckReport { lines, new_points }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -389,9 +515,74 @@ mod tests {
         assert!(report
             .find("regret", WORKLOAD_UNIFORM, "-", 1_000)
             .is_some());
+        let server_users = SERVER_GAMES as u32 * SERVER_USERS_PER_GAME;
+        for mechanism in ["addon", "subston"] {
+            for engine in ["server1", "server4"] {
+                let rec = report
+                    .find(mechanism, WORKLOAD_MULTIGAME, engine, server_users)
+                    .unwrap_or_else(|| panic!("{mechanism}/{engine}"));
+                assert!(rec.ops_per_sec > 0.0);
+                assert_eq!(rec.slots, SERVER_HORIZON);
+            }
+        }
         // One speedup entry per point measured under both engines:
         // addon uniform ×2, addon longlived ×1, subston ×1.
         assert!(report.speedup_incremental_over_rebuild.len() >= 4);
+    }
+
+    fn point(engine: &str, users: u32, ops: f64) -> BenchRecord {
+        BenchRecord {
+            mechanism: "addon".into(),
+            workload: WORKLOAD_UNIFORM.into(),
+            engine: engine.into(),
+            users,
+            slots: SLOTS,
+            iters: 1,
+            elapsed_s: 1.0,
+            ops_per_sec: ops,
+        }
+    }
+
+    fn report_of(records: Vec<BenchRecord>) -> PerfReport {
+        PerfReport {
+            schema_version: 2,
+            quick: true,
+            records,
+            speedup_incremental_over_rebuild: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn check_flags_regressions_and_tolerates_noise_and_new_points() {
+        let baseline = report_of(vec![
+            point("incremental", 1_000, 100.0),
+            point("rebuild", 1_000, 100.0),
+        ]);
+        let fresh = report_of(vec![
+            point("incremental", 1_000, 90.0), // within 15% tolerance
+            point("rebuild", 1_000, 80.0),     // 20% drop: regression
+            point("server4", 4_000, 50.0),     // no baseline: new point
+        ]);
+        let result = check(&baseline, &fresh, 0.15);
+        assert_eq!(result.lines.len(), 2);
+        assert!(!result.lines[0].regressed);
+        assert!(result.lines[1].regressed);
+        assert!(!result.passed());
+        assert_eq!(result.regressions().count(), 1);
+        assert_eq!(
+            result.new_points,
+            vec!["addon/uniform_z20/server4 m=4000".to_owned()]
+        );
+        // Exactly at the tolerance boundary is not a regression.
+        let boundary = report_of(vec![point("incremental", 1_000, 85.0)]);
+        assert!(check(&baseline, &boundary, 0.15).passed());
+        // Thread-parallel `server*` points get double tolerance: a 25%
+        // drop passes at 0.15 (gate 30%), a 35% drop does not.
+        let server_baseline = report_of(vec![point("server4", 4_000, 100.0)]);
+        let wobble = report_of(vec![point("server4", 4_000, 75.0)]);
+        assert!(check(&server_baseline, &wobble, 0.15).passed());
+        let drop = report_of(vec![point("server4", 4_000, 65.0)]);
+        assert!(!check(&server_baseline, &drop, 0.15).passed());
     }
 
     #[test]

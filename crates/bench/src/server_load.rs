@@ -1,0 +1,270 @@
+//! Multi-game server load harness.
+//!
+//! Builds wire-protocol traces from `osp_workload` scenarios — one
+//! scenario per game, arrivals issued just-in-time at their start
+//! slot, slots interleaved round-robin across all games — and replays
+//! them through a [`ShardPool`], measuring sustained request
+//! throughput. [`crate::perf`] records the result as the `server1` /
+//! `server4` engine axis of `BENCH_mechanisms.json`; correctness of
+//! the replay path is locked by `osp-server`'s differential tests, so
+//! this module only counts and times.
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use osp_core::prelude::*;
+use osp_server::protocol::{GameId, Mechanism, Op, Reply, Request, ShardStat};
+use osp_server::{money_to_decimal, ShardPool};
+use osp_workload::{gen, AdditiveConfig, ArrivalProcess, SubstConfig};
+
+/// Shape of a generated load trace.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadConfig {
+    /// Number of concurrent games.
+    pub games: u64,
+    /// Users per game.
+    pub users_per_game: u32,
+    /// Horizon of every game.
+    pub horizon: u32,
+    /// `false`: additive games; `true`: substitutable games (4 opts,
+    /// 2 substitutes per user).
+    pub subst: bool,
+    /// Scenario seed.
+    pub seed: u64,
+}
+
+fn series_values(series: &SlotSeries) -> Vec<String> {
+    series
+        .iter()
+        .map(|(_, m)| money_to_decimal(m).expect("workload values are decimal-exact"))
+        .collect()
+}
+
+/// Builds the request trace for `cfg`: all creates, then slot-phased
+/// round-robin traffic (arrivals at their start slot, one explicit
+/// tick per game per slot), so thousands of games are in flight at
+/// once.
+#[must_use]
+pub fn build_trace(cfg: &LoadConfig) -> Vec<Request> {
+    let mut requests = Vec::new();
+    let mut next_id = 0u64;
+    let mut push = |requests: &mut Vec<Request>, op: Op| {
+        next_id += 1;
+        requests.push(Request { id: next_id, op });
+    };
+    // (start_slot, arrive-op) per game, filled while creating.
+    let mut arrivals: Vec<Vec<(u32, Op)>> = Vec::with_capacity(cfg.games as usize);
+    for game in 0..cfg.games {
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ game.wrapping_mul(0x9E37_79B9));
+        let game_id = GameId(game);
+        if cfg.subst {
+            let scenario = gen::subst_scenario(
+                &SubstConfig {
+                    num_users: cfg.users_per_game,
+                    horizon: cfg.horizon,
+                    num_opts: 4,
+                    substitutes_per_user: 2,
+                },
+                Money::from_cents(60),
+                &mut rng,
+            );
+            push(
+                &mut requests,
+                Op::Create {
+                    game: game_id,
+                    mechanism: Mechanism::SubstOn,
+                    horizon: cfg.horizon,
+                    costs: scenario
+                        .costs
+                        .iter()
+                        .map(|&c| money_to_decimal(c).expect("costs are decimal-exact"))
+                        .collect(),
+                    engine: None,
+                    seed: None,
+                },
+            );
+            arrivals.push(
+                scenario
+                    .users
+                    .iter()
+                    .map(|u| {
+                        (
+                            u.series.start().index(),
+                            Op::Arrive {
+                                game: game_id,
+                                user: u.user.0,
+                                start: u.series.start().index(),
+                                values: series_values(&u.series),
+                                substitutes: u.substitutes.iter().map(|o| o.index()).collect(),
+                            },
+                        )
+                    })
+                    .collect(),
+            );
+        } else {
+            // Pick start slots so `start + duration − 1` stays inside
+            // the game horizon (the sampler extends its effective
+            // horizon by `duration − 1`). The duration must be a
+            // power of two: `split_evenly` divides a micro-grid total
+            // by it, and only 2^k divisors keep the per-slot values
+            // decimal-exact for the wire.
+            let duration = if cfg.horizon >= 4 { 4 } else { 1 };
+            let scenario = gen::additive_scenario(
+                &AdditiveConfig {
+                    num_users: cfg.users_per_game,
+                    horizon: cfg.horizon - duration + 1,
+                    arrivals: ArrivalProcess::Uniform,
+                    duration,
+                },
+                Money::from_cents(60),
+                &mut rng,
+            );
+            debug_assert_eq!(scenario.horizon, cfg.horizon);
+            push(
+                &mut requests,
+                Op::Create {
+                    game: game_id,
+                    mechanism: Mechanism::AddOn,
+                    horizon: cfg.horizon,
+                    costs: vec![money_to_decimal(scenario.cost).expect("cost is decimal-exact")],
+                    engine: None,
+                    seed: None,
+                },
+            );
+            arrivals.push(
+                scenario
+                    .users
+                    .iter()
+                    .map(|(user, series)| {
+                        (
+                            series.start().index(),
+                            Op::Arrive {
+                                game: game_id,
+                                user: user.0,
+                                start: series.start().index(),
+                                values: series_values(series),
+                                substitutes: Vec::new(),
+                            },
+                        )
+                    })
+                    .collect(),
+            );
+        }
+    }
+    for t in 1..=cfg.horizon {
+        for (game, game_arrivals) in arrivals.iter().enumerate() {
+            for (start, op) in game_arrivals {
+                if *start == t {
+                    push(&mut requests, op.clone());
+                }
+            }
+            push(
+                &mut requests,
+                Op::Tick {
+                    game: GameId(game as u64),
+                    slot: Some(t),
+                },
+            );
+        }
+    }
+    requests
+}
+
+/// What one replay measured.
+#[derive(Debug, Clone)]
+pub struct LoadResult {
+    /// Requests replayed.
+    pub requests: usize,
+    /// Error replies among them.
+    pub errors: usize,
+    /// Wall-clock seconds from first submit to drained shutdown.
+    pub elapsed_s: f64,
+    /// `requests / elapsed_s`.
+    pub requests_per_sec: f64,
+    /// Final per-shard statistics.
+    pub shards: Vec<ShardStat>,
+}
+
+/// Replays `trace` through a fresh pool, blocking until every request
+/// is answered (shutdown drains the queues).
+#[must_use]
+pub fn replay(trace: &[Request], shards: usize, queue_cap: usize) -> LoadResult {
+    let pool = ShardPool::new(shards, queue_cap, Engine::Incremental);
+    let (tx, rx) = std::sync::mpsc::channel::<osp_server::protocol::Response>();
+    let collector = std::thread::spawn(move || {
+        let (mut answered, mut errors) = (0usize, 0usize);
+        for response in rx {
+            answered += 1;
+            if matches!(response.reply, Reply::Error { .. }) {
+                errors += 1;
+            }
+        }
+        (answered, errors)
+    });
+    let start = Instant::now();
+    for request in trace {
+        pool.submit(request.clone(), &tx);
+    }
+    let stats = pool.shutdown();
+    let elapsed = start.elapsed().as_secs_f64();
+    drop(tx);
+    let (answered, errors) = collector.join().expect("collector thread");
+    assert_eq!(answered, trace.len(), "a request went unanswered");
+    LoadResult {
+        requests: trace.len(),
+        errors,
+        elapsed_s: elapsed,
+        requests_per_sec: trace.len() as f64 / elapsed,
+        shards: stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SMALL: LoadConfig = LoadConfig {
+        games: 50,
+        users_per_game: 4,
+        horizon: 6,
+        subst: false,
+        seed: 0x05f5_c0de,
+    };
+
+    #[test]
+    fn traces_are_deterministic_and_cover_every_game() {
+        let trace = build_trace(&SMALL);
+        assert_eq!(trace, build_trace(&SMALL));
+        let creates = trace
+            .iter()
+            .filter(|r| matches!(r.op, Op::Create { .. }))
+            .count();
+        let ticks = trace
+            .iter()
+            .filter(|r| matches!(r.op, Op::Tick { .. }))
+            .count();
+        assert_eq!(creates, SMALL.games as usize);
+        assert_eq!(ticks, (SMALL.games * u64::from(SMALL.horizon)) as usize);
+    }
+
+    #[test]
+    fn replay_answers_everything_without_errors() {
+        for subst in [false, true] {
+            let trace = build_trace(&LoadConfig { subst, ..SMALL });
+            let result = replay(&trace, 4, 64);
+            assert_eq!(result.requests, trace.len());
+            assert_eq!(result.errors, 0, "subst={subst}");
+            assert!(result.requests_per_sec > 0.0);
+            assert_eq!(
+                result.shards.iter().map(|s| s.events).sum::<u64>(),
+                trace.len() as u64
+            );
+            assert_eq!(
+                result.shards.iter().map(|s| s.games).sum::<u64>(),
+                SMALL.games
+            );
+        }
+    }
+}

@@ -11,16 +11,36 @@ use std::process::ExitCode;
 
 use osp_core::prelude::TieBreak;
 
+mod checkpoint;
 mod input;
 mod report;
+mod serve;
 
 use input::GameKind;
 
 fn usage() -> &'static str {
     "usage:
   osp run <game.json> [--tiebreak lowest|random:<seed>] [--compare-regret] [--json]
+      Run the mechanism in the file and print the pricing report.
+      --tiebreak        substitutable phase tie-break policy (default: lowest)
+      --compare-regret  also run the regret-minimization baseline
+      --json            machine-readable report instead of the table
   osp validate <game.json>
+      Parse and compile the file without running it.
   osp example <addoff|addon|substoff|subston>
+      Print a commented template game file for the given mechanism.
+  osp serve [--shards <n>] [--queue-cap <n>] [--engine incremental|rebuild]
+            [--socket <path>]
+      Run the sharded multi-game pricing server. Speaks line-delimited
+      JSON requests/responses on stdin/stdout, or on a Unix socket with
+      --socket. Defaults: 4 shards, queue cap 1024, incremental engine.
+  osp checkpoint <game.json> --out <state.json> [--at <slot>]
+                 [--tiebreak lowest|random:<seed>]
+      Run the game's state machine up to (not including) slot <slot>
+      (default 1) and write the serialized state. Online kinds only.
+  osp resume <state.json> [--json]
+      Load a checkpointed state, play out the remaining slots, and
+      print the final outcome.
 
 The game file format is shown by `osp example <kind>`: optimizations
 with decimal-string costs, users with additive per-slot bids or
@@ -106,6 +126,9 @@ fn real_main() -> Result<(), String> {
             }
             Ok(())
         }
+        Some("serve") => serve::serve(&args[1..], usage()),
+        Some("checkpoint") => checkpoint::checkpoint(&args[1..], usage()),
+        Some("resume") => checkpoint::resume(&args[1..], usage()),
         _ => Err(usage().to_owned()),
     }
 }

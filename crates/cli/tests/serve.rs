@@ -1,0 +1,307 @@
+//! End-to-end tests of the `osp` binary: the pipe-mode server replays
+//! a 100-game trace and must agree with the sequential oracle, and
+//! checkpoint/resume round-trips a game through disk.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+use osp_core::prelude::Engine;
+use osp_server::game::{decode_snapshot, FinalOutcome, GameState};
+use osp_server::protocol::{Reply, Request, Response, SnapshotDoc};
+use osp_server::script::{self, ScriptConfig};
+
+fn osp() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_osp"))
+}
+
+fn outcome_of(doc: &SnapshotDoc) -> FinalOutcome {
+    match decode_snapshot(doc).expect("snapshot decodes") {
+        GameState::Add(state) => FinalOutcome::Add(state.finish().expect("finished game")),
+        GameState::Subst(state) => FinalOutcome::Subst(state.finish().expect("finished game")),
+    }
+}
+
+#[test]
+fn pipe_server_smoke_100_games_matches_oracle() {
+    let cfg = ScriptConfig::smoke(100);
+    let requests = script::generate(&cfg);
+    let shutdown_id = requests.len() as u64 + 1;
+
+    let mut child = osp()
+        .args(["serve", "--shards", "4", "--queue-cap", "64"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn osp serve");
+    {
+        let stdin = child.stdin.as_mut().expect("piped stdin");
+        let mut feed = String::new();
+        for request in &requests {
+            feed.push_str(&serde_json::to_string(request).unwrap());
+            feed.push('\n');
+        }
+        feed.push_str(
+            &serde_json::to_string(&Request {
+                id: shutdown_id,
+                op: osp_server::protocol::Op::Shutdown,
+            })
+            .unwrap(),
+        );
+        feed.push('\n');
+        stdin.write_all(feed.as_bytes()).expect("feed the trace");
+    }
+    let output = child.wait_with_output().expect("osp serve exits");
+    assert!(
+        output.status.success(),
+        "serve failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+
+    let stdout = String::from_utf8(output.stdout).expect("utf-8 responses");
+    let mut responses: Vec<Response> = stdout
+        .lines()
+        .map(|line| serde_json::from_str(line).expect("each line parses"))
+        .collect();
+    assert_eq!(responses.len(), requests.len() + 1);
+
+    // The final line is the shutdown acknowledgement.
+    let bye = responses.pop().unwrap();
+    assert_eq!(bye.id, shutdown_id);
+    match bye.reply {
+        Reply::Bye { shards } => {
+            assert_eq!(shards.len(), 4);
+            assert_eq!(
+                shards.iter().map(|s| s.events).sum::<u64>(),
+                requests.len() as u64
+            );
+            assert!(shards.iter().all(|s| s.queue_depth == 0));
+        }
+        other => panic!("expected bye, got {other:?}"),
+    }
+
+    responses.sort_by_key(|r| r.id);
+    let oracle = script::oracle(&requests, Engine::Rebuild, 4);
+    for (served, expected) in responses.iter().zip(&oracle.responses) {
+        assert_eq!(served.id, expected.id);
+        match (&served.reply, &expected.reply) {
+            (Reply::Snapshot { game, doc }, Reply::Snapshot { game: g2, doc: d2 }) => {
+                assert_eq!(game, g2);
+                assert_eq!(outcome_of(doc), outcome_of(d2), "game {game}");
+            }
+            _ => assert_eq!(served, expected),
+        }
+    }
+}
+
+#[test]
+fn malformed_lines_get_bad_request_replies() {
+    let mut child = osp()
+        .arg("serve")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn osp serve");
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(b"this is not json\n{\"id\": 3, \"op\": \"stats\"}\n{\"id\": 4, \"op\": \"shutdown\"}\n")
+        .unwrap();
+    let output = child.wait_with_output().expect("osp serve exits");
+    assert!(output.status.success());
+    let lines: Vec<Response> = String::from_utf8(output.stdout)
+        .unwrap()
+        .lines()
+        .map(|l| serde_json::from_str(l).unwrap())
+        .collect();
+    assert_eq!(lines.len(), 3);
+    assert!(
+        matches!(&lines[0].reply, Reply::Error { code, .. } if code == "bad_request"),
+        "{:?}",
+        lines[0]
+    );
+    assert!(matches!(&lines[1].reply, Reply::Stats { .. }));
+    assert!(matches!(&lines[2].reply, Reply::Bye { .. }));
+}
+
+#[test]
+fn checkpoint_resume_round_trips_on_disk() {
+    let dir = std::env::temp_dir().join(format!("osp-ckpt-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let game = dir.join("game.json");
+    let state = dir.join("state.json");
+
+    let template = osp().args(["example", "addon"]).output().unwrap();
+    assert!(template.status.success());
+    std::fs::write(&game, &template.stdout).unwrap();
+
+    let checkpoint = osp()
+        .args([
+            "checkpoint",
+            game.to_str().unwrap(),
+            "--at",
+            "3",
+            "--out",
+            state.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        checkpoint.status.success(),
+        "{}",
+        String::from_utf8_lossy(&checkpoint.stderr)
+    );
+    let doc: SnapshotDoc = serde_json::from_str(&std::fs::read_to_string(&state).unwrap()).unwrap();
+    assert_eq!(doc.addon.len(), 1);
+
+    let resume = osp()
+        .args(["resume", state.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        resume.status.success(),
+        "{}",
+        String::from_utf8_lossy(&resume.stderr)
+    );
+    let text = String::from_utf8(resume.stdout).unwrap();
+    assert!(text.contains("collected"), "{text}");
+
+    // The checkpointed state restores into a running server, too.
+    let restore_req = Request {
+        id: 1,
+        op: osp_server::protocol::Op::Restore {
+            game: osp_server::protocol::GameId(1),
+            doc,
+        },
+    };
+    let mut child = osp()
+        .arg("serve")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(
+            format!(
+                "{}\n{}\n",
+                serde_json::to_string(&restore_req).unwrap(),
+                r#"{"id": 2, "op": "shutdown"}"#
+            )
+            .as_bytes(),
+        )
+        .unwrap();
+    let output = child.wait_with_output().unwrap();
+    let lines: Vec<Response> = String::from_utf8(output.stdout)
+        .unwrap()
+        .lines()
+        .map(|l| serde_json::from_str(l).unwrap())
+        .collect();
+    assert!(
+        matches!(&lines[0].reply, Reply::Restored { .. }),
+        "{:?}",
+        lines[0]
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn usage_mentions_every_subcommand() {
+    let output = osp().output().unwrap();
+    assert!(!output.status.success());
+    let usage = String::from_utf8(output.stderr).unwrap();
+    for subcommand in [
+        "run",
+        "validate",
+        "example",
+        "serve",
+        "checkpoint",
+        "resume",
+    ] {
+        assert!(usage.contains(subcommand), "usage lacks `{subcommand}`");
+    }
+    for flag in [
+        "--tiebreak",
+        "--compare-regret",
+        "--json",
+        "--shards",
+        "--queue-cap",
+        "--engine",
+        "--socket",
+        "--at",
+        "--out",
+    ] {
+        assert!(usage.contains(flag), "usage lacks `{flag}`");
+    }
+}
+
+#[test]
+fn unix_socket_serves_and_shuts_down() {
+    use std::io::{BufRead, BufReader};
+    use std::os::unix::net::UnixStream;
+
+    let path = std::env::temp_dir().join(format!("osp-sock-{}.sock", std::process::id()));
+    let path_str = path.to_str().unwrap().to_string();
+    let mut child = osp()
+        .args(["serve", "--socket", &path_str, "--shards", "2"])
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+
+    // Wait for the socket to appear.
+    let mut stream = None;
+    for _ in 0..200 {
+        if let Ok(s) = UnixStream::connect(&path) {
+            stream = Some(s);
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    let stream = stream.expect("server opened its socket");
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut stream = stream;
+
+    // First connection: create a game, then disconnect.
+    stream
+        .write_all(
+            b"{\"id\": 1, \"op\": {\"create\": {\"game\": 5, \"mechanism\": \"addon\", \"horizon\": 2, \"costs\": [\"10\"]}}}\n",
+        )
+        .unwrap();
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    let created: Response = serde_json::from_str(&line).unwrap();
+    assert!(
+        matches!(created.reply, Reply::Created { .. }),
+        "{created:?}"
+    );
+    drop(stream);
+    drop(reader);
+
+    // Second connection: the game survived; shut the server down.
+    let stream = UnixStream::connect(&path).expect("reconnect");
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut stream = stream;
+    stream
+        .write_all(
+            b"{\"id\": 2, \"op\": {\"price\": {\"game\": 5}}}\n{\"id\": 3, \"op\": \"shutdown\"}\n",
+        )
+        .unwrap();
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    let price: Response = serde_json::from_str(&line).unwrap();
+    assert!(matches!(price.reply, Reply::Price { .. }), "{price:?}");
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    let bye: Response = serde_json::from_str(&line).unwrap();
+    assert!(matches!(bye.reply, Reply::Bye { .. }), "{bye:?}");
+
+    let status = child.wait().unwrap();
+    assert!(status.success());
+    assert!(!path.exists(), "socket file was cleaned up");
+}

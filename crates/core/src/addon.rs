@@ -172,6 +172,64 @@ impl AddOnState {
         SlotId(self.now)
     }
 
+    /// The game horizon `z`.
+    #[must_use]
+    pub fn horizon(&self) -> u32 {
+        self.horizon
+    }
+
+    /// `true` once every slot has been processed ([`Self::advance`]
+    /// would return [`MechanismError::HorizonExhausted`]).
+    #[must_use]
+    pub fn is_finished(&self) -> bool {
+        self.now > self.horizon
+    }
+
+    /// The share `C_j/|CS_j(t)|` after the most recently processed
+    /// slot (`None` before the first slot or while unimplemented).
+    #[must_use]
+    pub fn current_share(&self) -> Option<Money> {
+        self.share_by_slot.last().copied().flatten()
+    }
+
+    /// The slot the optimization was implemented, if it has been.
+    #[must_use]
+    pub fn implemented_at(&self) -> Option<SlotId> {
+        self.implemented_at
+    }
+
+    /// The last slot of `user`'s current bid, if she has one.
+    #[must_use]
+    pub fn bid_end(&self, user: UserId) -> Option<SlotId> {
+        self.bids.get(&user).map(SlotSeries::end)
+    }
+
+    /// `true` iff `user` has entered the cumulative serviced set
+    /// `CS_j` (membership only grows, so this never flips back).
+    #[must_use]
+    pub fn is_serviced(&self, user: UserId) -> bool {
+        match self.engine {
+            Engine::Incremental => self.first_log.iter().any(|&(u, _)| u == user),
+            Engine::Rebuild => self.cumulative.contains(&user),
+        }
+    }
+
+    /// The payment charged to `user` so far. When a revision extended
+    /// a bid past an exit that already paid, this is the
+    /// chronologically *last* payment — the one [`Self::finish`] keeps.
+    #[must_use]
+    pub fn payment_of(&self, user: UserId) -> Option<Money> {
+        match self.engine {
+            Engine::Incremental => self
+                .pay_log
+                .iter()
+                .rev()
+                .find(|&&(u, _)| u == user)
+                .map(|&(_, p)| p),
+            Engine::Rebuild => self.payments.get(&user).copied(),
+        }
+    }
+
     /// Accepts a new bid. §5.1: bids cannot be retroactive.
     pub fn submit(&mut self, bid: OnlineBid) -> Result<()> {
         if self.bids.contains_key(&bid.user) {

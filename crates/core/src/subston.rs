@@ -194,6 +194,44 @@ impl SubstOnState {
         SlotId(self.now)
     }
 
+    /// The game horizon `z`.
+    #[must_use]
+    pub fn horizon(&self) -> u32 {
+        self.horizon
+    }
+
+    /// `true` once every slot has been processed ([`Self::advance`]
+    /// would return [`MechanismError::HorizonExhausted`]).
+    #[must_use]
+    pub fn is_finished(&self) -> bool {
+        self.now > self.horizon
+    }
+
+    /// The last slot of `user`'s bid, if she has one.
+    #[must_use]
+    pub fn bid_end(&self, user: UserId) -> Option<SlotId> {
+        self.bids.get(&user).map(SubstOnlineBid::end)
+    }
+
+    /// The optimization `user` was granted, if any (grants are final:
+    /// the no-switch rule means this never changes once set).
+    #[must_use]
+    pub fn assignment_of(&self, user: UserId) -> Option<OptId> {
+        self.assigned.get(&user).copied()
+    }
+
+    /// The exit payment charged to `user` so far.
+    #[must_use]
+    pub fn payment_of(&self, user: UserId) -> Option<Money> {
+        self.payments.get(&user).copied()
+    }
+
+    /// The optimizations implemented so far, in id order.
+    #[must_use]
+    pub fn implemented_opts(&self) -> Vec<OptId> {
+        self.implemented_at.keys().copied().collect()
+    }
+
     /// Accepts a bid `ω_i = (s_i, e_i, b_i, J_i)`.
     pub fn submit(&mut self, bid: SubstOnlineBid) -> Result<()> {
         if self.bids.contains_key(&bid.user) {

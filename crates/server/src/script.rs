@@ -1,0 +1,407 @@
+//! Deterministic multi-game trace generation plus a sequential oracle.
+//!
+//! [`generate`] produces a wire-protocol request trace across many
+//! games — all four mechanisms, interleaved arrivals, upward
+//! revisions, expiry probes, explicit-slot ticks, and a sprinkle of
+//! deliberately invalid operations — valid *by construction* (revision
+//! plans are built from the tracked prior values, so they are always
+//! upward; arrivals are issued at or before their start slot).
+//!
+//! [`oracle`] replays such a trace through a single in-process
+//! [`Registry`] — direct library calls, no threads, no queues — so a
+//! differential test can demand byte-identical responses from the
+//! sharded server. Running the oracle on [`Engine::Rebuild`] while the
+//! server defaults to [`Engine::Incremental`] makes the comparison an
+//! engine differential as well as a transport differential.
+
+use std::collections::HashMap;
+
+use osp_core::prelude::Engine;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::game::{FinalOutcome, Registry};
+use crate::protocol::{GameId, Mechanism, Op, Request, Response};
+
+/// Shape of a generated trace.
+#[derive(Debug, Clone, Copy)]
+pub struct ScriptConfig {
+    /// Number of games (mechanisms rotate addon → subston → addoff →
+    /// substoff by game id).
+    pub games: u64,
+    /// Users arriving per game.
+    pub users_per_game: u32,
+    /// Master seed; a given `(seed, games, users_per_game)` always
+    /// yields the identical trace.
+    pub seed: u64,
+}
+
+impl ScriptConfig {
+    /// The differential-test shape: 120 games across all mechanisms.
+    #[must_use]
+    pub fn differential() -> Self {
+        ScriptConfig {
+            games: 120,
+            users_per_game: 6,
+            seed: 0x05f5_c0de,
+        }
+    }
+
+    /// A tiny trace for smoke tests.
+    #[must_use]
+    pub fn smoke(games: u64) -> Self {
+        ScriptConfig {
+            games,
+            users_per_game: 4,
+            seed: 0x05f5_c0de,
+        }
+    }
+}
+
+/// The mechanism a generated game id runs.
+#[must_use]
+pub fn mechanism_of(game: u64) -> Mechanism {
+    match game % 4 {
+        0 => Mechanism::AddOn,
+        1 => Mechanism::SubstOn,
+        2 => Mechanism::AddOff,
+        _ => Mechanism::SubstOff,
+    }
+}
+
+struct UserPlan {
+    user: u32,
+    start: u32,
+    /// Per-slot cents over `[start, start + values.len() - 1]`.
+    values: Vec<u64>,
+    substitutes: Vec<u32>,
+    /// Slot at which the arrive op is issued (≤ `start`).
+    issue_at: u32,
+    /// Additive online only: `(at_slot, new_values_from_at)` where the
+    /// replacement covers `[max(at, start), new_end]` upward.
+    revision: Option<(u32, Vec<u64>)>,
+}
+
+struct GamePlan {
+    game: u64,
+    mechanism: Mechanism,
+    horizon: u32,
+    cost_cents: Vec<u64>,
+    seed: Option<u64>,
+    users: Vec<UserPlan>,
+    /// Slots at which a `price` probe is issued before the tick.
+    probes: Vec<u32>,
+}
+
+fn cents(c: u64) -> String {
+    format!("{}.{:02}", c / 100, c % 100)
+}
+
+fn plan_game(cfg: &ScriptConfig, game: u64) -> GamePlan {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ game.wrapping_mul(0x9E37_79B9));
+    let mechanism = mechanism_of(game);
+    let horizon = if mechanism.is_offline() {
+        1
+    } else {
+        rng.gen_range(4..=8u32)
+    };
+    let num_opts = if mechanism.is_subst() {
+        rng.gen_range(2..=4usize)
+    } else {
+        1
+    };
+    let cost_cents: Vec<u64> = (0..num_opts)
+        .map(|_| rng.gen_range(500..=3000u64))
+        .collect();
+    let seed = if mechanism.is_subst() && game % 8 == 1 {
+        Some(cfg.seed ^ game)
+    } else {
+        None
+    };
+    let mut users = Vec::with_capacity(cfg.users_per_game as usize);
+    for user in 0..cfg.users_per_game {
+        let start = rng.gen_range(1..=horizon);
+        let duration = rng.gen_range(1..=horizon - start + 1);
+        let base = rng.gen_range(0..=1500u64);
+        let values: Vec<u64> = (0..duration)
+            .map(|k| match rng.gen_range(0..4u32) {
+                0 => base,                                   // constant
+                1 => base + 40 * u64::from(k),               // ramping up
+                2 => base.saturating_sub(35 * u64::from(k)), // decaying
+                _ => rng.gen_range(0..=1800u64),             // jagged
+            })
+            .collect();
+        let substitutes = if mechanism.is_subst() {
+            let k = rng.gen_range(1..=num_opts);
+            let mut opts: Vec<u32> = (0..num_opts as u32).collect();
+            // Fisher–Yates prefix: a random k-subset.
+            for i in 0..k {
+                let j = rng.gen_range(i..num_opts);
+                opts.swap(i, j);
+            }
+            opts.truncate(k);
+            opts.sort_unstable();
+            opts
+        } else {
+            Vec::new()
+        };
+        let issue_at = rng.gen_range(1..=start);
+        let end = start + duration - 1;
+        let revision = if mechanism == Mechanism::AddOn && rng.gen_range(0..3u32) == 0 {
+            // Issued when the game is at slot `at` (never before the
+            // arrival itself), revising from `at` onward: each
+            // replacement value is the old value plus a non-negative
+            // bump, optionally extending the interval.
+            let at = rng.gen_range(issue_at..=end);
+            let from = at.max(start);
+            let extend = rng.gen_range(0..=horizon - end);
+            let new_values: Vec<u64> = (from..=end + extend)
+                .map(|slot| {
+                    let old = if slot <= end {
+                        values[(slot - start) as usize]
+                    } else {
+                        0
+                    };
+                    old + rng.gen_range(0..=300u64)
+                })
+                .collect();
+            Some((at, new_values))
+        } else {
+            None
+        };
+        users.push(UserPlan {
+            user,
+            start,
+            values,
+            substitutes,
+            issue_at,
+            revision,
+        });
+    }
+    let probes = (1..=horizon)
+        .filter(|_| rng.gen_range(0..4u32) == 0)
+        .collect();
+    GamePlan {
+        game,
+        mechanism,
+        horizon,
+        cost_cents,
+        seed,
+        users,
+        probes,
+    }
+}
+
+/// Generates the full request trace for `cfg`.
+///
+/// Events are interleaved across games slot by slot: every game's
+/// slot-1 traffic (arrivals, probes, the tick) is issued before any
+/// game's slot-2 traffic, so shards see concurrent games, not one game
+/// at a time. Ids are sequential from 1.
+#[must_use]
+pub fn generate(cfg: &ScriptConfig) -> Vec<Request> {
+    let plans: Vec<GamePlan> = (0..cfg.games).map(|g| plan_game(cfg, g)).collect();
+    let max_horizon = plans.iter().map(|p| p.horizon).max().unwrap_or(0);
+    let mut requests = Vec::new();
+    let mut next_id = 0u64;
+    let mut push = |requests: &mut Vec<Request>, op: Op| {
+        next_id += 1;
+        requests.push(Request { id: next_id, op });
+    };
+
+    for plan in &plans {
+        push(
+            &mut requests,
+            Op::Create {
+                game: GameId(plan.game),
+                mechanism: plan.mechanism,
+                horizon: plan.horizon,
+                costs: plan.cost_cents.iter().map(|&c| cents(c)).collect(),
+                engine: None,
+                seed: plan.seed,
+            },
+        );
+    }
+
+    // A fixed set of invalid operations up front: both interpreters
+    // must reject them identically, and none may corrupt game state.
+    if let Some(plan) = plans.first() {
+        push(
+            &mut requests,
+            Op::Create {
+                game: GameId(plan.game),
+                mechanism: plan.mechanism,
+                horizon: plan.horizon.max(2),
+                costs: vec![cents(100)],
+                engine: None,
+                seed: None,
+            },
+        );
+        push(
+            &mut requests,
+            Op::Price {
+                game: GameId(cfg.games + 999),
+            },
+        );
+        push(
+            &mut requests,
+            Op::Tick {
+                game: GameId(plan.game),
+                slot: Some(plan.horizon + 7),
+            },
+        );
+    }
+
+    for t in 1..=max_horizon {
+        for plan in plans.iter().filter(|p| t <= p.horizon) {
+            let game = GameId(plan.game);
+            for user in &plan.users {
+                if user.issue_at == t {
+                    push(
+                        &mut requests,
+                        Op::Arrive {
+                            game,
+                            user: user.user,
+                            start: user.start,
+                            values: user.values.iter().map(|&c| cents(c)).collect(),
+                            substitutes: user.substitutes.clone(),
+                        },
+                    );
+                }
+            }
+            for user in &plan.users {
+                if let Some((at, new_values)) = &user.revision {
+                    if *at == t {
+                        push(
+                            &mut requests,
+                            Op::Revise {
+                                game,
+                                user: user.user,
+                                from: (*at).max(user.start),
+                                values: new_values.iter().map(|&c| cents(c)).collect(),
+                            },
+                        );
+                    }
+                }
+            }
+            for user in &plan.users {
+                // Probe users whose original interval ended last slot;
+                // revisions may have extended them, which the status
+                // reply reflects (expired: false).
+                let end = user.start + user.values.len() as u32 - 1;
+                if end + 1 == t && user.user % 2 == 0 {
+                    push(
+                        &mut requests,
+                        Op::Expire {
+                            game,
+                            user: user.user,
+                        },
+                    );
+                }
+            }
+            if plan.probes.contains(&t) {
+                push(&mut requests, Op::Price { game });
+            }
+            push(
+                &mut requests,
+                Op::Tick {
+                    game,
+                    slot: Some(t),
+                },
+            );
+        }
+    }
+
+    for plan in &plans {
+        let game = GameId(plan.game);
+        for user in &plan.users {
+            if user.user % 3 == 0 {
+                push(
+                    &mut requests,
+                    Op::Expire {
+                        game,
+                        user: user.user,
+                    },
+                );
+            }
+        }
+        push(&mut requests, Op::Price { game });
+        push(&mut requests, Op::Snapshot { game });
+    }
+
+    requests
+}
+
+/// What a sequential replay of a trace produced.
+pub struct Oracle {
+    /// One response per request, in request order.
+    pub responses: Vec<Response>,
+    /// Final outcomes of every finished game.
+    pub outcomes: HashMap<u64, FinalOutcome>,
+}
+
+/// Replays `requests` through one in-process [`Registry`] on `engine`,
+/// reporting shard assignments as a `shards`-way pool would.
+#[must_use]
+pub fn oracle(requests: &[Request], engine: Engine, shards: usize) -> Oracle {
+    let mut registry = Registry::new(engine, shards);
+    let responses = requests
+        .iter()
+        .map(|r| registry.handle(r.id, r.op.clone()))
+        .collect();
+    Oracle {
+        responses,
+        outcomes: registry.into_outcomes(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = ScriptConfig::smoke(12);
+        assert_eq!(generate(&cfg), generate(&cfg));
+    }
+
+    #[test]
+    fn trace_covers_all_mechanisms_and_event_kinds() {
+        let cfg = ScriptConfig::differential();
+        let requests = generate(&cfg);
+        let mut mechs = std::collections::BTreeSet::new();
+        let (mut arrives, mut revises, mut expires, mut ticks) = (0, 0, 0, 0);
+        for r in &requests {
+            match &r.op {
+                Op::Create { mechanism, .. } => {
+                    mechs.insert(format!("{mechanism:?}"));
+                }
+                Op::Arrive { .. } => arrives += 1,
+                Op::Revise { .. } => revises += 1,
+                Op::Expire { .. } => expires += 1,
+                Op::Tick { .. } => ticks += 1,
+                _ => {}
+            }
+        }
+        assert_eq!(mechs.len(), 4, "{mechs:?}");
+        assert!(arrives >= cfg.games as usize * cfg.users_per_game as usize);
+        assert!(revises > 0, "no revisions were planned");
+        assert!(expires > 0, "no expiry probes were planned");
+        assert!(ticks > cfg.games as usize, "ticks: {ticks}");
+    }
+
+    #[test]
+    fn oracle_replay_is_all_ok_apart_from_planted_errors() {
+        let cfg = ScriptConfig::smoke(8);
+        let requests = generate(&cfg);
+        let oracle = oracle(&requests, Engine::Rebuild, 4);
+        let errors: Vec<_> = oracle
+            .responses
+            .iter()
+            .filter(|r| matches!(r.reply, crate::protocol::Reply::Error { .. }))
+            .collect();
+        // Exactly the three planted invalid ops fail.
+        assert_eq!(errors.len(), 3, "{errors:?}");
+        assert_eq!(oracle.outcomes.len(), 8);
+    }
+}

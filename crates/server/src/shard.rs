@@ -1,0 +1,237 @@
+//! The shard pool: N worker threads, each owning the games whose ids
+//! hash onto it, fed by bounded MPSC queues.
+//!
+//! Games are independent (no cross-game state in any mechanism), so
+//! the pool is embarrassingly parallel: `hash(game_id) % shards` pins
+//! every event of a game to one worker, which needs no locks around
+//! its `HashMap<GameId, _>`. Bounded queues give natural back-pressure
+//! — a producer that outruns the pool blocks in `submit` instead of
+//! ballooning memory. Rust's MPSC channel delivers everything already
+//! queued before reporting disconnection, so dropping the senders is a
+//! *graceful* shutdown: workers drain their queues, answer every
+//! in-flight request, then exit.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Sender, SyncSender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use osp_core::prelude::Engine;
+
+use crate::game::Registry;
+use crate::protocol::{GameId, Op, Reply, Request, Response, ShardStat};
+
+/// Default worker count for transports that don't specify one.
+pub const DEFAULT_SHARDS: usize = 4;
+
+/// Default per-shard queue bound for transports that don't specify one.
+pub const DEFAULT_QUEUE_CAP: usize = 1024;
+
+/// The shard a game routes to, out of `shards` workers.
+///
+/// Fibonacci multiply-shift: game ids are often sequential, and the
+/// golden-ratio multiplier spreads consecutive ids across shards
+/// instead of striping them through the low bits.
+#[must_use]
+pub fn shard_of(game: GameId, shards: usize) -> usize {
+    let hashed = game.0.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    ((hashed >> 32) % shards.max(1) as u64) as usize
+}
+
+struct Envelope {
+    id: u64,
+    op: Op,
+    reply: Sender<Response>,
+}
+
+#[derive(Default)]
+struct ShardCounters {
+    queued: AtomicU64,
+    events: AtomicU64,
+    games: AtomicU64,
+}
+
+/// A running pool of shard workers.
+pub struct ShardPool {
+    shards: usize,
+    senders: Vec<SyncSender<Envelope>>,
+    counters: Vec<Arc<ShardCounters>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl ShardPool {
+    /// Spawns `shards` workers whose games default to `engine`, each
+    /// behind a queue bounded at `queue_cap` envelopes.
+    #[must_use]
+    pub fn new(shards: usize, queue_cap: usize, engine: Engine) -> Self {
+        let shards = shards.max(1);
+        let queue_cap = queue_cap.max(1);
+        let mut senders = Vec::with_capacity(shards);
+        let mut counters = Vec::with_capacity(shards);
+        let mut handles = Vec::with_capacity(shards);
+        for index in 0..shards {
+            let (tx, rx) = sync_channel::<Envelope>(queue_cap);
+            let stats = Arc::new(ShardCounters::default());
+            let worker_stats = Arc::clone(&stats);
+            let handle = std::thread::Builder::new()
+                .name(format!("osp-shard-{index}"))
+                .spawn(move || {
+                    let mut registry = Registry::new(engine, shards);
+                    // `for` over a Receiver drains every queued
+                    // envelope before the disconnect ends the loop.
+                    for envelope in rx {
+                        worker_stats.queued.fetch_sub(1, Ordering::Relaxed);
+                        let response = registry.handle(envelope.id, envelope.op);
+                        worker_stats.events.fetch_add(1, Ordering::Relaxed);
+                        worker_stats
+                            .games
+                            .store(registry.len() as u64, Ordering::Relaxed);
+                        // A caller that hung up just doesn't get the
+                        // reply; the game state already advanced.
+                        let _ = envelope.reply.send(response);
+                    }
+                })
+                .expect("spawning a shard worker");
+            senders.push(tx);
+            counters.push(stats);
+            handles.push(handle);
+        }
+        ShardPool {
+            shards,
+            senders,
+            counters,
+            handles,
+        }
+    }
+
+    /// Number of shard workers.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Routes one request; its response arrives on `reply`.
+    ///
+    /// Game-addressed operations enqueue onto the owning shard,
+    /// blocking while that shard's queue is full (back-pressure).
+    /// `stats` is answered inline from the shared counters. `shutdown`
+    /// cannot be answered here — only the transport can drain and join
+    /// the pool — so it gets a `protocol` error; transports intercept
+    /// it before routing.
+    pub fn submit(&self, request: Request, reply: &Sender<Response>) {
+        let Request { id, op } = request;
+        let response = match op.game() {
+            Some(game) => {
+                let shard = shard_of(game, self.shards);
+                self.counters[shard].queued.fetch_add(1, Ordering::Relaxed);
+                match self.senders[shard].send(Envelope {
+                    id,
+                    op,
+                    reply: reply.clone(),
+                }) {
+                    Ok(()) => return,
+                    Err(_) => {
+                        self.counters[shard].queued.fetch_sub(1, Ordering::Relaxed);
+                        Response::error(id, "shard_down", format!("shard {shard} has exited"))
+                    }
+                }
+            }
+            None => match op {
+                Op::Stats => Response {
+                    id,
+                    reply: Reply::Stats {
+                        shards: self.stats(),
+                    },
+                },
+                _ => Response::error(
+                    id,
+                    "protocol",
+                    "shutdown is handled by the transport; close the connection or \
+                     let the driver call ShardPool::shutdown",
+                ),
+            },
+        };
+        let _ = reply.send(response);
+    }
+
+    /// Submits one request and blocks for its response.
+    #[must_use]
+    pub fn call(&self, request: Request) -> Response {
+        let (tx, rx) = std::sync::mpsc::channel();
+        self.submit(request, &tx);
+        rx.recv().expect("shard worker answered before exiting")
+    }
+
+    /// A point-in-time statistics snapshot, in shard order.
+    #[must_use]
+    pub fn stats(&self) -> Vec<ShardStat> {
+        self.counters
+            .iter()
+            .enumerate()
+            .map(|(index, c)| ShardStat {
+                shard: index as u32,
+                games: c.games.load(Ordering::Relaxed),
+                events: c.events.load(Ordering::Relaxed),
+                queue_depth: c.queued.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+
+    /// Gracefully stops the pool: drops the queues (workers drain
+    /// everything already submitted, answering each request), joins
+    /// every worker, and returns the final statistics.
+    #[must_use]
+    pub fn shutdown(self) -> Vec<ShardStat> {
+        let ShardPool {
+            senders,
+            counters,
+            handles,
+            ..
+        } = self;
+        drop(senders);
+        for handle in handles {
+            handle.join().expect("shard worker exited cleanly");
+        }
+        counters
+            .iter()
+            .enumerate()
+            .map(|(index, c)| ShardStat {
+                shard: index as u32,
+                games: c.games.load(Ordering::Relaxed),
+                events: c.events.load(Ordering::Relaxed),
+                queue_depth: c.queued.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routing_is_stable_and_in_range() {
+        for shards in 1..=8 {
+            for game in 0..1000 {
+                let s = shard_of(GameId(game), shards);
+                assert!(s < shards);
+                assert_eq!(s, shard_of(GameId(game), shards));
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_ids_spread_over_shards() {
+        let shards = 4;
+        let mut counts = vec![0usize; shards];
+        for game in 0..1000 {
+            counts[shard_of(GameId(game), shards)] += 1;
+        }
+        for (shard, &count) in counts.iter().enumerate() {
+            assert!(
+                (150..=350).contains(&count),
+                "shard {shard} owns {count} of 1000 games"
+            );
+        }
+    }
+}
