@@ -6,6 +6,7 @@
 //! cargo run --release -p osp-bench --bin bench_json -- --quick # CI mode
 //! cargo run --release -p osp-bench --bin bench_json -- --out perf.json
 //! cargo run --release -p osp-bench --bin bench_json -- --check --fresh perf.json
+//! cargo run -p osp-bench --bin bench_json -- --list-workloads   # registry
 //! ```
 //!
 //! Without `--check`, produces `BENCH_mechanisms.json` (see
@@ -69,6 +70,26 @@ fn run_check(
     Ok(result.passed())
 }
 
+fn list_workloads() {
+    println!(
+        "{:<20} {:<9} {:<4} description",
+        "workload", "mechanism", "wire"
+    );
+    for source in osp_workload::registry() {
+        println!(
+            "{:<20} {:<9} {:<4} {}",
+            source.name(),
+            if source.substitutable() {
+                "subston"
+            } else {
+                "addon"
+            },
+            if source.wire_safe() { "yes" } else { "no" },
+            source.description()
+        );
+    }
+}
+
 fn main() -> ExitCode {
     let mut quick = false;
     let mut check = false;
@@ -76,7 +97,7 @@ fn main() -> ExitCode {
     let mut baseline = PathBuf::from("BENCH_mechanisms.json");
     let mut fresh: Option<PathBuf> = None;
     let mut tolerance = 0.15f64;
-    let usage = "usage: bench_json [--quick] [--out FILE] \
+    let usage = "usage: bench_json [--quick] [--out FILE] [--list-workloads] \
                  [--check [--baseline FILE] [--fresh FILE] [--tolerance FRAC]]";
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -92,6 +113,10 @@ fn main() -> ExitCode {
             "--check" => {
                 check = true;
                 Ok(())
+            }
+            "--list-workloads" => {
+                list_workloads();
+                return ExitCode::SUCCESS;
             }
             "--out" => path_value(&mut args).map(|p| out = p),
             "--baseline" => path_value(&mut args).map(|p| baseline = p),

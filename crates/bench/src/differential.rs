@@ -28,6 +28,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use osp_core::prelude::*;
+use osp_workload::source::Trace;
 
 /// How many operations of each kind a differential run executed —
 /// returned so tests can assert the generator actually exercises the
@@ -394,9 +395,167 @@ pub fn subston_differential(cfg: &SubstOnDiffConfig) -> Result<(SubstOnOutcome, 
     Ok((inc_out, mix))
 }
 
+/// Replays one registered-workload trace through **both** engines
+/// slot by slot — the registry-wide differential gate. Unlike the
+/// randomized scripts above, the event stream comes verbatim from a
+/// [`osp_workload::TraceSource`], so every registered workload (the
+/// synthetic shapes *and* the cloudsim/astro adapters) gets oracle
+/// coverage automatically. Scripted operations must succeed on both
+/// engines (registered sources produce fully-accepted traces); slot
+/// reports, outcomes, ledger totals, and the audit must agree.
+pub fn trace_differential(trace: &Trace, tiebreak: TieBreak) -> Result<(), String> {
+    match trace {
+        Trace::Additive {
+            scenario,
+            revisions,
+        } => {
+            let mut inc =
+                AddOnState::with_engine(scenario.cost, scenario.horizon, Engine::Incremental)
+                    .map_err(|e| format!("constructor failed: {e}"))?;
+            let mut reb = AddOnState::with_engine(scenario.cost, scenario.horizon, Engine::Rebuild)
+                .map_err(|e| format!("constructor failed: {e}"))?;
+            let mut arrivals = scenario.users.iter().peekable();
+            let mut revs = revisions.iter().peekable();
+            for now in 1..=scenario.horizon {
+                while let Some((user, series)) = arrivals.next_if(|(_, s)| s.start().index() <= now)
+                {
+                    let a = inc.submit(OnlineBid::new(*user, series.clone()));
+                    let b = reb.submit(OnlineBid::new(*user, series.clone()));
+                    if a != b {
+                        return Err(mismatch("submit", now, &a, &b));
+                    }
+                    a.map_err(|e| format!("trace submit rejected at slot {now}: {e}"))?;
+                }
+                while let Some(rev) = revs.next_if(|r| r.at.index() <= now) {
+                    let a = inc.revise(rev.user, rev.from, rev.values.clone());
+                    let b = reb.revise(rev.user, rev.from, rev.values.clone());
+                    if a != b {
+                        return Err(mismatch("revise", now, &a, &b));
+                    }
+                    a.map_err(|e| format!("trace revise rejected at slot {now}: {e}"))?;
+                }
+                let a = inc
+                    .advance()
+                    .map_err(|e| format!("incremental advance failed: {e}"))?;
+                let b = reb
+                    .advance()
+                    .map_err(|e| format!("rebuild advance failed: {e}"))?;
+                if a != b {
+                    return Err(mismatch("slot report", now, &a, &b));
+                }
+            }
+            let inc_out = inc
+                .finish()
+                .map_err(|e| format!("incremental finish failed: {e}"))?;
+            let reb_out = reb
+                .finish()
+                .map_err(|e| format!("rebuild finish failed: {e}"))?;
+            if inc_out != reb_out {
+                return Err(mismatch(
+                    "final outcome",
+                    scenario.horizon,
+                    &inc_out,
+                    &reb_out,
+                ));
+            }
+            if inc_out.total_payments() != reb_out.total_payments() {
+                return Err(mismatch(
+                    "total payments",
+                    scenario.horizon,
+                    inc_out.total_payments(),
+                    reb_out.total_payments(),
+                ));
+            }
+            audit::check_addon_outcome(&inc_out).map_err(|e| format!("audit failed: {e}"))
+        }
+        Trace::Subst { scenario } => {
+            let mut inc = SubstOnState::with_engine(
+                scenario.costs.clone(),
+                scenario.horizon,
+                tiebreak,
+                Engine::Incremental,
+            )
+            .map_err(|e| format!("constructor failed: {e}"))?;
+            let mut reb = SubstOnState::with_engine(
+                scenario.costs.clone(),
+                scenario.horizon,
+                tiebreak,
+                Engine::Rebuild,
+            )
+            .map_err(|e| format!("constructor failed: {e}"))?;
+            let mut arrivals = scenario.users.iter().peekable();
+            for now in 1..=scenario.horizon {
+                while let Some(spec) = arrivals.next_if(|u| u.series.start().index() <= now) {
+                    let bid = SubstOnlineBid {
+                        user: spec.user,
+                        substitutes: spec.substitutes.iter().copied().collect(),
+                        series: spec.series.clone(),
+                    };
+                    let a = inc.submit(bid.clone());
+                    let b = reb.submit(bid);
+                    if a != b {
+                        return Err(mismatch("submit", now, &a, &b));
+                    }
+                    a.map_err(|e| format!("trace submit rejected at slot {now}: {e}"))?;
+                }
+                let a = inc
+                    .advance()
+                    .map_err(|e| format!("incremental advance failed: {e}"))?;
+                let b = reb
+                    .advance()
+                    .map_err(|e| format!("rebuild advance failed: {e}"))?;
+                if a != b {
+                    return Err(mismatch("slot report", now, &a, &b));
+                }
+            }
+            let inc_out = inc
+                .finish()
+                .map_err(|e| format!("incremental finish failed: {e}"))?;
+            let reb_out = reb
+                .finish()
+                .map_err(|e| format!("rebuild finish failed: {e}"))?;
+            if inc_out != reb_out {
+                return Err(mismatch(
+                    "final outcome",
+                    scenario.horizon,
+                    &inc_out,
+                    &reb_out,
+                ));
+            }
+            let (li, lr) = (inc_out.to_ledger(), reb_out.to_ledger());
+            if li.total_payments() != lr.total_payments() || li.total_cost() != lr.total_cost() {
+                return Err(mismatch(
+                    "ledger totals",
+                    scenario.horizon,
+                    (li.total_cost(), li.total_payments()),
+                    (lr.total_cost(), lr.total_payments()),
+                ));
+            }
+            audit::check_subston_outcome(&inc_out).map_err(|e| format!("audit failed: {e}"))
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use osp_workload::source::registry;
+
+    #[test]
+    fn every_registered_workload_passes_a_16_game_differential_smoke() {
+        // The PR-gate floor from the registry contract: ≥ 16 games per
+        // registered source through incremental-vs-rebuild (the proptest
+        // wrapper in tests/differential.rs piles hundreds more on top).
+        for source in registry() {
+            for seed in 0..16u64 {
+                let users = 8 + (seed as u32 % 3) * 8;
+                let trace = source.sample(users, seed);
+                if let Err(divergence) = trace_differential(&trace, TieBreak::LowestOptId) {
+                    panic!("{} (seed {seed}): {divergence}", source.name());
+                }
+            }
+        }
+    }
 
     #[test]
     fn addon_fixed_seeds_agree() {

@@ -1,19 +1,13 @@
 //! End-to-end throughput measurement for the online mechanisms.
 //!
-//! [`run`] drives AddOn and SubstOn over three generated workloads,
-//! once per [`Engine`], plus the Regret baseline for context, and
-//! reports **user-slot events per second**:
-//!
-//! * `uniform_z20` — the original AddOn stress: m ∈ {10³, 10⁴, 10⁵}
-//!   single-slot bids over a 20-slot horizon (arrival/commit churn);
-//! * `longlived_z120` — bids spanning 109 of 120 slots, cost scaled so
-//!   a sizeable tail of users stays *pending* for ~100 slots. This is
-//!   the workload where per-slot `residual_from` re-sums cost
-//!   O(pending · remaining-duration); the running-residual tracker
-//!   ([`osp_econ::ResidualTracker`]) makes it O(pending);
-//! * `subst12_z20` — SubstOn with 12 coupled optimizations, the
-//!   workload the batched multi-opt pass (shared scratch arena + cached
-//!   per-opt solutions) exists for.
+//! [`run`] measures **every** source in the
+//! [`osp_workload::source::registry`] under both Shapley engines
+//! (plus the Regret baseline where a source opts in), and reports
+//! **user-slot events per second**. Workload axis values in the record
+//! are registry names — adding a source to the registry adds its rows
+//! to `BENCH_mechanisms.json` with no change here. Per-source knobs
+//! (measured sizes, rebuild caps, regret opt-in) live on the
+//! [`osp_workload::TraceSource`] implementations themselves.
 //!
 //! The `bench_json` binary serializes the result as
 //! `BENCH_mechanisms.json`, the repo's tracked perf record: CI
@@ -25,15 +19,18 @@
 //! must beat the per-slot rebuild ≥ 3× there) and
 //! `addon/longlived_z120` at m = 10⁴, and the `speedup` list in the
 //! report states the measured ratio per (mechanism, workload, size).
+//!
+//! On top of the registry sweep, the sharded server replays a
+//! multi-game wire trace ([`crate::server_load`]) on one shard and on
+//! four, recorded under the [`multigame_workload_name`] workload with
+//! engine axis `server1`/`server4`.
 
 use std::time::Instant;
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
 use osp_core::prelude::*;
-use osp_workload::{gen, AdditiveConfig, ArrivalProcess, SubstConfig};
+use osp_workload::source::{registry, Trace};
 
 use crate::server_load::{self, LoadConfig};
 
@@ -42,9 +39,11 @@ use crate::server_load::{self, LoadConfig};
 pub struct BenchRecord {
     /// Mechanism name: `addon`, `subston` or `regret`.
     pub mechanism: String,
-    /// Workload name: `uniform_z20`, `longlived_z120` or `subst12_z20`.
+    /// Workload name: a registry source name, or
+    /// [`multigame_workload_name`] for the server replay.
     pub workload: String,
-    /// Shapley engine: `incremental`, `rebuild`, or `-` for baselines.
+    /// Shapley engine: `incremental`, `rebuild`, `server<N>`, or `-`
+    /// for baselines.
     pub engine: String,
     /// Number of users `m`.
     pub users: u32,
@@ -93,38 +92,24 @@ impl PerfReport {
     }
 }
 
-/// The horizon `z` of the uniform and substitutable perf workloads.
-pub const SLOTS: u32 = 20;
-
-/// Arrival window of the long-lived workload: starts in `1..=12`.
-pub const LONG_ARRIVAL_WINDOW: u32 = 12;
-
-/// Bid duration of the long-lived workload, chosen so the effective
-/// horizon is [`LONG_SLOTS`] (z ≥ 100: the regime the running-residual
-/// tracker targets).
-pub const LONG_DURATION: u32 = 109;
-
-/// Effective horizon of the long-lived workload.
-pub const LONG_SLOTS: u32 = LONG_ARRIVAL_WINDOW + LONG_DURATION - 1;
-
-/// Workload names as recorded in `BENCH_mechanisms.json`.
-pub const WORKLOAD_UNIFORM: &str = "uniform_z20";
-/// See [`WORKLOAD_UNIFORM`].
-pub const WORKLOAD_LONGLIVED: &str = "longlived_z120";
-/// See [`WORKLOAD_UNIFORM`].
-pub const WORKLOAD_SUBST12: &str = "subst12_z20";
-/// The sharded-server load trace: [`SERVER_GAMES`] concurrent games
-/// driven through the wire protocol (engine axis `server1`/`server4` =
-/// shard count). Identical in quick and full mode so the CI `--check`
-/// gate compares like against like.
-pub const WORKLOAD_MULTIGAME: &str = "multigame_1000g";
-
-/// Concurrent games in the [`WORKLOAD_MULTIGAME`] trace.
+/// Concurrent games in the server-replay trace.
 pub const SERVER_GAMES: u64 = 1_000;
-/// Users per game in the [`WORKLOAD_MULTIGAME`] trace.
+/// Users per game in the server-replay trace.
 pub const SERVER_USERS_PER_GAME: u32 = 4;
-/// Horizon of every game in the [`WORKLOAD_MULTIGAME`] trace.
-pub const SERVER_HORIZON: u32 = 6;
+
+/// The registry sources the server replay drives over the wire: one
+/// additive, one substitutable (both wire-safe).
+pub const SERVER_SOURCES: [(&str, &str); 2] =
+    [("addon", "uniform_z20"), ("subston", "subst12_z20")];
+
+/// The workload axis value of the sharded-server replay points:
+/// [`SERVER_GAMES`] concurrent games driven through the wire protocol
+/// (engine axis `server1`/`server4` = shard count). Identical in quick
+/// and full mode so the CI `--check` gate compares like against like.
+#[must_use]
+pub fn multigame_workload_name() -> String {
+    format!("multigame_{SERVER_GAMES}g")
+}
 
 const SEED: u64 = 0x05f5_c0de;
 
@@ -150,199 +135,80 @@ fn measure<F: FnMut()>(mut f: F, min_iters: u32, min_secs: f64) -> (u32, f64) {
     }
 }
 
-fn additive_game(users: u32) -> AddOnGame {
-    let cfg = AdditiveConfig {
-        num_users: users,
-        horizon: SLOTS,
-        arrivals: ArrivalProcess::Uniform,
-        duration: 1,
-    };
-    let mut rng = StdRng::seed_from_u64(SEED);
-    let sc = gen::additive_scenario(&cfg, Money::from_cents(60), &mut rng);
-    let bids = sc
-        .users
-        .iter()
-        .map(|(u, s)| OnlineBid::new(*u, s.clone()))
-        .collect();
-    AddOnGame::new(sc.horizon, sc.cost, bids).expect("generated game is valid")
-}
-
-/// The long-lived-bid AddOn stress: every bid spans [`LONG_DURATION`]
-/// slots, and the cost (`$users/10`) is high enough that a sizeable
-/// tail of users can never afford the share and stays pending — the
-/// worst case for per-slot residual re-sums.
-fn additive_long_game(users: u32) -> AddOnGame {
-    let cfg = AdditiveConfig {
-        num_users: users,
-        horizon: LONG_ARRIVAL_WINDOW,
-        arrivals: ArrivalProcess::Uniform,
-        duration: LONG_DURATION,
-    };
-    let mut rng = StdRng::seed_from_u64(SEED);
-    let cost = Money::from_dollars(i64::from(users / 10).max(1));
-    let sc = gen::additive_scenario(&cfg, cost, &mut rng);
-    let bids = sc
-        .users
-        .iter()
-        .map(|(u, s)| OnlineBid::new(*u, s.clone()))
-        .collect();
-    AddOnGame::new(sc.horizon, sc.cost, bids).expect("generated game is valid")
-}
-
-fn subst_game(users: u32) -> SubstOnGame {
-    let cfg = SubstConfig {
-        num_users: users,
-        horizon: SLOTS,
-        num_opts: 12,
-        substitutes_per_user: 3,
-    };
-    let mut rng = StdRng::seed_from_u64(SEED);
-    let sc = gen::subst_scenario(&cfg, Money::from_cents(60), &mut rng);
-    let bids = sc
-        .users
-        .iter()
-        .map(|u| SubstOnlineBid {
-            user: u.user,
-            substitutes: u.substitutes.iter().copied().collect(),
-            series: u.series.clone(),
-        })
-        .collect();
-    SubstOnGame::new(sc.horizon, sc.costs.clone(), bids).expect("generated game is valid")
-}
-
 /// Runs the full suite and assembles the report.
 ///
-/// `quick` (CI mode) caps sizes at 10⁴ users and measures a single
-/// iteration per point; the default mode covers m ∈ {10³, 10⁴, 10⁵}
-/// (SubstOn's rebuild engine stops at 10⁴ — its per-slot phase loops
-/// over a six-digit bid map make 10⁵ pointlessly slow, and the record
-/// says so by omission) and runs each point for ≥ 0.5 s. The
-/// long-lived workload covers m ∈ {10³, 10⁴} (its per-run work is
-/// 6× the uniform workload's at equal m).
+/// `quick` (CI mode) measures each source's `perf_sizes(true)` for
+/// ≥ 0.15 s per point; the default mode measures `perf_sizes(false)`
+/// for ≥ 0.5 s. (Quick mode still amortizes over ≥ 0.15 s: a single
+/// cold iteration measures first-touch costs, not throughput, and sits
+/// 20–30% below the full-mode numbers for the same workload — which
+/// would trip the `check` gate against the committed full-mode
+/// baseline on every CI run.)
 #[must_use]
 pub fn run(quick: bool) -> PerfReport {
-    // Quick mode still amortizes over ≥ 0.15 s per point: a single
-    // cold iteration measures first-touch costs, not throughput, and
-    // sits 20–30% below the full-mode numbers for the same workload —
-    // which would trip the `check` gate against the committed
-    // (full-mode) baseline on every CI run.
-    let (sizes, min_iters, min_secs): (&[u32], u32, f64) = if quick {
-        (&[1_000, 10_000], 2, 0.15)
-    } else {
-        (&[1_000, 10_000, 100_000], 2, 0.5)
-    };
-    let long_sizes: &[u32] = if quick { &[500] } else { &[1_000, 10_000] };
-    // SubstOn runs 12 coupled optimizations per game; its rebuild
-    // engine is capped a decade lower to keep the suite's runtime sane.
-    let subst_cap = if quick { 1_000 } else { 100_000 };
-    let subst_rebuild_cap = if quick { 1_000 } else { 10_000 };
+    let (min_iters, min_secs): (u32, f64) = if quick { (2, 0.15) } else { (2, 0.5) };
 
     let mut records = Vec::new();
-    for &m in sizes {
-        let game = additive_game(m);
-        for engine in [Engine::Incremental, Engine::Rebuild] {
-            let (iters, elapsed) = measure(
-                || {
-                    addon::run_with_engine(&game, engine).expect("addon run");
-                },
-                min_iters,
-                min_secs,
-            );
-            records.push(record(
-                "addon",
-                WORKLOAD_UNIFORM,
-                engine_name(engine),
-                m,
-                SLOTS,
-                iters,
-                elapsed,
-            ));
-        }
-        let sc = osp_workload::AdditiveScenario {
-            horizon: game.horizon,
-            cost: game.cost,
-            users: game
-                .bids
-                .iter()
-                .map(|b| (b.user, b.series.clone()))
-                .collect(),
-        };
-        let (iters, elapsed) = measure(
-            || {
-                let _ = sc.run_regret();
-            },
-            min_iters,
-            min_secs,
-        );
-        records.push(record(
-            "regret",
-            WORKLOAD_UNIFORM,
-            "-",
-            m,
-            SLOTS,
-            iters,
-            elapsed,
-        ));
-    }
-    for &m in long_sizes {
-        let game = additive_long_game(m);
-        for engine in [Engine::Incremental, Engine::Rebuild] {
-            let (iters, elapsed) = measure(
-                || {
-                    addon::run_with_engine(&game, engine).expect("addon run");
-                },
-                min_iters,
-                min_secs,
-            );
-            records.push(record(
-                "addon",
-                WORKLOAD_LONGLIVED,
-                engine_name(engine),
-                m,
-                LONG_SLOTS,
-                iters,
-                elapsed,
-            ));
-        }
-    }
-    for &m in sizes {
-        if m > subst_cap {
-            continue;
-        }
-        let game = subst_game(m);
-        for engine in [Engine::Incremental, Engine::Rebuild] {
-            if engine == Engine::Rebuild && m > subst_rebuild_cap {
-                continue;
+    for source in registry() {
+        for m in source.perf_sizes(quick) {
+            let trace = source.sample(m, SEED);
+            let slots = trace.horizon();
+            let mechanism = trace.mechanism();
+            for engine in [Engine::Incremental, Engine::Rebuild] {
+                if engine == Engine::Rebuild && m > source.rebuild_cap(quick) {
+                    continue;
+                }
+                let (iters, elapsed) = measure(
+                    || {
+                        trace
+                            .play(engine, TieBreak::LowestOptId)
+                            .expect("registered sources play cleanly");
+                    },
+                    min_iters,
+                    min_secs,
+                );
+                records.push(record(
+                    mechanism,
+                    source.name(),
+                    engine_name(engine),
+                    m,
+                    slots,
+                    iters,
+                    elapsed,
+                ));
             }
-            let (iters, elapsed) = measure(
-                || {
-                    subston::run_with_engine(&game, TieBreak::LowestOptId, engine)
-                        .expect("subston run");
-                },
-                min_iters,
-                min_secs,
-            );
-            records.push(record(
-                "subston",
-                WORKLOAD_SUBST12,
-                engine_name(engine),
-                m,
-                SLOTS,
-                iters,
-                elapsed,
-            ));
+            if source.bench_regret() {
+                if let Trace::Additive { scenario, .. } = &trace {
+                    let (iters, elapsed) = measure(
+                        || {
+                            let _ = scenario.run_regret();
+                        },
+                        min_iters,
+                        min_secs,
+                    );
+                    records.push(record(
+                        "regret",
+                        source.name(),
+                        "-",
+                        m,
+                        slots,
+                        iters,
+                        elapsed,
+                    ));
+                }
+            }
         }
     }
 
     // The sharded server, replaying the same multi-game trace on one
     // shard and on four: the `server4`/`server1` ratio is the server's
     // parallel speedup, and both are regression-gated by `--check`.
-    for subst in [false, true] {
+    let multigame = multigame_workload_name();
+    for (mechanism, source) in SERVER_SOURCES {
         let trace = server_load::build_trace(&LoadConfig {
             games: SERVER_GAMES,
             users_per_game: SERVER_USERS_PER_GAME,
-            horizon: SERVER_HORIZON,
-            subst,
+            source,
             seed: SEED,
         });
         for shards in [1usize, 4] {
@@ -350,18 +216,18 @@ pub fn run(quick: bool) -> PerfReport {
             // loops; amortize over a full second in both modes.
             let (iters, elapsed) = measure(
                 || {
-                    let result = server_load::replay(&trace, shards, 1_024);
+                    let result = server_load::replay(&trace.requests, shards, 1_024);
                     assert_eq!(result.errors, 0, "load trace must replay cleanly");
                 },
                 min_iters,
                 min_secs.max(1.0),
             );
             records.push(record(
-                if subst { "subston" } else { "addon" },
-                WORKLOAD_MULTIGAME,
+                mechanism,
+                &multigame,
                 &format!("server{shards}"),
                 SERVER_GAMES as u32 * SERVER_USERS_PER_GAME,
-                SERVER_HORIZON,
+                trace.horizon,
                 iters,
                 elapsed,
             ));
@@ -387,7 +253,7 @@ pub fn run(quick: bool) -> PerfReport {
     }
 
     PerfReport {
-        schema_version: 2,
+        schema_version: 3,
         quick,
         records,
         speedup_incremental_over_rebuild: speedup,
@@ -492,51 +358,63 @@ pub fn check(baseline: &PerfReport, fresh: &PerfReport, tolerance: f64) -> Check
 #[cfg(test)]
 mod tests {
     use super::*;
+    use osp_workload::shapes;
 
     #[test]
-    fn quick_report_covers_every_workload_and_engine() {
+    fn quick_report_covers_every_registered_workload() {
         let report = run(true);
         assert!(report.quick);
-        for engine in ["incremental", "rebuild"] {
-            let rec = report
-                .find("addon", WORKLOAD_UNIFORM, engine, 1_000)
-                .expect(engine);
-            assert!(rec.ops_per_sec > 0.0);
-            assert_eq!(rec.slots, SLOTS);
-            let rec = report
-                .find("addon", WORKLOAD_LONGLIVED, engine, 500)
-                .expect(engine);
-            assert!(rec.ops_per_sec > 0.0);
-            assert_eq!(rec.slots, LONG_SLOTS);
-        }
-        assert!(report
-            .find("subston", WORKLOAD_SUBST12, "incremental", 1_000)
-            .is_some());
-        assert!(report
-            .find("regret", WORKLOAD_UNIFORM, "-", 1_000)
-            .is_some());
-        let server_users = SERVER_GAMES as u32 * SERVER_USERS_PER_GAME;
-        for mechanism in ["addon", "subston"] {
-            for engine in ["server1", "server4"] {
+        // Every registered source contributes its quick sizes under
+        // the incremental engine (rebuild too, up to its cap) — an
+        // unregistered or panicking generator fails here, in tier-1,
+        // before the next perf run trips over it.
+        for source in registry() {
+            let mechanism = if source.substitutable() {
+                "subston"
+            } else {
+                "addon"
+            };
+            for m in source.perf_sizes(true) {
                 let rec = report
-                    .find(mechanism, WORKLOAD_MULTIGAME, engine, server_users)
-                    .unwrap_or_else(|| panic!("{mechanism}/{engine}"));
+                    .find(mechanism, source.name(), "incremental", m)
+                    .unwrap_or_else(|| panic!("{}/incremental m={m}", source.name()));
                 assert!(rec.ops_per_sec > 0.0);
-                assert_eq!(rec.slots, SERVER_HORIZON);
+                if m <= source.rebuild_cap(true) {
+                    let rec = report
+                        .find(mechanism, source.name(), "rebuild", m)
+                        .unwrap_or_else(|| panic!("{}/rebuild m={m}", source.name()));
+                    assert!(rec.ops_per_sec > 0.0);
+                }
+                if source.bench_regret() {
+                    assert!(report.find("regret", source.name(), "-", m).is_some());
+                }
             }
         }
-        // One speedup entry per point measured under both engines:
-        // addon uniform ×2, addon longlived ×1, subston ×1.
-        assert!(report.speedup_incremental_over_rebuild.len() >= 4);
+        let rec = report
+            .find("addon", "longlived_z120", "incremental", 500)
+            .expect("longlived quick point");
+        assert_eq!(rec.slots, shapes::LONG_SLOTS);
+        let server_users = SERVER_GAMES as u32 * SERVER_USERS_PER_GAME;
+        let multigame = multigame_workload_name();
+        for (mechanism, _) in SERVER_SOURCES {
+            for engine in ["server1", "server4"] {
+                let rec = report
+                    .find(mechanism, &multigame, engine, server_users)
+                    .unwrap_or_else(|| panic!("{mechanism}/{engine}"));
+                assert!(rec.ops_per_sec > 0.0);
+            }
+        }
+        // One speedup entry per point measured under both engines.
+        assert!(report.speedup_incremental_over_rebuild.len() >= registry().len());
     }
 
     fn point(engine: &str, users: u32, ops: f64) -> BenchRecord {
         BenchRecord {
             mechanism: "addon".into(),
-            workload: WORKLOAD_UNIFORM.into(),
+            workload: "uniform_z20".into(),
             engine: engine.into(),
             users,
-            slots: SLOTS,
+            slots: shapes::SLOTS,
             iters: 1,
             elapsed_s: 1.0,
             ops_per_sec: ops,
@@ -545,7 +423,7 @@ mod tests {
 
     fn report_of(records: Vec<BenchRecord>) -> PerfReport {
         PerfReport {
-            schema_version: 2,
+            schema_version: 3,
             quick: true,
             records,
             speedup_incremental_over_rebuild: Vec::new(),
@@ -586,34 +464,23 @@ mod tests {
     }
 
     #[test]
-    fn long_workload_has_the_promised_horizon() {
-        const { assert!(LONG_SLOTS >= 100) };
-        let game = additive_long_game(500);
-        assert_eq!(game.horizon, LONG_SLOTS);
-        assert!(game
-            .bids
-            .iter()
-            .all(|b| b.end().index() - b.start().index() + 1 == LONG_DURATION));
-    }
-
-    #[test]
     fn report_serializes_and_round_trips() {
         let report = PerfReport {
-            schema_version: 2,
+            schema_version: 3,
             quick: true,
             records: vec![BenchRecord {
                 mechanism: "addon".into(),
-                workload: WORKLOAD_UNIFORM.into(),
+                workload: "uniform_z20".into(),
                 engine: "incremental".into(),
                 users: 1_000,
-                slots: SLOTS,
+                slots: shapes::SLOTS,
                 iters: 3,
                 elapsed_s: 0.5,
                 ops_per_sec: 120_000.0,
             }],
             speedup_incremental_over_rebuild: vec![(
                 "addon".into(),
-                WORKLOAD_UNIFORM.into(),
+                "uniform_z20".into(),
                 1_000,
                 4.2,
             )],

@@ -1,23 +1,25 @@
 //! Multi-game server load harness.
 //!
-//! Builds wire-protocol traces from `osp_workload` scenarios — one
-//! scenario per game, arrivals issued just-in-time at their start
-//! slot, slots interleaved round-robin across all games — and replays
-//! them through a [`ShardPool`], measuring sustained request
+//! Builds wire-protocol traces from registered
+//! [`osp_workload::TraceSource`]s — one sampled trace per game,
+//! arrivals (and revisions, for churny sources) issued just-in-time at
+//! their slot, slots interleaved round-robin across all games — and
+//! replays them through a [`ShardPool`], measuring sustained request
 //! throughput. [`crate::perf`] records the result as the `server1` /
 //! `server4` engine axis of `BENCH_mechanisms.json`; correctness of
 //! the replay path is locked by `osp-server`'s differential tests, so
 //! this module only counts and times.
+//!
+//! Only wire-safe sources can cross the wire: the trace builder
+//! asserts [`osp_workload::TraceSource::wire_safe`], which guarantees
+//! every sampled value survives the decimal encoding exactly.
 
 use std::time::Instant;
-
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 use osp_core::prelude::*;
 use osp_server::protocol::{GameId, Mechanism, Op, Reply, Request, ShardStat};
 use osp_server::{money_to_decimal, ShardPool};
-use osp_workload::{gen, AdditiveConfig, ArrivalProcess, SubstConfig};
+use osp_workload::source::{find, Trace};
 
 /// Shape of a generated load trace.
 #[derive(Debug, Clone, Copy)]
@@ -26,115 +28,76 @@ pub struct LoadConfig {
     pub games: u64,
     /// Users per game.
     pub users_per_game: u32,
-    /// Horizon of every game.
-    pub horizon: u32,
-    /// `false`: additive games; `true`: substitutable games (4 opts,
-    /// 2 substitutes per user).
-    pub subst: bool,
-    /// Scenario seed.
+    /// Registry name of the [`osp_workload::TraceSource`] every game
+    /// samples (must be wire-safe).
+    pub source: &'static str,
+    /// Base seed; each game derives its own.
     pub seed: u64,
+}
+
+/// A built wire trace plus the per-game horizon it ticks through.
+#[derive(Debug, Clone)]
+pub struct LoadTrace {
+    /// The request stream, creates first, then slot-phased traffic.
+    pub requests: Vec<Request>,
+    /// Horizon of every game in the trace.
+    pub horizon: u32,
 }
 
 fn series_values(series: &SlotSeries) -> Vec<String> {
     series
         .iter()
-        .map(|(_, m)| money_to_decimal(m).expect("workload values are decimal-exact"))
+        .map(|(_, m)| money_to_decimal(m).expect("wire-safe sources are decimal-exact"))
         .collect()
 }
 
 /// Builds the request trace for `cfg`: all creates, then slot-phased
-/// round-robin traffic (arrivals at their start slot, one explicit
-/// tick per game per slot), so thousands of games are in flight at
-/// once.
+/// round-robin traffic (arrivals at their start slot, revisions at
+/// their scripted slot, one explicit tick per game per slot), so
+/// thousands of games are in flight at once.
 #[must_use]
-pub fn build_trace(cfg: &LoadConfig) -> Vec<Request> {
+pub fn build_trace(cfg: &LoadConfig) -> LoadTrace {
+    let source =
+        find(cfg.source).unwrap_or_else(|| panic!("`{}` is not a registered workload", cfg.source));
+    assert!(
+        source.wire_safe(),
+        "`{}` is not wire-safe: its values cannot cross the decimal wire",
+        cfg.source
+    );
     let mut requests = Vec::new();
     let mut next_id = 0u64;
     let mut push = |requests: &mut Vec<Request>, op: Op| {
         next_id += 1;
         requests.push(Request { id: next_id, op });
     };
-    // (start_slot, arrive-op) per game, filled while creating.
-    let mut arrivals: Vec<Vec<(u32, Op)>> = Vec::with_capacity(cfg.games as usize);
+    // (slot, op) per game, arrivals first then revisions, each sorted
+    // by slot — so filtering a slot replays arrivals before revisions.
+    let mut events: Vec<Vec<(u32, Op)>> = Vec::with_capacity(cfg.games as usize);
+    let mut horizon = 0u32;
     for game in 0..cfg.games {
-        let mut rng = StdRng::seed_from_u64(cfg.seed ^ game.wrapping_mul(0x9E37_79B9));
         let game_id = GameId(game);
-        if cfg.subst {
-            let scenario = gen::subst_scenario(
-                &SubstConfig {
-                    num_users: cfg.users_per_game,
-                    horizon: cfg.horizon,
-                    num_opts: 4,
-                    substitutes_per_user: 2,
-                },
-                Money::from_cents(60),
-                &mut rng,
-            );
-            push(
-                &mut requests,
-                Op::Create {
-                    game: game_id,
-                    mechanism: Mechanism::SubstOn,
-                    horizon: cfg.horizon,
-                    costs: scenario
-                        .costs
-                        .iter()
-                        .map(|&c| money_to_decimal(c).expect("costs are decimal-exact"))
-                        .collect(),
-                    engine: None,
-                    seed: None,
-                },
-            );
-            arrivals.push(
-                scenario
-                    .users
-                    .iter()
-                    .map(|u| {
-                        (
-                            u.series.start().index(),
-                            Op::Arrive {
-                                game: game_id,
-                                user: u.user.0,
-                                start: u.series.start().index(),
-                                values: series_values(&u.series),
-                                substitutes: u.substitutes.iter().map(|o| o.index()).collect(),
-                            },
-                        )
-                    })
-                    .collect(),
-            );
-        } else {
-            // Pick start slots so `start + duration − 1` stays inside
-            // the game horizon (the sampler extends its effective
-            // horizon by `duration − 1`). The duration must be a
-            // power of two: `split_evenly` divides a micro-grid total
-            // by it, and only 2^k divisors keep the per-slot values
-            // decimal-exact for the wire.
-            let duration = if cfg.horizon >= 4 { 4 } else { 1 };
-            let scenario = gen::additive_scenario(
-                &AdditiveConfig {
-                    num_users: cfg.users_per_game,
-                    horizon: cfg.horizon - duration + 1,
-                    arrivals: ArrivalProcess::Uniform,
-                    duration,
-                },
-                Money::from_cents(60),
-                &mut rng,
-            );
-            debug_assert_eq!(scenario.horizon, cfg.horizon);
-            push(
-                &mut requests,
-                Op::Create {
-                    game: game_id,
-                    mechanism: Mechanism::AddOn,
-                    horizon: cfg.horizon,
-                    costs: vec![money_to_decimal(scenario.cost).expect("cost is decimal-exact")],
-                    engine: None,
-                    seed: None,
-                },
-            );
-            arrivals.push(
-                scenario
+        let trace = source.sample(
+            cfg.users_per_game,
+            cfg.seed ^ game.wrapping_mul(0x9E37_79B9),
+        );
+        horizon = trace.horizon();
+        match &trace {
+            Trace::Additive {
+                scenario,
+                revisions,
+            } => {
+                push(
+                    &mut requests,
+                    Op::Create {
+                        game: game_id,
+                        mechanism: Mechanism::AddOn,
+                        horizon: scenario.horizon,
+                        costs: vec![money_to_decimal(scenario.cost).expect("cost is decimal-exact")],
+                        engine: None,
+                        seed: None,
+                    },
+                );
+                let mut game_events: Vec<(u32, Op)> = scenario
                     .users
                     .iter()
                     .map(|(user, series)| {
@@ -149,14 +112,65 @@ pub fn build_trace(cfg: &LoadConfig) -> Vec<Request> {
                             },
                         )
                     })
-                    .collect(),
-            );
+                    .collect();
+                game_events.extend(revisions.iter().map(|r| {
+                    (
+                        r.at.index(),
+                        Op::Revise {
+                            game: game_id,
+                            user: r.user.0,
+                            from: r.from.index(),
+                            values: r
+                                .values
+                                .iter()
+                                .map(|&v| money_to_decimal(v).expect("revisions are decimal-exact"))
+                                .collect(),
+                        },
+                    )
+                }));
+                events.push(game_events);
+            }
+            Trace::Subst { scenario } => {
+                push(
+                    &mut requests,
+                    Op::Create {
+                        game: game_id,
+                        mechanism: Mechanism::SubstOn,
+                        horizon: scenario.horizon,
+                        costs: scenario
+                            .costs
+                            .iter()
+                            .map(|&c| money_to_decimal(c).expect("costs are decimal-exact"))
+                            .collect(),
+                        engine: None,
+                        seed: None,
+                    },
+                );
+                events.push(
+                    scenario
+                        .users
+                        .iter()
+                        .map(|u| {
+                            (
+                                u.series.start().index(),
+                                Op::Arrive {
+                                    game: game_id,
+                                    user: u.user.0,
+                                    start: u.series.start().index(),
+                                    values: series_values(&u.series),
+                                    substitutes: u.substitutes.iter().map(|o| o.index()).collect(),
+                                },
+                            )
+                        })
+                        .collect(),
+                );
+            }
         }
     }
-    for t in 1..=cfg.horizon {
-        for (game, game_arrivals) in arrivals.iter().enumerate() {
-            for (start, op) in game_arrivals {
-                if *start == t {
+    for t in 1..=horizon {
+        for (game, game_events) in events.iter().enumerate() {
+            for (slot, op) in game_events {
+                if *slot == t {
                     push(&mut requests, op.clone());
                 }
             }
@@ -169,7 +183,7 @@ pub fn build_trace(cfg: &LoadConfig) -> Vec<Request> {
             );
         }
     }
-    requests
+    LoadTrace { requests, horizon }
 }
 
 /// What one replay measured.
@@ -228,43 +242,62 @@ mod tests {
     const SMALL: LoadConfig = LoadConfig {
         games: 50,
         users_per_game: 4,
-        horizon: 6,
-        subst: false,
+        source: "uniform_z20",
         seed: 0x05f5_c0de,
     };
 
     #[test]
     fn traces_are_deterministic_and_cover_every_game() {
         let trace = build_trace(&SMALL);
-        assert_eq!(trace, build_trace(&SMALL));
+        assert_eq!(trace.requests, build_trace(&SMALL).requests);
+        assert_eq!(trace.horizon, 20);
         let creates = trace
+            .requests
             .iter()
             .filter(|r| matches!(r.op, Op::Create { .. }))
             .count();
         let ticks = trace
+            .requests
             .iter()
             .filter(|r| matches!(r.op, Op::Tick { .. }))
             .count();
         assert_eq!(creates, SMALL.games as usize);
-        assert_eq!(ticks, (SMALL.games * u64::from(SMALL.horizon)) as usize);
+        assert_eq!(ticks, (SMALL.games * u64::from(trace.horizon)) as usize);
     }
 
     #[test]
     fn replay_answers_everything_without_errors() {
-        for subst in [false, true] {
-            let trace = build_trace(&LoadConfig { subst, ..SMALL });
-            let result = replay(&trace, 4, 64);
-            assert_eq!(result.requests, trace.len());
-            assert_eq!(result.errors, 0, "subst={subst}");
+        for source in ["uniform_z20", "subst12_z20"] {
+            let trace = build_trace(&LoadConfig { source, ..SMALL });
+            let result = replay(&trace.requests, 4, 64);
+            assert_eq!(result.requests, trace.requests.len());
+            assert_eq!(result.errors, 0, "source={source}");
             assert!(result.requests_per_sec > 0.0);
             assert_eq!(
                 result.shards.iter().map(|s| s.events).sum::<u64>(),
-                trace.len() as u64
+                trace.requests.len() as u64
             );
             assert_eq!(
                 result.shards.iter().map(|s| s.games).sum::<u64>(),
                 SMALL.games
             );
         }
+    }
+
+    #[test]
+    fn churn_revisions_cross_the_wire_cleanly() {
+        let trace = build_trace(&LoadConfig {
+            source: "churn_z40",
+            games: 20,
+            ..SMALL
+        });
+        let revises = trace
+            .requests
+            .iter()
+            .filter(|r| matches!(r.op, Op::Revise { .. }))
+            .count();
+        assert!(revises > 0, "churn trace scripted no revisions");
+        let result = replay(&trace.requests, 4, 64);
+        assert_eq!(result.errors, 0);
     }
 }

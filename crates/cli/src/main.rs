@@ -41,6 +41,10 @@ fn usage() -> &'static str {
   osp resume <state.json> [--json]
       Load a checkpointed state, play out the remaining slots, and
       print the final outcome.
+  osp workloads
+      List every registered workload source (the generators behind the
+      perf, differential, and server-load harnesses) with its
+      mechanism, wire-safety, and description.
 
 The game file format is shown by `osp example <kind>`: optimizations
 with decimal-string costs, users with additive per-slot bids or
@@ -129,6 +133,29 @@ fn real_main() -> Result<(), String> {
         Some("serve") => serve::serve(&args[1..], usage()),
         Some("checkpoint") => checkpoint::checkpoint(&args[1..], usage()),
         Some("resume") => checkpoint::resume(&args[1..], usage()),
+        Some("workloads") => {
+            if args.len() > 1 {
+                return Err(format!("workloads takes no arguments\n{}", usage()));
+            }
+            println!(
+                "{:<20} {:<9} {:<4} description",
+                "workload", "mechanism", "wire"
+            );
+            for source in osp_workload::registry() {
+                println!(
+                    "{:<20} {:<9} {:<4} {}",
+                    source.name(),
+                    if source.substitutable() {
+                        "subston"
+                    } else {
+                        "addon"
+                    },
+                    if source.wire_safe() { "yes" } else { "no" },
+                    source.description()
+                );
+            }
+            Ok(())
+        }
         _ => Err(usage().to_owned()),
     }
 }

@@ -223,6 +223,7 @@ fn usage_mentions_every_subcommand() {
         "serve",
         "checkpoint",
         "resume",
+        "workloads",
     ] {
         assert!(usage.contains(subcommand), "usage lacks `{subcommand}`");
     }
@@ -238,6 +239,21 @@ fn usage_mentions_every_subcommand() {
         "--out",
     ] {
         assert!(usage.contains(flag), "usage lacks `{flag}`");
+    }
+}
+
+#[test]
+fn workloads_subcommand_lists_every_registered_source() {
+    let output = osp().arg("workloads").output().unwrap();
+    assert!(output.status.success());
+    let listing = String::from_utf8(output.stdout).unwrap();
+    for source in osp_workload::registry() {
+        assert!(
+            listing.contains(source.name()),
+            "`osp workloads` lacks `{}`",
+            source.name()
+        );
+        assert!(listing.contains(source.description()));
     }
 }
 

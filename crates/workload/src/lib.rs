@@ -11,18 +11,31 @@
 //!   Regret baseline on identical true values;
 //! * [`points`] — seed-averaged comparison points (common random
 //!   numbers across sweep points);
-//! * [`sweeps`] — the exact x-axes and configurations of Figures 2–5.
+//! * [`sweeps`] — the exact x-axes and configurations of Figures 2–5;
+//! * [`source`] — the [`source::TraceSource`] trait and named registry
+//!   every harness (perf, differential oracle, server load, CLI)
+//!   draws its workloads from;
+//! * [`shapes`] — the registered synthetic shapes (§7 classics plus
+//!   Zipf, bursty-diurnal, churn-wave, free-rider, and pay-one
+//!   contention extensions);
+//! * [`adapters`] — the paper's actual use cases (cloudsim
+//!   materialized-view sharing, the astronomy collaboration) as
+//!   registered sources.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adapters;
 pub mod arrivals;
 pub mod gen;
 pub mod points;
 pub mod scenario;
+pub mod shapes;
+pub mod source;
 pub mod sweeps;
 
 pub use arrivals::ArrivalProcess;
 pub use gen::{AdditiveConfig, SubstConfig};
 pub use points::{additive_point, subst_point, ComparisonPoint};
 pub use scenario::{AdditiveScenario, RunResult, SubstScenario, SubstUserSpec};
+pub use source::{find, registry, Revision, Trace, TraceOutcome, TraceSource};

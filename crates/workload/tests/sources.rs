@@ -1,0 +1,139 @@
+//! Registry-wide generator invariants: every [`TraceSource`] must
+//! sample deterministic, ordered, playable, grid-exact traces for any
+//! `(users, seed)` — the contract `source.rs` documents, enforced here
+//! under proptest so new sources inherit the obligations the moment
+//! they are registered.
+
+use proptest::prelude::*;
+
+use osp_core::prelude::*;
+use osp_workload::source::{on_micro_grid, registry, Trace};
+
+/// Flattens a trace into (start, end) arrival intervals in trace order.
+fn arrival_intervals(trace: &Trace) -> Vec<(u32, u32)> {
+    match trace {
+        Trace::Additive { scenario, .. } => scenario
+            .users
+            .iter()
+            .map(|(_, s)| (s.start().index(), s.end().index()))
+            .collect(),
+        Trace::Subst { scenario } => scenario
+            .users
+            .iter()
+            .map(|u| (u.series.start().index(), u.series.end().index()))
+            .collect(),
+    }
+}
+
+/// Every sampled money amount in the trace, bids and costs alike.
+fn all_money(trace: &Trace) -> Vec<Money> {
+    let mut out = Vec::new();
+    match trace {
+        Trace::Additive {
+            scenario,
+            revisions,
+        } => {
+            out.push(scenario.cost);
+            for (_, s) in &scenario.users {
+                out.extend(s.iter().map(|(_, v)| v));
+            }
+            for r in revisions {
+                out.extend(r.values.iter().copied());
+            }
+        }
+        Trace::Subst { scenario } => {
+            out.extend(scenario.costs.iter().copied());
+            for u in &scenario.users {
+                out.extend(u.series.iter().map(|(_, v)| v));
+            }
+        }
+    }
+    out
+}
+
+proptest! {
+    /// Identical `(users, seed)` ⇒ bit-identical trace: the serde
+    /// encodings match byte for byte and the round-trip reproduces the
+    /// value exactly.
+    #[test]
+    fn identical_seeds_give_bit_identical_traces(
+        users in 1u32..=48,
+        seed in 0u64..1 << 48,
+    ) {
+        for source in registry() {
+            let a = source.sample(users, seed);
+            let b = source.sample(users, seed);
+            let a_json = serde_json::to_string(&a).expect("traces serialize");
+            let b_json = serde_json::to_string(&b).expect("traces serialize");
+            prop_assert_eq!(&a_json, &b_json, "{} is nondeterministic", source.name());
+            let back: Trace = serde_json::from_str(&a_json).expect("traces deserialize");
+            prop_assert_eq!(&a, &back, "{} round-trip drift", source.name());
+        }
+    }
+
+    /// Arrivals are sorted by start slot, and every service interval
+    /// lies within `1..=horizon`.
+    #[test]
+    fn arrivals_are_nondecreasing_and_within_horizon(
+        users in 1u32..=48,
+        seed in 0u64..1 << 48,
+    ) {
+        for source in registry() {
+            let trace = source.sample(users, seed);
+            let horizon = trace.horizon();
+            let intervals = arrival_intervals(&trace);
+            let mut prev = 0u32;
+            for &(start, end) in &intervals {
+                prop_assert!(start >= 1 && start <= end && end <= horizon,
+                    "{}: interval [{start}, {end}] outside 1..={horizon}", source.name());
+                prop_assert!(start >= prev, "{}: arrivals unsorted", source.name());
+                prev = start;
+            }
+            if let Trace::Additive { revisions, .. } = &trace {
+                let mut prev_at = 0u32;
+                for r in revisions {
+                    prop_assert!(r.at.index() >= 1 && r.at.index() <= horizon);
+                    prop_assert!(r.from >= r.at, "{}: revision rewrites the past", source.name());
+                    prop_assert!(r.at.index() >= prev_at, "{}: revisions unsorted", source.name());
+                    prop_assert!(!r.values.is_empty());
+                    prev_at = r.at.index();
+                }
+            }
+        }
+    }
+
+    /// Wire-safe sources put every sampled `Money` — values, revision
+    /// values, and costs — on the micro-dollar grid, so traces survive
+    /// the server's decimal wire encoding.
+    #[test]
+    fn wire_safe_sources_stay_on_the_micro_grid(
+        users in 1u32..=48,
+        seed in 0u64..1 << 48,
+    ) {
+        for source in registry() {
+            if !source.wire_safe() {
+                continue;
+            }
+            let trace = source.sample(users, seed);
+            for m in all_money(&trace) {
+                prop_assert!(!m.is_negative(), "{}: negative money", source.name());
+                prop_assert!(on_micro_grid(m),
+                    "{}: {m} is off the micro-dollar grid", source.name());
+            }
+        }
+    }
+
+    /// Every sampled trace plays to completion — no scripted submit or
+    /// revision is ever rejected by the mechanism.
+    #[test]
+    fn every_trace_plays_to_completion(
+        users in 1u32..=32,
+        seed in 0u64..1 << 48,
+    ) {
+        for source in registry() {
+            let trace = source.sample(users, seed);
+            let outcome = trace.play(Engine::Incremental, TieBreak::LowestOptId);
+            prop_assert!(outcome.is_ok(), "{}: {:?}", source.name(), outcome.err());
+        }
+    }
+}

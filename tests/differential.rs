@@ -12,7 +12,8 @@
 use proptest::prelude::*;
 
 use osp_bench::differential::{
-    addon_differential, subston_differential, AddOnDiffConfig, SubstOnDiffConfig,
+    addon_differential, subston_differential, trace_differential, AddOnDiffConfig,
+    SubstOnDiffConfig,
 };
 use osp_core::prelude::TieBreak;
 
@@ -71,6 +72,24 @@ proptest! {
             };
             if let Err(divergence) = subston_differential(&cfg) {
                 prop_assert!(false, "{divergence}\nconfig: {cfg:?}");
+            }
+        }
+    }
+
+    /// Every registered workload source — synthetic shapes and the
+    /// cloudsim/astro adapters alike — replays through both engines
+    /// with identical results. One game per source per case: the
+    /// default 64 cases give every source 64 games per run (PR-gate
+    /// floor: 16), and the nightly deep job thousands.
+    #[test]
+    fn registered_workloads_agree_across_engines(
+        users in 8u32..=48,
+        seed in 0u64..1 << 48,
+    ) {
+        for source in osp_workload::registry() {
+            let trace = source.sample(users, seed);
+            if let Err(divergence) = trace_differential(&trace, TieBreak::LowestOptId) {
+                prop_assert!(false, "{}: {divergence}", source.name());
             }
         }
     }
