@@ -2,16 +2,17 @@
 //!
 //! Every fast path added to [`osp_core::addon`] / [`osp_core::subston`]
 //! (the persistent Shapley solver, running residuals, the batched
-//! multi-opt phase loop) diverges further from the paper-literal code,
-//! and unit tests only guard the divergences someone thought of. This
-//! module is the systematic guard: it generates randomized
-//! *long-horizon* games — arrive/revise/expire/reject interleavings,
-//! 1–16 optimizations, adversarial bid series (zero-value tails,
-//! zero-head spikes, long-lived constants) — and drives each game
-//! through **both** engines simultaneously, slot by slot:
+//! multi-opt phase loop, the columnar i64 lane scan) diverges further
+//! from the paper-literal code, and unit tests only guard the
+//! divergences someone thought of. This module is the systematic
+//! guard: it generates randomized *long-horizon* games —
+//! arrive/revise/expire/reject interleavings, 1–16 optimizations,
+//! adversarial bid series (zero-value tails, zero-head spikes,
+//! long-lived constants) — and drives each game through **all three**
+//! [`Engine`]s simultaneously, slot by slot:
 //!
-//! * every client operation (submit / revise) must succeed on both
-//!   engines or fail on both with the *same* typed error;
+//! * every client operation (submit / revise) must succeed on every
+//!   engine or fail on every engine with the *same* typed error;
 //! * every slot's report — grants, share (price), exit payments — must
 //!   be identical;
 //! * the final outcomes and their ledger totals must be identical.
@@ -20,7 +21,7 @@
 //! callers (the `tests/differential.rs` proptest wrapper, which runs
 //! ≥ 256 games per mechanism, and the nightly `proptest-deep` CI job)
 //! can report the offending seed. New fast paths get locked down by
-//! construction: if the optimized engine and the rebuild oracle ever
+//! construction: if any optimized engine and the rebuild oracle ever
 //! disagree on any reachable interleaving, this harness is the test
 //! that fails.
 
@@ -29,6 +30,40 @@ use rand::{Rng, SeedableRng};
 
 use osp_core::prelude::*;
 use osp_workload::source::Trace;
+
+/// The engine roster every differential game drives in lockstep: the
+/// scalar incremental solver, the paper-literal rebuild oracle, and
+/// the columnar i64-lane fast path.
+pub const ENGINES: [Engine; 3] = [Engine::Incremental, Engine::Rebuild, Engine::Columnar];
+
+fn engine_label(engine: Engine) -> &'static str {
+    match engine {
+        Engine::Incremental => "incremental",
+        Engine::Rebuild => "rebuild",
+        Engine::Columnar => "columnar",
+    }
+}
+
+/// `Err` describing the first divergence when the per-engine `results`
+/// (indexed like [`ENGINES`]) are not all identical.
+fn check_agree<T: PartialEq + std::fmt::Debug>(
+    context: &str,
+    slot: u32,
+    results: &[T],
+) -> Result<(), String> {
+    for (i, r) in results.iter().enumerate().skip(1) {
+        if *r != results[0] {
+            return Err(format!(
+                "engines diverged at slot {slot} on {context}:\n  {}: {:?}\n  {}: {:?}",
+                engine_label(ENGINES[0]),
+                results[0],
+                engine_label(ENGINES[i]),
+                r
+            ));
+        }
+    }
+    Ok(())
+}
 
 /// How many operations of each kind a differential run executed —
 /// returned so tests can assert the generator actually exercises the
@@ -43,7 +78,7 @@ pub struct OpMix {
     /// (resurrections — the shape PR 4's review fix showed is easy to
     /// get wrong).
     pub resurrections: u32,
-    /// Operations rejected (identically, on both engines).
+    /// Operations rejected (identically, on every engine).
     pub rejections: u32,
     /// Bid series submitted with a zero-value tail.
     pub zero_tails: u32,
@@ -76,7 +111,7 @@ pub struct SubstOnDiffConfig {
     pub num_opts: u32,
     /// Mean optimization cost in cents.
     pub mean_cost_cents: i64,
-    /// Tie-break policy (both engines must consume the RNG
+    /// Tie-break policy (every engine must consume the RNG
     /// identically).
     pub tiebreak: TieBreak,
 }
@@ -121,24 +156,16 @@ fn adversarial_values(rng: &mut StdRng, len: usize, max_cents: i64) -> (Vec<Mone
     (values, zero_tail)
 }
 
-fn mismatch(
-    context: &str,
-    slot: u32,
-    inc: impl std::fmt::Debug,
-    reb: impl std::fmt::Debug,
-) -> String {
-    format!("engines diverged at slot {slot} on {context}:\n  incremental: {inc:?}\n  rebuild:     {reb:?}")
-}
-
-/// Runs one randomized AddOn game through both engines. Returns the
+/// Runs one randomized AddOn game through every engine. Returns the
 /// (identical) outcome and the operation mix, or a description of the
 /// first divergence.
 pub fn addon_differential(cfg: &AddOnDiffConfig) -> Result<(AddOnOutcome, OpMix), String> {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let cost = Money::from_cents(cfg.cost_cents.max(1));
-    let mut inc = AddOnState::with_engine(cost, cfg.horizon, Engine::Incremental)
-        .map_err(|e| format!("constructor failed: {e}"))?;
-    let mut reb = AddOnState::with_engine(cost, cfg.horizon, Engine::Rebuild)
+    let mut states = ENGINES
+        .iter()
+        .map(|&engine| AddOnState::with_engine(cost, cfg.horizon, engine))
+        .collect::<Result<Vec<_>, _>>()
         .map_err(|e| format!("constructor failed: {e}"))?;
 
     let mut mix = OpMix::default();
@@ -162,12 +189,12 @@ pub fn addon_differential(cfg: &AddOnDiffConfig) -> Result<(AddOnOutcome, OpMix)
             let (values, zero_tail) = adversarial_values(&mut rng, len, cfg.cost_cents);
             let series = SlotSeries::new(SlotId(start), values).expect("non-empty, non-negative");
             let end = series.end().index();
-            let a = inc.submit(OnlineBid::new(user, series.clone()));
-            let b = reb.submit(OnlineBid::new(user, series));
-            if a != b {
-                return Err(mismatch("submit", now, &a, &b));
-            }
-            match a {
+            let results: Vec<_> = states
+                .iter_mut()
+                .map(|s| s.submit(OnlineBid::new(user, series.clone())))
+                .collect();
+            check_agree("submit", now, &results)?;
+            match results[0] {
                 Ok(()) => {
                     known.push((user, start, end));
                     mix.submits += 1;
@@ -176,7 +203,7 @@ pub fn addon_differential(cfg: &AddOnDiffConfig) -> Result<(AddOnOutcome, OpMix)
                 Err(_) => mix.rejections += 1,
             }
         }
-        // Deliberate protocol violations: both engines must reject
+        // Deliberate protocol violations: every engine must reject
         // identically (duplicate user / retroactive bid).
         if now > 1 && rng.gen_bool(0.25) {
             let bad = if rng.gen_bool(0.5) && !known.is_empty() {
@@ -194,19 +221,16 @@ pub fn addon_differential(cfg: &AddOnDiffConfig) -> Result<(AddOnOutcome, OpMix)
                     SlotSeries::single(SlotId(now - 1), Money::from_cents(1)).unwrap(),
                 )
             };
-            let a = inc.submit(bad.clone());
-            let b = reb.submit(bad);
-            if a != b {
-                return Err(mismatch("rejected submit", now, &a, &b));
-            }
-            if a.is_err() {
+            let results: Vec<_> = states.iter_mut().map(|s| s.submit(bad.clone())).collect();
+            check_agree("rejected submit", now, &results)?;
+            if results[0].is_err() {
                 mix.rejections += 1;
             }
         }
         // Revisions: upward rewrites of a known user's future values,
         // sometimes extending past her old end (the resurrection path
         // when she already expired), sometimes illegal (downward /
-        // retroactive / beyond-horizon) and rejected by both.
+        // retroactive / beyond-horizon) and rejected by every engine.
         let revisions = rng.gen_range(0..=2u32);
         for _ in 0..revisions {
             if known.is_empty() {
@@ -227,12 +251,12 @@ pub fn addon_differential(cfg: &AddOnDiffConfig) -> Result<(AddOnOutcome, OpMix)
                     .collect()
             };
             let expired = old_end < now;
-            let a = inc.revise(user, SlotId(from), values.clone());
-            let b = reb.revise(user, SlotId(from), values);
-            if a != b {
-                return Err(mismatch("revise", now, &a, &b));
-            }
-            match a {
+            let results: Vec<_> = states
+                .iter_mut()
+                .map(|s| s.revise(user, SlotId(from), values.clone()))
+                .collect();
+            check_agree("revise", now, &results)?;
+            match results[0] {
                 Ok(()) => {
                     // `revise` clamps `from` to the series start, so
                     // the true new end is from_idx + len - 1 (the
@@ -247,41 +271,29 @@ pub fn addon_differential(cfg: &AddOnDiffConfig) -> Result<(AddOnOutcome, OpMix)
         }
 
         // The slot itself: grants, share, and exit payments must agree.
-        let a = inc
-            .advance()
-            .map_err(|e| format!("incremental advance failed: {e}"))?;
-        let b = reb
-            .advance()
-            .map_err(|e| format!("rebuild advance failed: {e}"))?;
-        if a != b {
-            return Err(mismatch("slot report", now, &a, &b));
-        }
+        let reports: Vec<_> = states.iter_mut().map(AddOnState::advance).collect();
+        check_agree("slot report", now, &reports)?;
+        reports
+            .into_iter()
+            .next()
+            .unwrap()
+            .map_err(|e| format!("advance failed at slot {now}: {e}"))?;
     }
 
-    let inc_out = inc
-        .finish()
-        .map_err(|e| format!("incremental finish failed: {e}"))?;
-    let reb_out = reb
-        .finish()
-        .map_err(|e| format!("rebuild finish failed: {e}"))?;
-    if inc_out != reb_out {
-        return Err(mismatch("final outcome", cfg.horizon, &inc_out, &reb_out));
-    }
-    // Ledger totals: same collected money, slot by slot they already
-    // agreed, so this is the end-to-end accounting cross-check.
-    if inc_out.total_payments() != reb_out.total_payments() {
-        return Err(mismatch(
-            "total payments",
-            cfg.horizon,
-            inc_out.total_payments(),
-            reb_out.total_payments(),
-        ));
-    }
-    audit::check_addon_outcome(&inc_out).map_err(|e| format!("audit failed: {e}"))?;
-    Ok((inc_out, mix))
+    let outcomes = states
+        .into_iter()
+        .map(AddOnState::finish)
+        .collect::<Result<Vec<_>, _>>()
+        .map_err(|e| format!("finish failed: {e}"))?;
+    check_agree("final outcome", cfg.horizon, &outcomes)?;
+    let totals: Vec<Money> = outcomes.iter().map(AddOnOutcome::total_payments).collect();
+    check_agree("total payments", cfg.horizon, &totals)?;
+    let out = outcomes.into_iter().next().unwrap();
+    audit::check_addon_outcome(&out).map_err(|e| format!("audit failed: {e}"))?;
+    Ok((out, mix))
 }
 
-/// Runs one randomized SubstOn game through both engines. Returns the
+/// Runs one randomized SubstOn game through every engine. Returns the
 /// (identical) outcome and the operation mix, or a description of the
 /// first divergence.
 pub fn subston_differential(cfg: &SubstOnDiffConfig) -> Result<(SubstOnOutcome, OpMix), String> {
@@ -293,14 +305,10 @@ pub fn subston_differential(cfg: &SubstOnDiffConfig) -> Result<(SubstOnOutcome, 
     let costs: Vec<Money> = (0..cfg.num_opts)
         .map(|_| Money::from_cents(rng.gen_range(1..=2 * cfg.mean_cost_cents)))
         .collect();
-    let mut inc = SubstOnState::with_engine(
-        costs.clone(),
-        cfg.horizon,
-        cfg.tiebreak,
-        Engine::Incremental,
-    )
-    .map_err(|e| format!("constructor failed: {e}"))?;
-    let mut reb = SubstOnState::with_engine(costs, cfg.horizon, cfg.tiebreak, Engine::Rebuild)
+    let mut states = ENGINES
+        .iter()
+        .map(|&engine| SubstOnState::with_engine(costs.clone(), cfg.horizon, cfg.tiebreak, engine))
+        .collect::<Result<Vec<_>, _>>()
         .map_err(|e| format!("constructor failed: {e}"))?;
 
     let mut mix = OpMix::default();
@@ -331,12 +339,9 @@ pub fn subston_differential(cfg: &SubstOnDiffConfig) -> Result<(SubstOnOutcome, 
                 substitutes: subs,
                 series,
             };
-            let a = inc.submit(bid.clone());
-            let b = reb.submit(bid);
-            if a != b {
-                return Err(mismatch("submit", now, &a, &b));
-            }
-            match a {
+            let results: Vec<_> = states.iter_mut().map(|s| s.submit(bid.clone())).collect();
+            check_agree("submit", now, &results)?;
+            match results[0] {
                 Ok(()) => {
                     known.push(user);
                     mix.submits += 1;
@@ -352,137 +357,122 @@ pub fn subston_differential(cfg: &SubstOnDiffConfig) -> Result<(SubstOnOutcome, 
                 substitutes: [OptId(cfg.num_opts * u32::from(rng.gen_bool(0.5)))].into(),
                 series: SlotSeries::single(SlotId(now), Money::from_cents(1)).unwrap(),
             };
-            let a = inc.submit(bad.clone());
-            let b = reb.submit(bad);
-            if a != b {
-                return Err(mismatch("rejected submit", now, &a, &b));
-            }
-            if a.is_err() {
+            let results: Vec<_> = states.iter_mut().map(|s| s.submit(bad.clone())).collect();
+            check_agree("rejected submit", now, &results)?;
+            if results[0].is_err() {
                 mix.rejections += 1;
             }
         }
 
-        let a = inc
-            .advance()
-            .map_err(|e| format!("incremental advance failed: {e}"))?;
-        let b = reb
-            .advance()
-            .map_err(|e| format!("rebuild advance failed: {e}"))?;
-        if a != b {
-            return Err(mismatch("slot report", now, &a, &b));
-        }
+        let reports: Vec<_> = states.iter_mut().map(SubstOnState::advance).collect();
+        check_agree("slot report", now, &reports)?;
+        reports
+            .into_iter()
+            .next()
+            .unwrap()
+            .map_err(|e| format!("advance failed at slot {now}: {e}"))?;
     }
 
-    let inc_out = inc
-        .finish()
-        .map_err(|e| format!("incremental finish failed: {e}"))?;
-    let reb_out = reb
-        .finish()
-        .map_err(|e| format!("rebuild finish failed: {e}"))?;
-    if inc_out != reb_out {
-        return Err(mismatch("final outcome", cfg.horizon, &inc_out, &reb_out));
-    }
-    let (li, lr) = (inc_out.to_ledger(), reb_out.to_ledger());
-    if li.total_payments() != lr.total_payments() || li.total_cost() != lr.total_cost() {
-        return Err(mismatch(
-            "ledger totals",
-            cfg.horizon,
-            (li.total_cost(), li.total_payments()),
-            (lr.total_cost(), lr.total_payments()),
-        ));
-    }
-    audit::check_subston_outcome(&inc_out).map_err(|e| format!("audit failed: {e}"))?;
-    Ok((inc_out, mix))
+    let outcomes = states
+        .into_iter()
+        .map(SubstOnState::finish)
+        .collect::<Result<Vec<_>, _>>()
+        .map_err(|e| format!("finish failed: {e}"))?;
+    check_agree("final outcome", cfg.horizon, &outcomes)?;
+    let ledgers: Vec<(Money, Money)> = outcomes
+        .iter()
+        .map(|o| {
+            let l = o.to_ledger();
+            (l.total_cost(), l.total_payments())
+        })
+        .collect();
+    check_agree("ledger totals", cfg.horizon, &ledgers)?;
+    let out = outcomes.into_iter().next().unwrap();
+    audit::check_subston_outcome(&out).map_err(|e| format!("audit failed: {e}"))?;
+    Ok((out, mix))
 }
 
-/// Replays one registered-workload trace through **both** engines
+/// Replays one registered-workload trace through **every** engine
 /// slot by slot — the registry-wide differential gate. Unlike the
 /// randomized scripts above, the event stream comes verbatim from a
 /// [`osp_workload::TraceSource`], so every registered workload (the
 /// synthetic shapes *and* the cloudsim/astro adapters) gets oracle
-/// coverage automatically. Scripted operations must succeed on both
-/// engines (registered sources produce fully-accepted traces); slot
-/// reports, outcomes, ledger totals, and the audit must agree.
+/// coverage automatically — including the off-grid value shapes
+/// (`longlived_z120`'s `split_evenly` values) that force the columnar
+/// engine onto its per-entry exact fallback. Scripted operations must
+/// succeed on every engine (registered sources produce fully-accepted
+/// traces); slot reports, outcomes, ledger totals, and the audit must
+/// agree.
 pub fn trace_differential(trace: &Trace, tiebreak: TieBreak) -> Result<(), String> {
     match trace {
         Trace::Additive {
             scenario,
             revisions,
         } => {
-            let mut inc =
-                AddOnState::with_engine(scenario.cost, scenario.horizon, Engine::Incremental)
-                    .map_err(|e| format!("constructor failed: {e}"))?;
-            let mut reb = AddOnState::with_engine(scenario.cost, scenario.horizon, Engine::Rebuild)
+            let mut states = ENGINES
+                .iter()
+                .map(|&engine| AddOnState::with_engine(scenario.cost, scenario.horizon, engine))
+                .collect::<Result<Vec<_>, _>>()
                 .map_err(|e| format!("constructor failed: {e}"))?;
             let mut arrivals = scenario.users.iter().peekable();
             let mut revs = revisions.iter().peekable();
             for now in 1..=scenario.horizon {
                 while let Some((user, series)) = arrivals.next_if(|(_, s)| s.start().index() <= now)
                 {
-                    let a = inc.submit(OnlineBid::new(*user, series.clone()));
-                    let b = reb.submit(OnlineBid::new(*user, series.clone()));
-                    if a != b {
-                        return Err(mismatch("submit", now, &a, &b));
-                    }
-                    a.map_err(|e| format!("trace submit rejected at slot {now}: {e}"))?;
+                    let results: Vec<_> = states
+                        .iter_mut()
+                        .map(|s| s.submit(OnlineBid::new(*user, series.clone())))
+                        .collect();
+                    check_agree("submit", now, &results)?;
+                    results
+                        .into_iter()
+                        .next()
+                        .unwrap()
+                        .map_err(|e| format!("trace submit rejected at slot {now}: {e}"))?;
                 }
                 while let Some(rev) = revs.next_if(|r| r.at.index() <= now) {
-                    let a = inc.revise(rev.user, rev.from, rev.values.clone());
-                    let b = reb.revise(rev.user, rev.from, rev.values.clone());
-                    if a != b {
-                        return Err(mismatch("revise", now, &a, &b));
-                    }
-                    a.map_err(|e| format!("trace revise rejected at slot {now}: {e}"))?;
+                    let results: Vec<_> = states
+                        .iter_mut()
+                        .map(|s| s.revise(rev.user, rev.from, rev.values.clone()))
+                        .collect();
+                    check_agree("revise", now, &results)?;
+                    results
+                        .into_iter()
+                        .next()
+                        .unwrap()
+                        .map_err(|e| format!("trace revise rejected at slot {now}: {e}"))?;
                 }
-                let a = inc
-                    .advance()
-                    .map_err(|e| format!("incremental advance failed: {e}"))?;
-                let b = reb
-                    .advance()
-                    .map_err(|e| format!("rebuild advance failed: {e}"))?;
-                if a != b {
-                    return Err(mismatch("slot report", now, &a, &b));
-                }
+                let reports: Vec<_> = states.iter_mut().map(AddOnState::advance).collect();
+                check_agree("slot report", now, &reports)?;
+                reports
+                    .into_iter()
+                    .next()
+                    .unwrap()
+                    .map_err(|e| format!("advance failed at slot {now}: {e}"))?;
             }
-            let inc_out = inc
-                .finish()
-                .map_err(|e| format!("incremental finish failed: {e}"))?;
-            let reb_out = reb
-                .finish()
-                .map_err(|e| format!("rebuild finish failed: {e}"))?;
-            if inc_out != reb_out {
-                return Err(mismatch(
-                    "final outcome",
-                    scenario.horizon,
-                    &inc_out,
-                    &reb_out,
-                ));
-            }
-            if inc_out.total_payments() != reb_out.total_payments() {
-                return Err(mismatch(
-                    "total payments",
-                    scenario.horizon,
-                    inc_out.total_payments(),
-                    reb_out.total_payments(),
-                ));
-            }
-            audit::check_addon_outcome(&inc_out).map_err(|e| format!("audit failed: {e}"))
+            let outcomes = states
+                .into_iter()
+                .map(AddOnState::finish)
+                .collect::<Result<Vec<_>, _>>()
+                .map_err(|e| format!("finish failed: {e}"))?;
+            check_agree("final outcome", scenario.horizon, &outcomes)?;
+            let totals: Vec<Money> = outcomes.iter().map(AddOnOutcome::total_payments).collect();
+            check_agree("total payments", scenario.horizon, &totals)?;
+            audit::check_addon_outcome(&outcomes[0]).map_err(|e| format!("audit failed: {e}"))
         }
         Trace::Subst { scenario } => {
-            let mut inc = SubstOnState::with_engine(
-                scenario.costs.clone(),
-                scenario.horizon,
-                tiebreak,
-                Engine::Incremental,
-            )
-            .map_err(|e| format!("constructor failed: {e}"))?;
-            let mut reb = SubstOnState::with_engine(
-                scenario.costs.clone(),
-                scenario.horizon,
-                tiebreak,
-                Engine::Rebuild,
-            )
-            .map_err(|e| format!("constructor failed: {e}"))?;
+            let mut states = ENGINES
+                .iter()
+                .map(|&engine| {
+                    SubstOnState::with_engine(
+                        scenario.costs.clone(),
+                        scenario.horizon,
+                        tiebreak,
+                        engine,
+                    )
+                })
+                .collect::<Result<Vec<_>, _>>()
+                .map_err(|e| format!("constructor failed: {e}"))?;
             let mut arrivals = scenario.users.iter().peekable();
             for now in 1..=scenario.horizon {
                 while let Some(spec) = arrivals.next_if(|u| u.series.start().index() <= now) {
@@ -491,47 +481,38 @@ pub fn trace_differential(trace: &Trace, tiebreak: TieBreak) -> Result<(), Strin
                         substitutes: spec.substitutes.iter().copied().collect(),
                         series: spec.series.clone(),
                     };
-                    let a = inc.submit(bid.clone());
-                    let b = reb.submit(bid);
-                    if a != b {
-                        return Err(mismatch("submit", now, &a, &b));
-                    }
-                    a.map_err(|e| format!("trace submit rejected at slot {now}: {e}"))?;
+                    let results: Vec<_> =
+                        states.iter_mut().map(|s| s.submit(bid.clone())).collect();
+                    check_agree("submit", now, &results)?;
+                    results
+                        .into_iter()
+                        .next()
+                        .unwrap()
+                        .map_err(|e| format!("trace submit rejected at slot {now}: {e}"))?;
                 }
-                let a = inc
-                    .advance()
-                    .map_err(|e| format!("incremental advance failed: {e}"))?;
-                let b = reb
-                    .advance()
-                    .map_err(|e| format!("rebuild advance failed: {e}"))?;
-                if a != b {
-                    return Err(mismatch("slot report", now, &a, &b));
-                }
+                let reports: Vec<_> = states.iter_mut().map(SubstOnState::advance).collect();
+                check_agree("slot report", now, &reports)?;
+                reports
+                    .into_iter()
+                    .next()
+                    .unwrap()
+                    .map_err(|e| format!("advance failed at slot {now}: {e}"))?;
             }
-            let inc_out = inc
-                .finish()
-                .map_err(|e| format!("incremental finish failed: {e}"))?;
-            let reb_out = reb
-                .finish()
-                .map_err(|e| format!("rebuild finish failed: {e}"))?;
-            if inc_out != reb_out {
-                return Err(mismatch(
-                    "final outcome",
-                    scenario.horizon,
-                    &inc_out,
-                    &reb_out,
-                ));
-            }
-            let (li, lr) = (inc_out.to_ledger(), reb_out.to_ledger());
-            if li.total_payments() != lr.total_payments() || li.total_cost() != lr.total_cost() {
-                return Err(mismatch(
-                    "ledger totals",
-                    scenario.horizon,
-                    (li.total_cost(), li.total_payments()),
-                    (lr.total_cost(), lr.total_payments()),
-                ));
-            }
-            audit::check_subston_outcome(&inc_out).map_err(|e| format!("audit failed: {e}"))
+            let outcomes = states
+                .into_iter()
+                .map(SubstOnState::finish)
+                .collect::<Result<Vec<_>, _>>()
+                .map_err(|e| format!("finish failed: {e}"))?;
+            check_agree("final outcome", scenario.horizon, &outcomes)?;
+            let ledgers: Vec<(Money, Money)> = outcomes
+                .iter()
+                .map(|o| {
+                    let l = o.to_ledger();
+                    (l.total_cost(), l.total_payments())
+                })
+                .collect();
+            check_agree("ledger totals", scenario.horizon, &ledgers)?;
+            audit::check_subston_outcome(&outcomes[0]).map_err(|e| format!("audit failed: {e}"))
         }
     }
 }
@@ -544,8 +525,9 @@ mod tests {
     #[test]
     fn every_registered_workload_passes_a_16_game_differential_smoke() {
         // The PR-gate floor from the registry contract: ≥ 16 games per
-        // registered source through incremental-vs-rebuild (the proptest
-        // wrapper in tests/differential.rs piles hundreds more on top).
+        // registered source through incremental-vs-rebuild-vs-columnar
+        // (the proptest wrapper in tests/differential.rs piles hundreds
+        // more on top).
         for source in registry() {
             for seed in 0..16u64 {
                 let users = 8 + (seed as u32 % 3) * 8;

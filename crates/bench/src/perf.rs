@@ -1,8 +1,11 @@
 //! End-to-end throughput measurement for the online mechanisms.
 //!
 //! [`run`] measures **every** source in the
-//! [`osp_workload::source::registry`] under both Shapley engines
-//! (plus the Regret baseline where a source opts in), and reports
+//! [`osp_workload::source::registry`] under the incremental and
+//! rebuild Shapley engines (plus the columnar lane engine on the
+//! hot-loop workloads that opt in via
+//! `TraceSource::bench_columnar`, and the Regret baseline where a
+//! source opts in), and reports
 //! **user-slot events per second**. Workload axis values in the record
 //! are registry names — adding a source to the registry adds its rows
 //! to `BENCH_mechanisms.json` with no change here. Per-source knobs
@@ -117,6 +120,7 @@ fn engine_name(engine: Engine) -> &'static str {
     match engine {
         Engine::Incremental => "incremental",
         Engine::Rebuild => "rebuild",
+        Engine::Columnar => "columnar",
     }
 }
 
@@ -140,10 +144,10 @@ fn measure<F: FnMut()>(mut f: F, min_iters: u32, min_secs: f64) -> (u32, f64) {
 /// `quick` (CI mode) measures each source's `perf_sizes(true)` for
 /// ≥ 0.15 s per point; the default mode measures `perf_sizes(false)`
 /// for ≥ 0.5 s. (Quick mode still amortizes over ≥ 0.15 s: a single
-/// cold iteration measures first-touch costs, not throughput, and sits
-/// 20–30% below the full-mode numbers for the same workload — which
-/// would trip the `check` gate against the committed full-mode
-/// baseline on every CI run.)
+/// cold iteration measures first-touch costs, not throughput. Even so,
+/// quick numbers sit 20–30% below full-mode numbers for the same
+/// point, which is why the committed baseline is produced by
+/// [`record_baseline`], not by a bare full run.)
 #[must_use]
 pub fn run(quick: bool) -> PerfReport {
     let (min_iters, min_secs): (u32, f64) = if quick { (2, 0.15) } else { (2, 0.5) };
@@ -154,8 +158,11 @@ pub fn run(quick: bool) -> PerfReport {
             let trace = source.sample(m, SEED);
             let slots = trace.horizon();
             let mechanism = trace.mechanism();
-            for engine in [Engine::Incremental, Engine::Rebuild] {
+            for engine in [Engine::Incremental, Engine::Rebuild, Engine::Columnar] {
                 if engine == Engine::Rebuild && m > source.rebuild_cap(quick) {
+                    continue;
+                }
+                if engine == Engine::Columnar && !source.bench_columnar() {
                     continue;
                 }
                 let (iters, elapsed) = measure(
@@ -234,6 +241,17 @@ pub fn run(quick: bool) -> PerfReport {
         }
     }
 
+    let speedup = speedups(&records);
+
+    PerfReport {
+        schema_version: 3,
+        quick,
+        records,
+        speedup_incremental_over_rebuild: speedup,
+    }
+}
+
+fn speedups(records: &[BenchRecord]) -> Vec<(String, String, u32, f64)> {
     let mut speedup = Vec::new();
     for inc in records.iter().filter(|r| r.engine == "incremental") {
         let reb = records.iter().find(|r| {
@@ -251,13 +269,63 @@ pub fn run(quick: bool) -> PerfReport {
             ));
         }
     }
+    speedup
+}
 
-    PerfReport {
-        schema_version: 3,
-        quick,
-        records,
-        speedup_incremental_over_rebuild: speedup,
+/// Quick passes [`record_baseline`] takes the per-point minimum over.
+/// Five, not one: individual quick points swing ±15% run-to-run, and a
+/// floor taken over too few passes can land high enough that an
+/// ordinary later run reads as a 15% loss.
+pub const BASELINE_QUICK_PASSES: u32 = 5;
+
+fn same_point(a: &BenchRecord, b: &BenchRecord) -> bool {
+    a.mechanism == b.mechanism
+        && a.workload == b.workload
+        && a.engine == b.engine
+        && a.users == b.users
+}
+
+/// Measures a check-compatible baseline: the full suite first, then
+/// [`BASELINE_QUICK_PASSES`] quick passes whose **per-point minimum**
+/// replaces every point quick mode also measures.
+///
+/// The `check` gate compares a fresh **quick** run point-by-point
+/// against the committed baseline, so a committed baseline must hold
+/// numbers a quick run can actually reproduce. A bare full run cannot:
+/// full-mode numbers sit systematically 20–30% above quick ones on the
+/// same point (longer amortization; see [`run`]). And a *single* quick
+/// pass is not enough either: quick points swing ±25% run-to-run, so
+/// one lucky pass bakes in a ceiling later runs fail. The minimum over
+/// several passes is a low-water mark — the gate only flags *losses*,
+/// so a conservative floor stays sensitive to real regressions without
+/// failing on measurement weather. Full-only points (the large-`m`
+/// headline sizes) keep their better-amortized full-mode numbers:
+/// quick runs never produce those keys, so they are reported, never
+/// gated.
+#[must_use]
+pub fn record_baseline() -> PerfReport {
+    let mut report = run(false);
+    let mut floor: Vec<BenchRecord> = Vec::new();
+    for _ in 0..BASELINE_QUICK_PASSES {
+        for q in run(true).records {
+            match floor.iter_mut().find(|r| same_point(r, &q)) {
+                Some(held) => {
+                    if q.ops_per_sec < held.ops_per_sec {
+                        *held = q;
+                    }
+                }
+                None => floor.push(q),
+            }
+        }
     }
+    for q in floor {
+        match report.records.iter_mut().find(|r| same_point(r, &q)) {
+            Some(shared) => *shared = q,
+            None => report.records.push(q),
+        }
+    }
+    report.speedup_incremental_over_rebuild = speedups(&report.records);
+    report
 }
 
 fn record(
@@ -383,6 +451,12 @@ mod tests {
                     let rec = report
                         .find(mechanism, source.name(), "rebuild", m)
                         .unwrap_or_else(|| panic!("{}/rebuild m={m}", source.name()));
+                    assert!(rec.ops_per_sec > 0.0);
+                }
+                if source.bench_columnar() {
+                    let rec = report
+                        .find(mechanism, source.name(), "columnar", m)
+                        .unwrap_or_else(|| panic!("{}/columnar m={m}", source.name()));
                     assert!(rec.ops_per_sec > 0.0);
                 }
                 if source.bench_regret() {

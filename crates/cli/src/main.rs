@@ -29,7 +29,8 @@ fn usage() -> &'static str {
       Parse and compile the file without running it.
   osp example <addoff|addon|substoff|subston>
       Print a commented template game file for the given mechanism.
-  osp serve [--shards <n>] [--queue-cap <n>] [--engine incremental|rebuild]
+  osp serve [--shards <n>] [--queue-cap <n>]
+            [--engine incremental|rebuild|columnar]
             [--socket <path>]
       Run the sharded multi-game pricing server. Speaks line-delimited
       JSON requests/responses on stdin/stdout, or on a Unix socket with

@@ -51,6 +51,7 @@ fn parse_args(args: &[String], usage: &str) -> Result<ServeConfig, String> {
                 config.engine = match v.as_str() {
                     "incremental" => Engine::Incremental,
                     "rebuild" => Engine::Rebuild,
+                    "columnar" => Engine::Columnar,
                     other => return Err(format!("unknown engine `{other}`")),
                 };
             }

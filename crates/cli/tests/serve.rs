@@ -94,6 +94,66 @@ fn pipe_server_smoke_100_games_matches_oracle() {
     }
 }
 
+/// `--engine columnar` over the pipe: wire-safe traces sit on the
+/// micro-dollar grid, so this drives the lane fast path end-to-end and
+/// must still match the paper-literal rebuild oracle exactly.
+#[test]
+fn pipe_server_columnar_engine_matches_oracle() {
+    let cfg = ScriptConfig::smoke(40);
+    let requests = script::generate(&cfg);
+    let shutdown_id = requests.len() as u64 + 1;
+
+    let mut child = osp()
+        .args(["serve", "--shards", "2", "--engine", "columnar"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn osp serve");
+    {
+        let stdin = child.stdin.as_mut().expect("piped stdin");
+        let mut feed = String::new();
+        for request in &requests {
+            feed.push_str(&serde_json::to_string(request).unwrap());
+            feed.push('\n');
+        }
+        feed.push_str(
+            &serde_json::to_string(&Request {
+                id: shutdown_id,
+                op: osp_server::protocol::Op::Shutdown,
+            })
+            .unwrap(),
+        );
+        feed.push('\n');
+        stdin.write_all(feed.as_bytes()).expect("feed the trace");
+    }
+    let output = child.wait_with_output().expect("osp serve exits");
+    assert!(
+        output.status.success(),
+        "serve failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+
+    let mut responses: Vec<Response> = String::from_utf8(output.stdout)
+        .expect("utf-8 responses")
+        .lines()
+        .map(|line| serde_json::from_str(line).expect("each line parses"))
+        .collect();
+    responses.pop().expect("shutdown acknowledgement");
+    responses.sort_by_key(|r| r.id);
+    let oracle = script::oracle(&requests, Engine::Rebuild, 2);
+    for (served, expected) in responses.iter().zip(&oracle.responses) {
+        assert_eq!(served.id, expected.id);
+        match (&served.reply, &expected.reply) {
+            (Reply::Snapshot { game, doc }, Reply::Snapshot { game: g2, doc: d2 }) => {
+                assert_eq!(game, g2);
+                assert_eq!(outcome_of(doc), outcome_of(d2), "game {game}");
+            }
+            _ => assert_eq!(served, expected),
+        }
+    }
+}
+
 #[test]
 fn malformed_lines_get_bad_request_replies() {
     let mut child = osp()

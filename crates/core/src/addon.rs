@@ -14,13 +14,15 @@
 //! bids are rejected — and [`run`] drives it end-to-end for batch
 //! experiments.
 //!
-//! Two [`Engine`]s drive the per-slot Shapley computation: the default
-//! [`Engine::Incremental`] keeps one [`crate::shapley::Solver`] alive
-//! across slots (bids stay sorted, committing a slot's serviced cohort
-//! is O(1), arrivals/expiries are indexed by slot), while
-//! [`Engine::Rebuild`] re-runs [`crate::shapley::run`] on a freshly
-//! built bid map every slot — the paper-literal baseline. Outcomes are
-//! identical (property-tested); only the cost profile differs.
+//! Three [`Engine`]s drive the per-slot Shapley computation: the
+//! default [`Engine::Incremental`] keeps one [`crate::shapley::Solver`]
+//! alive across slots (bids stay sorted, committing a slot's serviced
+//! cohort is O(1), arrivals/expiries are indexed by slot);
+//! [`Engine::Columnar`] is the same solver with its i64 micro-lane
+//! fast path enabled; and [`Engine::Rebuild`] re-runs
+//! [`crate::shapley::run`] on a freshly built bid map every slot — the
+//! paper-literal baseline. Outcomes are identical (property-tested and
+//! gated by the differential oracle); only the cost profile differs.
 //!
 //! ```
 //! use osp_core::prelude::*;
@@ -54,12 +56,14 @@
 //! # Ok::<(), osp_core::MechanismError>(())
 //! ```
 
-use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use serde::{Deserialize, Serialize};
 
 use osp_econ::schedule::SlotSeries;
-use osp_econ::{Ledger, Money, OptId, ResidualTracker, SlotId, UserId, ValueSchedule};
+use osp_econ::{
+    FastMap, FastSet, Ledger, Money, OptId, ResidualTracker, SlotId, UserId, ValueSchedule,
+};
 
 use crate::error::{MechanismError, Result};
 use crate::game::{AddOnGame, OnlineBid};
@@ -94,8 +98,9 @@ pub struct AddOnState {
     /// Next slot to process (1-based). `now > horizon` ⇒ finished.
     now: u32,
     engine: Engine,
-    /// Never iterated (hash order must not leak), only looked up.
-    bids: HashMap<UserId, SlotSeries>,
+    /// Never iterated (hash order must not leak), only looked up —
+    /// which is also why the seedless [`FastMap`] hasher is safe here.
+    bids: FastMap<UserId, SlotSeries>,
     /// [`Engine::Rebuild`] only: the cumulative set `CS_j(t)`. The
     /// incremental engine reads commitment off the solver instead.
     cumulative: BTreeSet<UserId>,
@@ -106,11 +111,11 @@ pub struct AddOnState {
     payments: BTreeMap<UserId, Money>,
     implemented_at: Option<SlotId>,
     share_by_slot: Vec<Option<Money>>,
-    /// The persistent Shapley solver ([`Engine::Incremental`] only).
+    /// The persistent Shapley solver (solver engines only).
     solver: Solver,
     /// Started, uncommitted, not-yet-expired users: the only bids whose
     /// residuals can still change between slots (incremental only).
-    pending: HashSet<UserId>,
+    pending: FastSet<UserId>,
     /// Running residual `Σ_{τ ≥ now} v(τ)` for every pending user:
     /// seeded at arrival, decremented by `value_at(t)` as slot `t`
     /// retires, re-seeded on `revise` — so the per-slot solver update
@@ -150,14 +155,14 @@ impl AddOnState {
             horizon,
             now: 1,
             engine,
-            bids: HashMap::new(),
+            bids: FastMap::default(),
             cumulative: BTreeSet::new(),
             first_serviced: BTreeMap::new(),
             payments: BTreeMap::new(),
             implemented_at: None,
             share_by_slot: Vec::with_capacity(horizon as usize),
-            solver: Solver::new(cost)?,
-            pending: HashSet::new(),
+            solver: Solver::with_capacity_for(cost, 0, engine)?,
+            pending: FastSet::default(),
             residuals: ResidualTracker::new(),
             starts: vec![Vec::new(); slots],
             expiries: vec![Vec::new(); slots],
@@ -208,9 +213,10 @@ impl AddOnState {
     /// `CS_j` (membership only grows, so this never flips back).
     #[must_use]
     pub fn is_serviced(&self, user: UserId) -> bool {
-        match self.engine {
-            Engine::Incremental => self.first_log.iter().any(|&(u, _)| u == user),
-            Engine::Rebuild => self.cumulative.contains(&user),
+        if self.engine.uses_solver() {
+            self.first_log.iter().any(|&(u, _)| u == user)
+        } else {
+            self.cumulative.contains(&user)
         }
     }
 
@@ -219,14 +225,14 @@ impl AddOnState {
     /// chronologically *last* payment — the one [`Self::finish`] keeps.
     #[must_use]
     pub fn payment_of(&self, user: UserId) -> Option<Money> {
-        match self.engine {
-            Engine::Incremental => self
-                .pay_log
+        if self.engine.uses_solver() {
+            self.pay_log
                 .iter()
                 .rev()
                 .find(|&&(u, _)| u == user)
-                .map(|&(_, p)| p),
-            Engine::Rebuild => self.payments.get(&user).copied(),
+                .map(|&(_, p)| p)
+        } else {
+            self.payments.get(&user).copied()
         }
     }
 
@@ -343,6 +349,18 @@ impl AddOnState {
         Ok(self.step(true)?.expect("report requested"))
     }
 
+    /// [`Self::advance`] without materializing the [`SlotReport`] —
+    /// the stepping call for batch drivers (trace replay, benchmarks,
+    /// the load harness) that price every slot and read only the final
+    /// [`Self::finish`] outcome. The report's `active` set alone costs
+    /// O(|CS|) map lookups per slot, which dwarfs the incremental
+    /// solver's own per-slot work once the cumulative set has grown;
+    /// skipping it keeps the replay loop on the solver hot path.
+    pub fn advance_quiet(&mut self) -> Result<()> {
+        self.step(false)?;
+        Ok(())
+    }
+
     /// One slot of Mechanism 2. `want_report = false` (the batch
     /// drivers) skips materializing the per-slot [`SlotReport`] — the
     /// `active` set alone would cost O(|CS|) per slot.
@@ -353,9 +371,10 @@ impl AddOnState {
             });
         }
         let t = SlotId(self.now);
-        match self.engine {
-            Engine::Incremental => Ok(self.step_incremental(t, want_report)),
-            Engine::Rebuild => Ok(Some(self.step_rebuild(t))),
+        if self.engine.uses_solver() {
+            Ok(self.step_incremental(t, want_report))
+        } else {
+            Ok(Some(self.step_rebuild(t)))
         }
     }
 
@@ -371,13 +390,17 @@ impl AddOnState {
         // can never clear a positive share (§4.1), so dropping them
         // entirely leaves every future outcome unchanged.
         if self.now > 1 {
+            let mut retired: Vec<UserId> = Vec::new();
             for i in 0..self.expiries[self.now as usize - 1].len() {
                 let u = self.expiries[self.now as usize - 1][i];
                 if self.pending.remove(&u) {
-                    self.solver.remove(u);
                     self.residuals.remove(u);
+                    retired.push(u);
                 }
             }
+            // One compaction pass over the solver columns instead of
+            // O(retired · finite) per-user Vec::removes.
+            self.solver.remove_bids(retired);
         }
         // Lines 3–11: reveal bids whose series starts now. Unseen users
         // (`s_i > t`) are skipped entirely rather than materialized as
@@ -397,12 +420,7 @@ impl AddOnState {
         self.solver.update_bids(self.residuals.iter());
         let sol = self.solver.solve();
         let share = sol.share;
-        let newly: Vec<UserId> = self
-            .solver
-            .serviced_finite(&sol)
-            .iter()
-            .map(|&(_, u)| u)
-            .collect();
+        let newly: Vec<UserId> = self.solver.serviced_finite(&sol).to_vec();
         self.solver.commit_top(sol.serviced_finite);
         for &u in &newly {
             self.pending.remove(&u);
@@ -529,7 +547,7 @@ impl AddOnState {
         while self.now <= self.horizon {
             self.step(false)?;
         }
-        if self.engine == Engine::Incremental {
+        if self.engine.uses_solver() {
             self.first_log.sort_unstable();
             self.first_serviced = self.first_log.drain(..).collect();
             // A committed user can pay twice: once at her original
@@ -897,8 +915,8 @@ mod tests {
             st.finish().unwrap()
         };
         let inc = run_engine(Engine::Incremental);
-        let reb = run_engine(Engine::Rebuild);
-        assert_eq!(inc, reb);
+        assert_eq!(inc, run_engine(Engine::Rebuild));
+        assert_eq!(inc, run_engine(Engine::Columnar));
         // And the revision really took: u0 is serviced at t=3, pays 100.
         assert_eq!(inc.first_serviced[&UserId(0)], SlotId(3));
         assert_eq!(inc.payments[&UserId(0)], m(100));
@@ -930,8 +948,8 @@ mod tests {
             st.finish().unwrap()
         };
         let inc = run_engine(Engine::Incremental);
-        let reb = run_engine(Engine::Rebuild);
-        assert_eq!(inc, reb);
+        assert_eq!(inc, run_engine(Engine::Rebuild));
+        assert_eq!(inc, run_engine(Engine::Columnar));
         assert_eq!(inc.payments[&UserId(0)], m(50));
     }
 
@@ -1053,8 +1071,10 @@ mod tests {
             use proptest::prelude::*;
             let incremental = run_with_engine(&game, Engine::Incremental).unwrap();
             let rebuild = run_with_engine(&game, Engine::Rebuild).unwrap();
+            let columnar = run_with_engine(&game, Engine::Columnar).unwrap();
             let literal = literal_reference(&game);
             prop_assert_eq!(&incremental, &rebuild);
+            prop_assert_eq!(&incremental, &columnar);
             prop_assert_eq!(&incremental, &literal);
         }
 
@@ -1066,20 +1086,26 @@ mod tests {
             use proptest::prelude::*;
             let mut inc = AddOnState::with_engine(game.cost, game.horizon, Engine::Incremental).unwrap();
             let mut reb = AddOnState::with_engine(game.cost, game.horizon, Engine::Rebuild).unwrap();
+            let mut col = AddOnState::with_engine(game.cost, game.horizon, Engine::Columnar).unwrap();
             for bid in &game.bids {
                 inc.submit(bid.clone()).unwrap();
                 reb.submit(bid.clone()).unwrap();
+                col.submit(bid.clone()).unwrap();
             }
             for _ in 1..=game.horizon {
-                prop_assert_eq!(inc.advance().unwrap(), reb.advance().unwrap());
+                let step = inc.advance().unwrap();
+                prop_assert_eq!(&step, &reb.advance().unwrap());
+                prop_assert_eq!(&step, &col.advance().unwrap());
             }
-            prop_assert_eq!(inc.finish().unwrap(), reb.finish().unwrap());
+            let done = inc.finish().unwrap();
+            prop_assert_eq!(&done, &reb.finish().unwrap());
+            prop_assert_eq!(&done, &col.finish().unwrap());
         }
     }
 
     #[test]
     fn engines_agree_under_revisions() {
-        for engine in [Engine::Incremental, Engine::Rebuild] {
+        for engine in [Engine::Incremental, Engine::Rebuild, Engine::Columnar] {
             let mut st = AddOnState::with_engine(m(100), 4, engine).unwrap();
             st.submit(bid(0, 1, &[10, 10])).unwrap();
             st.submit(bid(1, 2, &[5, 5, 5])).unwrap();

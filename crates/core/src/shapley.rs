@@ -213,6 +213,26 @@ pub enum Engine {
     /// every slot — the paper-literal path, kept as the benchmark
     /// baseline and as the oracle for engine-equivalence tests.
     Rebuild,
+    /// The [`Incremental`](Engine::Incremental) solver with its i64
+    /// micro-lane fast path enabled: the affordable-prefix scan and
+    /// the batch-merge comparisons run over the flat lane column
+    /// (`osp_econ::column` kernels) whenever every finite bid and the
+    /// cost lie on the micro-dollar grid, falling back per-entry to
+    /// exact [`Money`] arithmetic otherwise. Bit-identical outcomes —
+    /// proven by the differential oracle against both other engines.
+    Columnar,
+}
+
+impl Engine {
+    /// `true` for the engines that drive a persistent [`Solver`]
+    /// across slots ([`Engine::Incremental`] and [`Engine::Columnar`]);
+    /// `false` for the paper-literal [`Engine::Rebuild`]. The online
+    /// mechanisms branch on this, not on the specific variant, so the
+    /// columnar engine inherits the incremental slot logic wholesale.
+    #[must_use]
+    pub fn uses_solver(self) -> bool {
+        !matches!(self, Engine::Rebuild)
+    }
 }
 
 /// Result of one [`Solver::solve`] call.
@@ -237,21 +257,50 @@ impl Solution {
     }
 }
 
+/// Lane sentinel for finite bids that do not lie on the micro-dollar
+/// grid (and for the cost when it is off-grid): the columnar fast path
+/// is disabled while any are present, so the sentinel can never be
+/// compared or multiplied.
+const OFF_GRID: i64 = i64::MIN;
+
+/// `value` in i64 micro-lane units, or [`OFF_GRID`].
+fn lane_of(value: Money) -> i64 {
+    match value.to_micros() {
+        // `i64::MIN` micros is collapsed into the sentinel: treating
+        // one representable (absurdly negative) amount as off-grid
+        // costs only the fast path, never exactness.
+        Some(OFF_GRID) | None => OFF_GRID,
+        Some(lane) => lane,
+    }
+}
+
 /// Incremental Shapley solver: the same mechanism as [`run`], factored
 /// as a persistent data structure for the online mechanisms.
 ///
 /// [`run`] rebuilds and re-sorts the whole bid map on every call, so a
 /// `z`-slot online game pays `O(z · m log m)` plus `z` rounds of map
-/// and vector allocation. `Solver` instead keeps the finite bids in a
-/// **descending-sorted vector behind a committed prefix**:
+/// and vector allocation. `Solver` instead keeps the finite bids
+/// **column-wise, descending-sorted, behind a committed prefix** — a
+/// struct-of-arrays of three parallel columns:
 ///
 /// ```text
-/// entries: [ committed users … | finite bids, sorted descending … ]
-///                               ^ committed_len
+/// values: [ ……committed…… | finite Money bids, sorted descending  ]
+/// lanes:  [ ……(zeroed)…… | the same bids as i64 micros (or OFF_GRID) ]
+/// users:  [ committed ids | finite bidder ids, same order           ]
+///                          ^ committed_len
 /// ```
 ///
+/// The `values` column is the exact truth ([`Money`] rationals); the
+/// `lanes` column mirrors each finite bid in micro-dollar lane units
+/// whenever it lies on that grid. Under [`Engine::Columnar`] the hot
+/// loops — [`Solver::solve`]'s affordable-prefix scan and
+/// [`Solver::update_bids`]' merge — run branch-light over the
+/// contiguous `i64` lanes (`osp_econ::column` kernels) while
+/// `off_grid == 0` and the cost is on-grid, and fall back to the exact
+/// `values` column otherwise, so exactness is preserved at the edges.
+///
 /// * [`Solver::update_bid`] inserts or moves one entry (binary search
-///   plus a contiguous rotate);
+///   plus contiguous rotates of the three columns);
 /// * [`Solver::solve`] scans for the largest affordable prefix without
 ///   allocating, exactly like [`run`]'s `chosen_k` loop;
 /// * [`Solver::commit_top`] absorbs the serviced prefix into the
@@ -262,19 +311,29 @@ impl Solution {
 ///
 /// ### Invariants
 ///
-/// 1. `entries[..committed_len]` hold the committed users, in
-///    commitment order; their `Money` component is ignored (committed
-///    means `b = ∞`).
-/// 2. `entries[committed_len..]` are strictly descending by
-///    `(value, user)` — strict because users are unique.
-/// 3. `states` mirrors `entries`: every user appears exactly once, with
-///    the value recorded in the vector (this is what makes the binary
-///    search in `find_finite` exact). It is a `HashMap` — O(1) on the
-///    hot paths and never iterated, so no ordering nondeterminism can
-///    leak into outcomes.
+/// 1. The columns are index-parallel; `[..committed_len]` holds the
+///    committed users, in commitment order. Their value/lane slots are
+///    zeroed on commitment (committed means `b = ∞`; the stored value
+///    is ignored).
+/// 2. The finite region `[committed_len..]` is strictly descending by
+///    `(value, user)` — strict because users are unique. On a common
+///    grid the lane order is the same order, which is what lets the
+///    columnar merge compare `(lane, user)` pairs instead of rationals.
+/// 3. `states` mirrors the columns: every user appears exactly once,
+///    with the value recorded in `values` (this is what makes the
+///    binary search in `find_finite` exact). It is a seedless
+///    [`osp_econ::FastMap`] — O(1) with a one-multiply hash on the hot
+///    paths and never iterated, so no ordering nondeterminism can leak
+///    into outcomes.
+/// 4. `off_grid` counts the finite entries whose lane is [`OFF_GRID`];
+///    `cost_lane` is the cost in lane units (or [`OFF_GRID`]). The
+///    columnar fast path is taken only when both say the whole scan is
+///    on-grid.
 ///
 /// Equivalence with [`run`] and [`run_iterative`] under arbitrary
-/// `update_bid`/`commit`/`remove` interleavings is property-tested.
+/// `update_bid`/`commit`/`remove` interleavings is property-tested,
+/// and the columnar path is pinned against both scalar engines by the
+/// differential oracle (`osp_bench::differential`).
 ///
 /// The solver serializes (all fields are plain data), so the online
 /// state machines that embed it can be checkpointed mid-game and
@@ -282,9 +341,21 @@ impl Solution {
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Solver {
     cost: Money,
-    entries: Vec<(Money, UserId)>,
+    /// `cost` in micro-lane units, or [`OFF_GRID`].
+    cost_lane: i64,
+    /// Exact bid column (the truth).
+    values: Vec<Money>,
+    /// The same bids in i64 micros; [`OFF_GRID`] off the grid.
+    lanes: Vec<i64>,
+    /// Bidder column.
+    users: Vec<UserId>,
     committed_len: usize,
-    states: std::collections::HashMap<UserId, ShapleyBid>,
+    /// Finite entries currently holding an [`OFF_GRID`] lane.
+    off_grid: usize,
+    /// `true` under [`Engine::Columnar`]: take the lane fast path when
+    /// the grid allows.
+    columnar: bool,
+    states: osp_econ::FastMap<UserId, ShapleyBid>,
 }
 
 impl Solver {
@@ -296,6 +367,14 @@ impl Solver {
     /// Like [`Solver::new`], pre-allocating room for `capacity` bids so
     /// steady-state operation never reallocates.
     pub fn with_capacity(cost: Money, capacity: usize) -> crate::Result<Self> {
+        Self::with_capacity_for(cost, capacity, Engine::Incremental)
+    }
+
+    /// Like [`Solver::with_capacity`], choosing the scan strategy from
+    /// `engine`: [`Engine::Columnar`] enables the i64 lane fast path,
+    /// anything else keeps every comparison on the exact [`Money`]
+    /// column.
+    pub fn with_capacity_for(cost: Money, capacity: usize, engine: Engine) -> crate::Result<Self> {
         if !cost.is_positive() {
             return Err(crate::MechanismError::NonPositiveCost {
                 opt: osp_econ::OptId(0),
@@ -304,9 +383,14 @@ impl Solver {
         }
         Ok(Solver {
             cost,
-            entries: Vec::with_capacity(capacity),
+            cost_lane: lane_of(cost),
+            values: Vec::with_capacity(capacity),
+            lanes: Vec::with_capacity(capacity),
+            users: Vec::with_capacity(capacity),
             committed_len: 0,
-            states: std::collections::HashMap::with_capacity(capacity),
+            off_grid: 0,
+            columnar: matches!(engine, Engine::Columnar),
+            states: osp_econ::FastMap::with_capacity_and_hasher(capacity, Default::default()),
         })
     }
 
@@ -319,13 +403,13 @@ impl Solver {
     /// Total number of users (committed + finite).
     #[must_use]
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.users.len()
     }
 
     /// `true` iff no user has a bid.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.users.is_empty()
     }
 
     /// Number of committed users `c`.
@@ -336,7 +420,7 @@ impl Solver {
 
     /// The committed users, in commitment order.
     pub fn committed_users(&self) -> impl Iterator<Item = UserId> + '_ {
-        self.entries[..self.committed_len].iter().map(|&(_, u)| u)
+        self.users[..self.committed_len].iter().copied()
     }
 
     /// The current bid of `user`, if any.
@@ -345,20 +429,51 @@ impl Solver {
         self.states.get(&user).copied()
     }
 
+    /// First finite index whose `(value, user)` key is not above `key`
+    /// (the columns stay descending).
+    fn finite_partition_point(&self, key: (Money, UserId)) -> usize {
+        let mut lo = self.committed_len;
+        let mut hi = self.values.len();
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if (self.values[mid], self.users[mid]) > key {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
     /// Position of the finite entry `(value, user)` in the sorted
-    /// region (absolute index into `entries`).
+    /// region (absolute index into the columns).
     fn find_finite(&self, value: Money, user: UserId) -> usize {
-        let key = (value, user);
-        let rel = self.entries[self.committed_len..].partition_point(|&e| e > key);
-        let pos = self.committed_len + rel;
-        debug_assert_eq!(self.entries[pos], key, "states out of sync with entries");
+        let pos = self.finite_partition_point((value, user));
+        debug_assert_eq!(
+            (self.values[pos], self.users[pos]),
+            (value, user),
+            "states out of sync with columns"
+        );
         pos
     }
 
     /// Absolute insertion index keeping the sorted region descending.
     fn insertion_point(&self, value: Money, user: UserId) -> usize {
-        let key = (value, user);
-        self.committed_len + self.entries[self.committed_len..].partition_point(|&e| e > key)
+        self.finite_partition_point((value, user))
+    }
+
+    /// Bookkeeping for a lane leaving the finite region.
+    fn retire_lane(&mut self, lane: i64) {
+        if lane == OFF_GRID {
+            self.off_grid -= 1;
+        }
+    }
+
+    /// Bookkeeping for a lane entering the finite region.
+    fn admit_lane(&mut self, lane: i64) {
+        if lane == OFF_GRID {
+            self.off_grid += 1;
+        }
     }
 
     /// Sets (or inserts) `user`'s finite bid. A no-op for committed
@@ -366,25 +481,39 @@ impl Solver {
     /// mechanisms, where revisions of serviced users are irrelevant).
     pub fn update_bid(&mut self, user: UserId, value: Money) {
         debug_assert!(!value.is_negative(), "bids must be non-negative");
+        let lane = lane_of(value);
         match self.states.get(&user) {
             Some(ShapleyBid::Committed) => return,
             Some(&ShapleyBid::Value(old)) if old == value => return,
             Some(&ShapleyBid::Value(old)) => {
                 let from = self.find_finite(old, user);
                 let to = self.insertion_point(value, user);
+                self.retire_lane(self.lanes[from]);
                 // `to` was computed with the old entry still in place;
                 // rotate moves it to its new slot in one contiguous pass.
                 if to > from {
-                    self.entries[from..to].rotate_left(1);
-                    self.entries[to - 1] = (value, user);
+                    self.values[from..to].rotate_left(1);
+                    self.lanes[from..to].rotate_left(1);
+                    self.users[from..to].rotate_left(1);
+                    self.values[to - 1] = value;
+                    self.lanes[to - 1] = lane;
+                    self.users[to - 1] = user;
                 } else {
-                    self.entries[to..=from].rotate_right(1);
-                    self.entries[to] = (value, user);
+                    self.values[to..=from].rotate_right(1);
+                    self.lanes[to..=from].rotate_right(1);
+                    self.users[to..=from].rotate_right(1);
+                    self.values[to] = value;
+                    self.lanes[to] = lane;
+                    self.users[to] = user;
                 }
+                self.admit_lane(lane);
             }
             None => {
                 let to = self.insertion_point(value, user);
-                self.entries.insert(to, (value, user));
+                self.values.insert(to, value);
+                self.lanes.insert(to, lane);
+                self.users.insert(to, user);
+                self.admit_lane(lane);
             }
         }
         self.states.insert(user, ShapleyBid::Value(value));
@@ -395,6 +524,11 @@ impl Solver {
     /// `O(f + a log a)` for `a` updates against `f` finite bids, where
     /// `a` one-at-a-time inserts would pay `O(a·f)` memmove.
     ///
+    /// Under [`Engine::Columnar`] with every bid on the micro grid the
+    /// merge compares `(i64 lane, user)` pairs over the contiguous lane
+    /// column instead of rational cross-products — the batch-merge half
+    /// of the columnar fast path.
+    ///
     /// Each user may appear **at most once** per batch (the online
     /// mechanisms feed this from a set); a duplicate trips a debug
     /// assertion. Committed users and unchanged values are skipped.
@@ -402,7 +536,7 @@ impl Solver {
     where
         I: IntoIterator<Item = (UserId, Money)>,
     {
-        let mut fresh: Vec<(Money, UserId)> = Vec::new();
+        let mut fresh: Vec<(Money, i64, UserId)> = Vec::new();
         let mut stale: Vec<(Money, UserId)> = Vec::new();
         for (user, value) in updates {
             debug_assert!(!value.is_negative(), "bids must be non-negative");
@@ -411,12 +545,12 @@ impl Solver {
                 Some(&ShapleyBid::Value(old)) => {
                     if old != value {
                         stale.push((old, user));
-                        fresh.push((value, user));
+                        fresh.push((value, lane_of(value), user));
                         self.states.insert(user, ShapleyBid::Value(value));
                     }
                 }
                 None => {
-                    fresh.push((value, user));
+                    fresh.push((value, lane_of(value), user));
                     self.states.insert(user, ShapleyBid::Value(value));
                 }
             }
@@ -428,37 +562,75 @@ impl Solver {
             stale.sort_unstable_by(|a, b| b.cmp(a));
             let mut si = 0;
             let mut write = c;
-            for read in c..self.entries.len() {
-                if si < stale.len() && self.entries[read] == stale[si] {
+            for read in c..self.values.len() {
+                if si < stale.len() && (self.values[read], self.users[read]) == stale[si] {
+                    if self.lanes[read] == OFF_GRID {
+                        self.off_grid -= 1;
+                    }
                     si += 1;
                     continue;
                 }
-                self.entries[write] = self.entries[read];
+                self.values[write] = self.values[read];
+                self.lanes[write] = self.lanes[read];
+                self.users[write] = self.users[read];
                 write += 1;
             }
             debug_assert_eq!(si, stale.len(), "duplicate user in update_bids batch?");
-            self.entries.truncate(write);
+            self.values.truncate(write);
+            self.lanes.truncate(write);
+            self.users.truncate(write);
         }
         if fresh.is_empty() {
             return;
         }
         // Merge the sorted batch into the sorted finite region from the
         // back (largest write index = smallest value).
-        fresh.sort_unstable_by(|a, b| b.cmp(a));
-        let mut i = self.entries.len();
+        fresh.sort_unstable_by_key(|&(value, _, user)| std::cmp::Reverse((value, user)));
+        let fresh_off_grid = fresh.iter().filter(|&&(_, l, _)| l == OFF_GRID).count();
+        let mut i = self.values.len();
         let mut j = fresh.len();
-        self.entries.resize(i + j, (Money::ZERO, UserId(u32::MAX)));
-        let mut w = self.entries.len();
-        while j > 0 {
-            w -= 1;
-            if i > c && self.entries[i - 1] < fresh[j - 1] {
-                i -= 1;
-                self.entries[w] = self.entries[i];
-            } else {
-                j -= 1;
-                self.entries[w] = fresh[j];
+        self.values.resize(i + j, Money::ZERO);
+        self.lanes.resize(i + j, 0);
+        self.users.resize(i + j, UserId(u32::MAX));
+        let mut w = self.values.len();
+        if self.columnar && self.off_grid == 0 && fresh_off_grid == 0 {
+            // Columnar merge: every key is on the micro grid, where
+            // (lane, user) order coincides with (value, user) order, so
+            // the merge walks the flat i64 lane column.
+            while j > 0 {
+                w -= 1;
+                let (fv, fl, fu) = fresh[j - 1];
+                if i > c && (self.lanes[i - 1], self.users[i - 1]) < (fl, fu) {
+                    i -= 1;
+                    self.values[w] = self.values[i];
+                    self.lanes[w] = self.lanes[i];
+                    self.users[w] = self.users[i];
+                } else {
+                    j -= 1;
+                    self.values[w] = fv;
+                    self.lanes[w] = fl;
+                    self.users[w] = fu;
+                }
+            }
+        } else {
+            // Exact merge over the Money column.
+            while j > 0 {
+                w -= 1;
+                let (fv, fl, fu) = fresh[j - 1];
+                if i > c && (self.values[i - 1], self.users[i - 1]) < (fv, fu) {
+                    i -= 1;
+                    self.values[w] = self.values[i];
+                    self.lanes[w] = self.lanes[i];
+                    self.users[w] = self.users[i];
+                } else {
+                    j -= 1;
+                    self.values[w] = fv;
+                    self.lanes[w] = fl;
+                    self.users[w] = fu;
+                }
             }
         }
+        self.off_grid += fresh_off_grid;
     }
 
     /// Forces `user` into the serviced set forever (`b = ∞`). Users
@@ -468,10 +640,20 @@ impl Solver {
             Some(ShapleyBid::Committed) => return,
             Some(&ShapleyBid::Value(v)) => {
                 let pos = self.find_finite(v, user);
-                self.entries[self.committed_len..=pos].rotate_right(1);
+                self.retire_lane(self.lanes[pos]);
+                let c = self.committed_len;
+                self.values[c..=pos].rotate_right(1);
+                self.lanes[c..=pos].rotate_right(1);
+                self.users[c..=pos].rotate_right(1);
+                // Committed slots ignore their value; zero them so the
+                // columns stay canonical (deterministic serde).
+                self.values[c] = Money::ZERO;
+                self.lanes[c] = 0;
             }
             None => {
-                self.entries.insert(self.committed_len, (Money::ZERO, user));
+                self.values.insert(self.committed_len, Money::ZERO);
+                self.lanes.insert(self.committed_len, 0);
+                self.users.insert(self.committed_len, user);
             }
         }
         self.states.insert(user, ShapleyBid::Committed);
@@ -492,11 +674,81 @@ impl Solver {
             }
             Some(&ShapleyBid::Value(v)) => {
                 let pos = self.find_finite(v, user);
-                self.entries.remove(pos);
+                self.retire_lane(self.lanes[pos]);
+                self.values.remove(pos);
+                self.lanes.remove(pos);
+                self.users.remove(pos);
                 self.states.remove(&user);
                 true
             }
         }
+    }
+
+    /// Batch [`Solver::remove`]: drops a whole slot's worth of expired
+    /// finite bids in **one** compaction pass over the columns —
+    /// `O(f + r log r)` for `r` removals against `f` finite bids, where
+    /// `r` one-at-a-time `Vec::remove`s would pay `O(r·f)` memmove
+    /// (three columns' worth). Users without a bid are skipped, same
+    /// as [`Solver::remove`] returning `false`.
+    ///
+    /// # Panics
+    /// Panics if any user is committed — committed users can never
+    /// leave the serviced set (Mechanism 2 line 5).
+    pub fn remove_bids<I>(&mut self, users: I)
+    where
+        I: IntoIterator<Item = UserId>,
+    {
+        let mut stale: Vec<(Money, UserId)> = Vec::new();
+        for user in users {
+            match self.states.get(&user) {
+                None => {}
+                Some(ShapleyBid::Committed) => {
+                    panic!("cannot remove committed {user} from a Shapley solver")
+                }
+                Some(&ShapleyBid::Value(v)) => {
+                    stale.push((v, user));
+                    self.states.remove(&user);
+                }
+            }
+        }
+        if stale.is_empty() {
+            return;
+        }
+        // Same single-pass compaction as `update_bids`' stale sweep:
+        // both lists share the descending sort order.
+        stale.sort_unstable_by(|a, b| b.cmp(a));
+        let c = self.committed_len;
+        let mut si = 0;
+        let mut write = c;
+        for read in c..self.values.len() {
+            if si < stale.len() && (self.values[read], self.users[read]) == stale[si] {
+                self.retire_lane(self.lanes[read]);
+                si += 1;
+                continue;
+            }
+            self.values[write] = self.values[read];
+            self.lanes[write] = self.lanes[read];
+            self.users[write] = self.users[read];
+            write += 1;
+        }
+        debug_assert_eq!(si, stale.len(), "duplicate user in remove_bids batch?");
+        self.values.truncate(write);
+        self.lanes.truncate(write);
+        self.users.truncate(write);
+    }
+
+    /// The exact-arithmetic `chosen_k` scan over the `values` column —
+    /// [`run`]'s loop, and the fallback whenever the lane fast path is
+    /// unavailable.
+    fn scan_exact(&self) -> usize {
+        let c = self.committed_len;
+        let finite = &self.values[c..];
+        for k in (1..=finite.len()).rev() {
+            if finite[k - 1] * (c + k) >= self.cost {
+                return k;
+            }
+        }
+        0
     }
 
     /// Runs the mechanism over the current bids: the largest `k` such
@@ -504,17 +756,25 @@ impl Solver {
     ///
     /// Allocation-free; the affordability test is the cross-multiplied
     /// `b_k · (c + k) ≥ C`, avoiding a division per candidate `k`.
+    /// Under [`Engine::Columnar`], when every finite bid and the cost
+    /// lie on the micro grid and no product can overflow, the scan runs
+    /// through [`osp_econ::column::max_affordable_k`] over the flat
+    /// `i64` lane column (cross-multiplying by `10^6` on both sides
+    /// keeps the test exact); otherwise it falls back to the identical
+    /// exact scan over the `values` column.
     #[must_use]
     pub fn solve(&self) -> Solution {
         let c = self.committed_len;
-        let finite = &self.entries[c..];
-        let mut chosen_k = 0;
-        for k in (1..=finite.len()).rev() {
-            if finite[k - 1].0 * (c + k) >= self.cost {
-                chosen_k = k;
-                break;
-            }
-        }
+        let finite_lanes = &self.lanes[c..];
+        let chosen_k = if self.columnar
+            && self.off_grid == 0
+            && self.cost_lane != OFF_GRID
+            && osp_econ::column::scan_products_fit_descending(finite_lanes, c)
+        {
+            osp_econ::column::max_affordable_k(finite_lanes, c, self.cost_lane)
+        } else {
+            self.scan_exact()
+        };
         if chosen_k == 0 && c == 0 {
             Solution {
                 serviced_finite: 0,
@@ -531,17 +791,22 @@ impl Solver {
     /// The serviced finite bidders of `solution`: the top of the sorted
     /// region, in descending bid order.
     #[must_use]
-    pub fn serviced_finite(&self, solution: &Solution) -> &[(Money, UserId)] {
-        &self.entries[self.committed_len..self.committed_len + solution.serviced_finite]
+    pub fn serviced_finite(&self, solution: &Solution) -> &[UserId] {
+        &self.users[self.committed_len..self.committed_len + solution.serviced_finite]
     }
 
     /// Commits the top `k` finite bidders — exactly the serviced set of
     /// a just-computed [`Solution`]. They already sit at the front of
     /// the sorted region, so no entries move.
     pub fn commit_top(&mut self, k: usize) {
-        debug_assert!(self.committed_len + k <= self.entries.len());
+        debug_assert!(self.committed_len + k <= self.users.len());
         for i in self.committed_len..self.committed_len + k {
-            self.states.insert(self.entries[i].1, ShapleyBid::Committed);
+            self.states.insert(self.users[i], ShapleyBid::Committed);
+            if self.lanes[i] == OFF_GRID {
+                self.off_grid -= 1;
+            }
+            self.values[i] = Money::ZERO;
+            self.lanes[i] = 0;
         }
         self.committed_len += k;
     }
@@ -550,10 +815,10 @@ impl Solver {
     /// the online mechanisms only do this when a report is requested).
     #[must_use]
     pub fn outcome(&self, solution: &Solution) -> ShapleyOutcome {
-        let serviced: BTreeSet<UserId> = self.entries
+        let serviced: BTreeSet<UserId> = self.users
             [..self.committed_len + solution.serviced_finite]
             .iter()
-            .map(|&(_, u)| u)
+            .copied()
             .collect();
         ShapleyOutcome {
             serviced,
@@ -765,6 +1030,41 @@ mod tests {
         solver.remove(UserId(3));
     }
 
+    #[test]
+    fn solver_remove_bids_matches_sequential_removes() {
+        for engine in [Engine::Incremental, Engine::Columnar] {
+            let mut batched = Solver::with_capacity_for(m(10), 0, engine).unwrap();
+            let mut sequential = batched.clone();
+            for u in 0..12u32 {
+                let v = Money::from_cents(i64::from(u % 5) * 37 + 1);
+                batched.update_bid(UserId(u), v);
+                sequential.update_bid(UserId(u), v);
+            }
+            batched.commit(UserId(11));
+            sequential.commit(UserId(11));
+            // Mix of present, absent, and duplicate-value users; absent
+            // users are skipped, same as `remove` returning false.
+            let gone = [UserId(3), UserId(8), UserId(0), UserId(99), UserId(5)];
+            batched.remove_bids(gone);
+            for u in gone {
+                sequential.remove(u);
+            }
+            assert_eq!(batched.len(), sequential.len());
+            for u in 0..12u32 {
+                assert_eq!(batched.bid(UserId(u)), sequential.bid(UserId(u)));
+            }
+            assert_eq!(batched.solve(), sequential.solve());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot remove committed")]
+    fn solver_remove_bids_committed_panics() {
+        let mut solver = Solver::new(m(10)).unwrap();
+        solver.commit(UserId(3));
+        solver.remove_bids([UserId(3)]);
+    }
+
     /// One random solver operation.
     #[derive(Debug, Clone)]
     enum SolverOp {
@@ -849,23 +1149,28 @@ mod tests {
             batch in proptest::collection::btree_map(0u32..12, 0i64..200, 0..12),
         ) {
             let cost = Money::from_cents(cost);
-            let mut batched = Solver::new(cost).unwrap();
-            for &(u, v) in &initial {
-                batched.update_bid(UserId(u), Money::from_cents(v));
+            for engine in [Engine::Incremental, Engine::Columnar] {
+                let mut batched = Solver::with_capacity_for(cost, 0, engine).unwrap();
+                for &(u, v) in &initial {
+                    batched.update_bid(UserId(u), Money::from_cents(v));
+                }
+                for &u in &commits {
+                    batched.commit(UserId(u));
+                }
+                let mut sequential = batched.clone();
+                batched.update_bids(
+                    batch.iter().map(|(&u, &v)| (UserId(u), Money::from_cents(v))),
+                );
+                for (&u, &v) in &batch {
+                    sequential.update_bid(UserId(u), Money::from_cents(v));
+                }
+                prop_assert_eq!(&batched.values, &sequential.values);
+                prop_assert_eq!(&batched.lanes, &sequential.lanes);
+                prop_assert_eq!(&batched.users, &sequential.users);
+                prop_assert_eq!(&batched.states, &sequential.states);
+                prop_assert_eq!(batched.committed_len, sequential.committed_len);
+                prop_assert_eq!(batched.off_grid, sequential.off_grid);
             }
-            for &u in &commits {
-                batched.commit(UserId(u));
-            }
-            let mut sequential = batched.clone();
-            batched.update_bids(
-                batch.iter().map(|(&u, &v)| (UserId(u), Money::from_cents(v))),
-            );
-            for (&u, &v) in &batch {
-                sequential.update_bid(UserId(u), Money::from_cents(v));
-            }
-            prop_assert_eq!(&batched.entries, &sequential.entries);
-            prop_assert_eq!(&batched.states, &sequential.states);
-            prop_assert_eq!(batched.committed_len, sequential.committed_len);
         }
 
         /// Under arbitrary update/commit/remove/commit-top
@@ -878,48 +1183,70 @@ mod tests {
             ops in arb_solver_ops(),
         ) {
             let cost = Money::from_cents(cost);
-            let mut solver = Solver::new(cost).unwrap();
-            let mut model: BTreeMap<UserId, ShapleyBid> = BTreeMap::new();
-            for op in ops {
-                match op {
-                    SolverOp::Update(u, v) => {
-                        let user = UserId(u);
-                        let value = Money::from_cents(v);
-                        solver.update_bid(user, value);
-                        // Committed users ignore updates, like the map
-                        // the online mechanisms would feed `run`.
-                        if model.get(&user) != Some(&ShapleyBid::Committed) {
-                            model.insert(user, ShapleyBid::Value(value));
+            for engine in [Engine::Incremental, Engine::Columnar] {
+                let mut solver = Solver::with_capacity_for(cost, 0, engine).unwrap();
+                let mut model: BTreeMap<UserId, ShapleyBid> = BTreeMap::new();
+                for op in ops.clone() {
+                    match op {
+                        SolverOp::Update(u, v) => {
+                            let user = UserId(u);
+                            let value = Money::from_cents(v);
+                            solver.update_bid(user, value);
+                            // Committed users ignore updates, like the map
+                            // the online mechanisms would feed `run`.
+                            if model.get(&user) != Some(&ShapleyBid::Committed) {
+                                model.insert(user, ShapleyBid::Value(value));
+                            }
+                        }
+                        SolverOp::Commit(u) => {
+                            solver.commit(UserId(u));
+                            model.insert(UserId(u), ShapleyBid::Committed);
+                        }
+                        SolverOp::Remove(u) => {
+                            let user = UserId(u);
+                            if model.get(&user) == Some(&ShapleyBid::Committed) {
+                                continue; // removal of committed users is forbidden
+                            }
+                            prop_assert_eq!(solver.remove(user), model.remove(&user).is_some());
+                        }
+                        SolverOp::SolveAndCommitTop => {
+                            let sol = solver.solve();
+                            let newly: Vec<UserId> =
+                                solver.serviced_finite(&sol).to_vec();
+                            solver.commit_top(sol.serviced_finite);
+                            for u in newly {
+                                model.insert(u, ShapleyBid::Committed);
+                            }
                         }
                     }
-                    SolverOp::Commit(u) => {
-                        solver.commit(UserId(u));
-                        model.insert(UserId(u), ShapleyBid::Committed);
-                    }
-                    SolverOp::Remove(u) => {
-                        let user = UserId(u);
-                        if model.get(&user) == Some(&ShapleyBid::Committed) {
-                            continue; // removal of committed users is forbidden
-                        }
-                        prop_assert_eq!(solver.remove(user), model.remove(&user).is_some());
-                    }
-                    SolverOp::SolveAndCommitTop => {
-                        let sol = solver.solve();
-                        let newly: Vec<UserId> =
-                            solver.serviced_finite(&sol).iter().map(|&(_, u)| u).collect();
-                        solver.commit_top(sol.serviced_finite);
-                        for u in newly {
-                            model.insert(u, ShapleyBid::Committed);
-                        }
-                    }
+                    let expected = run(cost, &model);
+                    prop_assert_eq!(solver.outcome(&solver.solve()), expected);
+                    prop_assert_eq!(
+                        solver.committed_count(),
+                        model.values().filter(|b| matches!(b, ShapleyBid::Committed)).count()
+                    );
                 }
-                let expected = run(cost, &model);
-                prop_assert_eq!(solver.outcome(&solver.solve()), expected);
-                prop_assert_eq!(
-                    solver.committed_count(),
-                    model.values().filter(|b| matches!(b, ShapleyBid::Committed)).count()
-                );
             }
+        }
+
+        /// The columnar fast path survives off-grid values: bids that
+        /// leave the micro grid (thirds, sevenths) force the per-entry
+        /// exact fallback, and the outcome still matches `run` exactly.
+        #[test]
+        fn columnar_solver_handles_off_grid_bids(
+            cost in 1i64..400,
+            raw in proptest::collection::vec((0u32..12, 1i64..200, 1usize..8), 0..12),
+        ) {
+            let cost = Money::from_cents(cost);
+            let mut solver = Solver::with_capacity_for(cost, 0, Engine::Columnar).unwrap();
+            let mut model: BTreeMap<UserId, ShapleyBid> = BTreeMap::new();
+            for (u, v, split) in raw {
+                // split > 1 usually leaves every 10^-k grid.
+                let value = Money::from_cents(v).split_among(split);
+                solver.update_bid(UserId(u), value);
+                model.insert(UserId(u), ShapleyBid::Value(value));
+            }
+            prop_assert_eq!(solver.outcome(&solver.solve()), run(cost, &model));
         }
 
         /// Cost recovery: serviced users pay exactly C_j in total.

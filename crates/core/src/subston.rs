@@ -66,11 +66,38 @@ pub struct SubstSlotReport {
 /// next [`BatchScratch::ensure`] marks every solver dirty ⇒ full
 /// re-solve), which is why serialization skips it: a resumed game
 /// starts with a cold cache and identical outcomes.
+/// One optimization's slot-update bucket in the same parallel-column
+/// layout as the solver and [`ResidualTracker`]: the users and their
+/// running residuals are separate contiguous vectors, drained together
+/// into the solver's batch merge.
+#[derive(Debug, Clone, Default)]
+struct OptBucket {
+    users: Vec<UserId>,
+    values: Vec<Money>,
+}
+
+impl OptBucket {
+    fn push(&mut self, user: UserId, value: Money) {
+        self.users.push(user);
+        self.values.push(value);
+    }
+
+    fn is_empty(&self) -> bool {
+        self.users.is_empty()
+    }
+
+    /// Drains both columns as `(user, residual)` pairs, leaving the
+    /// allocations for the next slot.
+    fn drain(&mut self) -> impl Iterator<Item = (UserId, Money)> + '_ {
+        self.users.drain(..).zip(self.values.drain(..))
+    }
+}
+
 #[derive(Debug, Clone, Default)]
 struct BatchScratch {
     /// `per_opt[j]`: this slot's `(user, running residual)` updates for
     /// optimization `j`, drained into the solver's batch merge.
-    per_opt: Vec<Vec<(UserId, Money)>>,
+    per_opt: Vec<OptBucket>,
     /// `solutions[j]`: the cached feasible solution of solver `j`
     /// (`None` = infeasible), valid while `!dirty[j]`.
     solutions: Vec<Option<Solution>>,
@@ -84,7 +111,7 @@ impl BatchScratch {
     /// slot; after deserialization it re-marks every solver dirty).
     fn ensure(&mut self, n: usize) {
         if self.per_opt.len() != n {
-            self.per_opt.resize_with(n, Vec::new);
+            self.per_opt.resize_with(n, OptBucket::default);
             self.solutions = vec![None; n];
             self.dirty = vec![true; n];
         }
@@ -132,15 +159,15 @@ pub struct SubstOnState {
     implemented_at: BTreeMap<OptId, SlotId>,
     payments: BTreeMap<UserId, Money>,
     /// One persistent Shapley solver per optimization
-    /// ([`Engine::Incremental`] only).
+    /// (solver engines only).
     solvers: Vec<Solver>,
     /// Started, unassigned, not-yet-expired users.
     pending: BTreeSet<UserId>,
     /// Running residual per pending user — one entry per user, shared
-    /// by all her substitute opts ([`Engine::Incremental`] only).
+    /// by all her substitute opts (solver engines only).
     residuals: ResidualTracker,
     /// Reused buffers + solution cache of the batched phase loop
-    /// ([`Engine::Incremental`] only).
+    /// (solver engines only).
     #[serde(with = "scratch_serde")]
     scratch: BatchScratch,
     /// `start slot → users`, so arrivals cost O(arrivals), not O(m).
@@ -166,7 +193,7 @@ impl SubstOnState {
         crate::game::validate_costs(&costs)?;
         let solvers = costs
             .iter()
-            .map(|&c| Solver::new(c))
+            .map(|&c| Solver::with_capacity_for(c, 0, engine))
             .collect::<Result<_>>()?;
         Ok(SubstOnState {
             costs,
@@ -281,15 +308,21 @@ impl SubstOnState {
 
         // Retire bids that expired last slot without being granted:
         // their residual is zero, and zero bids can never be serviced.
-        if self.now > 1 && self.engine == Engine::Incremental {
+        if self.now > 1 && self.engine.uses_solver() {
             self.scratch.ensure(self.costs.len());
         }
         if self.now > 1 {
             if let Some(gone) = self.expiries.get(&(self.now - 1)) {
+                let uses_solver = self.engine.uses_solver();
+                let mut retired: Vec<Vec<UserId>> = if uses_solver {
+                    vec![Vec::new(); self.costs.len()]
+                } else {
+                    Vec::new()
+                };
                 for &u in gone {
-                    if self.pending.remove(&u) && self.engine == Engine::Incremental {
+                    if self.pending.remove(&u) && uses_solver {
                         for &j in &self.bids[&u].substitutes {
-                            self.solvers[j.index() as usize].remove(u);
+                            retired[j.index() as usize].push(u);
                             // Removing a (zero-residual) bid can never
                             // flip an infeasible solver feasible, but
                             // the cached solution's serviced prefix is
@@ -300,13 +333,20 @@ impl SubstOnState {
                         self.residuals.remove(u);
                     }
                 }
+                // One compaction pass per touched solver instead of
+                // O(retired · finite) per-user Vec::removes.
+                for (j, users) in retired.into_iter().enumerate() {
+                    if !users.is_empty() {
+                        self.solvers[j].remove_bids(users);
+                    }
+                }
             }
         }
         // Reveal bids whose series starts now; unseen users are skipped
         // entirely (`b'_ij ← 0` prunes them in the paper). Arrivals
         // seed their running residual (their one full suffix sum).
         if let Some(arrived) = self.starts.remove(&self.now) {
-            if self.engine == Engine::Incremental {
+            if self.engine.uses_solver() {
                 for &u in &arrived {
                     self.residuals.insert(u, &self.bids[&u].series, t);
                 }
@@ -317,9 +357,10 @@ impl SubstOnState {
         // Per-optimization share of this slot's SubstOff run, and the
         // users granted in this slot's phases.
         let (shares, newly_assigned): (Vec<Option<Money>>, BTreeMap<UserId, OptId>) =
-            match self.engine {
-                Engine::Incremental => self.phases_incremental(t),
-                Engine::Rebuild => self.phases_rebuild(t),
+            if self.engine.uses_solver() {
+                self.phases_incremental(t)
+            } else {
+                self.phases_rebuild(t)
             };
 
         for (&u, &j) in &newly_assigned {
@@ -354,7 +395,7 @@ impl SubstOnState {
         // Slot `t` retires: every still-pending user's running residual
         // drops by `value_at(t)`, restoring the invariant
         // `residuals[u] = residual_from(now)` for the next slot.
-        if self.engine == Engine::Incremental {
+        if self.engine.uses_solver() {
             let bids = &self.bids;
             self.residuals.advance(t, |u| &bids[&u].series);
         }
@@ -396,13 +437,13 @@ impl SubstOnState {
                 .expect("pending user has a tracked residual");
             debug_assert_eq!(residual, bid.series.residual_from(t));
             for &j in &bid.substitutes {
-                per_opt[j.index() as usize].push((u, residual));
+                per_opt[j.index() as usize].push(u, residual);
             }
         }
         for (jidx, (solver, updates)) in self.solvers.iter_mut().zip(per_opt.iter_mut()).enumerate()
         {
             if !updates.is_empty() {
-                solver.update_bids(updates.drain(..));
+                solver.update_bids(updates.drain());
                 dirty[jidx] = true;
             }
         }
@@ -445,11 +486,7 @@ impl SubstOnState {
             let j = OptId(u32::try_from(jidx).unwrap());
             shares[jidx] = Some(min_share);
 
-            let newly: Vec<UserId> = self.solvers[jidx]
-                .serviced_finite(&sol)
-                .iter()
-                .map(|&(_, u)| u)
-                .collect();
+            let newly: Vec<UserId> = self.solvers[jidx].serviced_finite(&sol).to_vec();
             self.solvers[jidx].commit_top(sol.serviced_finite);
             // The commit changed solver `jidx`; its cached solution is
             // stale for the *next* slot.
@@ -810,7 +847,9 @@ mod tests {
             for tiebreak in [TieBreak::LowestOptId, TieBreak::Random(seed)] {
                 let inc = run_with_engine(&game, tiebreak, Engine::Incremental).unwrap();
                 let reb = run_with_engine(&game, tiebreak, Engine::Rebuild).unwrap();
+                let col = run_with_engine(&game, tiebreak, Engine::Columnar).unwrap();
                 prop_assert_eq!(&inc, &reb);
+                prop_assert_eq!(&inc, &col);
             }
         }
 
@@ -825,14 +864,22 @@ mod tests {
             let mut reb = SubstOnState::with_engine(
                 game.costs.clone(), game.horizon, TieBreak::LowestOptId, Engine::Rebuild,
             ).unwrap();
+            let mut col = SubstOnState::with_engine(
+                game.costs.clone(), game.horizon, TieBreak::LowestOptId, Engine::Columnar,
+            ).unwrap();
             for bid in &game.bids {
                 inc.submit(bid.clone()).unwrap();
                 reb.submit(bid.clone()).unwrap();
+                col.submit(bid.clone()).unwrap();
             }
             for _ in 1..=game.horizon {
-                prop_assert_eq!(inc.advance().unwrap(), reb.advance().unwrap());
+                let step = inc.advance().unwrap();
+                prop_assert_eq!(&step, &reb.advance().unwrap());
+                prop_assert_eq!(&step, &col.advance().unwrap());
             }
-            prop_assert_eq!(inc.finish().unwrap(), reb.finish().unwrap());
+            let done = inc.finish().unwrap();
+            prop_assert_eq!(&done, &reb.finish().unwrap());
+            prop_assert_eq!(&done, &col.finish().unwrap());
         }
     }
 

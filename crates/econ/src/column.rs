@@ -1,0 +1,583 @@
+//! Columnar fixed-point money lanes: flat `i64` columns on an exact
+//! decimal grid, plus the chunked kernels the solver hot loops run on.
+//!
+//! [`Money`] is an exact rational, which is what the mechanisms'
+//! truthfulness proofs need — but a `Vec<Money>` is 32-byte elements
+//! and branchy `i128` comparisons, which is not what a per-slot scan
+//! over 10⁵ bids wants. [`CentColumn`] is the bridge: a flat
+//! `Vec<i64>` of fixed-point *lane units* (`10^-scale` dollars each —
+//! cents at scale 2, micros at scale 6) with **checked** conversion in
+//! both directions, so a value is either represented exactly on the
+//! grid or rejected ([`ColumnError::OffGrid`]), never rounded.
+//!
+//! The kernels ([`CentColumn::sum`], [`CentColumn::prefix_scan`], and
+//! the free functions [`checked_lane_sum`], [`checked_prefix_scan`],
+//! [`max_affordable_k`]) are written as 8-wide chunked loops whose
+//! inner bodies carry no per-element branch: intermediate arithmetic
+//! widens to `i128` (where it provably cannot wrap) and the only
+//! fallible step is the narrowing back to `i64`, which errors
+//! ([`ColumnError::Overflow`]) instead of wrapping. `osp_core`'s
+//! `shapley::Solver` runs its affordable-prefix scan through
+//! [`max_affordable_k`] over its own lane columns; the proptest suite
+//! pins every kernel bit-for-bit against the [`Ratio`] slow path.
+//!
+//! The module denies `clippy::arithmetic_side_effects`: every `+`/`*`
+//! here is a `checked_*`/`wrapping_*` call with a stated bound.
+
+#![deny(clippy::arithmetic_side_effects)]
+
+use std::fmt;
+
+use crate::money::Money;
+use crate::num::ratio::Ratio;
+
+/// Why a value could not enter or leave a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColumnError {
+    /// The amount does not lie exactly on the column's decimal grid
+    /// (e.g. `$1/3` on any grid, or `$0.123456` on the cent grid).
+    OffGrid,
+    /// The exact result does not fit an `i64` lane. Checked kernels
+    /// report this instead of wrapping.
+    Overflow,
+}
+
+impl fmt::Display for ColumnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ColumnError::OffGrid => write!(f, "amount is not on the column's decimal grid"),
+            ColumnError::Overflow => write!(f, "exact result exceeds the i64 lane range"),
+        }
+    }
+}
+
+impl std::error::Error for ColumnError {}
+
+/// Largest supported [`CentColumn`] scale: `10^18` lane units per
+/// dollar still fits an `i64` multiplier.
+pub const MAX_SCALE: u32 = 18;
+
+/// A flat column of exact fixed-point money lanes.
+///
+/// Each lane is an `i64` count of `10^-scale` dollars; `scale = 2` is
+/// whole cents, `scale = 6` the micro-dollar grid the workload
+/// generators sample on. Conversion from [`Money`] is checked —
+/// off-grid values are rejected, never rounded — and conversion back
+/// ([`CentColumn::decode`]) is bit-exact, so a column is a lossless
+/// columnar view of on-grid amounts.
+///
+/// ```
+/// use osp_econ::{CentColumn, Money};
+/// let mut col = CentColumn::cents();
+/// col.push(Money::from_cents(231)).unwrap();
+/// col.push(Money::from_dollars(1)).unwrap();
+/// assert_eq!(col.as_lanes(), &[231, 100]);
+/// assert_eq!(col.sum().unwrap(), 331);
+/// assert!(col.push(Money::from_dollars(1).split_among(3)).is_err());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CentColumn {
+    /// Lane units per dollar is `10^scale`.
+    scale: u32,
+    /// `10^scale`, precomputed.
+    unit_per_dollar: i64,
+    lanes: Vec<i64>,
+}
+
+impl CentColumn {
+    /// An empty column on the `10^-scale` dollar grid.
+    ///
+    /// # Panics
+    /// Panics if `scale > MAX_SCALE` (the lane unit must fit `i64`).
+    #[must_use]
+    pub fn with_scale(scale: u32) -> Self {
+        assert!(scale <= MAX_SCALE, "scale {scale} exceeds {MAX_SCALE}");
+        CentColumn {
+            scale,
+            unit_per_dollar: 10i64.checked_pow(scale).expect("10^scale fits i64"),
+            lanes: Vec::new(),
+        }
+    }
+
+    /// An empty column of whole cents (`scale = 2`).
+    #[must_use]
+    pub fn cents() -> Self {
+        Self::with_scale(2)
+    }
+
+    /// An empty column of micro-dollars (`scale = 6`) — the grid every
+    /// workload generator samples on.
+    #[must_use]
+    pub fn micros() -> Self {
+        Self::with_scale(6)
+    }
+
+    /// Digits after the dollar point (2 = cents, 6 = micros).
+    #[must_use]
+    pub fn scale(&self) -> u32 {
+        self.scale
+    }
+
+    /// Number of lanes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// `true` iff the column holds no lanes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.lanes.is_empty()
+    }
+
+    /// Drops every lane, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.lanes.clear();
+    }
+
+    /// The raw lanes, in push order.
+    #[must_use]
+    pub fn as_lanes(&self) -> &[i64] {
+        &self.lanes
+    }
+
+    /// Converts an amount to this column's lane unit: `Ok(units)` iff
+    /// the amount lies exactly on the `10^-scale` grid and fits `i64`.
+    pub fn encode(&self, amount: Money) -> Result<i64, ColumnError> {
+        let r = amount.as_ratio();
+        let den = r.denom();
+        let grid = i128::from(self.unit_per_dollar);
+        // `denom() > 0` is a `Ratio` invariant; `checked_rem`/
+        // `checked_div` encode only the divisibility test.
+        if grid.checked_rem(den).ok_or(ColumnError::OffGrid)? != 0 {
+            return Err(ColumnError::OffGrid);
+        }
+        let factor = grid.checked_div(den).ok_or(ColumnError::OffGrid)?;
+        let units = r.numer().checked_mul(factor).ok_or(ColumnError::Overflow)?;
+        i64::try_from(units).map_err(|_| ColumnError::Overflow)
+    }
+
+    /// The exact amount a lane value denotes (`units · 10^-scale`
+    /// dollars). Bit-exact inverse of [`CentColumn::encode`].
+    #[must_use]
+    pub fn decode(&self, units: i64) -> Money {
+        Money::from_ratio(Ratio::new(
+            i128::from(units),
+            i128::from(self.unit_per_dollar),
+        ))
+    }
+
+    /// Appends an amount, checking it onto the grid first.
+    pub fn push(&mut self, amount: Money) -> Result<(), ColumnError> {
+        let units = self.encode(amount)?;
+        self.lanes.push(units);
+        Ok(())
+    }
+
+    /// Appends a raw lane value (already in this column's unit).
+    pub fn push_lane(&mut self, units: i64) {
+        self.lanes.push(units);
+    }
+
+    /// Builds a column from amounts, rejecting the first off-grid or
+    /// overflowing value.
+    pub fn from_money<I>(scale: u32, amounts: I) -> Result<Self, ColumnError>
+    where
+        I: IntoIterator<Item = Money>,
+    {
+        let mut col = Self::with_scale(scale);
+        for amount in amounts {
+            col.push(amount)?;
+        }
+        Ok(col)
+    }
+
+    /// Exact column total in lane units, or
+    /// [`ColumnError::Overflow`] when the true sum leaves `i64` —
+    /// checked, never wrapped. See [`checked_lane_sum`].
+    pub fn sum(&self) -> Result<i64, ColumnError> {
+        checked_lane_sum(&self.lanes)
+    }
+
+    /// Exact column total as [`Money`].
+    pub fn sum_money(&self) -> Result<Money, ColumnError> {
+        self.sum().map(|units| self.decode(units))
+    }
+
+    /// Inclusive running sums (`out[i] = lanes[0] + … + lanes[i]`), or
+    /// [`ColumnError::Overflow`] when any prefix leaves `i64`. See
+    /// [`checked_prefix_scan`].
+    pub fn prefix_scan(&self) -> Result<Vec<i64>, ColumnError> {
+        let mut out = Vec::new();
+        checked_prefix_scan(&self.lanes, &mut out)?;
+        Ok(out)
+    }
+}
+
+/// How many lanes each chunked kernel processes per iteration.
+const LANE_WIDTH: usize = 8;
+
+/// Exact sum of `lanes`, erroring (never wrapping) when the true total
+/// leaves `i64`.
+///
+/// The loop keeps [`LANE_WIDTH`] independent `i128` accumulators so
+/// the inner body is branch-free and autovectorizable: every `i64`
+/// term widens to `i128`, where fewer than `2^63` terms of magnitude
+/// `< 2^63` keep every partial sum below `2^126` — the `wrapping_add`s
+/// provably cannot wrap. The single fallible step is the final
+/// narrowing back to `i64`.
+pub fn checked_lane_sum(lanes: &[i64]) -> Result<i64, ColumnError> {
+    let mut acc = [0i128; LANE_WIDTH];
+    let mut chunks = lanes.chunks_exact(LANE_WIDTH);
+    for chunk in chunks.by_ref() {
+        for (a, &v) in acc.iter_mut().zip(chunk) {
+            *a = a.wrapping_add(i128::from(v));
+        }
+    }
+    let mut total = 0i128;
+    for a in acc {
+        // Σ|acc_i| ≤ len · 2^63 < 2^126: cannot wrap.
+        total = total.wrapping_add(a);
+    }
+    for &v in chunks.remainder() {
+        total = total.wrapping_add(i128::from(v));
+    }
+    i64::try_from(total).map_err(|_| ColumnError::Overflow)
+}
+
+/// Inclusive prefix scan of `lanes` into `out` (cleared first),
+/// erroring (never wrapping) when any running sum leaves `i64`.
+///
+/// Chunked: each [`LANE_WIDTH`]-lane block computes its running sums
+/// in `i128` (bounded below `2^126` as in [`checked_lane_sum`], so the
+/// `wrapping_add`s cannot wrap), then one range check per block
+/// narrows all of them at once.
+pub fn checked_prefix_scan(lanes: &[i64], out: &mut Vec<i64>) -> Result<(), ColumnError> {
+    out.clear();
+    out.reserve(lanes.len());
+    let mut run = 0i128;
+    for chunk in lanes.chunks(LANE_WIDTH) {
+        let mut pref = [0i128; LANE_WIDTH];
+        for (slot, &v) in pref.iter_mut().zip(chunk) {
+            run = run.wrapping_add(i128::from(v));
+            *slot = run;
+        }
+        let used = &pref[..chunk.len()];
+        let lo = used.iter().copied().fold(i128::MAX, i128::min);
+        let hi = used.iter().copied().fold(i128::MIN, i128::max);
+        if lo < i128::from(i64::MIN) || hi > i128::from(i64::MAX) {
+            return Err(ColumnError::Overflow);
+        }
+        for &p in used {
+            out.push(i64::try_from(p).expect("range-checked above"));
+        }
+    }
+    Ok(())
+}
+
+/// `true` iff every product `lanes[k-1] · (base + k)` for
+/// `k ∈ 1..=lanes.len()` fits `i64`, given `lanes` sorted descending
+/// (the solver's finite-region invariant) and `base ≥ 0`.
+///
+/// Descending order pins the extremes: the largest-magnitude product
+/// is one of the extreme lanes times the largest multiplier
+/// `base + len`, so two `i128` checks bound the whole scan — this is
+/// the O(1) precondition [`max_affordable_k`] requires.
+#[must_use]
+pub fn scan_products_fit_descending(lanes: &[i64], base: usize) -> bool {
+    let (Some(&first), Some(&last)) = (lanes.first(), lanes.last()) else {
+        return true;
+    };
+    let Ok(len) = i64::try_from(lanes.len()) else {
+        return false;
+    };
+    let Ok(base) = i64::try_from(base) else {
+        return false;
+    };
+    // base, len < 2^63 so the sum fits i128 trivially.
+    let mult = i128::from(base).wrapping_add(i128::from(len));
+    let bound = i128::from(i64::MAX);
+    // |lane| < 2^63 and mult < 2^64: the i128 products cannot wrap.
+    // Bounding |extreme · mult| ≤ i64::MAX covers the negative side
+    // too (|i64::MIN| = i64::MAX + 1 > i64::MAX).
+    let fits = |lane: i64| {
+        i128::from(lane)
+            .wrapping_mul(mult)
+            .checked_abs()
+            .is_some_and(|p| p <= bound)
+    };
+    fits(first) && fits(last)
+}
+
+/// The affordable-prefix scan kernel: the largest `k ∈ 1..=lanes.len()`
+/// with `lanes[k-1] · (base + k) ≥ target`, or `0` when no `k`
+/// qualifies.
+///
+/// This is Mechanism 1's "largest k whose k-th highest bid still
+/// covers a `C/(c+k)` share" test with the division cleared: `lanes`
+/// is the descending-sorted finite bid region in lane units, `base`
+/// the committed-user count `c`, `target` the cost in the same unit.
+/// The scan walks chunks of [`LANE_WIDTH`] from the top; within a
+/// chunk the loop is a branch-free compare-and-select, so the common
+/// "most users are affordable" case exits after one vectorizable
+/// block.
+///
+/// Caller must ensure no product overflows `i64` — see
+/// [`scan_products_fit_descending`]; the `wrapping_mul` here relies on
+/// it.
+#[must_use]
+pub fn max_affordable_k(lanes: &[i64], base: usize, target: i64) -> usize {
+    let base = i64::try_from(base).expect("committed count fits i64");
+    let mut k_hi = lanes.len();
+    while k_hi > 0 {
+        let k_lo = k_hi.saturating_sub(LANE_WIDTH);
+        let mut best = 0usize;
+        for (off, &lane) in lanes[k_lo..k_hi].iter().enumerate() {
+            // k ≤ lanes.len(): the adds cannot wrap; the product is
+            // in-range by the caller's scan_products_fit precondition.
+            let k = k_lo.wrapping_add(off).wrapping_add(1);
+            let mult = base.wrapping_add(i64::try_from(k).expect("k fits i64"));
+            let affordable = lane.wrapping_mul(mult) >= target;
+            best = if affordable { k } else { best };
+        }
+        if best > 0 {
+            return best;
+        }
+        k_hi = k_lo;
+    }
+    0
+}
+
+#[cfg(test)]
+// Naive oracles in the tests use plain operators on purpose.
+#[allow(clippy::arithmetic_side_effects)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_round_trip_on_grid() {
+        let col = CentColumn::cents();
+        for c in [-10_000i64, -1, 0, 1, 231, i64::MAX / 100] {
+            let m = col.decode(c);
+            assert_eq!(col.encode(m), Ok(c));
+            assert_eq!(m.to_cents(), Some(c));
+        }
+        let micros = CentColumn::micros();
+        assert_eq!(micros.encode(Money::from_micros(123_457)), Ok(123_457));
+        assert_eq!(micros.encode(Money::from_cents(5)), Ok(50_000));
+    }
+
+    #[test]
+    fn encode_rejects_off_grid_and_overflow() {
+        let col = CentColumn::cents();
+        assert_eq!(
+            col.encode(Money::from_dollars(1).split_among(3)),
+            Err(ColumnError::OffGrid)
+        );
+        assert_eq!(
+            col.encode(Money::from_micros(123_456)),
+            Err(ColumnError::OffGrid)
+        );
+        let too_big = Money::from_ratio(Ratio::new(i128::from(i64::MAX), 1));
+        assert_eq!(col.encode(too_big), Err(ColumnError::Overflow));
+    }
+
+    #[test]
+    fn sum_and_scan_small_cases() {
+        let col =
+            CentColumn::from_money(2, [1, -2, 3, 4, -5, 6, 7, 8, 9, 10].map(Money::from_cents))
+                .unwrap();
+        assert_eq!(col.sum(), Ok(41));
+        assert_eq!(col.sum_money(), Ok(Money::from_cents(41)));
+        assert_eq!(
+            col.prefix_scan().unwrap(),
+            vec![1, -1, 2, 6, 1, 7, 14, 22, 31, 41]
+        );
+        assert_eq!(CentColumn::cents().sum(), Ok(0));
+        assert_eq!(
+            CentColumn::cents().prefix_scan().unwrap(),
+            Vec::<i64>::new()
+        );
+    }
+
+    #[test]
+    fn sum_errors_on_i64_overflow_instead_of_wrapping() {
+        assert_eq!(checked_lane_sum(&[i64::MAX, 1]), Err(ColumnError::Overflow));
+        assert_eq!(checked_lane_sum(&[i64::MAX, 1, -2]), Ok(i64::MAX - 1));
+        assert_eq!(
+            checked_lane_sum(&[i64::MIN, -1]),
+            Err(ColumnError::Overflow)
+        );
+        // A prefix may overflow even when the total does not.
+        let mut out = Vec::new();
+        assert_eq!(
+            checked_prefix_scan(&[i64::MAX, 1, -2], &mut out),
+            Err(ColumnError::Overflow)
+        );
+        assert_eq!(checked_prefix_scan(&[i64::MAX, -1, 1], &mut out), Ok(()));
+        assert_eq!(out, vec![i64::MAX, i64::MAX - 1, i64::MAX]);
+    }
+
+    #[test]
+    fn affordable_scan_matches_naive_loop() {
+        let naive = |lanes: &[i64], base: usize, target: i64| -> usize {
+            for k in (1..=lanes.len()).rev() {
+                if lanes[k - 1] * (base as i64 + k as i64) >= target {
+                    return k;
+                }
+            }
+            0
+        };
+        let cases: &[(&[i64], usize, i64)] = &[
+            (&[], 0, 10),
+            (&[100], 0, 10),
+            (&[100], 0, 1000),
+            (&[90, 80, 70, 60, 50, 40, 30, 20, 10, 5], 0, 300),
+            (&[90, 80, 70, 60, 50, 40, 30, 20, 10, 5], 3, 300),
+            (&[90, 80, 70, 60, 50, 40, 30, 20, 10, 5], 0, 10_000),
+            (&[5, 4, 3, 2, 1, 0, 0, 0, 0], 2, 6),
+            (&[10, 10, 10, 10, 10, 10, 10, 10, 10, 10, 10, 10], 1, 30),
+        ];
+        for &(lanes, base, target) in cases {
+            assert!(scan_products_fit_descending(lanes, base));
+            assert_eq!(
+                max_affordable_k(lanes, base, target),
+                naive(lanes, base, target),
+                "lanes={lanes:?} base={base} target={target}"
+            );
+        }
+    }
+
+    mod pinned_against_ratio {
+        //! The satellite proptest: every kernel result is bit-for-bit
+        //! the value the exact [`Ratio`] slow path produces, and
+        //! `i64`-overflow-adjacent inputs make the kernels error —
+        //! never wrap — while the `i128`-backed `Ratio` path keeps the
+        //! exact answer for comparison.
+
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Lane values spanning the whole `i64` range with extra mass
+        /// on the overflow-adjacent edges.
+        fn edge_lane() -> impl Strategy<Value = i64> {
+            prop_oneof![
+                4 => i64::MIN..=i64::MAX,
+                2 => -1_000_000i64..1_000_000,
+                1 => (i64::MAX - 16)..=i64::MAX,
+                1 => i64::MIN..=(i64::MIN + 16),
+            ]
+        }
+
+        /// The Ratio slow path for a sum: exact rational addition of
+        /// the decoded amounts.
+        fn ratio_sum(col: &CentColumn) -> Ratio {
+            col.as_lanes()
+                .iter()
+                .map(|&v| col.decode(v).as_ratio())
+                .fold(Ratio::ZERO, |acc, r| {
+                    acc.checked_add(r).expect("i128 Ratio sum of i64 lanes")
+                })
+        }
+
+        proptest! {
+            #[test]
+            fn sum_matches_ratio_path_bit_for_bit(
+                lanes in proptest::collection::vec(edge_lane(), 0..64),
+                scale in prop_oneof![Just(2u32), Just(6u32)],
+            ) {
+                let mut col = CentColumn::with_scale(scale);
+                for v in &lanes {
+                    col.push_lane(*v);
+                }
+                let exact = ratio_sum(&col);
+                match col.sum() {
+                    Ok(total) => {
+                        // Bit-for-bit: same normalized rational.
+                        prop_assert_eq!(col.decode(total).as_ratio(), exact);
+                    }
+                    Err(ColumnError::Overflow) => {
+                        // The kernel may only error when the exact
+                        // total truly leaves the i64 lane range.
+                        let unit = col.decode(1).as_ratio();
+                        let lo = unit.checked_mul(Ratio::from_int(i128::from(i64::MIN))).unwrap();
+                        let hi = unit.checked_mul(Ratio::from_int(i128::from(i64::MAX))).unwrap();
+                        prop_assert!(exact < lo || exact > hi, "spurious overflow: {exact:?}");
+                    }
+                    Err(e) => prop_assert!(false, "unexpected error {e}"),
+                }
+            }
+
+            #[test]
+            fn prefix_scan_matches_ratio_path_bit_for_bit(
+                lanes in proptest::collection::vec(edge_lane(), 0..64),
+            ) {
+                let mut col = CentColumn::micros();
+                for v in &lanes {
+                    col.push_lane(*v);
+                }
+                // Exact running sums on the Ratio path.
+                let mut exact = Vec::with_capacity(lanes.len());
+                let mut run = Ratio::ZERO;
+                for &v in &lanes {
+                    run = run.checked_add(col.decode(v).as_ratio()).unwrap();
+                    exact.push(run);
+                }
+                let unit = col.decode(1).as_ratio();
+                let lo = unit.checked_mul(Ratio::from_int(i128::from(i64::MIN))).unwrap();
+                let hi = unit.checked_mul(Ratio::from_int(i128::from(i64::MAX))).unwrap();
+                match col.prefix_scan() {
+                    Ok(scan) => {
+                        prop_assert_eq!(scan.len(), exact.len());
+                        for (units, want) in scan.iter().zip(&exact) {
+                            prop_assert_eq!(col.decode(*units).as_ratio(), *want);
+                        }
+                    }
+                    Err(ColumnError::Overflow) => {
+                        prop_assert!(
+                            exact.iter().any(|p| *p < lo || *p > hi),
+                            "spurious overflow"
+                        );
+                    }
+                    Err(e) => prop_assert!(false, "unexpected error {e}"),
+                }
+            }
+
+            #[test]
+            fn affordable_scan_matches_ratio_path(
+                mut lanes in proptest::collection::vec(0i64..2_000_000, 0..48),
+                base in 0usize..6,
+                target in 1i64..4_000_000_000,
+            ) {
+                // The solver invariant: descending lanes.
+                lanes.sort_unstable_by(|a, b| b.cmp(a));
+                prop_assume!(scan_products_fit_descending(&lanes, base));
+                let col = CentColumn::micros();
+                let cost = col.decode(target).as_ratio();
+                // Ratio slow path: k-th highest bid · (base + k) ≥ cost.
+                let mut want = 0usize;
+                for k in (1..=lanes.len()).rev() {
+                    let product = col
+                        .decode(lanes[k - 1])
+                        .as_ratio()
+                        .checked_mul(Ratio::from_int((base + k) as i128))
+                        .unwrap();
+                    if product >= cost {
+                        want = k;
+                        break;
+                    }
+                }
+                prop_assert_eq!(max_affordable_k(&lanes, base, target), want);
+            }
+        }
+    }
+
+    #[test]
+    fn scan_precheck_rejects_overflowing_products() {
+        assert!(!scan_products_fit_descending(&[i64::MAX, 1, 1], 0));
+        assert!(!scan_products_fit_descending(&[1, 0, i64::MIN], 0));
+        assert!(scan_products_fit_descending(&[i64::MAX], 0));
+        assert!(!scan_products_fit_descending(&[i64::MAX], 1));
+        assert!(scan_products_fit_descending(&[], usize::MAX));
+    }
+}

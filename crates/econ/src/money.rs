@@ -5,6 +5,12 @@
 //! (optimization costs like `$2.31`), cents (per-execution savings like
 //! `18¢`), and micros (random values drawn on a `10^-6` grid so that
 //! workload generators never touch floating point).
+//!
+//! Every arithmetic operation in this module is explicit checked
+//! arithmetic — the `arithmetic_side_effects` deny below means a plain
+//! `+` that could silently wrap or panic does not compile here.
+
+#![deny(clippy::arithmetic_side_effects)]
 
 use std::fmt;
 use std::iter::Sum;
@@ -62,8 +68,12 @@ impl Money {
         Money(Ratio::new(i128::from(c), 100))
     }
 
-    /// Millionths of a dollar. Workload generators sample uniform values
-    /// on this grid so randomness stays exact end to end.
+    /// Millionths of a dollar: `m` is a point on the exact `10^-6`
+    /// decimal grid, so `from_micros(1)` is the rational `1/1_000_000`
+    /// dollar — not a float approximation. Workload generators sample
+    /// uniform values on this grid so randomness stays exact end to
+    /// end, and `from_micros(to_micros(m).unwrap())` round-trips
+    /// bit-identically for every on-grid amount.
     #[must_use]
     pub fn from_micros(m: i64) -> Self {
         Money(Ratio::new(i128::from(m), 1_000_000))
@@ -87,6 +97,45 @@ impl Money {
         self.0.to_f64()
     }
 
+    /// The amount in whole cents, when — and only when — it lies
+    /// exactly on the `10^-2` cent grid and fits an `i64`.
+    ///
+    /// `None` for any off-grid value (e.g. `$1/3`, or a micro-grid
+    /// value like `$0.123456` that is not a whole number of cents):
+    /// callers get an exact integer or nothing, never a rounded one.
+    ///
+    /// ```
+    /// use osp_econ::Money;
+    /// assert_eq!(Money::from_cents(231).to_cents(), Some(231));
+    /// assert_eq!(Money::from_dollars(1).split_among(3).to_cents(), None);
+    /// ```
+    #[must_use]
+    pub fn to_cents(self) -> Option<i64> {
+        self.to_grid(100)
+    }
+
+    /// The amount in whole micros (`10^-6` dollars), when it lies
+    /// exactly on the micro grid and fits an `i64`; `None` off-grid.
+    /// Exact inverse of [`Money::from_micros`] on that grid.
+    #[must_use]
+    pub fn to_micros(self) -> Option<i64> {
+        self.to_grid(1_000_000)
+    }
+
+    /// Exact fixed-point accessor: the amount in units of
+    /// `1/grid` dollars iff it lies on that grid and fits an `i64`.
+    fn to_grid(self, grid: i128) -> Option<i64> {
+        let den = self.0.denom();
+        // `denom() > 0` is a `Ratio` invariant, so `checked_rem` /
+        // `checked_div` only encode the divisibility test, not a
+        // division-by-zero hazard.
+        if grid.checked_rem(den)? != 0 {
+            return None;
+        }
+        let units = self.0.numer().checked_mul(grid.checked_div(den)?)?;
+        i64::try_from(units).ok()
+    }
+
     /// `true` iff exactly zero.
     #[must_use]
     pub const fn is_zero(self) -> bool {
@@ -106,6 +155,12 @@ impl Money {
     }
 
     /// Equal split among `count` payers — the Shapley cost share.
+    ///
+    /// The result is the exact rational `self / count`, which can leave
+    /// every decimal grid: `$1.split_among(3)` is exactly `1/3` dollar,
+    /// on no `10^-k` grid for any `k` (so [`Money::to_cents`] and
+    /// [`Money::to_micros`] return `None` for it). It always
+    /// reassembles exactly, though: `m.split_among(n) * n == m`.
     ///
     /// # Panics
     /// Panics if `count == 0`.
@@ -168,13 +223,19 @@ impl FromStr for Money {
         let mut num = whole;
         let mut den: i128 = 1;
         for c in frac_str.chars() {
+            let digit = c.to_digit(10).ok_or_else(err)?;
             num = num
                 .checked_mul(10)
-                .and_then(|n| n.checked_add(i128::from(c as u8 - b'0')))
+                .and_then(|n| n.checked_add(i128::from(digit)))
                 .ok_or_else(err)?;
             den = den.checked_mul(10).ok_or_else(err)?;
         }
-        let ratio = Ratio::checked_new(if negative { -num } else { num }, den).ok_or_else(err)?;
+        let num = if negative {
+            num.checked_neg().ok_or_else(err)?
+        } else {
+            num
+        };
+        let ratio = Ratio::checked_new(num, den).ok_or_else(err)?;
         Ok(Money(ratio))
     }
 }
@@ -182,33 +243,40 @@ impl FromStr for Money {
 impl Add for Money {
     type Output = Money;
     fn add(self, rhs: Money) -> Money {
-        Money(self.0 + rhs.0)
+        Money(self.0.checked_add(rhs.0).expect("money addition overflow"))
     }
 }
 
 impl Sub for Money {
     type Output = Money;
     fn sub(self, rhs: Money) -> Money {
-        Money(self.0 - rhs.0)
+        Money(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("money subtraction overflow"),
+        )
     }
 }
 
 impl Neg for Money {
     type Output = Money;
     fn neg(self) -> Money {
-        Money(-self.0)
+        Money(self.0.checked_neg().expect("money negation overflow"))
     }
 }
 
 impl AddAssign for Money {
     fn add_assign(&mut self, rhs: Money) {
-        self.0 += rhs.0;
+        self.0 = self.0.checked_add(rhs.0).expect("money addition overflow");
     }
 }
 
 impl SubAssign for Money {
     fn sub_assign(&mut self, rhs: Money) {
-        self.0 -= rhs.0;
+        self.0 = self
+            .0
+            .checked_sub(rhs.0)
+            .expect("money subtraction overflow");
     }
 }
 
@@ -217,7 +285,11 @@ impl Mul<usize> for Money {
     type Output = Money;
     fn mul(self, rhs: usize) -> Money {
         let k = i128::try_from(rhs).expect("count fits in i128");
-        Money(self.0 * Ratio::from_int(k))
+        Money(
+            self.0
+                .checked_mul(Ratio::from_int(k))
+                .expect("money scaling overflow"),
+        )
     }
 }
 
@@ -225,7 +297,7 @@ impl Mul<usize> for Money {
 impl Mul<Ratio> for Money {
     type Output = Money;
     fn mul(self, rhs: Ratio) -> Money {
-        Money(self.0 * rhs)
+        Money(self.0.checked_mul(rhs).expect("money scaling overflow"))
     }
 }
 
@@ -253,6 +325,10 @@ impl fmt::Display for Money {
     /// Renders as `$d.cc` with more fractional digits when the exact
     /// value needs them (`$0.333333…` is truncated at six digits with a
     /// trailing `…` marker, keeping the display honest about exactness).
+    // Display-only long division: `den > 0` is a `Ratio` invariant (no
+    // division by zero) and `rem < den` bounds each step; this never
+    // feeds mechanism arithmetic, so the checked-op rule is relaxed.
+    #[allow(clippy::arithmetic_side_effects)]
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let r = self.0;
         let sign = if r.is_negative() { "-" } else { "" };
@@ -284,6 +360,9 @@ impl fmt::Debug for Money {
 }
 
 #[cfg(test)]
+// Tests exercise the operator sugar (whose overflow panics are the
+// behavior under test), so the checked-op rule is relaxed here.
+#[allow(clippy::arithmetic_side_effects)]
 mod tests {
     use super::*;
     use proptest::prelude::*;
@@ -315,6 +394,35 @@ mod tests {
     fn split_among_reassembles() {
         let c = Money::from_cents(231);
         assert_eq!(c.split_among(7) * 7, c);
+    }
+
+    #[test]
+    fn to_cents_is_exact_or_nothing() {
+        assert_eq!(Money::from_cents(231).to_cents(), Some(231));
+        assert_eq!(Money::from_cents(-50).to_cents(), Some(-50));
+        assert_eq!(Money::ZERO.to_cents(), Some(0));
+        assert_eq!(Money::from_dollars(7).to_cents(), Some(700));
+        // Coarser-than-cent grids are still on the cent grid.
+        assert_eq!(Money::from_ratio(Ratio::new(1, 4)).to_cents(), Some(25));
+        // Finer grids and non-decimal rationals are off-grid.
+        assert_eq!(Money::from_micros(123_456).to_cents(), None);
+        assert_eq!(Money::from_dollars(1).split_among(3).to_cents(), None);
+        // Magnitudes past i64 cents are rejected, never truncated.
+        let huge = Money::from_ratio(Ratio::new(i128::from(i64::MAX), 100)) * 200usize;
+        assert_eq!(huge.to_cents(), None);
+    }
+
+    #[test]
+    fn to_micros_round_trips_the_sampling_grid() {
+        for m in [-1_000_001i64, -1, 0, 1, 999_999, 123_457] {
+            assert_eq!(Money::from_micros(m).to_micros(), Some(m));
+        }
+        assert_eq!(Money::from_cents(231).to_micros(), Some(2_310_000));
+        assert_eq!(Money::from_dollars(1).split_among(3).to_micros(), None);
+        assert_eq!(
+            Money::from_ratio(Ratio::new(1, 10_000_000)).to_micros(),
+            None
+        );
     }
 
     #[test]

@@ -34,10 +34,9 @@
 //! assert_eq!(series.residual_from(SlotId(2)), Money::from_dollars(2));
 //! ```
 
-use std::collections::HashMap;
-
 use serde::{Deserialize, Serialize};
 
+use crate::fastmap::FastMap;
 use crate::ids::{SlotId, UserId};
 use crate::money::Money;
 use crate::schedule::SlotSeries;
@@ -52,12 +51,19 @@ use crate::schedule::SlotSeries;
 /// once per processed slot and [`ResidualTracker::reset`] whenever a
 /// user's series changes.
 ///
-/// Entries are stored in a `HashMap` — O(1) on the per-slot hot path
-/// and only ever iterated to feed batch solver updates (which sort
-/// internally), so hash order cannot leak into outcomes.
+/// Entries live in parallel `users`/`values` columns — the same flat
+/// layout as the solver's lane columns — so the per-slot
+/// [`advance`](ResidualTracker::advance) sweep (the hot valuation sum)
+/// walks one contiguous `Money` column instead of chasing a hash map;
+/// a side [`FastMap`] keeps lookups O(1). Iteration order is the
+/// insertion/removal order, and the columns only ever feed batch
+/// solver updates (which sort internally), so it cannot leak into
+/// outcomes.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ResidualTracker {
-    residuals: HashMap<UserId, Money>,
+    users: Vec<UserId>,
+    values: Vec<Money>,
+    index: FastMap<UserId, usize>,
 }
 
 impl ResidualTracker {
@@ -71,27 +77,38 @@ impl ResidualTracker {
     #[must_use]
     pub fn with_capacity(capacity: usize) -> Self {
         ResidualTracker {
-            residuals: HashMap::with_capacity(capacity),
+            users: Vec::with_capacity(capacity),
+            values: Vec::with_capacity(capacity),
+            index: FastMap::with_capacity_and_hasher(capacity, Default::default()),
         }
     }
 
     /// Number of tracked users.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.residuals.len()
+        self.users.len()
     }
 
     /// `true` iff no user is tracked.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.residuals.is_empty()
+        self.users.is_empty()
     }
 
     /// Starts tracking `user` with residual `series.residual_from(now)`
     /// (one O(duration) suffix sum — the last one this user pays until
-    /// her series changes).
+    /// her series changes). Re-inserting an already-tracked user
+    /// overwrites her residual in place.
     pub fn insert(&mut self, user: UserId, series: &SlotSeries, now: SlotId) {
-        self.residuals.insert(user, series.residual_from(now));
+        let residual = series.residual_from(now);
+        match self.index.get(&user) {
+            Some(&i) => self.values[i] = residual,
+            None => {
+                self.index.insert(user, self.users.len());
+                self.users.push(user);
+                self.values.push(residual);
+            }
+        }
     }
 
     /// Re-seeds `user`'s residual after her series changed (upward
@@ -105,17 +122,24 @@ impl ResidualTracker {
     /// The running residual of `user`, if tracked.
     #[must_use]
     pub fn get(&self, user: UserId) -> Option<Money> {
-        self.residuals.get(&user).copied()
+        self.index.get(&user).map(|&i| self.values[i])
     }
 
     /// Stops tracking `user` (serviced, or expired unserviced).
     pub fn remove(&mut self, user: UserId) -> Option<Money> {
-        self.residuals.remove(&user)
+        let i = self.index.remove(&user)?;
+        self.users.swap_remove(i);
+        let residual = self.values.swap_remove(i);
+        if let Some(&moved) = self.users.get(i) {
+            self.index.insert(moved, i);
+        }
+        Some(residual)
     }
 
     /// Retires `retiring` for every tracked user: subtracts
-    /// `v_i(retiring)` from each running residual. O(1) per user —
-    /// this is the whole point of the tracker.
+    /// `v_i(retiring)` from each running residual. O(1) per user over
+    /// the contiguous value column — this is the whole point of the
+    /// tracker.
     ///
     /// `series_of` must return the series the residual was seeded from;
     /// the subtraction keeps each entry equal to
@@ -126,7 +150,7 @@ impl ResidualTracker {
         retiring: SlotId,
         mut series_of: impl FnMut(UserId) -> &'a SlotSeries,
     ) {
-        for (&user, residual) in &mut self.residuals {
+        for (&user, residual) in self.users.iter().zip(self.values.iter_mut()) {
             let departed = series_of(user).value_at(retiring);
             if !departed.is_zero() {
                 *residual -= departed;
@@ -138,15 +162,21 @@ impl ResidualTracker {
         }
     }
 
-    /// Iterates `(user, running residual)` pairs in arbitrary (hash)
-    /// order. Feed this only into order-insensitive consumers.
+    /// Iterates `(user, running residual)` pairs in column order (the
+    /// insertion/removal order, not sorted). Feed this only into
+    /// order-insensitive consumers.
     pub fn iter(&self) -> impl Iterator<Item = (UserId, Money)> + '_ {
-        self.residuals.iter().map(|(&u, &r)| (u, r))
+        self.users
+            .iter()
+            .zip(self.values.iter())
+            .map(|(&u, &r)| (u, r))
     }
 
-    /// Drops every entry, keeping the allocation.
+    /// Drops every entry, keeping the allocations.
     pub fn clear(&mut self) {
-        self.residuals.clear();
+        self.users.clear();
+        self.values.clear();
+        self.index.clear();
     }
 }
 

@@ -11,7 +11,7 @@
 //!   `BENCH_mechanisms.json`;
 //! * the differential oracle harness (`osp_bench::differential` +
 //!   `tests/differential.rs`) replays every registered source through
-//!   the Incremental and Rebuild engines slot by slot;
+//!   the Incremental, Rebuild, and Columnar engines slot by slot;
 //! * `osp_bench::server_load` turns sources into wire-protocol traces
 //!   for the sharded server;
 //! * `osp workloads` and `bench_json --list-workloads` list them.
@@ -138,7 +138,9 @@ impl Trace {
                     while let Some(rev) = revs.next_if(|r| r.at.index() <= now) {
                         state.revise(rev.user, rev.from, rev.values.clone())?;
                     }
-                    state.advance()?;
+                    // Replay reads only the final outcome, so skip the
+                    // per-slot report (its `active` set is O(|CS|)).
+                    state.advance_quiet()?;
                 }
                 Ok(TraceOutcome::Additive(state.finish()?))
             }
@@ -212,6 +214,13 @@ pub trait TraceSource: Sync {
     /// `true` when the perf suite should also measure the Regret
     /// baseline on this source (additive sources only).
     fn bench_regret(&self) -> bool {
+        false
+    }
+
+    /// `true` when the perf suite should also measure the columnar
+    /// lane engine on this source (the headline hot-loop workloads;
+    /// the differential oracle covers *every* source regardless).
+    fn bench_columnar(&self) -> bool {
         false
     }
 }
@@ -331,7 +340,7 @@ mod tests {
     fn play_rejects_nothing_on_every_registered_source() {
         for source in registry() {
             let trace = source.sample(12, 7);
-            for engine in [Engine::Incremental, Engine::Rebuild] {
+            for engine in [Engine::Incremental, Engine::Rebuild, Engine::Columnar] {
                 trace
                     .play(engine, TieBreak::LowestOptId)
                     .unwrap_or_else(|e| panic!("{}: {e}", source.name()));

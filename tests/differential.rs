@@ -1,6 +1,6 @@
 //! The standing differential oracle: randomized long-horizon games
-//! through the Incremental and Rebuild engines must agree slot by slot
-//! on grants, prices, payments, and final ledger totals.
+//! through the Incremental, Rebuild, and Columnar engines must agree
+//! slot by slot on grants, prices, payments, and final ledger totals.
 //!
 //! The game scripts live in [`osp_bench::differential`]; this wrapper
 //! drives them under proptest. Each proptest case runs
@@ -44,8 +44,8 @@ proptest! {
     }
 
     /// SubstOn: 1–16 coupled optimizations, both tie-break policies
-    /// (the random one must consume its RNG identically on both
-    /// engines).
+    /// (the random one must consume its RNG identically on every
+    /// engine).
     #[test]
     fn subston_engines_agree_on_random_multi_opt_games(
         seed in 0u64..1 << 48,
@@ -77,8 +77,8 @@ proptest! {
     }
 
     /// Every registered workload source — synthetic shapes and the
-    /// cloudsim/astro adapters alike — replays through both engines
-    /// with identical results. One game per source per case: the
+    /// cloudsim/astro adapters alike — replays through all three
+    /// engines with identical results. One game per source per case: the
     /// default 64 cases give every source 64 games per run (PR-gate
     /// floor: 16), and the nightly deep job thousands.
     #[test]

@@ -183,7 +183,12 @@ impl<'de, T: DeserializeOwned + Ord> Deserialize<'de> for BTreeSet<T> {
     }
 }
 
-impl<'de, T: DeserializeOwned + Eq + Hash> Deserialize<'de> for HashSet<T> {
+// Generic over the hasher (mirroring upstream serde) so collections on
+// custom `BuildHasher`s deserialize like the default ones.
+impl<'de, T: DeserializeOwned + Eq + Hash, H> Deserialize<'de> for HashSet<T, H>
+where
+    H: std::hash::BuildHasher + Default,
+{
     fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
         seq_items::<D::Error>(deserializer.into_value()?, "array")?
             .into_iter()
@@ -220,7 +225,11 @@ impl<'de, K: DeserializeOwned + Ord, V: DeserializeOwned> Deserialize<'de> for B
     }
 }
 
-impl<'de, K: DeserializeOwned + Eq + Hash, V: DeserializeOwned> Deserialize<'de> for HashMap<K, V> {
+impl<'de, K: DeserializeOwned + Eq + Hash, V: DeserializeOwned, H> Deserialize<'de>
+    for HashMap<K, V, H>
+where
+    H: std::hash::BuildHasher + Default,
+{
     fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
         Ok(map_pairs::<K, V, D::Error>(deserializer.into_value()?)?
             .into_iter()

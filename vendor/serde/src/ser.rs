@@ -148,7 +148,10 @@ impl<T: Serialize> Serialize for BTreeSet<T> {
     }
 }
 
-impl<T: Serialize> Serialize for HashSet<T> {
+// Generic over the hasher so maps/sets on custom `BuildHasher`s (e.g.
+// the hot-path `osp_econ::fastmap` collections) serialize like the
+// default ones.
+impl<T: Serialize, H> Serialize for HashSet<T, H> {
     fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
         let items = self.iter().map(sub).collect::<Result<Vec<_>, _>>()?;
         serializer.serialize_value(Value::Array(items))
@@ -172,7 +175,7 @@ impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
     }
 }
 
-impl<K: Serialize, V: Serialize> Serialize for HashMap<K, V> {
+impl<K: Serialize, V: Serialize, H> Serialize for HashMap<K, V, H> {
     fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
         let items = self
             .iter()
