@@ -13,6 +13,7 @@
 //! | [`perf`] | mechanism throughput record (`BENCH_mechanisms.json`) |
 //! | [`server_load`] | multi-game load traces for the sharded server |
 //! | [`differential`] | fast-vs-reference oracle for the online mechanisms |
+//! | [`recovery`] | crash-injection differential for the durable server |
 //!
 //! Run everything with `cargo run -p osp-bench --release --bin
 //! figures -- all`; Criterion micro-benchmarks live in `benches/`; the
@@ -27,6 +28,7 @@ pub mod differential;
 pub mod fig1;
 pub mod parallel;
 pub mod perf;
+pub mod recovery;
 pub mod server_load;
 pub mod sweeps;
 pub mod table;

@@ -18,7 +18,7 @@ use std::time::Instant;
 
 use osp_core::prelude::*;
 use osp_server::protocol::{GameId, Mechanism, Op, Reply, Request, ShardStat};
-use osp_server::{money_to_decimal, ShardPool};
+use osp_server::{money_to_decimal, ShardPool, SubmitRetry};
 use osp_workload::source::{find, Trace};
 
 /// Shape of a generated load trace.
@@ -193,6 +193,10 @@ pub struct LoadResult {
     pub requests: usize,
     /// Error replies among them.
     pub errors: usize,
+    /// Submissions handed back and re-tried (queue-full back-pressure
+    /// or a shard mid-recovery), each after a capped-exponential
+    /// backoff. Zero on a healthy, adequately-queued pool.
+    pub retries: u64,
     /// Wall-clock seconds from first submit to drained shutdown.
     pub elapsed_s: f64,
     /// `requests / elapsed_s`.
@@ -201,11 +205,31 @@ pub struct LoadResult {
     pub shards: Vec<ShardStat>,
 }
 
-/// Replays `trace` through a fresh pool, blocking until every request
-/// is answered (shutdown drains the queues).
+/// Replays `trace` through a fresh in-memory pool, blocking until
+/// every request is answered (shutdown drains the queues).
 #[must_use]
 pub fn replay(trace: &[Request], shards: usize, queue_cap: usize) -> LoadResult {
-    let pool = ShardPool::new(shards, queue_cap, Engine::Incremental);
+    replay_with(
+        ShardPool::new(shards, queue_cap, Engine::Incremental),
+        trace,
+    )
+}
+
+/// Replays `trace` through `pool` (callers build durable or
+/// fault-injected pools via `PoolConfig`), then shuts the pool down.
+///
+/// Submission never aborts on transient refusals: a full queue or a
+/// recovering shard hands the request back, and the loop retries it.
+/// A full queue spins on `yield_now` — workers free slots in
+/// microseconds under load, and timer-granularity sleeps here were
+/// measured costing >2× throughput on saturated subst traces — while
+/// a recovering shard (which is replaying a log, a millisecond-scale
+/// affair) backs off with sleeps doubling from 50µs to a 2ms cap.
+#[must_use]
+pub fn replay_with(pool: ShardPool, trace: &[Request]) -> LoadResult {
+    const YIELDS: u32 = 8;
+    const FIRST_SLEEP_US: u64 = 50;
+    const MAX_SLEEP_US: u64 = 2_000;
     let (tx, rx) = std::sync::mpsc::channel::<osp_server::protocol::Response>();
     let collector = std::thread::spawn(move || {
         let (mut answered, mut errors) = (0usize, 0usize);
@@ -218,8 +242,27 @@ pub fn replay(trace: &[Request], shards: usize, queue_cap: usize) -> LoadResult 
         (answered, errors)
     });
     let start = Instant::now();
+    let mut retries = 0u64;
     for request in trace {
-        pool.submit(request.clone(), &tx);
+        let mut pending = request.clone();
+        let mut attempt = 0u32;
+        loop {
+            match pool.try_submit(pending, &tx) {
+                Ok(()) => break,
+                Err((back, reason)) => {
+                    pending = back;
+                    retries += 1;
+                    if matches!(reason, SubmitRetry::QueueFull) || attempt < YIELDS {
+                        std::thread::yield_now();
+                    } else {
+                        let exp = (attempt - YIELDS).min(10);
+                        let us = (FIRST_SLEEP_US << exp).min(MAX_SLEEP_US);
+                        std::thread::sleep(std::time::Duration::from_micros(us));
+                    }
+                    attempt = attempt.saturating_add(1);
+                }
+            }
+        }
     }
     let stats = pool.shutdown();
     let elapsed = start.elapsed().as_secs_f64();
@@ -229,6 +272,7 @@ pub fn replay(trace: &[Request], shards: usize, queue_cap: usize) -> LoadResult 
     LoadResult {
         requests: trace.len(),
         errors,
+        retries,
         elapsed_s: elapsed,
         requests_per_sec: trace.len() as f64 / elapsed,
         shards: stats,
@@ -282,6 +326,46 @@ mod tests {
                 SMALL.games
             );
         }
+    }
+
+    #[test]
+    fn back_pressure_is_absorbed_by_retries_not_aborts() {
+        let trace = build_trace(&LoadConfig { games: 20, ..SMALL });
+        // Queues of one envelope: nearly every submission bounces off
+        // a full queue first. Everything must still be answered, with
+        // the bounces absorbed as backoff-retries, not errors.
+        let result = replay(&trace.requests, 2, 1);
+        assert_eq!(result.errors, 0);
+        assert!(result.retries > 0, "tiny queues should have bounced");
+    }
+
+    #[test]
+    fn a_mid_load_crash_recovers_without_losing_requests() {
+        use osp_server::wal::{FaultKind, FaultPlan};
+        use osp_server::PoolConfig;
+        use std::sync::Arc;
+
+        let dir = std::env::temp_dir().join(format!("osp-load-crash-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let trace = build_trace(&LoadConfig { games: 20, ..SMALL });
+        let fault = Arc::new(FaultPlan::new(FaultKind::Kill, 100));
+        let pool = ShardPool::with_config(PoolConfig {
+            shards: 2,
+            queue_cap: 64,
+            engine: Engine::Incremental,
+            wal_dir: Some(dir.clone()),
+            checkpoint_every: 32,
+            fault: Some(fault.clone()),
+        })
+        .expect("durable pool opens");
+        let result = replay_with(pool, &trace.requests);
+        assert!(fault.has_fired(), "the crash never triggered");
+        // Every request was answered (replay_with asserts it); the
+        // crash surfaces as retryable errors on the requests in flight
+        // at that moment, and exactly one recovery in the stats.
+        assert!(result.errors >= 1);
+        assert_eq!(result.shards.iter().map(|s| s.recoveries).sum::<u64>(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -6,10 +6,20 @@
 //! shipped to a running server with `restore` (single-opt additive
 //! games and substitutable games; multi-opt additive files checkpoint
 //! one state per optimization, which only `osp resume` reads back).
+//!
+//! `osp resume` also reads the durable server's on-disk artifacts: a
+//! `shard-<k>.ckpt` checkpoint (auto-detected by its shape), a
+//! `shard-<k>.wal` log via `--wal`, or the pair — the same
+//! checkpoint + log-suffix replay a recovering shard performs, but
+//! offline, playing every recovered game out to its final prices.
+
+use std::path::Path;
 
 use osp_core::prelude::*;
 use osp_econ::Money;
+use osp_server::game::{GameState, Registry};
 use osp_server::protocol::{Mechanism, SnapshotDoc, SNAPSHOT_VERSION};
+use osp_server::wal::{self, ShardCheckpoint, CHECKPOINT_VERSION};
 
 use crate::input::{self, AnyGame};
 
@@ -126,17 +136,49 @@ fn build_snapshot(
     Ok(doc)
 }
 
-/// Entry point for `osp resume <state.json> [--json]`.
+/// Entry point for `osp resume [<state.json>] [--wal <segment.wal>]
+/// [--json]`.
+///
+/// The positional file is either a [`SnapshotDoc`] (the classic
+/// single-game path) or a durable shard's [`ShardCheckpoint`]
+/// (auto-detected); `--wal` adds — or, with no positional file at
+/// all, *is* — the shard's log, replayed from the checkpoint's
+/// sequence suffix exactly as crash recovery would.
 pub fn resume(args: &[String], usage: &str) -> Result<(), String> {
-    let path = args.first().ok_or_else(|| usage.to_owned())?;
     let mut as_json = false;
-    for arg in &args[1..] {
+    let mut wal_path: Option<String> = None;
+    let mut positional: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
         match arg.as_str() {
             "--json" => as_json = true,
+            "--wal" => {
+                let v = it.next().ok_or("--wal needs a path")?;
+                wal_path = Some(v.clone());
+            }
+            other if !other.starts_with("--") && positional.is_none() => {
+                positional = Some(other.to_owned());
+            }
             other => return Err(format!("unknown flag `{other}`\n{usage}")),
         }
     }
-    let json = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let Some(path) = positional else {
+        // WAL-only resume: replay the log into an empty registry.
+        let wal_path = wal_path.ok_or_else(|| usage.to_owned())?;
+        return resume_shard(None, Some(&wal_path), as_json);
+    };
+    let json = std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    // A shard checkpoint has `applied_seq` + `games`, a snapshot has
+    // `mechanism` + states — the parses are mutually exclusive.
+    if let Ok(ckpt) = serde_json::from_str::<ShardCheckpoint>(&json) {
+        return resume_shard(Some(ckpt), wal_path.as_deref(), as_json);
+    }
+    if let Some(wal_path) = wal_path {
+        return Err(format!(
+            "--wal only combines with a shard checkpoint (shard-<k>.ckpt), \
+             and {path} is not one; to replay {wal_path} alone, omit the positional file"
+        ));
+    }
     let doc: SnapshotDoc = serde_json::from_str(&json).map_err(|e| format!("bad snapshot: {e}"))?;
     if doc.format_version != SNAPSHOT_VERSION {
         return Err(format!(
@@ -180,6 +222,96 @@ pub fn resume(args: &[String], usage: &str) -> Result<(), String> {
                 render_add(k, outcome);
             }
         }
+    }
+    Ok(())
+}
+
+/// Resumes a durable shard: restore the checkpoint's games (if any),
+/// replay the WAL suffix (records past the checkpoint's sequence, if
+/// a log is given), then play every game out and print its outcome.
+fn resume_shard(
+    ckpt: Option<ShardCheckpoint>,
+    wal_path: Option<&str>,
+    as_json: bool,
+) -> Result<(), String> {
+    let mut registry = Registry::new(Engine::Incremental, 1);
+    let mut applied_seq = 0u64;
+    if let Some(ckpt) = ckpt {
+        if ckpt.format_version != CHECKPOINT_VERSION {
+            return Err(format!(
+                "unsupported checkpoint format_version {} (expected {CHECKPOINT_VERSION})",
+                ckpt.format_version
+            ));
+        }
+        applied_seq = ckpt.applied_seq;
+        for (game, doc) in &ckpt.games {
+            registry.insert_restored(*game, doc)?;
+        }
+    }
+    let mut replayed = 0u64;
+    if let Some(path) = wal_path {
+        let scanned = wal::read_wal(Path::new(path))?;
+        if scanned.torn_bytes > 0 {
+            eprintln!(
+                "warning: {path} ends in a torn record ({} trailing bytes); dropped — \
+                 the operation was never acknowledged",
+                scanned.torn_bytes
+            );
+        }
+        for record in &scanned.records {
+            if record.seq <= applied_seq {
+                continue;
+            }
+            let _ = registry.handle(record.id, record.op.clone());
+            replayed += 1;
+        }
+    }
+    if registry.is_empty() {
+        return Err("nothing to resume: the checkpoint/log holds no games".to_owned());
+    }
+    eprintln!(
+        "resumed {} game(s) ({} log record(s) replayed past seq {applied_seq})",
+        registry.len(),
+        replayed
+    );
+    let games = registry.checkpoint_games()?;
+    let mut rendered = Vec::new();
+    for (game, doc) in &games {
+        match osp_server::decode_snapshot(doc)? {
+            GameState::Add(state) => {
+                let outcome = finish_add(state).map_err(|e| e.to_string())?;
+                if as_json {
+                    rendered.push(serde_json::json!({
+                        "game": *game,
+                        "mechanism": doc.mechanism_name(),
+                        "outcome": serde_json::to_value(&outcome).map_err(|e| e.to_string())?,
+                    }));
+                } else {
+                    println!("game {game} ({}):", doc.mechanism_name());
+                    render_add(0, &outcome);
+                }
+            }
+            GameState::Subst(state) => {
+                let outcome = finish_subst(state).map_err(|e| e.to_string())?;
+                if as_json {
+                    rendered.push(serde_json::json!({
+                        "game": *game,
+                        "mechanism": doc.mechanism_name(),
+                        "outcome": serde_json::to_value(&outcome).map_err(|e| e.to_string())?,
+                    }));
+                } else {
+                    println!("game {game} ({}):", doc.mechanism_name());
+                    render_subst(&outcome);
+                }
+            }
+        }
+    }
+    if as_json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&serde_json::Value::Array(rendered))
+                .map_err(|e| e.to_string())?
+        );
     }
     Ok(())
 }

@@ -32,16 +32,27 @@ fn usage() -> &'static str {
   osp serve [--shards <n>] [--queue-cap <n>]
             [--engine incremental|rebuild|columnar]
             [--socket <path>]
+            [--wal-dir <dir>] [--checkpoint-every <events>]
       Run the sharded multi-game pricing server. Speaks line-delimited
       JSON requests/responses on stdin/stdout, or on a Unix socket with
       --socket. Defaults: 4 shards, queue cap 1024, incremental engine.
+      --wal-dir makes the server durable: every state-changing request
+      is appended to a per-shard write-ahead log before it is answered,
+      and on startup (or after a shard crash) games are recovered from
+      the newest checkpoint plus log replay. --checkpoint-every N
+      additionally snapshots each shard's games every N logged events,
+      truncating its log (requires --wal-dir; default off).
   osp checkpoint <game.json> --out <state.json> [--at <slot>]
                  [--tiebreak lowest|random:<seed>]
       Run the game's state machine up to (not including) slot <slot>
       (default 1) and write the serialized state. Online kinds only.
-  osp resume <state.json> [--json]
+  osp resume [<state.json>] [--wal <segment.wal>] [--json]
       Load a checkpointed state, play out the remaining slots, and
-      print the final outcome.
+      print the final outcome. The file may be a single-game snapshot
+      (from `osp checkpoint` or the server's `snapshot` reply) or a
+      durable shard's checkpoint (shard-<k>.ckpt, auto-detected);
+      --wal replays that shard's log on top — or alone, with no
+      positional file.
   osp workloads
       List every registered workload source (the generators behind the
       perf, differential, and server-load harnesses) with its

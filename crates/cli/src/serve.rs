@@ -8,11 +8,13 @@
 //! a final `bye` carrying per-shard statistics.
 
 use std::io::{BufRead, Write};
+use std::path::PathBuf;
 use std::sync::mpsc::{channel, Sender};
 
 use osp_core::prelude::Engine;
 use osp_server::protocol::{Op, Reply, Request, Response};
-use osp_server::{ShardPool, DEFAULT_QUEUE_CAP, DEFAULT_SHARDS};
+use osp_server::wal::FaultPlan;
+use osp_server::{PoolConfig, ShardPool, DEFAULT_QUEUE_CAP, DEFAULT_SHARDS};
 
 /// Parsed `osp serve` flags.
 struct ServeConfig {
@@ -20,6 +22,8 @@ struct ServeConfig {
     queue_cap: usize,
     engine: Engine,
     socket: Option<String>,
+    wal_dir: Option<PathBuf>,
+    checkpoint_every: u64,
 }
 
 fn parse_args(args: &[String], usage: &str) -> Result<ServeConfig, String> {
@@ -28,6 +32,8 @@ fn parse_args(args: &[String], usage: &str) -> Result<ServeConfig, String> {
         queue_cap: DEFAULT_QUEUE_CAP,
         engine: Engine::Incremental,
         socket: None,
+        wal_dir: None,
+        checkpoint_every: 0,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -59,10 +65,38 @@ fn parse_args(args: &[String], usage: &str) -> Result<ServeConfig, String> {
                 let v = it.next().ok_or("--socket needs a path")?;
                 config.socket = Some(v.clone());
             }
+            "--wal-dir" => {
+                let v = it.next().ok_or("--wal-dir needs a directory")?;
+                config.wal_dir = Some(PathBuf::from(v));
+            }
+            "--checkpoint-every" => {
+                let v = it.next().ok_or("--checkpoint-every needs a value")?;
+                config.checkpoint_every = v
+                    .parse::<u64>()
+                    .map_err(|e| format!("bad --checkpoint-every `{v}`: {e}"))?;
+            }
             other => return Err(format!("unknown flag `{other}`\n{usage}")),
         }
     }
+    if config.checkpoint_every > 0 && config.wal_dir.is_none() {
+        return Err("--checkpoint-every needs --wal-dir".to_string());
+    }
     Ok(config)
+}
+
+/// Builds the pool: durable when `--wal-dir` is set (recovering any
+/// existing checkpoint + WAL on the way up), with the `OSP_FAULT`
+/// crash-injection hook honored for the recovery test harnesses.
+fn build_pool(config: &ServeConfig) -> Result<ShardPool, String> {
+    let fault = FaultPlan::from_env()?.map(std::sync::Arc::new);
+    ShardPool::with_config(PoolConfig {
+        shards: config.shards,
+        queue_cap: config.queue_cap,
+        engine: config.engine,
+        wal_dir: config.wal_dir.clone(),
+        checkpoint_every: config.checkpoint_every,
+        fault,
+    })
 }
 
 /// Entry point for `osp serve`.
@@ -129,7 +163,7 @@ fn write_line<W: Write>(output: &mut W, response: &Response) -> std::io::Result<
 }
 
 fn serve_pipe(config: &ServeConfig) -> Result<(), String> {
-    let pool = ShardPool::new(config.shards, config.queue_cap, config.engine);
+    let pool = build_pool(config)?;
     let stdin = std::io::stdin();
     let (shutdown_id, writer) = drive(&pool, stdin.lock(), std::io::stdout());
     // Drain the queues, answer everything in flight, then say goodbye.
@@ -150,11 +184,7 @@ fn serve_socket(config: &ServeConfig, path: &str) -> Result<(), String> {
     let _ = std::fs::remove_file(path);
     let listener =
         UnixListener::bind(path).map_err(|e| format!("cannot bind socket {path}: {e}"))?;
-    let mut pool = Some(ShardPool::new(
-        config.shards,
-        config.queue_cap,
-        config.engine,
-    ));
+    let mut pool = Some(build_pool(config)?);
     // The pool (and its games) outlives connections: clients connect,
     // trade some events, disconnect, and reconnect later. `shutdown`
     // from any client stops the server.

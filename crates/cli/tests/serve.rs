@@ -297,9 +297,143 @@ fn usage_mentions_every_subcommand() {
         "--socket",
         "--at",
         "--out",
+        "--wal-dir",
+        "--checkpoint-every",
+        "--wal",
     ] {
         assert!(usage.contains(flag), "usage lacks `{flag}`");
     }
+}
+
+/// Feeds `requests` (plus a shutdown) through one `osp serve` life and
+/// returns its responses minus the bye line, sorted by id.
+fn serve_once(extra_args: &[&str], requests: &[Request]) -> Vec<Response> {
+    let shutdown_id = 1_000_000u64;
+    let mut child = osp()
+        .args(
+            ["serve"]
+                .iter()
+                .chain(extra_args)
+                .copied()
+                .collect::<Vec<_>>(),
+        )
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn osp serve");
+    {
+        let stdin = child.stdin.as_mut().expect("piped stdin");
+        let mut feed = String::new();
+        for request in requests {
+            feed.push_str(&serde_json::to_string(request).unwrap());
+            feed.push('\n');
+        }
+        feed.push_str(
+            &serde_json::to_string(&Request {
+                id: shutdown_id,
+                op: osp_server::protocol::Op::Shutdown,
+            })
+            .unwrap(),
+        );
+        feed.push('\n');
+        stdin.write_all(feed.as_bytes()).expect("feed the trace");
+    }
+    let output = child.wait_with_output().expect("osp serve exits");
+    assert!(
+        output.status.success(),
+        "serve failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let mut responses: Vec<Response> = String::from_utf8(output.stdout)
+        .expect("utf-8 responses")
+        .lines()
+        .map(|line| serde_json::from_str(line).expect("each line parses"))
+        .collect();
+    let bye = responses.pop().expect("shutdown acknowledgement");
+    assert!(matches!(bye.reply, Reply::Bye { .. }), "{bye:?}");
+    responses.sort_by_key(|r| r.id);
+    responses
+}
+
+/// The durability satellite end-to-end: a `--wal-dir` server killed
+/// cleanly between two lives keeps its games — the second life
+/// snapshots them identically to a never-restarted oracle — and the
+/// on-disk checkpoint + log pair feeds `osp resume` offline.
+#[test]
+fn wal_dir_persists_games_across_server_restarts_and_feeds_resume() {
+    let dir = std::env::temp_dir().join(format!("osp-wal-e2e-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let dir_str = dir.to_str().unwrap();
+
+    let cfg = ScriptConfig::smoke(6);
+    let requests = script::generate(&cfg);
+    let oracle = script::oracle(&requests, Engine::Rebuild, 1);
+    let split = requests
+        .iter()
+        .position(|r| matches!(r.op, osp_server::protocol::Op::Snapshot { .. }))
+        .expect("trace ends with snapshots");
+
+    // First life: everything except the final snapshots. One shard so
+    // every game lands in shard-0.{wal,ckpt}; checkpoint every 8
+    // events so the pair on disk is checkpoint + log suffix, not one
+    // giant log.
+    let serve_args = [
+        "--shards",
+        "1",
+        "--wal-dir",
+        dir_str,
+        "--checkpoint-every",
+        "8",
+    ];
+    let first = serve_once(&serve_args, &requests[..split]);
+    assert_eq!(first.len(), split);
+    assert!(dir.join("shard-0.wal").exists(), "no WAL was written");
+    assert!(dir.join("shard-0.ckpt").exists(), "no checkpoint was cut");
+
+    // Second life on the same directory: nothing re-driven, yet every
+    // game snapshots to the oracle's outcome.
+    let second = serve_once(&serve_args, &requests[split..]);
+    assert_eq!(second.len(), requests.len() - split);
+    let mut compared = 0usize;
+    for (served, expected) in second.iter().zip(&oracle.responses[split..]) {
+        assert_eq!(served.id, expected.id);
+        match (&served.reply, &expected.reply) {
+            (Reply::Snapshot { game, doc }, Reply::Snapshot { game: g2, doc: d2 }) => {
+                assert_eq!(game, g2);
+                assert_eq!(outcome_of(doc), outcome_of(d2), "game {game}");
+                compared += 1;
+            }
+            _ => assert_eq!(served, expected),
+        }
+    }
+    assert_eq!(compared, cfg.games as usize);
+
+    // The same artifacts resume offline: checkpoint + WAL replay,
+    // every game played out to final prices.
+    let resume = osp()
+        .args([
+            "resume",
+            dir.join("shard-0.ckpt").to_str().unwrap(),
+            "--wal",
+            dir.join("shard-0.wal").to_str().unwrap(),
+            "--json",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        resume.status.success(),
+        "{}",
+        String::from_utf8_lossy(&resume.stderr)
+    );
+    let resumed: serde_json::Value =
+        serde_json::from_str(&String::from_utf8(resume.stdout).unwrap()).unwrap();
+    let serde_json::Value::Array(games) = resumed else {
+        panic!("resume --json should print an array");
+    };
+    assert_eq!(games.len(), cfg.games as usize, "resume missed games");
+
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

@@ -420,30 +420,45 @@ impl Registry {
         let Some(entry) = self.games.get(&game.0) else {
             return unknown_game(id, game);
         };
-        let doc = match &entry.state {
-            GameState::Add(state) => match serde_json::to_value(state) {
-                Ok(v) => SnapshotDoc {
-                    format_version: SNAPSHOT_VERSION,
-                    mechanism: entry.mechanism,
-                    addon: vec![v],
-                    subston: None,
-                },
-                Err(e) => return Response::error(id, "bad_snapshot", e),
+        match entry_doc(entry) {
+            Ok(doc) => Response {
+                id,
+                reply: Reply::Snapshot { game, doc },
             },
-            GameState::Subst(state) => match serde_json::to_value(state) {
-                Ok(v) => SnapshotDoc {
-                    format_version: SNAPSHOT_VERSION,
-                    mechanism: entry.mechanism,
-                    addon: Vec::new(),
-                    subston: Some(v),
-                },
-                Err(e) => return Response::error(id, "bad_snapshot", e),
-            },
-        };
-        Response {
-            id,
-            reply: Reply::Snapshot { game, doc },
+            Err(msg) => Response::error(id, "bad_snapshot", msg),
         }
+    }
+
+    /// Serializes every hosted game (sorted by id) as the same
+    /// [`SnapshotDoc`]s the wire `snapshot` operation returns — the
+    /// payload of a WAL checkpoint.
+    pub fn checkpoint_games(&self) -> Result<Vec<(u64, SnapshotDoc)>, String> {
+        let mut games: Vec<(u64, SnapshotDoc)> = self
+            .games
+            .iter()
+            .map(|(id, entry)| Ok((*id, entry_doc(entry)?)))
+            .collect::<Result<_, String>>()?;
+        games.sort_by_key(|(id, _)| *id);
+        Ok(games)
+    }
+
+    /// Installs a game decoded from a checkpoint document. Unlike the
+    /// wire `restore` operation this is infallible on id collisions by
+    /// construction (checkpoints hold each game once) — a collision is
+    /// reported as an error rather than a wire reply.
+    pub fn insert_restored(&mut self, game: u64, doc: &SnapshotDoc) -> Result<(), String> {
+        if self.games.contains_key(&game) {
+            return Err(format!("checkpoint restores game {game} twice"));
+        }
+        let state = decode_snapshot(doc)?;
+        self.games.insert(
+            game,
+            GameEntry {
+                mechanism: doc.mechanism,
+                state,
+            },
+        );
+        Ok(())
     }
 
     fn restore(&mut self, id: u64, game: GameId, doc: SnapshotDoc) -> Response {
@@ -469,6 +484,28 @@ impl Registry {
             }
             Err(msg) => Response::error(id, "bad_snapshot", msg),
         }
+    }
+}
+
+/// Serializes one hosted game as its wire/disk snapshot document.
+fn entry_doc(entry: &GameEntry) -> Result<SnapshotDoc, String> {
+    match &entry.state {
+        GameState::Add(state) => serde_json::to_value(state)
+            .map(|v| SnapshotDoc {
+                format_version: SNAPSHOT_VERSION,
+                mechanism: entry.mechanism,
+                addon: vec![v],
+                subston: None,
+            })
+            .map_err(|e| e.to_string()),
+        GameState::Subst(state) => serde_json::to_value(state)
+            .map(|v| SnapshotDoc {
+                format_version: SNAPSHOT_VERSION,
+                mechanism: entry.mechanism,
+                addon: Vec::new(),
+                subston: Some(v),
+            })
+            .map_err(|e| e.to_string()),
     }
 }
 

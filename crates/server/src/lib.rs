@@ -16,6 +16,11 @@
 //!   bounded queues with back-pressure and per-shard stats.
 //! - [`script`] — deterministic trace generation and a sequential
 //!   oracle for differential testing and load generation.
+//! - [`wal`] — per-shard write-ahead log + checkpoint durability:
+//!   every state-changing operation is logged before it is answered,
+//!   and a crashed shard recovers by checkpoint + log-suffix replay
+//!   ([`wal::ShardDurability`]), with crash injection for tests
+//!   ([`wal::FaultPlan`], `OSP_FAULT`).
 //!
 //! Transports (stdin/stdout pipe, Unix socket) live in `osp-cli`'s
 //! `serve` subcommand; the load harness lives in `osp-bench`.
@@ -24,10 +29,12 @@ pub mod game;
 pub mod protocol;
 pub mod script;
 pub mod shard;
+pub mod wal;
 
 pub use game::{decode_snapshot, FinalOutcome, GameEntry, GameState, Registry};
 pub use protocol::{
     by_id, error_code, money_to_decimal, GameId, Mechanism, Op, Reply, Request, Response,
     ShardStat, SnapshotDoc, SNAPSHOT_VERSION,
 };
-pub use shard::{shard_of, ShardPool, DEFAULT_QUEUE_CAP, DEFAULT_SHARDS};
+pub use shard::{shard_of, PoolConfig, ShardPool, SubmitRetry, DEFAULT_QUEUE_CAP, DEFAULT_SHARDS};
+pub use wal::{FaultKind, FaultPlan, ShardCheckpoint, WalRecord};

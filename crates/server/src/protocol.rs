@@ -351,6 +351,11 @@ pub struct ShardStat {
     pub events: u64,
     /// Envelopes currently queued for the shard.
     pub queue_depth: u64,
+    /// Times the shard's worker panicked and rebuilt its registry.
+    /// While a rebuild is in flight, requests to the shard answer with
+    /// the retryable `shard_recovering` error code instead of hanging.
+    #[serde(default)]
+    pub recoveries: u64,
 }
 
 /// The stable wire code for a mechanism error.

@@ -10,9 +10,19 @@
 //! queued before reporting disconnection, so dropping the senders is a
 //! *graceful* shutdown: workers drain their queues, answer every
 //! in-flight request, then exit.
+//!
+//! Failure containment: every event is handled under `catch_unwind`,
+//! so a panicking mechanism (or an injected fault) degrades exactly
+//! one shard instead of the pool. The panicked worker answers its
+//! in-flight and queued requests with the retryable `shard_recovering`
+//! error, rebuilds its registry — from checkpoint + WAL replay when
+//! the pool is durable ([`PoolConfig::wal_dir`]), from scratch
+//! otherwise — and resumes serving. Other shards never notice.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{sync_channel, Sender, SyncSender};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Sender, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -20,6 +30,7 @@ use osp_core::prelude::Engine;
 
 use crate::game::Registry;
 use crate::protocol::{GameId, Op, Reply, Request, Response, ShardStat};
+use crate::wal::{self, FaultPlan, ShardDurability};
 
 /// Default worker count for transports that don't specify one.
 pub const DEFAULT_SHARDS: usize = 4;
@@ -38,6 +49,42 @@ pub fn shard_of(game: GameId, shards: usize) -> usize {
     ((hashed >> 32) % shards.max(1) as u64) as usize
 }
 
+/// Everything a [`ShardPool`] can be configured with.
+pub struct PoolConfig {
+    /// Worker count (clamped to at least 1).
+    pub shards: usize,
+    /// Per-shard queue bound in envelopes (clamped to at least 1).
+    pub queue_cap: usize,
+    /// Default Shapley engine for hosted games.
+    pub engine: Engine,
+    /// Directory for per-shard WAL segments and checkpoints. `None`
+    /// runs the pool in-memory (the pre-durability behavior): a
+    /// panicked shard recovers *empty*, forfeiting its games.
+    pub wal_dir: Option<PathBuf>,
+    /// Checkpoint a shard after this many logged events (0 = never;
+    /// the WAL then grows until shutdown). Ignored without `wal_dir`.
+    pub checkpoint_every: u64,
+    /// Crash-injection plan shared by every worker (tests, and the
+    /// `OSP_FAULT` environment variable via `osp serve`).
+    pub fault: Option<Arc<FaultPlan>>,
+}
+
+impl PoolConfig {
+    /// An in-memory pool: `shards` workers defaulting to `engine`,
+    /// queues bounded at `queue_cap`, no durability, no faults.
+    #[must_use]
+    pub fn in_memory(shards: usize, queue_cap: usize, engine: Engine) -> Self {
+        PoolConfig {
+            shards,
+            queue_cap,
+            engine,
+            wal_dir: None,
+            checkpoint_every: 0,
+            fault: None,
+        }
+    }
+}
+
 struct Envelope {
     id: u64,
     op: Op,
@@ -49,6 +96,38 @@ struct ShardCounters {
     queued: AtomicU64,
     events: AtomicU64,
     games: AtomicU64,
+    recoveries: AtomicU64,
+    recovering: AtomicBool,
+}
+
+impl ShardCounters {
+    fn stat(&self, index: usize) -> ShardStat {
+        ShardStat {
+            shard: index as u32,
+            games: self.games.load(Ordering::Relaxed),
+            events: self.events.load(Ordering::Relaxed),
+            queue_depth: self.queued.load(Ordering::Relaxed),
+            recoveries: self.recoveries.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Why [`ShardPool::try_submit`] handed a request back instead of
+/// enqueuing it. Both are transient: retry after a backoff.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitRetry {
+    /// The owning shard's bounded queue is full (back-pressure).
+    QueueFull,
+    /// The owning shard panicked and is rebuilding its registry.
+    Recovering,
+}
+
+fn recovering_error(id: u64, shard: usize) -> Response {
+    Response::error(
+        id,
+        "shard_recovering",
+        format!("shard {shard} is rebuilding after a crash; retry shortly"),
+    )
 }
 
 /// A running pool of shard workers.
@@ -60,48 +139,129 @@ pub struct ShardPool {
 }
 
 impl ShardPool {
-    /// Spawns `shards` workers whose games default to `engine`, each
-    /// behind a queue bounded at `queue_cap` envelopes.
+    /// Spawns an in-memory pool of `shards` workers whose games
+    /// default to `engine`, each behind a queue bounded at `queue_cap`
+    /// envelopes.
     #[must_use]
     pub fn new(shards: usize, queue_cap: usize, engine: Engine) -> Self {
-        let shards = shards.max(1);
-        let queue_cap = queue_cap.max(1);
+        Self::with_config(PoolConfig::in_memory(shards, queue_cap, engine))
+            .expect("an in-memory pool opens no files and cannot fail")
+    }
+
+    /// Spawns a pool from a full [`PoolConfig`]. When
+    /// [`PoolConfig::wal_dir`] is set, each shard recovers its
+    /// registry (checkpoint + WAL replay) before serving; recovery
+    /// errors — an unreadable directory, a corrupt checkpoint — fail
+    /// construction instead of silently starting empty.
+    pub fn with_config(config: PoolConfig) -> Result<Self, String> {
+        let shards = config.shards.max(1);
+        let queue_cap = config.queue_cap.max(1);
+        let engine = config.engine;
         let mut senders = Vec::with_capacity(shards);
         let mut counters = Vec::with_capacity(shards);
         let mut handles = Vec::with_capacity(shards);
         for index in 0..shards {
+            let recovered = match &config.wal_dir {
+                Some(dir) => Some(ShardDurability::open(
+                    dir,
+                    index,
+                    config.checkpoint_every,
+                    config.fault.clone(),
+                    engine,
+                    shards,
+                )?),
+                None => None,
+            };
             let (tx, rx) = sync_channel::<Envelope>(queue_cap);
             let stats = Arc::new(ShardCounters::default());
             let worker_stats = Arc::clone(&stats);
             let handle = std::thread::Builder::new()
                 .name(format!("osp-shard-{index}"))
                 .spawn(move || {
-                    let mut registry = Registry::new(engine, shards);
+                    let (mut durability, mut registry) = match recovered {
+                        Some((durability, registry)) => (Some(durability), registry),
+                        None => (None, Registry::new(engine, shards)),
+                    };
+                    worker_stats
+                        .games
+                        .store(registry.len() as u64, Ordering::Relaxed);
                     // `for` over a Receiver drains every queued
                     // envelope before the disconnect ends the loop.
-                    for envelope in rx {
+                    for envelope in &rx {
                         worker_stats.queued.fetch_sub(1, Ordering::Relaxed);
-                        let response = registry.handle(envelope.id, envelope.op);
-                        worker_stats.events.fetch_add(1, Ordering::Relaxed);
-                        worker_stats
-                            .games
-                            .store(registry.len() as u64, Ordering::Relaxed);
-                        // A caller that hung up just doesn't get the
-                        // reply; the game state already advanced.
-                        let _ = envelope.reply.send(response);
+                        let Envelope { id, op, reply } = envelope;
+                        let handled = catch_unwind(AssertUnwindSafe(|| {
+                            if let Some(d) = durability.as_mut() {
+                                if wal::is_logged(&op) {
+                                    d.append(id, &op).expect("wal append");
+                                }
+                            }
+                            let response = registry.handle(id, op);
+                            if let Some(d) = durability.as_mut() {
+                                d.maybe_checkpoint(&registry).expect("wal checkpoint");
+                            }
+                            response
+                        }));
+                        match handled {
+                            Ok(response) => {
+                                worker_stats.events.fetch_add(1, Ordering::Relaxed);
+                                worker_stats
+                                    .games
+                                    .store(registry.len() as u64, Ordering::Relaxed);
+                                // A caller that hung up just doesn't
+                                // get the reply; the game state
+                                // already advanced.
+                                let _ = reply.send(response);
+                            }
+                            Err(_) => {
+                                // The shard is poisoned: flag it so
+                                // new submissions fail fast, answer
+                                // the in-flight request and the whole
+                                // backlog with the retryable code,
+                                // then rebuild from disk.
+                                worker_stats.recovering.store(true, Ordering::SeqCst);
+                                worker_stats.recoveries.fetch_add(1, Ordering::Relaxed);
+                                let _ = reply.send(recovering_error(id, index));
+                                while let Ok(backlog) = rx.try_recv() {
+                                    worker_stats.queued.fetch_sub(1, Ordering::Relaxed);
+                                    let _ = backlog.reply.send(recovering_error(backlog.id, index));
+                                }
+                                registry = match durability.as_mut() {
+                                    Some(d) => match d.recover(engine, shards) {
+                                        Ok(registry) => registry,
+                                        Err(e) => {
+                                            // Disk gone bad mid-run:
+                                            // keep serving, but
+                                            // in-memory only.
+                                            eprintln!(
+                                                "osp-server: shard {index}: recovery failed \
+                                                 ({e}); continuing without durability"
+                                            );
+                                            durability = None;
+                                            Registry::new(engine, shards)
+                                        }
+                                    },
+                                    None => Registry::new(engine, shards),
+                                };
+                                worker_stats
+                                    .games
+                                    .store(registry.len() as u64, Ordering::Relaxed);
+                                worker_stats.recovering.store(false, Ordering::SeqCst);
+                            }
+                        }
                     }
                 })
-                .expect("spawning a shard worker");
+                .map_err(|e| format!("spawning shard worker {index}: {e}"))?;
             senders.push(tx);
             counters.push(stats);
             handles.push(handle);
         }
-        ShardPool {
+        Ok(ShardPool {
             shards,
             senders,
             counters,
             handles,
-        }
+        })
     }
 
     /// Number of shard workers.
@@ -113,16 +273,22 @@ impl ShardPool {
     /// Routes one request; its response arrives on `reply`.
     ///
     /// Game-addressed operations enqueue onto the owning shard,
-    /// blocking while that shard's queue is full (back-pressure).
-    /// `stats` is answered inline from the shared counters. `shutdown`
-    /// cannot be answered here — only the transport can drain and join
-    /// the pool — so it gets a `protocol` error; transports intercept
-    /// it before routing.
+    /// blocking while that shard's queue is full (back-pressure). A
+    /// shard mid-recovery answers immediately with the retryable
+    /// `shard_recovering` error instead of queueing behind the
+    /// rebuild. `stats` is answered inline from the shared counters.
+    /// `shutdown` cannot be answered here — only the transport can
+    /// drain and join the pool — so it gets a `protocol` error;
+    /// transports intercept it before routing.
     pub fn submit(&self, request: Request, reply: &Sender<Response>) {
         let Request { id, op } = request;
         let response = match op.game() {
             Some(game) => {
                 let shard = shard_of(game, self.shards);
+                if self.counters[shard].recovering.load(Ordering::SeqCst) {
+                    let _ = reply.send(recovering_error(id, shard));
+                    return;
+                }
                 self.counters[shard].queued.fetch_add(1, Ordering::Relaxed);
                 match self.senders[shard].send(Envelope {
                     id,
@@ -136,22 +302,79 @@ impl ShardPool {
                     }
                 }
             }
-            None => match op {
-                Op::Stats => Response {
-                    id,
-                    reply: Reply::Stats {
-                        shards: self.stats(),
-                    },
-                },
-                _ => Response::error(
-                    id,
-                    "protocol",
-                    "shutdown is handled by the transport; close the connection or \
-                     let the driver call ShardPool::shutdown",
-                ),
-            },
+            None => self.inline_response(id, &op),
         };
         let _ = reply.send(response);
+    }
+
+    /// Non-blocking [`ShardPool::submit`]: instead of blocking on a
+    /// full queue (or failing a recovering shard's request over the
+    /// reply channel), hands the request back with the retryable
+    /// reason so the caller can back off and retry. Terminal outcomes
+    /// (enqueued, answered inline, shard permanently down) return
+    /// `Ok(())`.
+    pub fn try_submit(
+        &self,
+        request: Request,
+        reply: &Sender<Response>,
+    ) -> Result<(), (Request, SubmitRetry)> {
+        let Request { id, op } = request;
+        match op.game() {
+            Some(game) => {
+                let shard = shard_of(game, self.shards);
+                if self.counters[shard].recovering.load(Ordering::SeqCst) {
+                    return Err((Request { id, op }, SubmitRetry::Recovering));
+                }
+                self.counters[shard].queued.fetch_add(1, Ordering::Relaxed);
+                match self.senders[shard].try_send(Envelope {
+                    id,
+                    op,
+                    reply: reply.clone(),
+                }) {
+                    Ok(()) => Ok(()),
+                    Err(TrySendError::Full(envelope)) => {
+                        self.counters[shard].queued.fetch_sub(1, Ordering::Relaxed);
+                        Err((
+                            Request {
+                                id: envelope.id,
+                                op: envelope.op,
+                            },
+                            SubmitRetry::QueueFull,
+                        ))
+                    }
+                    Err(TrySendError::Disconnected(envelope)) => {
+                        self.counters[shard].queued.fetch_sub(1, Ordering::Relaxed);
+                        let _ = reply.send(Response::error(
+                            envelope.id,
+                            "shard_down",
+                            format!("shard {shard} has exited"),
+                        ));
+                        Ok(())
+                    }
+                }
+            }
+            None => {
+                let _ = reply.send(self.inline_response(id, &op));
+                Ok(())
+            }
+        }
+    }
+
+    fn inline_response(&self, id: u64, op: &Op) -> Response {
+        match op {
+            Op::Stats => Response {
+                id,
+                reply: Reply::Stats {
+                    shards: self.stats(),
+                },
+            },
+            _ => Response::error(
+                id,
+                "protocol",
+                "shutdown is handled by the transport; close the connection or \
+                 let the driver call ShardPool::shutdown",
+            ),
+        }
     }
 
     /// Submits one request and blocks for its response.
@@ -168,12 +391,7 @@ impl ShardPool {
         self.counters
             .iter()
             .enumerate()
-            .map(|(index, c)| ShardStat {
-                shard: index as u32,
-                games: c.games.load(Ordering::Relaxed),
-                events: c.events.load(Ordering::Relaxed),
-                queue_depth: c.queued.load(Ordering::Relaxed),
-            })
+            .map(|(index, c)| c.stat(index))
             .collect()
     }
 
@@ -195,12 +413,7 @@ impl ShardPool {
         counters
             .iter()
             .enumerate()
-            .map(|(index, c)| ShardStat {
-                shard: index as u32,
-                games: c.games.load(Ordering::Relaxed),
-                events: c.events.load(Ordering::Relaxed),
-                queue_depth: c.queued.load(Ordering::Relaxed),
-            })
+            .map(|(index, c)| c.stat(index))
             .collect()
     }
 }
