@@ -8,8 +8,10 @@
 //! guard: it generates randomized *long-horizon* games —
 //! arrive/revise/expire/reject interleavings, 1–16 optimizations,
 //! adversarial bid series (zero-value tails, zero-head spikes,
-//! long-lived constants) — and drives each game through **all three**
-//! [`Engine`]s simultaneously, slot by slot:
+//! long-lived constants) — and drives each game through **all four**
+//! [`Engine`]s simultaneously, slot by slot (the pipelined engine with
+//! its fork threshold pinned to zero, so the two-thread ingest/price
+//! handoff really runs even on these small games):
 //!
 //! * every client operation (submit / revise) must succeed on every
 //!   engine or fail on every engine with the *same* typed error;
@@ -32,15 +34,42 @@ use osp_core::prelude::*;
 use osp_workload::source::Trace;
 
 /// The engine roster every differential game drives in lockstep: the
-/// scalar incremental solver, the paper-literal rebuild oracle, and
-/// the columnar i64-lane fast path.
-pub const ENGINES: [Engine; 3] = [Engine::Incremental, Engine::Rebuild, Engine::Columnar];
+/// scalar incremental solver, the paper-literal rebuild oracle, the
+/// columnar i64-lane fast path, and the staged slot pipeline.
+pub const ENGINES: [Engine; 4] = [
+    Engine::Incremental,
+    Engine::Rebuild,
+    Engine::Columnar,
+    Engine::Pipelined,
+];
 
 fn engine_label(engine: Engine) -> &'static str {
     match engine {
         Engine::Incremental => "incremental",
         Engine::Rebuild => "rebuild",
         Engine::Columnar => "columnar",
+        Engine::Pipelined => "pipelined",
+    }
+}
+
+/// Pins the pipelined state's fork threshold to zero so the
+/// differential games — far smaller than the natural threshold —
+/// exercise the real two-thread ingest/price handoff, not just the
+/// sequential fallback. (`states` is indexed like [`ENGINES`].)
+fn force_pipeline_fork_addon(states: &mut [AddOnState]) {
+    for (state, &engine) in states.iter_mut().zip(ENGINES.iter()) {
+        if engine.pipelined() {
+            state.set_fork_min(Some(0));
+        }
+    }
+}
+
+/// [`force_pipeline_fork_addon`] for the SubstOn roster.
+fn force_pipeline_fork_subston(states: &mut [SubstOnState]) {
+    for (state, &engine) in states.iter_mut().zip(ENGINES.iter()) {
+        if engine.pipelined() {
+            state.set_fork_min(Some(0));
+        }
     }
 }
 
@@ -167,6 +196,7 @@ pub fn addon_differential(cfg: &AddOnDiffConfig) -> Result<(AddOnOutcome, OpMix)
         .map(|&engine| AddOnState::with_engine(cost, cfg.horizon, engine))
         .collect::<Result<Vec<_>, _>>()
         .map_err(|e| format!("constructor failed: {e}"))?;
+    force_pipeline_fork_addon(&mut states);
 
     let mut mix = OpMix::default();
     let mut next_user = 0u32;
@@ -310,6 +340,7 @@ pub fn subston_differential(cfg: &SubstOnDiffConfig) -> Result<(SubstOnOutcome, 
         .map(|&engine| SubstOnState::with_engine(costs.clone(), cfg.horizon, cfg.tiebreak, engine))
         .collect::<Result<Vec<_>, _>>()
         .map_err(|e| format!("constructor failed: {e}"))?;
+    force_pipeline_fork_subston(&mut states);
 
     let mut mix = OpMix::default();
     let mut next_user = 0u32;
@@ -414,6 +445,7 @@ pub fn trace_differential(trace: &Trace, tiebreak: TieBreak) -> Result<(), Strin
                 .map(|&engine| AddOnState::with_engine(scenario.cost, scenario.horizon, engine))
                 .collect::<Result<Vec<_>, _>>()
                 .map_err(|e| format!("constructor failed: {e}"))?;
+            force_pipeline_fork_addon(&mut states);
             let mut arrivals = scenario.users.iter().peekable();
             let mut revs = revisions.iter().peekable();
             for now in 1..=scenario.horizon {
@@ -473,6 +505,7 @@ pub fn trace_differential(trace: &Trace, tiebreak: TieBreak) -> Result<(), Strin
                 })
                 .collect::<Result<Vec<_>, _>>()
                 .map_err(|e| format!("constructor failed: {e}"))?;
+            force_pipeline_fork_subston(&mut states);
             let mut arrivals = scenario.users.iter().peekable();
             for now in 1..=scenario.horizon {
                 while let Some(spec) = arrivals.next_if(|u| u.series.start().index() <= now) {

@@ -225,6 +225,44 @@ pub fn replay(trace: &[Request], shards: usize, queue_cap: usize) -> LoadResult 
 /// measured costing >2× throughput on saturated subst traces — while
 /// a recovering shard (which is replaying a log, a millisecond-scale
 /// affair) backs off with sleeps doubling from 50µs to a 2ms cap.
+/// Holds successive [`ShardStat`] snapshots to the consistency
+/// contract documented on the type: `events` and `recoveries` are
+/// monotone non-decreasing per shard (each is only ever incremented),
+/// even though a single snapshot's *cross*-counter view may be torn.
+/// The load harness polls mid-replay, so a regression to
+/// non-monotone counters (e.g. a reset on recovery) fails here under
+/// real concurrency instead of surviving until an operator notices.
+fn assert_stats_monotone(prev: &[ShardStat], next: &[ShardStat]) {
+    assert_eq!(prev.len(), next.len(), "shard count changed mid-replay");
+    for (p, n) in prev.iter().zip(next) {
+        assert_eq!(p.shard, n.shard, "shard order changed mid-replay");
+        assert!(
+            n.events >= p.events,
+            "shard {} events went backwards: {} -> {}",
+            p.shard,
+            p.events,
+            n.events
+        );
+        assert!(
+            n.recoveries >= p.recoveries,
+            "shard {} recoveries went backwards: {} -> {}",
+            p.shard,
+            p.recoveries,
+            n.recoveries
+        );
+    }
+}
+
+/// Poll cadence (in submitted requests) of the mid-replay stats
+/// probes [`assert_stats_monotone`] checks. Atomic loads are cheap,
+/// but the replay loop is itself the measured benchmark hot path, so
+/// probe sparsely.
+const STATS_PROBE_EVERY: usize = 1_024;
+
+/// Replays `trace` against `pool` at full speed — a response-collector
+/// thread drains replies while the caller thread submits — asserting
+/// the relaxed-counter monotonicity invariants every
+/// [`STATS_PROBE_EVERY`] requests along the way.
 #[must_use]
 pub fn replay_with(pool: ShardPool, trace: &[Request]) -> LoadResult {
     const YIELDS: u32 = 8;
@@ -243,7 +281,13 @@ pub fn replay_with(pool: ShardPool, trace: &[Request]) -> LoadResult {
     });
     let start = Instant::now();
     let mut retries = 0u64;
-    for request in trace {
+    let mut last_stats = pool.stats();
+    for (submitted, request) in trace.iter().enumerate() {
+        if submitted % STATS_PROBE_EVERY == 0 {
+            let probe = pool.stats();
+            assert_stats_monotone(&last_stats, &probe);
+            last_stats = probe;
+        }
         let mut pending = request.clone();
         let mut attempt = 0u32;
         loop {
@@ -265,6 +309,7 @@ pub fn replay_with(pool: ShardPool, trace: &[Request]) -> LoadResult {
         }
     }
     let stats = pool.shutdown();
+    assert_stats_monotone(&last_stats, &stats);
     let elapsed = start.elapsed().as_secs_f64();
     drop(tx);
     let (answered, errors) = collector.join().expect("collector thread");

@@ -58,6 +58,7 @@ fn parse_args(args: &[String], usage: &str) -> Result<ServeConfig, String> {
                     "incremental" => Engine::Incremental,
                     "rebuild" => Engine::Rebuild,
                     "columnar" => Engine::Columnar,
+                    "pipelined" => Engine::Pipelined,
                     other => return Err(format!("unknown engine `{other}`")),
                 };
             }

@@ -14,12 +14,14 @@
 //! bids are rejected — and [`run`] drives it end-to-end for batch
 //! experiments.
 //!
-//! Three [`Engine`]s drive the per-slot Shapley computation: the
+//! Four [`Engine`]s drive the per-slot Shapley computation: the
 //! default [`Engine::Incremental`] keeps one [`crate::shapley::Solver`]
 //! alive across slots (bids stay sorted, committing a slot's serviced
 //! cohort is O(1), arrivals/expiries are indexed by slot);
 //! [`Engine::Columnar`] is the same solver with its i64 micro-lane
-//! fast path enabled; and [`Engine::Rebuild`] re-runs
+//! fast path enabled; [`Engine::Pipelined`] additionally overlaps slot
+//! `t`'s pricing with slot `t+1`'s ingestion on a second thread
+//! ([`crate::pipeline`]); and [`Engine::Rebuild`] re-runs
 //! [`crate::shapley::run`] on a freshly built bid map every slot — the
 //! paper-literal baseline. Outcomes are identical (property-tested and
 //! gated by the differential oracle); only the cost profile differs.
@@ -67,7 +69,207 @@ use osp_econ::{
 
 use crate::error::{MechanismError, Result};
 use crate::game::{AddOnGame, OnlineBid};
+use crate::pipeline;
 use crate::shapley::{self, Engine, ShapleyBid, Solver};
+
+/// Slot `slot`'s pre-computed ingest, assembled by the pipeline's
+/// stage A while slot `slot - 1` was being priced: the full sorted
+/// `(value, lane, user)` update batch the solver will splice in, plus
+/// the pre-summed residual seeds for the arrivals known at preparation
+/// time. The batch is snapshotted while the overlapped pricing may
+/// still be committing users; `Solver::replace_finite_merge` filters
+/// those (and this slot's retirees) off the `states` map at consume
+/// time.
+#[derive(Debug, Clone, Default)]
+struct PipelinePrepared {
+    slot: u32,
+    batch: Vec<(Money, i64, UserId)>,
+    seeds: Vec<(UserId, Money)>,
+}
+
+/// [`Engine::Pipelined`]-only scratch: the armed next-slot ingest, the
+/// fork threshold override (tests pin it to `Some(0)` to force the
+/// two-thread path on tiny games), the spent snapshot buffer (recycled
+/// so steady-state slots reallocate nothing), and the persistent
+/// stage-A worker thread.
+#[derive(Debug, Clone, Default)]
+struct PipelineScratch {
+    prepared: Option<PipelinePrepared>,
+    fork_min: Option<usize>,
+    spare: Vec<(Money, i64, UserId)>,
+    worker: pipeline::Worker<IngestJob, IngestDone>,
+}
+
+/// Everything the pipeline's stage A needs, **moved** to the worker
+/// thread for the duration of the overlapped pricing and moved back in
+/// [`IngestDone`]. Stage B never touches these fields (it reads only
+/// the solver, the expiry row, and the prepared snapshot), so shipping
+/// them by value is free — three pointers' worth of memcpy — and keeps
+/// the handoff borrow-free.
+struct IngestJob {
+    residuals: ResidualTracker,
+    bids: FastMap<UserId, SlotSeries>,
+    starts: Vec<Vec<UserId>>,
+    arm: bool,
+    t: SlotId,
+    next: u32,
+    spare: Vec<(Money, i64, UserId)>,
+}
+
+/// The moved state coming home after stage A, plus the armed snapshot.
+struct IngestDone {
+    residuals: ResidualTracker,
+    bids: FastMap<UserId, SlotSeries>,
+    starts: Vec<Vec<UserId>>,
+    prepared: Option<PipelinePrepared>,
+}
+
+/// The stage-A job body (a plain `fn`, as [`pipeline::Worker`]
+/// requires).
+fn run_ingest(job: IngestJob) -> IngestDone {
+    let IngestJob {
+        mut residuals,
+        bids,
+        starts,
+        arm,
+        t,
+        next,
+        spare,
+    } = job;
+    let prepared = ingest_stage(&mut residuals, &bids, &starts, arm, t, next, spare);
+    IngestDone {
+        residuals,
+        bids,
+        starts,
+        prepared,
+    }
+}
+
+/// The least common multiple of every batch value's (reduced)
+/// denominator, iff it and every numerator scaled to it fit `i128`.
+/// `Some((scale, fits_i64))` certifies that `numer * (scale / denom)`
+/// is an exact integer image of each value — equal scaling by a
+/// positive constant — so sorting by those keys equals sorting by the
+/// rationals themselves; `fits_i64` additionally promises every key
+/// fits the narrower `i64`.
+fn common_scale(batch: &[(Money, i64, UserId)]) -> Option<(i128, bool)> {
+    fn gcd(mut a: i128, mut b: i128) -> i128 {
+        while b != 0 {
+            (a, b) = (b, a % b);
+        }
+        a
+    }
+    let mut scale: i128 = 1;
+    for &(v, _, _) in batch {
+        let den = v.as_ratio().denom();
+        scale = (scale / gcd(scale, den)).checked_mul(den)?;
+    }
+    let mut narrow = true;
+    for &(v, _, _) in batch {
+        let r = v.as_ratio();
+        let key = r.numer().checked_mul(scale / r.denom())?;
+        narrow &= i64::try_from(key).is_ok();
+    }
+    Some((scale, narrow))
+}
+
+/// The pipeline's stage A, also the tail of every sequential solver
+/// slot: retire slot `t` from the running residuals (restoring the
+/// invariant `residuals[u] = residual_from(now)` for the next slot)
+/// and, when `arm` is set, snapshot the sorted update batch and
+/// arrival seeds slot `next` will splice in. Users the overlapped
+/// stage B is committing are still tracked here; they are filtered off
+/// the solver's `states` map when the batch is consumed.
+fn ingest_stage(
+    residuals: &mut ResidualTracker,
+    bids: &FastMap<UserId, SlotSeries>,
+    starts: &[Vec<UserId>],
+    arm: bool,
+    t: SlotId,
+    next: u32,
+    mut batch: Vec<(Money, i64, UserId)>,
+) -> Option<PipelinePrepared> {
+    residuals.advance(t, |u| &bids[&u]);
+    if !arm {
+        return None;
+    }
+    batch.clear();
+    batch.extend(residuals.iter().map(|(u, r)| (r, shapley::lane_of(r), u)));
+    // Residual values are exact rationals, and comparing two of them
+    // costs a 128-bit cross-multiply whenever their denominators differ
+    // — on off-grid traces that makes this sort the whole slot's
+    // bottleneck. Scaling every value to the batch's common denominator
+    // yields exact integer keys instead, computed once per element; the
+    // rational comparator stays as the fallback when the lcm (or a
+    // scaled numerator) would overflow, and both produce the identical
+    // order.
+    match common_scale(&batch) {
+        Some((scale, true)) => batch.sort_by_cached_key(|&(v, _, u)| {
+            let r = v.as_ratio();
+            let key = r.numer() * (scale / r.denom());
+            let key = i64::try_from(key).expect("common_scale certified i64 keys");
+            std::cmp::Reverse((key, u))
+        }),
+        Some((scale, false)) => batch.sort_by_cached_key(|&(v, _, u)| {
+            let r = v.as_ratio();
+            std::cmp::Reverse((r.numer() * (scale / r.denom()), u))
+        }),
+        None => batch.sort_unstable_by_key(|&(v, _, u)| std::cmp::Reverse((v, u))),
+    }
+    let seeds: Vec<(UserId, Money)> = starts[next as usize]
+        .iter()
+        .map(|&u| (u, bids[&u].residual_from(SlotId(next))))
+        .collect();
+    Some(PipelinePrepared {
+        slot: next,
+        batch,
+        seeds,
+    })
+}
+
+/// The pipeline's stage B tail, also the middle of every sequential
+/// solver slot: solve slot `t`, commit the serviced prefix, and collect
+/// the expiring committed users who pay this slot (lines 13–19).
+fn price_slot(
+    solver: &mut Solver,
+    expiring: &[UserId],
+) -> (Option<Money>, Vec<UserId>, Vec<UserId>) {
+    let sol = solver.solve();
+    let share = sol.share;
+    let newly: Vec<UserId> = solver.serviced_finite(&sol).to_vec();
+    solver.commit_top(sol.serviced_finite);
+    // Lines 15–19: users pay when their bid expires, at the share of
+    // this slot's (grown) cumulative set.
+    let payers: Vec<UserId> = expiring
+        .iter()
+        .copied()
+        .filter(|&u| solver.bid(u) == Some(ShapleyBid::Committed))
+        .collect();
+    (share, newly, payers)
+}
+
+mod pipeline_serde {
+    //! The pipeline scratch is pure rebuildable cache: checkpoints
+    //! store `null` and a resumed game prices its first slot on the
+    //! sequential path (which is bit-identical), re-arming the
+    //! pipeline as it goes — outcomes are unchanged.
+    use super::PipelineScratch;
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+    pub(super) fn serialize<S: Serializer>(
+        _: &PipelineScratch,
+        serializer: S,
+    ) -> Result<S::Ok, S::Error> {
+        None::<u8>.serialize(serializer)
+    }
+
+    pub(super) fn deserialize<'de, D: Deserializer<'de>>(
+        deserializer: D,
+    ) -> Result<PipelineScratch, D::Error> {
+        Option::<u8>::deserialize(deserializer)?;
+        Ok(PipelineScratch::default())
+    }
+}
 
 /// What happened in one slot.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -132,6 +334,10 @@ pub struct AddOnState {
     first_log: Vec<(UserId, SlotId)>,
     /// Deferred `(user, exit payment)` pairs (incremental only).
     pay_log: Vec<(UserId, Money)>,
+    /// [`Engine::Pipelined`] only: next slot's pre-computed ingest
+    /// (armed by the overlap stage, invalidated by [`Self::revise`]).
+    #[serde(with = "pipeline_serde")]
+    pipeline: PipelineScratch,
 }
 
 impl AddOnState {
@@ -168,7 +374,18 @@ impl AddOnState {
             expiries: vec![Vec::new(); slots],
             first_log: Vec::new(),
             pay_log: Vec::new(),
+            pipeline: PipelineScratch::default(),
         })
+    }
+
+    /// Overrides the minimum slot size at which [`Engine::Pipelined`]
+    /// forks its ingest stage onto a second thread (`None` restores
+    /// [`pipeline::DEFAULT_FORK_MIN`]). `Some(0)` forces the fork on
+    /// every slot — the stress tests use this to hammer the handoff on
+    /// games far too small to fork naturally.
+    #[doc(hidden)]
+    pub fn set_fork_min(&mut self, fork_min: Option<usize>) {
+        self.pipeline.fork_min = fork_min;
     }
 
     /// The slot about to be processed.
@@ -339,6 +556,12 @@ impl AddOnState {
             self.residuals
                 .reset(user, &self.bids[&user], SlotId(self.now));
         }
+        // A revision changes a series the pipeline may have already
+        // snapshotted (her batch value, or her arrival seed); drop the
+        // prepared ingest and let the next slot take the sequential
+        // path. Plain submits never invalidate — `starts[]` is
+        // append-only, so prepared seeds stay a valid prefix.
+        self.pipeline.prepared = None;
         Ok(())
     }
 
@@ -389,8 +612,8 @@ impl AddOnState {
         // serviced: their residual is zero from here on, and a zero bid
         // can never clear a positive share (§4.1), so dropping them
         // entirely leaves every future outcome unchanged.
+        let mut retired: Vec<UserId> = Vec::new();
         if self.now > 1 {
-            let mut retired: Vec<UserId> = Vec::new();
             for i in 0..self.expiries[self.now as usize - 1].len() {
                 let u = self.expiries[self.now as usize - 1][i];
                 if self.pending.remove(&u) {
@@ -399,58 +622,151 @@ impl AddOnState {
                 }
             }
             // One compaction pass over the solver columns instead of
-            // O(retired · finite) per-user Vec::removes.
-            self.solver.remove_bids(retired);
+            // O(retired · finite) per-user Vec::removes. Kept even when
+            // a prepared batch is about to replace the finite region:
+            // it is what erases the retirees' `states` entries.
+            self.solver.remove_bids(retired.iter().copied());
         }
         // Lines 3–11: reveal bids whose series starts now. Unseen users
         // (`s_i > t`) are skipped entirely rather than materialized as
         // zero bids — same outcome, no per-slot O(m) sweep. Arrivals
         // seed their running residual (their one full suffix sum).
         let arrived = std::mem::take(&mut self.starts[self.now as usize]);
-        for &u in &arrived {
-            self.residuals.insert(u, &self.bids[&u], t);
-        }
-        self.pending.extend(arrived);
 
-        // Line 13: one incremental Shapley solve over committed +
-        // running-residual bids; the serviced prefix commits in place.
-        // (`residuals` mirrors `pending`, so this feeds exactly the
-        // pending users; `update_bids` sorts internally, so the hash
-        // iteration order cannot leak into the outcome.)
-        self.solver.update_bids(self.residuals.iter());
-        let sol = self.solver.solve();
-        let share = sol.share;
-        let newly: Vec<UserId> = self.solver.serviced_finite(&sol).to_vec();
-        self.solver.commit_top(sol.serviced_finite);
+        // Consume the ingest that stage A prepared while the previous
+        // slot was being priced. Reaching here with a batch armed for
+        // this slot means no `revise` invalidated the snapshot.
+        let prepared = match self.pipeline.prepared.take() {
+            Some(p) if p.slot == self.now => Some(p),
+            _ => None,
+        };
+        let arm = self.engine.pipelined() && self.now < self.horizon;
+        let next = self.now + 1;
+
+        // Line 13, split as the two-stage slot pipeline under
+        // `Engine::Pipelined`: stage B splices the pre-sorted batch
+        // into the solver columns, solves, and commits slot `t` on this
+        // thread while stage A retires slot `t` from the running
+        // residuals and pre-sorts slot `t+1`'s update batch and arrival
+        // seeds. The stages touch disjoint fields (B: solver +
+        // expiries + the prepared snapshot; A: residuals + bids +
+        // starts), every quantity is exact `Money` arithmetic, and the
+        // non-forked path runs B then A — the sequential engine's own
+        // order — so fork vs no-fork is invisible in outcomes. Slots
+        // below the fork threshold stay sequential rather than paying a
+        // thread spawn.
+        let (prepared_next, (share, newly, payers)) = if let Some(p) = prepared {
+            // Arrival seeds were pre-summed for the prefix of `arrived`
+            // known at preparation time; arrivals submitted since
+            // (`starts[]` is append-only) seed inline, exactly like the
+            // sequential path.
+            debug_assert!(p.seeds.len() <= arrived.len());
+            for (i, &u) in arrived.iter().enumerate() {
+                match p.seeds.get(i) {
+                    Some(&(seeded, residual)) => {
+                        debug_assert_eq!(seeded, u, "seed order drifted from starts[]");
+                        self.residuals.insert_residual(u, residual);
+                    }
+                    None => self.residuals.insert(u, &self.bids[&u], t),
+                }
+            }
+            self.pending.extend(arrived.iter().copied());
+            let mut fresh: Vec<(Money, i64, UserId)> = arrived
+                .iter()
+                .map(|&u| {
+                    let r = self.residuals.get(u).expect("arrival was just seeded");
+                    (r, shapley::lane_of(r), u)
+                })
+                .collect();
+            fresh.sort_unstable_by_key(|&(v, _, u)| std::cmp::Reverse((v, u)));
+            // An explicit override forks purely by size (tests force
+            // the handoff with `Some(0)` even on one core); the default
+            // policy additionally requires a second hardware thread,
+            // without which the fork is pure overhead.
+            let fork = match self.pipeline.fork_min {
+                Some(min) => self.residuals.len() >= min,
+                None => pipeline::multicore() && self.residuals.len() >= pipeline::DEFAULT_FORK_MIN,
+            };
+            let solver = &mut self.solver;
+            let expiring = &self.expiries[self.now as usize];
+            // Stage A's state ships to the worker by value and comes
+            // home with the result; stage B never reads these fields.
+            let job = IngestJob {
+                residuals: std::mem::take(&mut self.residuals),
+                bids: std::mem::take(&mut self.bids),
+                starts: std::mem::take(&mut self.starts),
+                arm,
+                t,
+                next,
+                spare: std::mem::take(&mut self.pipeline.spare),
+            };
+            let (done, (priced, spent)) = pipeline::overlap_owned(
+                &mut self.pipeline.worker,
+                fork,
+                run_ingest,
+                job,
+                move || {
+                    // The snapshot still holds last slot's commits and
+                    // this slot's retirees; `replace_finite_merge`
+                    // drops both off the `states` map (committed /
+                    // erased entries) while splicing. The result is
+                    // exactly what `update_bids` over
+                    // `residuals.iter()` would build: every pending
+                    // user at her current running residual, sorted by
+                    // (value, user).
+                    solver.replace_finite_merge(&p.batch, &fresh);
+                    (price_slot(solver, expiring), p.batch)
+                },
+            );
+            self.residuals = done.residuals;
+            self.bids = done.bids;
+            self.starts = done.starts;
+            // Recycle the spent snapshot buffer for a later stage A.
+            self.pipeline.spare = spent;
+            (done.prepared, priced)
+        } else {
+            for &u in &arrived {
+                self.residuals.insert(u, &self.bids[&u], t);
+            }
+            self.pending.extend(arrived);
+            // Line 13 (ingest half): one incremental batch update over
+            // committed + running-residual bids. (`residuals` mirrors
+            // `pending`, so this feeds exactly the pending users;
+            // `update_bids` sorts internally, so the hash iteration
+            // order cannot leak into the outcome.)
+            self.solver.update_bids(self.residuals.iter());
+            let priced = price_slot(&mut self.solver, &self.expiries[self.now as usize]);
+            let spare = std::mem::take(&mut self.pipeline.spare);
+            let prepared_next = ingest_stage(
+                &mut self.residuals,
+                &self.bids,
+                &self.starts,
+                arm,
+                t,
+                next,
+                spare,
+            );
+            (prepared_next, priced)
+        };
         for &u in &newly {
             self.pending.remove(&u);
             self.residuals.remove(u);
             self.first_log.push((u, t));
         }
+        self.pipeline.prepared = prepared_next;
 
         if share.is_some() && self.implemented_at.is_none() {
             self.implemented_at = Some(t);
         }
         self.share_by_slot.push(share);
 
-        // Lines 15–19: users pay when their bid expires, at the share
-        // of this slot's (grown) cumulative set.
-        let mut payments = Vec::new();
-        for i in 0..self.expiries[self.now as usize].len() {
-            let u = self.expiries[self.now as usize][i];
-            if self.solver.bid(u) == Some(ShapleyBid::Committed) {
-                let p = share.expect("a committed user implies implementation");
-                self.pay_log.push((u, p));
-                payments.push((u, p));
-            }
+        let mut payments = Vec::with_capacity(payers.len());
+        for u in payers {
+            let p = share.expect("a committed user implies implementation");
+            self.pay_log.push((u, p));
+            payments.push((u, p));
         }
         payments.sort_unstable();
-
-        // Slot `t` retires: every still-pending user's running residual
-        // drops by `value_at(t)`, restoring the invariant
-        // `residuals[u] = residual_from(now)` for the next slot.
-        let bids = &self.bids;
-        self.residuals.advance(t, |u| &bids[&u]);
 
         self.now += 1;
         if !want_report {
@@ -917,6 +1233,7 @@ mod tests {
         let inc = run_engine(Engine::Incremental);
         assert_eq!(inc, run_engine(Engine::Rebuild));
         assert_eq!(inc, run_engine(Engine::Columnar));
+        assert_eq!(inc, run_engine(Engine::Pipelined));
         // And the revision really took: u0 is serviced at t=3, pays 100.
         assert_eq!(inc.first_serviced[&UserId(0)], SlotId(3));
         assert_eq!(inc.payments[&UserId(0)], m(100));
@@ -950,6 +1267,7 @@ mod tests {
         let inc = run_engine(Engine::Incremental);
         assert_eq!(inc, run_engine(Engine::Rebuild));
         assert_eq!(inc, run_engine(Engine::Columnar));
+        assert_eq!(inc, run_engine(Engine::Pipelined));
         assert_eq!(inc.payments[&UserId(0)], m(50));
     }
 
@@ -1061,6 +1379,28 @@ mod tests {
             })
     }
 
+    /// [`run_with_engine`] with `Engine::Pipelined` and the fork
+    /// threshold pinned to zero, so even these tiny proptest games
+    /// exercise the real two-thread ingest/price handoff.
+    fn run_pipelined_forced(game: &AddOnGame) -> AddOnOutcome {
+        let mut state =
+            AddOnState::with_engine(game.cost, game.horizon, Engine::Pipelined).unwrap();
+        state.set_fork_min(Some(0));
+        let mut by_start: BTreeMap<SlotId, Vec<&OnlineBid>> = BTreeMap::new();
+        for bid in &game.bids {
+            by_start.entry(bid.start()).or_default().push(bid);
+        }
+        for t in 1..=game.horizon {
+            if let Some(bids) = by_start.get(&SlotId(t)) {
+                for &bid in bids {
+                    state.submit(bid.clone()).unwrap();
+                }
+            }
+            state.advance_quiet().unwrap();
+        }
+        state.finish().unwrap()
+    }
+
     proptest::proptest! {
         /// Tentpole + regression: the incremental solver engine, the
         /// per-slot rebuild engine (which now skips unseen users), and
@@ -1072,9 +1412,13 @@ mod tests {
             let incremental = run_with_engine(&game, Engine::Incremental).unwrap();
             let rebuild = run_with_engine(&game, Engine::Rebuild).unwrap();
             let columnar = run_with_engine(&game, Engine::Columnar).unwrap();
+            let pipelined = run_with_engine(&game, Engine::Pipelined).unwrap();
+            let forced = run_pipelined_forced(&game);
             let literal = literal_reference(&game);
             prop_assert_eq!(&incremental, &rebuild);
             prop_assert_eq!(&incremental, &columnar);
+            prop_assert_eq!(&incremental, &pipelined);
+            prop_assert_eq!(&incremental, &forced);
             prop_assert_eq!(&incremental, &literal);
         }
 
@@ -1087,25 +1431,35 @@ mod tests {
             let mut inc = AddOnState::with_engine(game.cost, game.horizon, Engine::Incremental).unwrap();
             let mut reb = AddOnState::with_engine(game.cost, game.horizon, Engine::Rebuild).unwrap();
             let mut col = AddOnState::with_engine(game.cost, game.horizon, Engine::Columnar).unwrap();
+            let mut pip = AddOnState::with_engine(game.cost, game.horizon, Engine::Pipelined).unwrap();
+            pip.set_fork_min(Some(0));
             for bid in &game.bids {
                 inc.submit(bid.clone()).unwrap();
                 reb.submit(bid.clone()).unwrap();
                 col.submit(bid.clone()).unwrap();
+                pip.submit(bid.clone()).unwrap();
             }
             for _ in 1..=game.horizon {
                 let step = inc.advance().unwrap();
                 prop_assert_eq!(&step, &reb.advance().unwrap());
                 prop_assert_eq!(&step, &col.advance().unwrap());
+                prop_assert_eq!(&step, &pip.advance().unwrap());
             }
             let done = inc.finish().unwrap();
             prop_assert_eq!(&done, &reb.finish().unwrap());
             prop_assert_eq!(&done, &col.finish().unwrap());
+            prop_assert_eq!(&done, &pip.finish().unwrap());
         }
     }
 
     #[test]
     fn engines_agree_under_revisions() {
-        for engine in [Engine::Incremental, Engine::Rebuild, Engine::Columnar] {
+        for engine in [
+            Engine::Incremental,
+            Engine::Rebuild,
+            Engine::Columnar,
+            Engine::Pipelined,
+        ] {
             let mut st = AddOnState::with_engine(m(100), 4, engine).unwrap();
             st.submit(bid(0, 1, &[10, 10])).unwrap();
             st.submit(bid(1, 2, &[5, 5, 5])).unwrap();

@@ -46,6 +46,7 @@ pub mod audit;
 pub mod error;
 pub mod game;
 pub mod moulin;
+pub mod pipeline;
 pub mod shapley;
 pub mod strategy;
 pub mod substoff;

@@ -221,17 +221,37 @@ pub enum Engine {
     /// exact [`Money`] arithmetic otherwise. Bit-identical outcomes —
     /// proven by the differential oracle against both other engines.
     Columnar,
+    /// The [`Columnar`](Engine::Columnar) solver with the two-stage
+    /// slot pipeline on top (`crate::pipeline`): while slot `t` is
+    /// being priced and committed (the only cross-slot dependency),
+    /// a second thread retires slot `t`'s valuations from the running
+    /// residuals and pre-computes slot `t+1`'s sorted update batch and
+    /// arrival seeds. Slots too small to amortize a thread spawn fall
+    /// back to the sequential columnar path. Bit-identical outcomes —
+    /// every quantity is exact [`Money`] arithmetic over disjoint
+    /// state, proven by the differential oracle against all three
+    /// other engines.
+    Pipelined,
 }
 
 impl Engine {
     /// `true` for the engines that drive a persistent [`Solver`]
-    /// across slots ([`Engine::Incremental`] and [`Engine::Columnar`]);
-    /// `false` for the paper-literal [`Engine::Rebuild`]. The online
-    /// mechanisms branch on this, not on the specific variant, so the
-    /// columnar engine inherits the incremental slot logic wholesale.
+    /// across slots ([`Engine::Incremental`], [`Engine::Columnar`],
+    /// [`Engine::Pipelined`]); `false` for the paper-literal
+    /// [`Engine::Rebuild`]. The online mechanisms branch on this, not
+    /// on the specific variant, so the columnar and pipelined engines
+    /// inherit the incremental slot logic wholesale.
     #[must_use]
     pub fn uses_solver(self) -> bool {
         !matches!(self, Engine::Rebuild)
+    }
+
+    /// `true` for [`Engine::Pipelined`]: the online mechanisms overlap
+    /// slot `t`'s pricing with slot `t+1`'s ingestion when this is set
+    /// (and the slot is big enough to amortize the fork).
+    #[must_use]
+    pub fn pipelined(self) -> bool {
+        matches!(self, Engine::Pipelined)
     }
 }
 
@@ -264,7 +284,7 @@ impl Solution {
 const OFF_GRID: i64 = i64::MIN;
 
 /// `value` in i64 micro-lane units, or [`OFF_GRID`].
-fn lane_of(value: Money) -> i64 {
+pub(crate) fn lane_of(value: Money) -> i64 {
     match value.to_micros() {
         // `i64::MIN` micros is collapsed into the sentinel: treating
         // one representable (absurdly negative) amount as off-grid
@@ -389,7 +409,7 @@ impl Solver {
             users: Vec::with_capacity(capacity),
             committed_len: 0,
             off_grid: 0,
-            columnar: matches!(engine, Engine::Columnar),
+            columnar: matches!(engine, Engine::Columnar | Engine::Pipelined),
             states: osp_econ::FastMap::with_capacity_and_hasher(capacity, Default::default()),
         })
     }
@@ -737,6 +757,95 @@ impl Solver {
         self.users.truncate(write);
     }
 
+    /// Replaces the whole finite region by merging two sorted runs —
+    /// the splice point of the two-stage slot pipeline
+    /// ([`Engine::Pipelined`]). `batch` is the snapshot stage A
+    /// pre-sorted off the critical path (every user pending at
+    /// preparation time, at her advanced residual); `fresh` is the
+    /// just-in-time arrivals the snapshot could not know about. One
+    /// pass merges both straight into the columns, using the `states`
+    /// map itself as the drop filter:
+    ///
+    /// - a batch user now `Committed` was serviced by the pricing that
+    ///   overlapped the snapshot — she has left the finite region;
+    /// - a batch user with **no** `states` entry was retired this slot
+    ///   (`remove_bids` erased her) — her snapshot row is dead;
+    /// - everyone else is live: her entry is updated in place and her
+    ///   row pushed.
+    ///
+    /// Contract (debug-asserted): both runs are strictly descending by
+    /// `(value, user)` with no user in common, each lane mirrors its
+    /// value, `fresh` users are brand new, and every currently-finite
+    /// user appears in one of the runs (otherwise her `states` entry
+    /// would go stale). The result is identical to feeding the same
+    /// live values through [`Solver::update_bids`].
+    pub(crate) fn replace_finite_merge(
+        &mut self,
+        batch: &[(Money, i64, UserId)],
+        fresh: &[(Money, i64, UserId)],
+    ) {
+        let c = self.committed_len;
+        debug_assert!(
+            batch.len() + fresh.len() >= self.values.len() - c,
+            "pipeline batch must cover every finite user"
+        );
+        self.values.truncate(c);
+        self.lanes.truncate(c);
+        self.users.truncate(c);
+        self.off_grid = 0;
+        let cap = batch.len() + fresh.len();
+        self.values.reserve(cap);
+        self.lanes.reserve(cap);
+        self.users.reserve(cap);
+        let mut prev: Option<(Money, UserId)> = None;
+        let (mut i, mut j) = (0, 0);
+        loop {
+            let take_batch = match (batch.get(i), fresh.get(j)) {
+                (Some(&(bv, _, bu)), Some(&(fv, _, fu))) => (bv, bu) > (fv, fu),
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => break,
+            };
+            let (value, lane, user) = if take_batch {
+                let entry = batch[i];
+                i += 1;
+                match self.states.get_mut(&entry.2) {
+                    // Serviced by the overlapped pricing, or retired
+                    // (entry already erased): the snapshot row is dead.
+                    Some(ShapleyBid::Committed) | None => continue,
+                    Some(state) => *state = ShapleyBid::Value(entry.0),
+                }
+                entry
+            } else {
+                let entry = fresh[j];
+                j += 1;
+                debug_assert!(
+                    !self.states.contains_key(&entry.2),
+                    "fresh arrival {} already tracked",
+                    entry.2
+                );
+                self.states.insert(entry.2, ShapleyBid::Value(entry.0));
+                entry
+            };
+            debug_assert_eq!(
+                lane,
+                lane_of(value),
+                "pipeline batch lane drifted from value"
+            );
+            debug_assert!(
+                prev.is_none_or(|p| p > (value, user)),
+                "pipeline runs must be strictly descending by (value, user)"
+            );
+            prev = Some((value, user));
+            if lane == OFF_GRID {
+                self.off_grid += 1;
+            }
+            self.values.push(value);
+            self.lanes.push(lane);
+            self.users.push(user);
+        }
+    }
+
     /// The exact-arithmetic `chosen_k` scan over the `values` column —
     /// [`run`]'s loop, and the fallback whenever the lane fast path is
     /// unavailable.
@@ -1032,7 +1141,7 @@ mod tests {
 
     #[test]
     fn solver_remove_bids_matches_sequential_removes() {
-        for engine in [Engine::Incremental, Engine::Columnar] {
+        for engine in [Engine::Incremental, Engine::Columnar, Engine::Pipelined] {
             let mut batched = Solver::with_capacity_for(m(10), 0, engine).unwrap();
             let mut sequential = batched.clone();
             for u in 0..12u32 {
@@ -1149,7 +1258,7 @@ mod tests {
             batch in proptest::collection::btree_map(0u32..12, 0i64..200, 0..12),
         ) {
             let cost = Money::from_cents(cost);
-            for engine in [Engine::Incremental, Engine::Columnar] {
+            for engine in [Engine::Incremental, Engine::Columnar, Engine::Pipelined] {
                 let mut batched = Solver::with_capacity_for(cost, 0, engine).unwrap();
                 for &(u, v) in &initial {
                     batched.update_bid(UserId(u), Money::from_cents(v));
@@ -1183,7 +1292,7 @@ mod tests {
             ops in arb_solver_ops(),
         ) {
             let cost = Money::from_cents(cost);
-            for engine in [Engine::Incremental, Engine::Columnar] {
+            for engine in [Engine::Incremental, Engine::Columnar, Engine::Pipelined] {
                 let mut solver = Solver::with_capacity_for(cost, 0, engine).unwrap();
                 let mut model: BTreeMap<UserId, ShapleyBid> = BTreeMap::new();
                 for op in ops.clone() {

@@ -44,6 +44,7 @@ use osp_econ::{Ledger, Money, OptId, ResidualTracker, SlotId, UserId};
 
 use crate::error::{MechanismError, Result};
 use crate::game::{SubstOnGame, SubstOnlineBid};
+use crate::pipeline;
 use crate::shapley::{Engine, ShapleyBid, Solution, Solver};
 use crate::substoff::{self, SubstBidMap, TieBreak};
 
@@ -104,6 +105,14 @@ struct BatchScratch {
     /// `dirty[j]`: solver `j` mutated since `solutions[j]` was
     /// computed (bid updates this slot, or users lost to a grant).
     dirty: Vec<bool>,
+    /// [`Engine::Pipelined`] only: `(slot, arrival seeds)` pre-summed by
+    /// the overlap stage for the next slot's reveal. SubstOn has no
+    /// `revise`, and `starts[]` entries are append-only, so the seeds
+    /// are always a valid prefix of the slot's arrivals.
+    seeds: Option<(u32, Vec<(UserId, Money)>)>,
+    /// Fork-threshold override for [`Engine::Pipelined`] (`None` =
+    /// [`pipeline::DEFAULT_FORK_MIN`]; tests pin `Some(0)`).
+    fork_min: Option<usize>,
 }
 
 impl BatchScratch {
@@ -219,6 +228,16 @@ impl SubstOnState {
     #[must_use]
     pub fn now(&self) -> SlotId {
         SlotId(self.now)
+    }
+
+    /// Overrides the minimum pending-set size at which
+    /// [`Engine::Pipelined`] forks its residual/ingest stage onto a
+    /// second thread (`None` restores [`pipeline::DEFAULT_FORK_MIN`];
+    /// `Some(0)` forces the fork on every slot — the stress tests use
+    /// this to hammer the handoff on tiny games).
+    #[doc(hidden)]
+    pub fn set_fork_min(&mut self, fork_min: Option<usize>) {
+        self.scratch.fork_min = fork_min;
     }
 
     /// The game horizon `z`.
@@ -344,21 +363,90 @@ impl SubstOnState {
         }
         // Reveal bids whose series starts now; unseen users are skipped
         // entirely (`b'_ij ← 0` prunes them in the paper). Arrivals
-        // seed their running residual (their one full suffix sum).
+        // seed their running residual (their one full suffix sum —
+        // unless the pipeline's overlap stage pre-summed it while the
+        // previous slot was being priced).
+        let seeds = match self.scratch.seeds.take() {
+            Some((slot, seeds)) if slot == self.now => seeds,
+            _ => Vec::new(),
+        };
         if let Some(arrived) = self.starts.remove(&self.now) {
             if self.engine.uses_solver() {
-                for &u in &arrived {
-                    self.residuals.insert(u, &self.bids[&u].series, t);
+                debug_assert!(seeds.len() <= arrived.len());
+                for (i, &u) in arrived.iter().enumerate() {
+                    match seeds.get(i) {
+                        Some(&(seeded, residual)) => {
+                            debug_assert_eq!(seeded, u, "seed order drifted from starts[]");
+                            self.residuals.insert_residual(u, residual);
+                        }
+                        None => self.residuals.insert(u, &self.bids[&u].series, t),
+                    }
                 }
             }
             self.pending.extend(arrived);
         }
 
         // Per-optimization share of this slot's SubstOff run, and the
-        // users granted in this slot's phases.
+        // users granted in this slot's phases. Under the solver engines
+        // the fan-out (which reads the running residuals) runs first;
+        // the phase loop then touches only solvers + scratch + bids, so
+        // `Engine::Pipelined` overlaps it with this slot's residual
+        // retirement and the next slot's arrival seeds (stage A). The
+        // non-forked path runs the phase loop first, then the residual
+        // work — the sequential engine's own order — so fork vs
+        // no-fork is invisible in outcomes.
         let (shares, newly_assigned): (Vec<Option<Money>>, BTreeMap<UserId, OptId>) =
             if self.engine.uses_solver() {
-                self.phases_incremental(t)
+                self.fan_out(t);
+                let n = self.costs.len();
+                let arm = self.engine.pipelined() && self.now < self.horizon;
+                // Override forks purely by size (tests pin `Some(0)`);
+                // the default additionally requires a second hardware
+                // thread — on one core the fork is pure overhead.
+                let fork = self.engine.pipelined()
+                    && match self.scratch.fork_min {
+                        Some(min) => self.pending.len() >= min,
+                        None => {
+                            pipeline::multicore()
+                                && self.pending.len() >= pipeline::DEFAULT_FORK_MIN
+                        }
+                    };
+                let next = self.now + 1;
+                let BatchScratch {
+                    solutions, dirty, ..
+                } = &mut self.scratch;
+                let solvers = &mut self.solvers[..];
+                let bids = &self.bids;
+                let starts = &self.starts;
+                let residuals = &mut self.residuals;
+                let tiebreak = self.tiebreak;
+                let (seeds_next, result) = pipeline::overlap(
+                    fork,
+                    move || {
+                        // Slot `t` retires: every still-pending user's
+                        // running residual drops by `value_at(t)`.
+                        // (Users the phase loop is granting are still
+                        // tracked here; they are removed right after
+                        // the join, value unread.)
+                        residuals.advance(t, |u| &bids[&u].series);
+                        if !arm {
+                            return None;
+                        }
+                        let seeds: Vec<(UserId, Money)> = starts
+                            .get(&next)
+                            .map(|arrivals| {
+                                arrivals
+                                    .iter()
+                                    .map(|&u| (u, bids[&u].series.residual_from(SlotId(next))))
+                                    .collect()
+                            })
+                            .unwrap_or_default();
+                        Some((next, seeds))
+                    },
+                    move || phase_loop(n, tiebreak, solvers, solutions, dirty, bids),
+                );
+                self.scratch.seeds = seeds_next;
+                result
             } else {
                 self.phases_rebuild(t)
             };
@@ -392,14 +480,6 @@ impl SubstOnState {
             payments.sort_unstable();
         }
 
-        // Slot `t` retires: every still-pending user's running residual
-        // drops by `value_at(t)`, restoring the invariant
-        // `residuals[u] = residual_from(now)` for the next slot.
-        if self.engine.uses_solver() {
-            let bids = &self.bids;
-            self.residuals.advance(t, |u| &bids[&u].series);
-        }
-
         self.now += 1;
         Ok(SubstSlotReport {
             slot: t,
@@ -408,24 +488,18 @@ impl SubstOnState {
         })
     }
 
-    /// One slot's SubstOff phase loop over the persistent per-opt
-    /// solvers, batched: a single pass over the pending users buckets
-    /// each user's O(1) *running* residual into her substitutes' update
-    /// lists (buffers reused across opts and slots — zero steady-state
-    /// allocation), and the phase loop re-solves only *dirty* solvers
-    /// (bids changed this slot, or users lost to a grant), reusing
-    /// cached solutions across phases *and* slots for the rest.
-    /// Replicates [`substoff::run_with_bids`] exactly — including
-    /// tie-break order and RNG consumption — but grants mutate the
-    /// solvers in place instead of rebuilding bid maps.
-    fn phases_incremental(&mut self, t: SlotId) -> (Vec<Option<Money>>, BTreeMap<UserId, OptId>) {
+    /// The fan-out head of the batched per-slot SubstOff run: a single
+    /// pass over the pending users buckets each user's O(1) *running*
+    /// residual into her substitutes' update lists (buffers reused
+    /// across opts and slots — zero steady-state allocation) and
+    /// drains them into the solvers' batch merges. This is the only
+    /// part of the slot's solving that reads the residual tracker,
+    /// which is what lets [`Engine::Pipelined`] overlap the
+    /// [`phase_loop`] that follows with the residual retirement.
+    fn fan_out(&mut self, t: SlotId) {
         let n = self.costs.len();
         self.scratch.ensure(n);
-        let BatchScratch {
-            per_opt,
-            solutions,
-            dirty,
-        } = &mut self.scratch;
+        let BatchScratch { per_opt, dirty, .. } = &mut self.scratch;
 
         // One touch per pending user's bid row: read the running
         // residual, fan it out to her substitute opts' buckets.
@@ -445,61 +519,6 @@ impl SubstOnState {
             if !updates.is_empty() {
                 solver.update_bids(updates.drain());
                 dirty[jidx] = true;
-            }
-        }
-
-        let mut shares: Vec<Option<Money>> = vec![None; n];
-        let mut newly_assigned = BTreeMap::new();
-        let mut rng = match self.tiebreak {
-            TieBreak::Random(seed) => Some(StdRng::seed_from_u64(seed)),
-            TieBreak::LowestOptId => None,
-        };
-        loop {
-            // Feasibility sweep over the not-yet-implemented (this
-            // slot) optimizations, in OptId order like the offline
-            // phase loop; clean solvers answer from cache.
-            for jidx in 0..n {
-                if shares[jidx].is_none() && dirty[jidx] {
-                    let sol = self.solvers[jidx].solve();
-                    solutions[jidx] = sol.is_implemented().then_some(sol);
-                    dirty[jidx] = false;
-                }
-            }
-            let feasible = |jidx: &usize| shares[*jidx].is_none() && solutions[*jidx].is_some();
-            let Some(min_share) = (0..n)
-                .filter(|jidx| feasible(jidx))
-                .filter_map(|jidx| solutions[jidx].and_then(|sol| sol.share))
-                .min()
-            else {
-                return (shares, newly_assigned); // J_f = ∅
-            };
-            let tied: Vec<usize> = (0..n)
-                .filter(|jidx| feasible(jidx))
-                .filter(|&jidx| solutions[jidx].and_then(|sol| sol.share) == Some(min_share))
-                .collect();
-            let pick = match &mut rng {
-                Some(rng) if tied.len() > 1 => tied[rng.gen_range(0..tied.len())],
-                _ => tied[0],
-            };
-            let jidx = pick;
-            let sol = solutions[jidx].expect("picked optimization is feasible");
-            let j = OptId(u32::try_from(jidx).unwrap());
-            shares[jidx] = Some(min_share);
-
-            let newly: Vec<UserId> = self.solvers[jidx].serviced_finite(&sol).to_vec();
-            self.solvers[jidx].commit_top(sol.serviced_finite);
-            // The commit changed solver `jidx`; its cached solution is
-            // stale for the *next* slot.
-            dirty[jidx] = true;
-            for u in newly {
-                newly_assigned.insert(u, j);
-                // b_ij' ← 0 ∀j' ≠ j, forever: the no-switch rule.
-                for &other in &self.bids[&u].substitutes {
-                    if other != j {
-                        self.solvers[other.index() as usize].remove(u);
-                        dirty[other.index() as usize] = true;
-                    }
-                }
             }
         }
     }
@@ -557,6 +576,79 @@ impl SubstOnState {
             first_serviced: self.first_serviced,
             payments: self.payments,
         })
+    }
+}
+
+/// One slot's SubstOff phase loop over the persistent per-opt solvers:
+/// re-solves only *dirty* solvers (bids changed this slot, or users
+/// lost to a grant), reusing cached solutions across phases *and* slots
+/// for the rest. Replicates [`substoff::run_with_bids`] exactly —
+/// including tie-break order and RNG consumption — but grants mutate
+/// the solvers in place instead of rebuilding bid maps. Factored free
+/// of `&mut self` (it never touches the residual tracker or the slot
+/// index maps) so [`Engine::Pipelined`] can run it concurrently with
+/// the residual retirement stage.
+fn phase_loop(
+    n: usize,
+    tiebreak: TieBreak,
+    solvers: &mut [Solver],
+    solutions: &mut [Option<Solution>],
+    dirty: &mut [bool],
+    bids: &BTreeMap<UserId, SubstOnlineBid>,
+) -> (Vec<Option<Money>>, BTreeMap<UserId, OptId>) {
+    let mut shares: Vec<Option<Money>> = vec![None; n];
+    let mut newly_assigned = BTreeMap::new();
+    let mut rng = match tiebreak {
+        TieBreak::Random(seed) => Some(StdRng::seed_from_u64(seed)),
+        TieBreak::LowestOptId => None,
+    };
+    loop {
+        // Feasibility sweep over the not-yet-implemented (this slot)
+        // optimizations, in OptId order like the offline phase loop;
+        // clean solvers answer from cache.
+        for jidx in 0..n {
+            if shares[jidx].is_none() && dirty[jidx] {
+                let sol = solvers[jidx].solve();
+                solutions[jidx] = sol.is_implemented().then_some(sol);
+                dirty[jidx] = false;
+            }
+        }
+        let feasible = |jidx: &usize| shares[*jidx].is_none() && solutions[*jidx].is_some();
+        let Some(min_share) = (0..n)
+            .filter(|jidx| feasible(jidx))
+            .filter_map(|jidx| solutions[jidx].and_then(|sol| sol.share))
+            .min()
+        else {
+            return (shares, newly_assigned); // J_f = ∅
+        };
+        let tied: Vec<usize> = (0..n)
+            .filter(|jidx| feasible(jidx))
+            .filter(|&jidx| solutions[jidx].and_then(|sol| sol.share) == Some(min_share))
+            .collect();
+        let pick = match &mut rng {
+            Some(rng) if tied.len() > 1 => tied[rng.gen_range(0..tied.len())],
+            _ => tied[0],
+        };
+        let jidx = pick;
+        let sol = solutions[jidx].expect("picked optimization is feasible");
+        let j = OptId(u32::try_from(jidx).unwrap());
+        shares[jidx] = Some(min_share);
+
+        let newly: Vec<UserId> = solvers[jidx].serviced_finite(&sol).to_vec();
+        solvers[jidx].commit_top(sol.serviced_finite);
+        // The commit changed solver `jidx`; its cached solution is
+        // stale for the *next* slot.
+        dirty[jidx] = true;
+        for u in newly {
+            newly_assigned.insert(u, j);
+            // b_ij' ← 0 ∀j' ≠ j, forever: the no-switch rule.
+            for &other in &bids[&u].substitutes {
+                if other != j {
+                    solvers[other.index() as usize].remove(u);
+                    dirty[other.index() as usize] = true;
+                }
+            }
+        }
     }
 }
 
@@ -848,8 +940,10 @@ mod tests {
                 let inc = run_with_engine(&game, tiebreak, Engine::Incremental).unwrap();
                 let reb = run_with_engine(&game, tiebreak, Engine::Rebuild).unwrap();
                 let col = run_with_engine(&game, tiebreak, Engine::Columnar).unwrap();
+                let pip = run_with_engine(&game, tiebreak, Engine::Pipelined).unwrap();
                 prop_assert_eq!(&inc, &reb);
                 prop_assert_eq!(&inc, &col);
+                prop_assert_eq!(&inc, &pip);
             }
         }
 
@@ -867,19 +961,27 @@ mod tests {
             let mut col = SubstOnState::with_engine(
                 game.costs.clone(), game.horizon, TieBreak::LowestOptId, Engine::Columnar,
             ).unwrap();
+            let mut pip = SubstOnState::with_engine(
+                game.costs.clone(), game.horizon, TieBreak::LowestOptId, Engine::Pipelined,
+            ).unwrap();
+            // Force the two-thread handoff even on these tiny games.
+            pip.set_fork_min(Some(0));
             for bid in &game.bids {
                 inc.submit(bid.clone()).unwrap();
                 reb.submit(bid.clone()).unwrap();
                 col.submit(bid.clone()).unwrap();
+                pip.submit(bid.clone()).unwrap();
             }
             for _ in 1..=game.horizon {
                 let step = inc.advance().unwrap();
                 prop_assert_eq!(&step, &reb.advance().unwrap());
                 prop_assert_eq!(&step, &col.advance().unwrap());
+                prop_assert_eq!(&step, &pip.advance().unwrap());
             }
             let done = inc.finish().unwrap();
             prop_assert_eq!(&done, &reb.finish().unwrap());
             prop_assert_eq!(&done, &col.finish().unwrap());
+            prop_assert_eq!(&done, &pip.finish().unwrap());
         }
     }
 

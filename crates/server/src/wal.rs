@@ -96,6 +96,60 @@ pub fn is_logged(op: &Op) -> bool {
     )
 }
 
+/// Typed failure opening or scanning a WAL segment.
+///
+/// The two corruption shapes recovery must never paper over — a
+/// header too short to hold [`WAL_MAGIC`] and a full-length header
+/// that is not the magic — get their own variants so every caller
+/// (shard recovery, `osp resume`, tests) can tell "this is not a WAL"
+/// from an ordinary filesystem failure. Neither corruption variant is
+/// ever silently healed: the file is left byte-for-byte untouched for
+/// the operator, and a durable shard that hits one degrades to
+/// in-memory serving instead of wiping the evidence.
+#[derive(Debug)]
+pub enum WalError {
+    /// The file is shorter than the 8-byte magic — either not a WAL
+    /// at all, or a segment destroyed below its header.
+    TruncatedMagic {
+        /// The offending file.
+        path: PathBuf,
+        /// Its length in bytes (1–7).
+        len: u64,
+    },
+    /// The first 8 bytes are not [`WAL_MAGIC`].
+    BadMagic {
+        /// The offending file.
+        path: PathBuf,
+    },
+    /// An underlying I/O failure, with context.
+    Io(String),
+}
+
+impl std::fmt::Display for WalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WalError::TruncatedMagic { path, len } => write!(
+                f,
+                "{} is not a wal segment (magic header truncated at {len} of {} bytes)",
+                path.display(),
+                WAL_MAGIC.len()
+            ),
+            WalError::BadMagic { path } => {
+                write!(f, "{} is not a wal segment (bad magic)", path.display())
+            }
+            WalError::Io(msg) => f.write_str(msg),
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+impl From<WalError> for String {
+    fn from(e: WalError) -> String {
+        e.to_string()
+    }
+}
+
 /// What scanning a segment found.
 #[derive(Debug)]
 pub struct ReadOutcome {
@@ -125,14 +179,21 @@ pub fn crc32(bytes: &[u8]) -> u32 {
 }
 
 /// Scans the segment at `path`, stopping at the first torn or
-/// corrupt record. A missing file reads as empty. Only a wrong magic
-/// is an error — torn tails are expected after a crash and reported,
-/// not failed.
-pub fn read_wal(path: &Path) -> Result<ReadOutcome, String> {
+/// corrupt record. A missing or empty file reads as a fresh segment.
+/// A corrupt header — shorter than the magic, or not the magic — is
+/// a typed [`WalError`]: unlike a torn *record* tail (expected after
+/// a crash, reported and dropped), a broken header means the file may
+/// not be a WAL at all, and guessing would destroy evidence.
+pub fn read_wal(path: &Path) -> Result<ReadOutcome, WalError> {
     let bytes = match fs::read(path) {
         Ok(bytes) => bytes,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
-        Err(e) => return Err(format!("cannot read wal {}: {e}", path.display())),
+        Err(e) => {
+            return Err(WalError::Io(format!(
+                "cannot read wal {}: {e}",
+                path.display()
+            )))
+        }
     };
     if bytes.is_empty() {
         return Ok(ReadOutcome {
@@ -142,18 +203,15 @@ pub fn read_wal(path: &Path) -> Result<ReadOutcome, String> {
         });
     }
     if bytes.len() < WAL_MAGIC.len() {
-        // Died while writing the magic itself: everything is tail.
-        return Ok(ReadOutcome {
-            records: Vec::new(),
-            valid_len: 0,
-            torn_bytes: bytes.len() as u64,
+        return Err(WalError::TruncatedMagic {
+            path: path.to_path_buf(),
+            len: bytes.len() as u64,
         });
     }
     if &bytes[..WAL_MAGIC.len()] != WAL_MAGIC {
-        return Err(format!(
-            "{} is not a wal segment (bad magic)",
-            path.display()
-        ));
+        return Err(WalError::BadMagic {
+            path: path.to_path_buf(),
+        });
     }
     let mut records = Vec::new();
     let mut pos = WAL_MAGIC.len();
@@ -199,7 +257,11 @@ impl Segment {
     /// Opens (creating if absent) the segment at `path`: scans it,
     /// truncates any torn tail back to the last valid boundary, and
     /// positions for append. Returns the surviving records alongside.
-    pub fn open(path: &Path) -> Result<(Segment, ReadOutcome), String> {
+    ///
+    /// A corrupt or truncated magic header is returned as the typed
+    /// [`WalError`] from the scan, with the file left untouched —
+    /// open never "heals" a file it cannot prove is a WAL.
+    pub fn open(path: &Path) -> Result<(Segment, ReadOutcome), WalError> {
         let outcome = read_wal(path)?;
         let mut file = OpenOptions::new()
             .read(true)
@@ -207,19 +269,19 @@ impl Segment {
             .create(true)
             .truncate(false)
             .open(path)
-            .map_err(|e| format!("cannot open wal {}: {e}", path.display()))?;
+            .map_err(|e| WalError::Io(format!("cannot open wal {}: {e}", path.display())))?;
         if outcome.torn_bytes > 0 {
             file.set_len(outcome.valid_len.max(WAL_MAGIC.len() as u64))
-                .map_err(|e| format!("cannot truncate torn wal tail: {e}"))?;
+                .map_err(|e| WalError::Io(format!("cannot truncate torn wal tail: {e}")))?;
         }
         if outcome.valid_len == 0 {
-            file.set_len(0)
-                .map_err(|e| format!("cannot reset wal {}: {e}", path.display()))?;
+            // Only a fresh (missing or empty) segment reaches here:
+            // the scan already rejected every nonempty non-WAL file.
             file.write_all(WAL_MAGIC)
-                .map_err(|e| format!("cannot write wal magic: {e}"))?;
+                .map_err(|e| WalError::Io(format!("cannot write wal magic: {e}")))?;
         }
         file.seek(SeekFrom::End(0))
-            .map_err(|e| format!("cannot seek wal {}: {e}", path.display()))?;
+            .map_err(|e| WalError::Io(format!("cannot seek wal {}: {e}", path.display())))?;
         let next_seq = outcome.records.last().map_or(1, |r| r.seq + 1);
         Ok((
             Segment {
@@ -741,10 +803,68 @@ mod tests {
     }
 
     #[test]
-    fn wrong_magic_is_a_hard_error() {
+    fn wrong_magic_is_a_typed_hard_error_on_every_open_path() {
         let path = temp_wal("magic");
-        fs::write(&path, b"NOTAWAL!extra").unwrap();
-        assert!(read_wal(&path).unwrap_err().contains("bad magic"));
+        // The shape tests/recovery.rs plants: full-length wrong magic.
+        fs::write(&path, b"XXXXXXXXgarbage").unwrap();
+        assert!(matches!(
+            read_wal(&path),
+            Err(WalError::BadMagic { path: p }) if p == path
+        ));
+        assert!(matches!(
+            Segment::open(&path),
+            Err(WalError::BadMagic { .. })
+        ));
+        // The typed error formats (and converts to the legacy String)
+        // with the path and the reason.
+        let msg = String::from(read_wal(&path).unwrap_err());
+        assert!(msg.contains("bad magic"), "{msg}");
+        assert!(msg.contains("magic"), "{msg}");
+        // Open never modifies a file it rejected.
+        assert_eq!(fs::read(&path).unwrap(), b"XXXXXXXXgarbage");
+        let _ = fs::remove_file(&path);
+    }
+
+    /// The satellite regression: a header cut at each of the first 8
+    /// bytes is a typed [`WalError::TruncatedMagic`] — never a panic,
+    /// never an `Ok` that quietly wipes the file and restarts it.
+    #[test]
+    fn headers_cut_at_each_of_the_first_eight_bytes_are_typed_errors() {
+        let path = temp_wal("short-magic");
+        for cut in 1..WAL_MAGIC.len() {
+            fs::write(&path, &WAL_MAGIC[..cut]).unwrap();
+            match read_wal(&path) {
+                Err(WalError::TruncatedMagic { path: p, len }) => {
+                    assert_eq!(p, path, "cut at {cut}");
+                    assert_eq!(len, cut as u64, "cut at {cut}");
+                }
+                other => panic!("cut at {cut}: expected TruncatedMagic, got {other:?}"),
+            }
+            assert!(
+                matches!(Segment::open(&path), Err(WalError::TruncatedMagic { .. })),
+                "cut at {cut}: open must fail too"
+            );
+            assert_eq!(
+                fs::read(&path).unwrap(),
+                &WAL_MAGIC[..cut],
+                "cut at {cut}: the corrupt file must be left untouched"
+            );
+            // Short garbage that is not a magic prefix is the same
+            // typed error — a short header cannot be validated.
+            fs::write(&path, &b"NOTAWAL!"[..cut]).unwrap();
+            assert!(
+                matches!(read_wal(&path), Err(WalError::TruncatedMagic { .. })),
+                "garbage cut at {cut}"
+            );
+        }
+        // Cut 0 (empty) and cut 8 (complete magic) stay valid, fresh
+        // and record-free.
+        for contents in [&b""[..], WAL_MAGIC] {
+            fs::write(&path, contents).unwrap();
+            let read = read_wal(&path).unwrap();
+            assert!(read.records.is_empty());
+            assert_eq!(read.torn_bytes, 0);
+        }
         let _ = fs::remove_file(&path);
     }
 

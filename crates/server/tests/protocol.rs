@@ -168,6 +168,68 @@ fn bad_creates_and_bad_amounts_are_rejected() {
 }
 
 #[test]
+fn every_engine_override_is_accepted_and_prices_identically() {
+    let pool = pool();
+    let engines = ["incremental", "rebuild", "columnar", "pipelined"];
+    for (g, name) in engines.iter().enumerate() {
+        let game = g as u64 + 1;
+        assert!(
+            matches!(
+                pool.call(req(
+                    game * 100,
+                    Op::Create {
+                        game: GameId(game),
+                        mechanism: Mechanism::AddOn,
+                        horizon: 3,
+                        costs: vec!["10".into()],
+                        engine: Some((*name).to_string()),
+                        seed: None,
+                    },
+                ))
+                .reply,
+                Reply::Created { .. }
+            ),
+            "engine override {name:?} must be accepted"
+        );
+        for (user, values) in [(0u32, ["6", "6", "6"]), (1, ["5", "4", "3"])] {
+            assert!(matches!(
+                pool.call(arrive(
+                    game * 100 + u64::from(user) + 1,
+                    game,
+                    user,
+                    1,
+                    &values
+                ))
+                .reply,
+                Reply::Submitted { .. }
+            ));
+        }
+    }
+    // Identical games under every engine produce identical slot
+    // reports — the override selects an implementation, not a price.
+    for slot in 0..3u64 {
+        let mut reports = Vec::new();
+        for g in 0..engines.len() as u64 {
+            let response = pool.call(req(
+                1_000 + slot * 10 + g,
+                Op::Tick {
+                    game: GameId(g + 1),
+                    slot: None,
+                },
+            ));
+            match response.reply {
+                Reply::Slot { report, .. } => reports.push(report),
+                other => panic!("expected a slot reply, got {other:?}"),
+            }
+        }
+        for (report, name) in reports.iter().zip(engines.iter()) {
+            assert_eq!(report, &reports[0], "engine {name} diverged at slot {slot}");
+        }
+    }
+    let _ = pool.shutdown();
+}
+
+#[test]
 fn mechanism_errors_surface_with_stable_codes() {
     let pool = pool();
     assert!(matches!(

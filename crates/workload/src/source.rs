@@ -340,7 +340,12 @@ mod tests {
     fn play_rejects_nothing_on_every_registered_source() {
         for source in registry() {
             let trace = source.sample(12, 7);
-            for engine in [Engine::Incremental, Engine::Rebuild, Engine::Columnar] {
+            for engine in [
+                Engine::Incremental,
+                Engine::Rebuild,
+                Engine::Columnar,
+                Engine::Pipelined,
+            ] {
                 trace
                     .play(engine, TieBreak::LowestOptId)
                     .unwrap_or_else(|e| panic!("{}: {e}", source.name()));
